@@ -1,0 +1,71 @@
+// Command overbench runs the Overshadow reproduction experiments (E1–E10
+// in DESIGN.md) and prints their tables.
+//
+// Usage:
+//
+//	overbench               # run every experiment at quick scale
+//	overbench -full         # full-scale parameters (slower)
+//	overbench -e E1,E8      # a subset by ID
+//	overbench -seed 7       # change the simulation seed
+//	overbench -list         # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"overshadow/internal/harness"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run full-scale parameters (slower)")
+	only := flag.String("e", "", "comma-separated experiment IDs (default: all)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	csv := flag.Bool("csv", false, "emit CSV instead of formatted tables")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Registry() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := harness.Options{Quick: !*full, Seed: *seed}
+	selected := harness.Registry()
+	if *only != "" {
+		selected = selected[:0]
+		for _, id := range strings.Split(*only, ",") {
+			e, ok := harness.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "overbench: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *csv {
+		for _, e := range selected {
+			tab := e.Run(opts)
+			fmt.Printf("# %s — %s\n%s\n", tab.ID, tab.Title, tab.CSV())
+		}
+		return
+	}
+
+	mode := "quick"
+	if *full {
+		mode = "full"
+	}
+	fmt.Printf("overshadow experiment suite (%s scale, seed %d)\n\n", mode, *seed)
+	for _, e := range selected {
+		start := time.Now()
+		tab := e.Run(opts)
+		fmt.Println(tab)
+		fmt.Printf("  (host time %.1fs)\n\n", time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,160 @@
+// Command overshadow is the interactive demo: it boots the simulated
+// machine, runs a secret-handling application cloaked (or not), optionally
+// with a hostile kernel, and prints what the OS could observe plus the
+// VMM's audit trail.
+//
+// Usage:
+//
+//	overshadow                 # cloaked app under a benign kernel
+//	overshadow -native         # the same app without cloaking
+//	overshadow -evil           # cloaked app under a snooping+tampering kernel
+//	overshadow -native -evil   # demonstrate why you want cloaking
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+
+	"overshadow/internal/core"
+	"overshadow/internal/guestos"
+	"overshadow/internal/sim"
+	"overshadow/internal/vmm"
+)
+
+var secret = []byte("TOP-SECRET: the merger closes Friday at $42/share")
+
+func main() {
+	native := flag.Bool("native", false, "run without cloaking")
+	evil := flag.Bool("evil", false, "make the guest kernel malicious")
+	trace := flag.Bool("trace", false, "print the tail of the diagnostic event trace")
+	flag.Parse()
+
+	sys := core.NewSystem(core.Config{MemoryPages: 2048})
+	if *trace {
+		sys.World.EnableTrace(4096)
+	}
+
+	var kernelSnapshots [][]byte
+	var tampered bool
+	if *evil {
+		sys.Adversary().OnSyscall = func(k *guestos.Kernel, p *guestos.Proc, no guestos.Sysno, _ *vmm.Regs) {
+			buf := make([]byte, len(secret))
+			va := core.Addr(guestos.LayoutHeapBase * core.PageSize)
+			if err := k.VMM().ReadVirt(p.AddressSpace(), vmm.ViewSystem, va, buf, false); err == nil {
+				kernelSnapshots = append(kernelSnapshots, append([]byte(nil), buf...))
+			}
+			if !tampered && no == guestos.SysNull {
+				if err := k.VMM().WriteVirt(p.AddressSpace(), vmm.ViewSystem, va, []byte{0x00}, false); err == nil {
+					tampered = true
+				}
+			}
+		}
+	}
+
+	appCompleted := false
+	var appReadBack []byte
+	sys.Register("secrets", func(e core.Env) {
+		base, _ := e.Sbrk(1)
+		e.WriteMem(base, secret)
+		for i := 0; i < 5; i++ {
+			e.Null() // each syscall is a snoop/tamper opportunity
+		}
+		got := make([]byte, len(secret))
+		e.ReadMem(base, got)
+		appReadBack = got
+		appCompleted = true
+		e.Exit(0)
+	})
+
+	var opts []core.SpawnOpt
+	if !*native {
+		opts = append(opts, core.Cloaked())
+	}
+	if _, err := sys.Spawn("secrets", opts...); err != nil {
+		panic(err)
+	}
+	sys.Run()
+
+	mode := "cloaked"
+	if *native {
+		mode = "native"
+	}
+	kernel := "benign"
+	if *evil {
+		kernel = "malicious"
+	}
+	fmt.Printf("mode: %s application, %s kernel\n", mode, kernel)
+	fmt.Printf("simulated time: %s\n\n", sys.Now())
+
+	if *evil {
+		leaked := false
+		for _, snap := range kernelSnapshots {
+			if bytes.Contains(snap, secret[:10]) {
+				leaked = true
+			}
+		}
+		fmt.Printf("kernel snooped %d times; plaintext leaked: %v\n", len(kernelSnapshots), leaked)
+		if len(kernelSnapshots) > 0 {
+			fmt.Printf("last kernel view of the secret page: %x...\n", kernelSnapshots[len(kernelSnapshots)-1][:24])
+		}
+		fmt.Printf("kernel tampered with app memory: %v\n", tampered)
+	}
+	if appCompleted {
+		intact := bytes.Equal(appReadBack, secret)
+		fmt.Printf("application completed; its data intact: %v\n", intact)
+	} else {
+		fmt.Println("application was terminated before consuming corrupted data")
+	}
+
+	events := sys.SecurityEvents()
+	interesting := 0
+	for _, ev := range events {
+		if ev.Kind != vmm.EventCloakOnKernelAccess {
+			interesting++
+		}
+	}
+	fmt.Printf("\nVMM audit log: %d events (%d beyond routine cloak transitions)\n",
+		len(events), interesting)
+	shown := 0
+	for _, ev := range events {
+		if ev.Kind != vmm.EventCloakOnKernelAccess && shown < 5 {
+			fmt.Printf("  %v\n", ev)
+			shown++
+		}
+	}
+	fmt.Printf("\ncounters:\n%s", filterStats(sys.Stats()))
+
+	if *trace {
+		evts, total := sys.World.TraceEvents()
+		fmt.Printf("\ndiagnostic trace (%d events total, showing last %d):\n",
+			total, min(len(evts), 40))
+		start := len(evts) - 40
+		if start < 0 {
+			start = 0
+		}
+		for _, ev := range evts[start:] {
+			fmt.Printf("  %s\n", ev)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func filterStats(s *sim.Stats) string {
+	keep := []sim.Counter{
+		sim.CtrPageEncrypt, sim.CtrPageDecrypt, sim.CtrHashVerifyOK,
+		sim.CtrHashVerifyFail, sim.CtrCTCSave, sim.CtrCTCRestore,
+		sim.CtrWorldSwitch, sim.CtrSyscall, sim.CtrHypercall,
+	}
+	out := ""
+	for _, c := range keep {
+		out += fmt.Sprintf("  %-22s %8d\n", c, s.Get(c))
+	}
+	return out
+}

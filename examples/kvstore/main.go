@@ -1,0 +1,237 @@
+// Kvstore: the paper's motivating deployment — a data-handling server whose
+// operator does not trust the operating system. A cloaked key-value server
+// keeps its table in protected memory and persists it to a cloaked file;
+// clients talk to it over pipes (marshalled transport). A hostile kernel
+// snoops memory at every trap and reads the database file off "disk" — and
+// gets ciphertext both times, while the service works normally.
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	"overshadow"
+	"overshadow/internal/guestos"
+	"overshadow/internal/vmm"
+)
+
+// Protocol over the request pipe: op byte ('P'ut/'G'et/'Q'uit), 1-byte key
+// length, key, then for Put a 1-byte value length and the value. The reply
+// pipe carries a 1-byte length (0 = not found) and the value.
+
+const (
+	maxPairs  = 64
+	slotBytes = 64 // 1B klen + 31B key + 1B vlen + 31B value
+)
+
+func main() {
+	sys := overshadow.NewSystem(overshadow.Config{MemoryPages: 2048})
+
+	// The hostile kernel, doing both live snooping and cold reads.
+	var liveLeaks, traps int
+	heapVA := overshadow.Addr(guestos.LayoutHeapBase * overshadow.PageSize)
+	sys.Adversary().OnSyscall = func(k *guestos.Kernel, p *guestos.Proc, _ guestos.Sysno, _ *vmm.Regs) {
+		if !p.Cloaked() {
+			return
+		}
+		traps++
+		buf := make([]byte, 256)
+		if err := k.VMM().ReadVirt(p.AddressSpace(), vmm.ViewSystem, heapVA, buf, false); err == nil {
+			if bytes.Contains(buf, []byte("launchcode")) || bytes.Contains(buf, []byte("hunter2")) {
+				liveLeaks++
+			}
+		}
+	}
+
+	sys.Register("kvserver", func(e overshadow.Env) { kvServer(e) })
+	sys.Register("kvclient", func(e overshadow.Env) { kvClient(e) })
+
+	// The server forks the client itself (pipes need a common ancestor).
+	if _, err := sys.Spawn("kvserver", overshadow.Cloaked()); err != nil {
+		panic(err)
+	}
+	sys.Run()
+
+	// Cold audit: what does the database file hold?
+	stored, err := sys.ReadGuestFile("/secret/kv.db")
+	if err != nil {
+		panic(err)
+	}
+	coldLeak := bytes.Contains(stored, []byte("hunter2")) ||
+		bytes.Contains(stored, []byte("launchcode"))
+	fmt.Printf("\naudit: %d traps snooped, live plaintext leaks: %d\n", traps, liveLeaks)
+	fmt.Printf("audit: database file on disk is %d bytes; plaintext found: %v\n",
+		len(stored), coldLeak)
+	fmt.Printf("audit: first db bytes: %x…\n", stored[:24])
+	if liveLeaks == 0 && !coldLeak {
+		fmt.Println("OK: the store served queries while memory, file, and swap stayed opaque")
+	} else {
+		fmt.Println("FAILURE")
+	}
+}
+
+// kvServer owns the protected table and answers requests until 'Q'.
+func kvServer(e overshadow.Env) {
+	e.Mkdir("/secret")
+	table, _ := e.Sbrk(int64(maxPairs*slotBytes/overshadow.PageSize) + 1)
+	io, _ := e.Alloc(1)
+
+	reqR, reqW, _ := e.Pipe()
+	repR, repW, _ := e.Pipe()
+	pid, err := e.Fork(func(c overshadow.Env) {
+		c.Close(reqR)
+		c.Close(repW)
+		kvClientLoop(c, reqW, repR)
+	})
+	if err != nil {
+		e.Exit(1)
+	}
+	e.Close(reqW)
+	e.Close(repR)
+
+	readN := func(n int) []byte {
+		out := make([]byte, n)
+		got := 0
+		for got < n {
+			m, err := e.Read(reqR, io, n-got)
+			if err != nil || m == 0 {
+				e.Exit(1)
+			}
+			e.ReadMem(io, out[got:got+m])
+			got += m
+		}
+		return out
+	}
+	slot := func(i int) overshadow.Addr { return table + overshadow.Addr(i*slotBytes) }
+	findOrFree := func(key []byte) (int, bool) {
+		free := -1
+		for i := 0; i < maxPairs; i++ {
+			var kl [1]byte
+			e.ReadMem(slot(i), kl[:])
+			if kl[0] == 0 {
+				if free < 0 {
+					free = i
+				}
+				continue
+			}
+			k := make([]byte, kl[0])
+			e.ReadMem(slot(i)+1, k)
+			if bytes.Equal(k, key) {
+				return i, true
+			}
+		}
+		return free, false
+	}
+
+	served := 0
+	for {
+		op := readN(1)[0]
+		if op == 'Q' {
+			break
+		}
+		klen := int(readN(1)[0])
+		key := readN(klen)
+		i, found := findOrFree(key)
+		switch op {
+		case 'P':
+			vlen := int(readN(1)[0])
+			val := readN(vlen)
+			if i < 0 {
+				e.Exit(2) // table full
+			}
+			e.WriteMem(slot(i), append([]byte{byte(klen)}, key...))
+			e.WriteMem(slot(i)+32, append([]byte{byte(vlen)}, val...))
+			e.WriteMem(io, []byte{1})
+			e.Write(repW, io, 1)
+		case 'G':
+			if !found {
+				e.WriteMem(io, []byte{0})
+				e.Write(repW, io, 1)
+				break
+			}
+			var vl [1]byte
+			e.ReadMem(slot(i)+32, vl[:])
+			val := make([]byte, vl[0])
+			e.ReadMem(slot(i)+33, val)
+			e.WriteMem(io, append(vl[:], val...))
+			e.Write(repW, io, 1+len(val))
+		}
+		served++
+	}
+
+	// Persist the table to the cloaked database file.
+	fd, err := e.Open("/secret/kv.db", overshadow.OCreate|overshadow.OWrOnly|overshadow.OTrunc)
+	if err != nil {
+		e.Exit(1)
+	}
+	if _, err := e.Write(fd, table, maxPairs*slotBytes); err != nil {
+		e.Exit(1)
+	}
+	e.Close(fd)
+	fmt.Printf("server: handled %d requests, persisted %d-slot table\n", served, maxPairs)
+	e.WaitPid(pid)
+	e.Exit(0)
+}
+
+func kvClient(e overshadow.Env) { e.Exit(0) } // registered for completeness
+
+// kvClientLoop issues a workload of puts and gets and verifies the answers.
+func kvClientLoop(e overshadow.Env, reqW, repR int) {
+	io, _ := e.Alloc(1)
+	send := func(b []byte) {
+		e.WriteMem(io, b)
+		off := 0
+		for off < len(b) {
+			n, err := e.Write(reqW, io+overshadow.Addr(off), len(b)-off)
+			if err != nil {
+				e.Exit(1)
+			}
+			off += n
+		}
+	}
+	recv := func() []byte {
+		n, err := e.Read(repR, io, 64)
+		if err != nil || n == 0 {
+			e.Exit(1)
+		}
+		out := make([]byte, n)
+		e.ReadMem(io, out)
+		return out
+	}
+	put := func(k, v string) {
+		msg := []byte{'P', byte(len(k))}
+		msg = append(msg, k...)
+		msg = append(msg, byte(len(v)))
+		msg = append(msg, v...)
+		send(msg)
+		recv()
+	}
+	get := func(k string) string {
+		msg := []byte{'G', byte(len(k))}
+		send(append(msg, k...))
+		rep := recv()
+		if rep[0] == 0 {
+			return ""
+		}
+		for len(rep) < int(rep[0])+1 {
+			rep = append(rep, recv()...)
+		}
+		return string(rep[1 : 1+rep[0]])
+	}
+
+	put("alice-password", "hunter2")
+	put("missile", "launchcode-0451")
+	put("color", "blue")
+	ok := true
+	ok = ok && get("alice-password") == "hunter2"
+	ok = ok && get("missile") == "launchcode-0451"
+	ok = ok && get("color") == "blue"
+	ok = ok && get("missing") == ""
+	put("color", "red") // overwrite
+	ok = ok && get("color") == "red"
+	fmt.Printf("client: all lookups correct: %v\n", ok)
+	send([]byte{'Q'})
+	e.Close(reqW)
+	e.Close(repR)
+	e.Exit(0)
+}

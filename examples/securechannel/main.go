@@ -1,0 +1,107 @@
+// Securechannel: two cloaked processes communicate through protected shared
+// memory — a feature built on the paper's vault-identity machinery. The
+// guest kernel implements the sharing (it allocates and maps the frames),
+// yet every snapshot it can take of the channel shows only ciphertext.
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	"overshadow"
+	"overshadow/internal/guestos"
+	"overshadow/internal/vmm"
+)
+
+func main() {
+	sys := overshadow.NewSystem(overshadow.Config{MemoryPages: 1024})
+
+	messages := [][]byte{
+		[]byte("msg-1: rotate the API keys tonight"),
+		[]byte("msg-2: the audit found nothing, as planned"),
+		[]byte("msg-3: wire the retainer to escrow"),
+	}
+
+	// Hostile kernel: photograph the channel pages at every trap.
+	var snapshots [][]byte
+	chanVA := overshadow.Addr(guestos.LayoutMmapBase * overshadow.PageSize)
+	sys.Adversary().OnSyscall = func(k *guestos.Kernel, p *guestos.Proc, _ guestos.Sysno, _ *vmm.Regs) {
+		if !p.Cloaked() {
+			return
+		}
+		buf := make([]byte, 64)
+		if err := k.VMM().ReadVirt(p.AddressSpace(), vmm.ViewSystem, chanVA+8192, buf, false); err == nil {
+			snapshots = append(snapshots, append([]byte(nil), buf...))
+		}
+	}
+
+	var received [][]byte
+	sys.Register("sender", func(e overshadow.Env) {
+		base, err := e.ShmAttach("channel", 3)
+		if err != nil {
+			panic(err)
+		}
+		data := base + overshadow.Addr(2*overshadow.PageSize)
+		for i, msg := range messages {
+			for e.Load64(base+8) != uint64(i) { // wait for ack
+				e.Yield()
+			}
+			e.WriteMem(data, append(msg, 0))
+			e.Store64(base, uint64(i+1)) // publish
+		}
+		for e.Load64(base+8) != uint64(len(messages)) {
+			e.Yield()
+		}
+		e.Exit(0)
+	})
+	sys.Register("receiver", func(e overshadow.Env) {
+		base, err := e.ShmAttach("channel", 3)
+		if err != nil {
+			panic(err)
+		}
+		data := base + overshadow.Addr(2*overshadow.PageSize)
+		for i := range messages {
+			for e.Load64(base) != uint64(i+1) {
+				e.Sleep(20_000)
+			}
+			buf := make([]byte, 64)
+			e.ReadMem(data, buf)
+			if n := bytes.IndexByte(buf, 0); n >= 0 {
+				buf = buf[:n]
+			}
+			received = append(received, buf)
+			e.Store64(base+8, uint64(i+1)) // ack
+		}
+		e.Exit(0)
+	})
+
+	sys.Spawn("sender", overshadow.Cloaked())
+	sys.Spawn("receiver", overshadow.Cloaked())
+	sys.Run()
+
+	fmt.Printf("receiver got %d messages:\n", len(received))
+	allOK := true
+	for i, m := range received {
+		ok := bytes.Equal(m, messages[i])
+		allOK = allOK && ok
+		fmt.Printf("  %q (intact: %v)\n", m, ok)
+	}
+	leaks := 0
+	for _, s := range snapshots {
+		for _, m := range messages {
+			if bytes.Contains(s, m[:8]) {
+				leaks++
+			}
+		}
+	}
+	fmt.Printf("\nkernel photographed the channel %d times; plaintext leaks: %d\n",
+		len(snapshots), leaks)
+	if len(snapshots) > 0 {
+		fmt.Printf("sample kernel view: %x…\n", snapshots[len(snapshots)-1][:24])
+	}
+	if allOK && leaks == 0 {
+		fmt.Println("OK: a confidential channel over OS-managed shared memory")
+	} else {
+		fmt.Println("FAILURE")
+	}
+}

@@ -1,0 +1,103 @@
+// Workerpool: a multithreaded cloaked application. Overshadow's protection
+// is per-thread at the trap level (every thread has its own cloaked thread
+// context whose registers are scrubbed independently) and per-domain at the
+// memory level (all threads share one plaintext view of the protected
+// working set). A hostile kernel watches every trap from every thread and
+// still learns nothing.
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	"overshadow"
+	"overshadow/internal/guestos"
+	"overshadow/internal/vmm"
+)
+
+func main() {
+	sys := overshadow.NewSystem(overshadow.Config{MemoryPages: 2048})
+
+	// The hostile kernel: harvest registers and scan the shared heap at
+	// every trap from every thread.
+	secretBlock := []byte("payroll row: cto, $0 (equity only), ssn 078-05-1120")
+	var traps, regLeaks, memLeaks int
+	sys.Adversary().OnSyscall = func(k *guestos.Kernel, p *guestos.Proc, _ guestos.Sysno, kregs *vmm.Regs) {
+		if !p.Cloaked() {
+			return
+		}
+		traps++
+		if kregs.PC != 0 || kregs.SP != 0 {
+			regLeaks++
+		}
+		buf := make([]byte, len(secretBlock))
+		va := overshadow.Addr(guestos.LayoutHeapBase * overshadow.PageSize)
+		if err := k.VMM().ReadVirt(p.AddressSpace(), vmm.ViewSystem, va, buf, false); err == nil {
+			if bytes.Contains(buf, secretBlock[:12]) {
+				memLeaks++
+			}
+		}
+	}
+
+	const rows = 30
+	const workers = 4
+	var checksum uint64
+
+	sys.Register("payroll", func(e overshadow.Env) {
+		// Shared protected state: the table, a work cursor, a result cell.
+		table, _ := e.Sbrk(8) // heap: what the adversary scans
+		e.WriteMem(table, secretBlock)
+		for i := 0; i < rows; i++ {
+			e.Store64(table+overshadow.Addr(256+i*8), uint64(i)*1111)
+		}
+		cursor, _ := e.Alloc(1)
+		result, _ := e.Alloc(1)
+
+		var tids []overshadow.Pid
+		for w := 0; w < workers; w++ {
+			tid, err := e.SpawnThread(func(te overshadow.Env) {
+				for {
+					i := te.Load64(cursor)
+					if i >= rows {
+						return
+					}
+					te.Store64(cursor, i+1)
+					salary := te.Load64(table + overshadow.Addr(256+i*8))
+					te.Compute(5_000) // "tax calculation"
+					te.Null()         // a trap: the kernel pounces
+					te.Store64(result, te.Load64(result)+salary*3/2)
+					te.Yield()
+				}
+			})
+			if err != nil {
+				panic(err)
+			}
+			tids = append(tids, tid)
+		}
+		for _, tid := range tids {
+			e.JoinThread(tid)
+		}
+		checksum = e.Load64(result)
+		e.Exit(0)
+	})
+
+	if _, err := sys.Spawn("payroll", overshadow.Cloaked()); err != nil {
+		panic(err)
+	}
+	sys.Run()
+
+	var want uint64
+	for i := 0; i < rows; i++ {
+		want += uint64(i) * 1111 * 3 / 2
+	}
+	fmt.Printf("%d worker threads processed %d rows; checksum %d (want %d)\n",
+		workers, rows, checksum, want)
+	fmt.Printf("kernel observed %d traps across all threads\n", traps)
+	fmt.Printf("  register leaks: %d\n", regLeaks)
+	fmt.Printf("  heap plaintext leaks: %d\n", memLeaks)
+	if checksum == want && regLeaks == 0 && memLeaks == 0 {
+		fmt.Println("OK: shared plaintext for the threads, ciphertext for the OS")
+	} else {
+		fmt.Println("FAILURE")
+	}
+}

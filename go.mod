@@ -1,0 +1,3 @@
+module overshadow
+
+go 1.22

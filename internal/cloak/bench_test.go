@@ -1,0 +1,69 @@
+package cloak
+
+import (
+	"testing"
+
+	"overshadow/internal/sim"
+)
+
+func BenchmarkEncryptPage(b *testing.B) {
+	e, _ := testEngine()
+	id := PageID{Domain: 1, Resource: 1, Index: 0}
+	page := somePage(0x42)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	version := uint64(0)
+	for i := 0; i < b.N; i++ {
+		meta := e.EncryptPage(id, version, page)
+		version = meta.Version
+	}
+}
+
+func BenchmarkDecryptPage(b *testing.B) {
+	e, _ := testEngine()
+	id := PageID{Domain: 1, Resource: 1, Index: 0}
+	orig := somePage(0x42)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		page := append([]byte(nil), orig...)
+		meta := e.EncryptPage(id, uint64(i), page)
+		b.StartTimer()
+		if err := e.DecryptPage(id, meta, page); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMetaStoreGetHit(b *testing.B) {
+	w := sim.NewWorld(sim.DefaultCostModel(), 1)
+	s := NewMetaStore(w, 1024)
+	for i := 0; i < 512; i++ {
+		s.Put(PageID{Index: uint64(i)}, Meta{Version: 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(PageID{Index: uint64(i % 512)})
+	}
+}
+
+func BenchmarkMetaStoreGetSpilled(b *testing.B) {
+	w := sim.NewWorld(sim.DefaultCostModel(), 1)
+	s := NewMetaStore(w, 16)
+	for i := 0; i < 4096; i++ {
+		s.Put(PageID{Index: uint64(i)}, Meta{Version: 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(PageID{Index: uint64(i*37) % 4096})
+	}
+}
+
+func BenchmarkDomainKeyDerivation(b *testing.B) {
+	k := NewMasterKeyer([]byte("bench secret"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.DomainKey(DomainID(i % 64))
+	}
+}

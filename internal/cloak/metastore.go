@@ -1,0 +1,126 @@
+package cloak
+
+import "overshadow/internal/sim"
+
+// MetaStore is the VMM's authoritative map from cloaked-page identity to the
+// current (IV, H, version) record, fronted by a fixed-capacity cache.
+//
+// In the paper the working set of metadata lives in a VMM-private cache and
+// the overflow is protected by a hash tree so it can spill to (untrusted)
+// memory; here the backing map plays the role of the hash-tree-protected
+// spill area, and crossing between cache and backing store is what costs
+// cycles. Records themselves are always trustworthy — the point of the cache
+// is the E10c ablation (sensitivity to cache size), not security.
+type MetaStore struct {
+	world   *sim.World
+	cap     int
+	cache   map[PageID]Meta
+	order   []PageID // FIFO eviction order
+	backing map[PageID]Meta
+}
+
+// NewMetaStore builds a store whose cache holds cacheCap records.
+func NewMetaStore(world *sim.World, cacheCap int) *MetaStore {
+	if cacheCap <= 0 {
+		cacheCap = 1
+	}
+	return &MetaStore{
+		world:   world,
+		cap:     cacheCap,
+		cache:   make(map[PageID]Meta, cacheCap),
+		backing: make(map[PageID]Meta),
+	}
+}
+
+// Put records meta as the current record for id.
+func (s *MetaStore) Put(id PageID, meta Meta) {
+	if _, ok := s.cache[id]; !ok {
+		if len(s.cache) >= s.cap {
+			s.evictOne()
+		}
+		s.order = append(s.order, id)
+	}
+	s.cache[id] = meta
+}
+
+func (s *MetaStore) evictOne() {
+	for len(s.order) > 0 {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		if m, ok := s.cache[victim]; ok {
+			// Spill to the hash-tree-protected backing area.
+			s.backing[victim] = m
+			delete(s.cache, victim)
+			s.world.Charge(s.world.Cost.MetaCacheMiss)
+			return
+		}
+	}
+}
+
+// Get returns the current record for id, charging the cache hit or miss
+// cost. ok is false if the page has never been encrypted.
+func (s *MetaStore) Get(id PageID) (Meta, bool) {
+	if m, ok := s.cache[id]; ok {
+		s.world.ChargeCount(s.world.Cost.MetaCacheHit, sim.CtrMetaCacheHit)
+		return m, true
+	}
+	if m, ok := s.backing[id]; ok {
+		s.world.ChargeCount(s.world.Cost.MetaCacheMiss, sim.CtrMetaCacheMiss)
+		// Promote back into the cache.
+		s.Put(id, m)
+		return m, true
+	}
+	return Meta{}, false
+}
+
+// Version returns the recorded version for id without promotion side
+// effects (0 if never encrypted). Used when encrypting to derive the next
+// version.
+func (s *MetaStore) Version(id PageID) uint64 {
+	if m, ok := s.cache[id]; ok {
+		return m.Version
+	}
+	if m, ok := s.backing[id]; ok {
+		return m.Version
+	}
+	return 0
+}
+
+// Delete forgets the record for id (resource teardown).
+func (s *MetaStore) Delete(id PageID) {
+	delete(s.cache, id)
+	delete(s.backing, id)
+}
+
+// DeleteDomain forgets every record belonging to a domain (domain
+// teardown); the cloaked data becomes permanently unrecoverable.
+func (s *MetaStore) DeleteDomain(d DomainID) {
+	for id := range s.cache {
+		if id.Domain == d {
+			delete(s.cache, id)
+		}
+	}
+	for id := range s.backing {
+		if id.Domain == d {
+			delete(s.backing, id)
+		}
+	}
+}
+
+// Len reports the total number of records (cache + backing).
+func (s *MetaStore) Len() int {
+	n := len(s.backing)
+	for id := range s.cache {
+		if _, dup := s.backing[id]; !dup {
+			n++
+		}
+	}
+	return n
+}
+
+// BytesPerRecord is the metadata space cost per cloaked page used by the E7
+// space-overhead experiment: IV + hash + version + identity key.
+const BytesPerRecord = IVSize + HashSize + 8 + 20
+
+// SpaceOverheadBytes reports total metadata bytes currently held.
+func (s *MetaStore) SpaceOverheadBytes() int { return s.Len() * BytesPerRecord }

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+)
+
+// The verified-startup / attestation path: the shim measures the program it
+// runs and records the digest with the VMM; relying parties query the VMM
+// (trusted), not the kernel (untrusted).
+
+func TestProcessIdentityMeasured(t *testing.T) {
+	sys := NewSystem(Config{MemoryPages: 256})
+	var observed [32]byte
+	var ok bool
+	var pid Pid
+	sys.Register("payroll", func(e Env) {
+		// Query from "inside the run" (host closure plays relying party).
+		observed, ok = sys.ProcessIdentity(e.Pid())
+		e.Exit(0)
+	})
+	p, err := sys.Spawn("payroll", Cloaked())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid = p
+	sys.Run()
+	if !ok {
+		t.Fatal("no identity recorded for cloaked process")
+	}
+	if observed != ExpectedIdentity("payroll") {
+		t.Fatal("measured identity mismatch")
+	}
+	// After exit the domain is gone; the identity must not dangle.
+	if _, still := sys.ProcessIdentity(pid); still {
+		t.Fatal("identity survived domain teardown")
+	}
+}
+
+func TestNativeProcessHasNoIdentity(t *testing.T) {
+	sys := NewSystem(Config{MemoryPages: 256})
+	var ok bool
+	sys.Register("plain", func(e Env) {
+		_, ok = sys.ProcessIdentity(e.Pid())
+		e.Exit(0)
+	})
+	sys.Spawn("plain")
+	sys.Run()
+	if ok {
+		t.Fatal("native process reported a measured identity")
+	}
+}
+
+func TestExecChangesIdentity(t *testing.T) {
+	sys := NewSystem(Config{MemoryPages: 256})
+	var first, second [32]byte
+	var ok1, ok2 bool
+	sys.Register("stage2", func(e Env) {
+		second, ok2 = sys.ProcessIdentity(e.Pid())
+		e.Exit(0)
+	})
+	sys.Register("stage1", func(e Env) {
+		first, ok1 = sys.ProcessIdentity(e.Pid())
+		if err := e.Exec("stage2", nil); err != nil {
+			t.Errorf("exec: %v", err)
+			e.Exit(1)
+		}
+	})
+	sys.Spawn("stage1", Cloaked())
+	sys.Run()
+	if !ok1 || !ok2 {
+		t.Fatalf("identities missing: %v %v", ok1, ok2)
+	}
+	if first == second {
+		t.Fatal("exec did not change the measured identity")
+	}
+	if first != ExpectedIdentity("stage1") || second != ExpectedIdentity("stage2") {
+		t.Fatal("identities do not match expected measurements")
+	}
+}
+
+func TestForkInheritsIdentity(t *testing.T) {
+	// A forked child continues the same measured image in the same domain.
+	sys := NewSystem(Config{MemoryPages: 512})
+	var parentID, childID [32]byte
+	var okP, okC bool
+	sys.Register("app", func(e Env) {
+		parentID, okP = sys.ProcessIdentity(e.Pid())
+		pid, _ := e.Fork(func(c Env) {
+			childID, okC = sys.ProcessIdentity(c.Pid())
+			c.Exit(0)
+		})
+		e.WaitPid(pid)
+		e.Exit(0)
+	})
+	sys.Spawn("app", Cloaked())
+	sys.Run()
+	if !okP || !okC {
+		t.Fatalf("identities missing: %v %v", okP, okC)
+	}
+	if parentID != childID {
+		t.Fatal("fork changed the measured identity")
+	}
+}

@@ -1,0 +1,203 @@
+// Package core is Overshadow's public API: it assembles the simulated
+// machine, the VMM, the untrusted guest kernel, and the cloaking shim into
+// one system, and gives callers a small surface to register programs, run
+// them cloaked or native, and inspect results.
+//
+// A minimal session:
+//
+//	sys := core.NewSystem(core.Config{})
+//	sys.Register("hello", func(e core.Env) {
+//	    va, _ := e.Alloc(1)
+//	    e.WriteMem(va, []byte("secret"))
+//	    e.Exit(0)
+//	})
+//	sys.Spawn("hello", core.Cloaked())
+//	sys.Run()
+//	fmt.Println(sys.SecurityEvents())
+package core
+
+import (
+	"crypto/sha256"
+
+	"overshadow/internal/guestos"
+	"overshadow/internal/mach"
+	"overshadow/internal/shim"
+	"overshadow/internal/sim"
+	"overshadow/internal/vmm"
+)
+
+// Re-exported types so examples and workloads need only this package.
+type (
+	// Env is the application programming surface (see guestos.Env).
+	Env = guestos.Env
+	// Pid identifies a guest process.
+	Pid = guestos.Pid
+	// Program is an application body.
+	Program = guestos.Program
+	// StatInfo is file metadata.
+	StatInfo = guestos.StatInfo
+	// Addr is a simulated virtual address.
+	Addr = mach.Addr
+	// Signal is a guest signal number.
+	Signal = guestos.Signal
+	// Event is a VMM security audit record.
+	Event = vmm.Event
+)
+
+// Re-exported constants for file and memory operations.
+const (
+	ORdOnly  = guestos.ORdOnly
+	OWrOnly  = guestos.OWrOnly
+	ORdWr    = guestos.ORdWr
+	OCreate  = guestos.OCreate
+	OTrunc   = guestos.OTrunc
+	OAppend  = guestos.OAppend
+	SeekSet  = guestos.SeekSet
+	SeekCur  = guestos.SeekCur
+	SeekEnd  = guestos.SeekEnd
+	PageSize = mach.PageSize
+
+	SIGKILL = guestos.SIGKILL
+	SIGUSR1 = guestos.SIGUSR1
+	SIGTERM = guestos.SIGTERM
+)
+
+// Config sizes the machine. The zero value is a sensible 64 MiB guest.
+type Config struct {
+	// MemoryPages is guest RAM in 4 KiB pages (default 16384 = 64 MiB).
+	MemoryPages int
+	// SwapPages is swap capacity (default 4x memory).
+	SwapPages uint64
+	// FSDiskPages is the filesystem device capacity (default 32768).
+	FSDiskPages uint64
+	// Quantum is the scheduler slice (default 400k cycles).
+	Quantum sim.Cycles
+	// Seed drives all simulation randomness (default 1).
+	Seed uint64
+	// Cost overrides the cycle cost model (nil = DefaultCostModel).
+	Cost *sim.CostModel
+	// VMM carries the ablation knobs of experiment E10.
+	VMM vmm.Options
+	// Shim configures cloaked-file policy and window size.
+	Shim shim.Options
+}
+
+// System is one assembled machine: hardware, VMM, guest kernel, shim.
+type System struct {
+	World  *sim.World
+	VMM    *vmm.VMM
+	Kernel *guestos.Kernel
+}
+
+// NewSystem boots a machine per cfg.
+func NewSystem(cfg Config) *System {
+	if cfg.MemoryPages == 0 {
+		cfg.MemoryPages = 16384
+	}
+	if cfg.SwapPages == 0 {
+		cfg.SwapPages = uint64(cfg.MemoryPages) * 4
+	}
+	if cfg.FSDiskPages == 0 {
+		cfg.FSDiskPages = 32768
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	cost := sim.DefaultCostModel()
+	if cfg.Cost != nil {
+		cost = *cfg.Cost
+	}
+	world := sim.NewWorld(cost, cfg.Seed)
+	hv := vmm.New(world, vmm.Config{GuestPages: cfg.MemoryPages, Options: cfg.VMM})
+	k := guestos.NewKernel(world, hv, guestos.Config{
+		MemoryPages: cfg.MemoryPages,
+		SwapPages:   cfg.SwapPages,
+		FSDiskPages: cfg.FSDiskPages,
+		Quantum:     cfg.Quantum,
+	})
+	k.SetCloakRuntime(shim.Runtime(cfg.Shim))
+	return &System{World: world, VMM: hv, Kernel: k}
+}
+
+// Register makes a program spawnable by name.
+func (s *System) Register(name string, body Program) {
+	s.Kernel.RegisterProgram(name, body)
+}
+
+// SpawnOpt configures Spawn.
+type SpawnOpt func(*guestos.SpawnOpts)
+
+// Cloaked runs the process in an Overshadow protection domain.
+func Cloaked() SpawnOpt {
+	return func(o *guestos.SpawnOpts) { o.Cloaked = true }
+}
+
+// WithArgs passes argv to the program.
+func WithArgs(args ...string) SpawnOpt {
+	return func(o *guestos.SpawnOpts) { o.Args = args }
+}
+
+// Spawn queues a process to run the named program.
+func (s *System) Spawn(name string, opts ...SpawnOpt) (Pid, error) {
+	var so guestos.SpawnOpts
+	for _, o := range opts {
+		o(&so)
+	}
+	return s.Kernel.Spawn(name, so)
+}
+
+// Run executes the machine until every process has exited.
+func (s *System) Run() { s.Kernel.Run() }
+
+// Now reports the simulated clock.
+func (s *System) Now() sim.Cycles { return s.World.Now() }
+
+// Stats exposes the event counters.
+func (s *System) Stats() *sim.Stats { return s.World.Stats }
+
+// SecurityEvents returns the VMM's audit log.
+func (s *System) SecurityEvents() []Event { return s.VMM.Events() }
+
+// Adversary gives tests and the attack examples access to the malicious-OS
+// hooks. Must be configured before Run.
+func (s *System) Adversary() *guestos.Adversary { return &s.Kernel.Adversary }
+
+// WriteGuestFile populates the guest filesystem before the machine runs.
+func (s *System) WriteGuestFile(path string, data []byte) error {
+	if errno := s.Kernel.FS().WriteFile(path, data); errno != guestos.OK {
+		return errno
+	}
+	return nil
+}
+
+// ExpectedIdentity computes the measurement the shim records for a program
+// name, for comparison against ProcessIdentity.
+func ExpectedIdentity(programName string) [32]byte {
+	return sha256.Sum256([]byte("overshadow-program:" + programName))
+}
+
+// ProcessIdentity returns the VMM-measured identity of the (cloaked)
+// process pid. ok is false for native processes, unknown pids, or exited
+// domains. This is the attestation path: the answer comes from the trusted
+// VMM, never from the guest kernel.
+func (s *System) ProcessIdentity(pid Pid) ([32]byte, bool) {
+	p, ok := s.Kernel.Lookup(pid)
+	if !ok {
+		return [32]byte{}, false
+	}
+	d := p.AddressSpace().Domain()
+	if d == 0 {
+		return [32]byte{}, false
+	}
+	return s.VMM.DomainIdentity(d)
+}
+
+// ReadGuestFile reads a file from the guest filesystem (host-side; used by
+// tests and the harness to verify outputs).
+func (s *System) ReadGuestFile(path string) ([]byte, error) {
+	data, errno := s.Kernel.FS().ReadFile(path)
+	if errno != guestos.OK {
+		return nil, errno
+	}
+	return data, nil
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"overshadow/internal/sim"
+	"overshadow/internal/vmm"
+	"overshadow/internal/workload"
+)
+
+// TestSystemStressMixedPopulation boots one machine with a mixed population
+// of native and cloaked processes — CPU kernels, a web server, file I/O,
+// paging pressure, a fork mix, and a multithreaded job — all time-sharing
+// one small-RAM machine. Everything must run to completion with no security
+// violations and no corruption (each workload self-checks).
+func TestSystemStressMixedPopulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	sys := NewSystem(Config{MemoryPages: 1024, Seed: 11})
+
+	sys.Register("cpu", workload.CPUProgram(workload.CPUConfig{
+		Kernel: workload.KernelIntSort, WorkingSetK: 64, Iters: 1,
+	}))
+	sys.Register("web", workload.WebServerProgram(workload.WebConfig{
+		Requests: 40, PayloadBytes: 4096, NumDocs: 4, ParseCompute: 500,
+	}))
+	sys.Register("fileio", workload.FileIOProgram(workload.FileIOConfig{
+		FileKB: 128, IOSize: 8192, RandReads: 20, Cloak: true,
+	}))
+	sys.Register("paging", workload.PagingProgram(workload.PagingConfig{
+		// Each instance alone exceeds the 1024-page machine, so swap
+		// traffic happens regardless of how the instances interleave.
+		WorkingSetPages: 1100, Sweeps: 2,
+	}))
+	sys.Register("mix", workload.ProcessMixProgram(workload.ProcessMixConfig{
+		Jobs: 3, UnitsPerJob: 100_000, FilesPerJob: 1, FileKB: 8,
+	}))
+	sys.Register("threads", func(e Env) {
+		base, _ := e.Alloc(1)
+		var tids []Pid
+		for i := 0; i < 3; i++ {
+			tid, err := e.SpawnThread(func(te Env) {
+				for j := 0; j < 20; j++ {
+					te.Store64(base, te.Load64(base)+1)
+					te.Yield()
+				}
+			})
+			if err != nil {
+				t.Errorf("thread: %v", err)
+				e.Exit(1)
+			}
+			tids = append(tids, tid)
+		}
+		for _, tid := range tids {
+			e.JoinThread(tid)
+		}
+		if e.Load64(base) != 60 {
+			e.Exit(1)
+		}
+		e.Exit(0)
+	})
+
+	// Population: alternate native and cloaked instances.
+	spawnPlan := []struct {
+		prog    string
+		cloaked bool
+	}{
+		{"cpu", false}, {"cpu", true},
+		{"web", false}, {"web", true},
+		{"fileio", true},
+		{"paging", false}, {"paging", true},
+		{"mix", true},
+		{"threads", true}, {"threads", false},
+	}
+	for i, s := range spawnPlan {
+		var opts []SpawnOpt
+		if s.cloaked {
+			opts = append(opts, Cloaked())
+		}
+		if _, err := sys.Spawn(s.prog, opts...); err != nil {
+			t.Fatalf("spawn %d %s: %v", i, s.prog, err)
+		}
+	}
+	sys.Run()
+
+	for _, ev := range sys.SecurityEvents() {
+		if ev.Kind == vmm.EventIntegrityViolation || ev.Kind == vmm.EventCTCTamper ||
+			ev.Kind == vmm.EventIdentityMismatch {
+			t.Fatalf("violation under benign kernel: %v", ev)
+		}
+	}
+	// The machine actually multiplexed: context switches, paging, and
+	// cloaking all happened.
+	for _, ctr := range []sim.Counter{
+		sim.CtrContextSwitch, sim.CtrPageOut, sim.CtrPageEncrypt,
+		sim.CtrPageDecrypt, sim.CtrShimMarshalBytes, sim.CtrFork,
+	} {
+		if sys.Stats().Get(ctr) == 0 {
+			t.Errorf("counter %s is zero; stress did not exercise it", ctr)
+		}
+	}
+}
+
+// TestSystemStressDeterminism repeats a smaller mixed population twice and
+// requires identical clocks — the scheduler, swap, crypto, and thread
+// interleavings must all be reproducible.
+func TestSystemStressDeterminism(t *testing.T) {
+	run := func() sim.Cycles {
+		sys := NewSystem(Config{MemoryPages: 512, Seed: 33})
+		sys.Register("cpu", workload.CPUProgram(workload.CPUConfig{
+			Kernel: workload.KernelChecksum, WorkingSetK: 32, Iters: 2,
+		}))
+		sys.Register("paging", workload.PagingProgram(workload.PagingConfig{
+			WorkingSetPages: 300, Sweeps: 2,
+		}))
+		for i := 0; i < 3; i++ {
+			prog := "cpu"
+			if i == 1 {
+				prog = "paging"
+			}
+			var opts []SpawnOpt
+			if i%2 == 0 {
+				opts = append(opts, Cloaked())
+			}
+			if _, err := sys.Spawn(prog, opts...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sys.Run()
+		return sys.Now()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic under contention: %d vs %d", a, b)
+	}
+}
+
+// TestManyProcesses checks the scheduler and pid handling at a population
+// an order of magnitude above the other tests.
+func TestManyProcesses(t *testing.T) {
+	sys := NewSystem(Config{MemoryPages: 2048, Seed: 2})
+	const n = 40
+	results := make([]uint64, n+1)
+	sys.Register("worker", func(e Env) {
+		base, _ := e.Alloc(1)
+		var sum uint64
+		for i := uint64(0); i < 50; i++ {
+			e.Store64(base, i*uint64(e.Pid()))
+			sum += e.Load64(base)
+			if i%10 == 0 {
+				e.Yield()
+			}
+		}
+		if int(e.Pid()) <= n {
+			results[e.Pid()] = sum
+		}
+		e.Exit(0)
+	})
+	for i := 0; i < n; i++ {
+		var opts []SpawnOpt
+		if i%3 == 0 {
+			opts = append(opts, Cloaked())
+		}
+		if _, err := sys.Spawn("worker", opts...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Run()
+	for pid := 1; pid <= n; pid++ {
+		var want uint64
+		for i := uint64(0); i < 50; i++ {
+			want += i * uint64(pid)
+		}
+		if results[pid] != want {
+			t.Fatalf("pid %d computed %d, want %d", pid, results[pid], want)
+		}
+	}
+}

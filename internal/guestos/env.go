@@ -1,0 +1,90 @@
+package guestos
+
+import (
+	"overshadow/internal/mach"
+	"overshadow/internal/sim"
+)
+
+// Env is the programming interface guest applications are written against.
+// Workloads take an Env so the same program body can run natively (the
+// kernel's UserCtx) or cloaked (the shim's environment, which marshals
+// buffers and manages protected memory). All addresses refer to the
+// process's simulated virtual address space.
+type Env interface {
+	// Identity and time.
+	Pid() Pid
+	PPid() Pid
+	Cloaked() bool
+	Args() []string
+	Time() sim.Cycles
+
+	// Computation: advances simulated time by units of abstract work and
+	// honors preemption.
+	Compute(units uint64)
+
+	// Memory. ReadMem/WriteMem operate on the process's own view (cloaked
+	// pages appear as plaintext to their owner). Alloc maps fresh anonymous
+	// pages; Sbrk moves the heap break.
+	ReadMem(va mach.Addr, buf []byte)
+	WriteMem(va mach.Addr, buf []byte)
+	Load64(va mach.Addr) uint64
+	Store64(va mach.Addr, val uint64)
+	Alloc(pages int) (mach.Addr, error)
+	Free(base mach.Addr) error
+	Sbrk(deltaPages int64) (mach.Addr, error)
+	// ShmAttach maps the named shared-memory object (created on first
+	// attach) of exactly `pages` pages. Cloaked processes attaching the
+	// same name share one protected view: plaintext for all of them,
+	// ciphertext for the kernel. Detach with Free(base).
+	ShmAttach(name string, pages int) (mach.Addr, error)
+
+	// Files and pipes. Read/Write move data between the file and the
+	// process's memory at va.
+	Open(path string, flags int) (int, error)
+	Close(fd int) error
+	Read(fd int, va mach.Addr, n int) (int, error)
+	Write(fd int, va mach.Addr, n int) (int, error)
+	Pread(fd int, va mach.Addr, n int, off uint64) (int, error)
+	Pwrite(fd int, va mach.Addr, n int, off uint64) (int, error)
+	Lseek(fd int, off int64, whence int) (uint64, error)
+	Stat(path string) (StatInfo, error)
+	Fstat(fd int) (StatInfo, error)
+	Unlink(path string) error
+	Mkdir(path string) error
+	Dup(fd int) (int, error)
+	Pipe() (rfd, wfd int, err error)
+	Truncate(path string, size uint64) error
+	ReadDir(path string) ([]string, error)
+	Fsync(fd int) error
+
+	// Threads: SpawnThread starts a new thread sharing this process's
+	// address space (its own registers and, cloaked, its own CTC);
+	// JoinThread waits for it; ExitThread ends only the calling thread.
+	SpawnThread(body func(Env)) (Pid, error)
+	JoinThread(tid Pid) error
+	ExitThread()
+
+	// Process control. Fork runs child in a copy of this process (Go
+	// cannot snapshot a goroutine, so the child body is explicit; memory,
+	// descriptors, and identity are copied).
+	Fork(child func(Env)) (Pid, error)
+	Exec(name string, args []string) error
+	WaitPid(pid Pid) (Pid, int, error)
+	Exit(status int)
+	Kill(pid Pid, sig Signal) error
+	Signal(sig Signal, h SigHandler) error
+	Sleep(cycles uint64)
+	Yield()
+
+	// Null issues the do-nothing syscall (the lmbench "null call").
+	Null()
+}
+
+// errOrNil converts an Errno to error, mapping OK to nil (a non-nil
+// interface holding OK would read as an error).
+func errOrNil(e Errno) error {
+	if e == OK {
+		return nil
+	}
+	return e
+}

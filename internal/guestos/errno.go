@@ -1,0 +1,81 @@
+// Package guestos implements the commodity guest operating system that runs
+// on top of the simulated machine and under the Overshadow VMM. It is a
+// deliberately conventional kernel — processes, a round-robin scheduler,
+// demand-paged virtual memory with swap, a block filesystem, pipes, and
+// signals — because the paper's whole premise is that the OS is large,
+// unmodified, and *untrusted*: it manages the resources of cloaked
+// applications without being able to read or corrupt them.
+//
+// Nothing in this package is in the trusted computing base. The adversary
+// hooks (see Adversary) let tests and experiments turn the kernel actively
+// malicious.
+package guestos
+
+import "fmt"
+
+// Errno is the guest kernel's error number space (a compact POSIX subset).
+type Errno int
+
+// Errno values.
+const (
+	OK      Errno = 0
+	EPERM   Errno = 1
+	ENOENT  Errno = 2
+	ESRCH   Errno = 3
+	EINTR   Errno = 4
+	EIO     Errno = 5
+	EBADF   Errno = 9
+	ECHILD  Errno = 10
+	EAGAIN  Errno = 11
+	ENOMEM  Errno = 12
+	EACCES  Errno = 13
+	EFAULT  Errno = 14
+	EEXIST  Errno = 17
+	ENOTDIR Errno = 20
+	EISDIR  Errno = 21
+	EINVAL  Errno = 22
+	ENFILE  Errno = 23
+	EMFILE  Errno = 24
+	ENOSPC  Errno = 28
+	ESPIPE  Errno = 29
+	EPIPE   Errno = 32
+	ENOSYS  Errno = 38
+	ENOTSUP Errno = 95
+)
+
+var errnoNames = map[Errno]string{
+	OK: "OK", EPERM: "EPERM", ENOENT: "ENOENT", ESRCH: "ESRCH",
+	EINTR: "EINTR", EIO: "EIO", EBADF: "EBADF", ECHILD: "ECHILD",
+	EAGAIN: "EAGAIN", ENOMEM: "ENOMEM", EACCES: "EACCES", EFAULT: "EFAULT",
+	EEXIST: "EEXIST", ENOTDIR: "ENOTDIR", EISDIR: "EISDIR", EINVAL: "EINVAL",
+	ENFILE: "ENFILE", EMFILE: "EMFILE", ENOSPC: "ENOSPC", ESPIPE: "ESPIPE",
+	EPIPE: "EPIPE", ENOSYS: "ENOSYS", ENOTSUP: "ENOTSUP",
+}
+
+// Error implements the error interface so Errno values can be returned
+// directly from the user-facing API.
+func (e Errno) Error() string {
+	if s, ok := errnoNames[e]; ok {
+		return s
+	}
+	return fmt.Sprintf("errno(%d)", int(e))
+}
+
+// The syscall return-register encoding mirrors Linux: values in
+// [-4095, -1] (two's complement) are negated errnos.
+const maxErrno = 4095
+
+func encodeRet(val uint64, err Errno) uint64 {
+	if err != OK {
+		return uint64(-int64(err))
+	}
+	return val
+}
+
+// DecodeRet splits a raw syscall return register into value and errno.
+func DecodeRet(ret uint64) (uint64, Errno) {
+	if v := int64(ret); v < 0 && v >= -maxErrno {
+		return 0, Errno(-v)
+	}
+	return ret, OK
+}

@@ -1,0 +1,300 @@
+package guestos
+
+// FileDesc is an open-file description; fd table slots point at (possibly
+// shared) FileDesc values, POSIX-style.
+type FileDesc struct {
+	ino      Ino
+	pos      uint64
+	flags    int
+	refs     int
+	pipe     *Pipe
+	writeEnd bool // for pipe descriptors
+}
+
+// Pipe is a classic bounded byte pipe.
+type Pipe struct {
+	buf       []byte
+	capacity  int
+	readers   int
+	writers   int
+	waitRead  []*Proc
+	waitWrite []*Proc
+}
+
+const pipeCapacity = 16 * 1024
+
+func (pp *Pipe) addRef(writeEnd bool) {
+	if writeEnd {
+		pp.writers++
+	} else {
+		pp.readers++
+	}
+}
+
+// allocFD finds the lowest free descriptor slot.
+func (p *Proc) allocFD() (int, Errno) {
+	for i, f := range p.fds {
+		if f == nil {
+			return i, OK
+		}
+	}
+	return 0, EMFILE
+}
+
+func (p *Proc) fd(n int) (*FileDesc, Errno) {
+	if n < 0 || n >= len(p.fds) || p.fds[n] == nil {
+		return nil, EBADF
+	}
+	return p.fds[n], OK
+}
+
+// --- Kernel file operations ------------------------------------------------
+
+func (k *Kernel) openFD(p *Proc, path string, flags int) (int, Errno) {
+	var ino Ino
+	if flags&OCreate != 0 {
+		i, err := k.fs.Create(path, flags&OTrunc != 0)
+		if err != OK {
+			return 0, err
+		}
+		ino = i
+	} else {
+		n, err := k.fs.lookup(path)
+		if err != OK {
+			return 0, err
+		}
+		if n.typ == TypeDir && flags&(OWrOnly|ORdWr) != 0 {
+			return 0, EISDIR
+		}
+		if flags&OTrunc != 0 {
+			k.fs.truncate(n, 0)
+		}
+		ino = n.ino
+	}
+	fd, err := p.allocFD()
+	if err != OK {
+		return 0, err
+	}
+	p.fds[fd] = &FileDesc{ino: ino, flags: flags, refs: 1}
+	return fd, OK
+}
+
+func (k *Kernel) closeFD(p *Proc, fd int) Errno {
+	f, err := p.fd(fd)
+	if err != OK {
+		return err
+	}
+	p.fds[fd] = nil
+	f.refs--
+	if f.pipe != nil {
+		pp := f.pipe
+		if f.writeEnd {
+			pp.writers--
+			if pp.writers == 0 {
+				for _, w := range pp.waitRead {
+					k.wake(w)
+				}
+				pp.waitRead = nil
+			}
+		} else {
+			pp.readers--
+			if pp.readers == 0 {
+				for _, w := range pp.waitWrite {
+					k.wake(w)
+				}
+				pp.waitWrite = nil
+			}
+		}
+	}
+	return OK
+}
+
+func (k *Kernel) dupFD(p *Proc, fd int) (int, Errno) {
+	f, err := p.fd(fd)
+	if err != OK {
+		return 0, err
+	}
+	nfd, err := p.allocFD()
+	if err != OK {
+		return 0, err
+	}
+	f.refs++
+	if f.pipe != nil {
+		f.pipe.addRef(f.writeEnd)
+	}
+	p.fds[nfd] = f
+	return nfd, OK
+}
+
+func (k *Kernel) makePipe(p *Proc) (int, int, Errno) {
+	rfd, err := p.allocFD()
+	if err != OK {
+		return 0, 0, err
+	}
+	// Temporarily occupy so allocFD finds the next slot.
+	p.fds[rfd] = &FileDesc{}
+	wfd, err := p.allocFD()
+	if err != OK {
+		p.fds[rfd] = nil
+		return 0, 0, err
+	}
+	pp := &Pipe{capacity: pipeCapacity, readers: 1, writers: 1}
+	p.fds[rfd] = &FileDesc{pipe: pp, refs: 1}
+	p.fds[wfd] = &FileDesc{pipe: pp, writeEnd: true, refs: 1}
+	return rfd, wfd, OK
+}
+
+// readFD reads up to len(buf) bytes into the kernel buffer buf.
+func (k *Kernel) readFD(p *Proc, fd int, buf []byte) (int, Errno) {
+	f, err := p.fd(fd)
+	if err != OK {
+		return 0, err
+	}
+	if f.pipe != nil {
+		if f.writeEnd {
+			return 0, EBADF
+		}
+		return k.pipeRead(p, f.pipe, buf)
+	}
+	if f.flags&(OWrOnly) != 0 {
+		return 0, EBADF
+	}
+	n, e := k.fs.ReadAt(f.ino, f.pos, buf)
+	if e != OK {
+		return 0, e
+	}
+	f.pos += uint64(n)
+	return n, OK
+}
+
+// writeFD writes the kernel buffer buf.
+func (k *Kernel) writeFD(p *Proc, fd int, buf []byte) (int, Errno) {
+	f, err := p.fd(fd)
+	if err != OK {
+		return 0, err
+	}
+	if f.pipe != nil {
+		if !f.writeEnd {
+			return 0, EBADF
+		}
+		return k.pipeWrite(p, f.pipe, buf)
+	}
+	if f.flags&(OWrOnly|ORdWr) == 0 {
+		return 0, EBADF
+	}
+	pos := f.pos
+	if f.flags&OAppend != 0 {
+		st, e := k.fs.StatIno(f.ino)
+		if e != OK {
+			return 0, e
+		}
+		pos = st.Size
+	}
+	n, e := k.fs.WriteAt(f.ino, pos, buf)
+	if e != OK {
+		return n, e
+	}
+	f.pos = pos + uint64(n)
+	return n, OK
+}
+
+func (k *Kernel) preadFD(p *Proc, fd int, off uint64, buf []byte) (int, Errno) {
+	f, err := p.fd(fd)
+	if err != OK {
+		return 0, err
+	}
+	if f.pipe != nil {
+		return 0, ESPIPE
+	}
+	return k.fs.ReadAt(f.ino, off, buf)
+}
+
+func (k *Kernel) pwriteFD(p *Proc, fd int, off uint64, buf []byte) (int, Errno) {
+	f, err := p.fd(fd)
+	if err != OK {
+		return 0, err
+	}
+	if f.pipe != nil {
+		return 0, ESPIPE
+	}
+	return k.fs.WriteAt(f.ino, off, buf)
+}
+
+func (k *Kernel) lseekFD(p *Proc, fd int, off int64, whence int) (uint64, Errno) {
+	f, err := p.fd(fd)
+	if err != OK {
+		return 0, err
+	}
+	if f.pipe != nil {
+		return 0, ESPIPE
+	}
+	var base int64
+	switch whence {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = int64(f.pos)
+	case SeekEnd:
+		st, e := k.fs.StatIno(f.ino)
+		if e != OK {
+			return 0, e
+		}
+		base = int64(st.Size)
+	default:
+		return 0, EINVAL
+	}
+	np := base + off
+	if np < 0 {
+		return 0, EINVAL
+	}
+	f.pos = uint64(np)
+	return f.pos, OK
+}
+
+// --- Pipe data path ----------------------------------------------------------
+
+func (k *Kernel) pipeRead(p *Proc, pp *Pipe, buf []byte) (int, Errno) {
+	for len(pp.buf) == 0 {
+		if pp.writers == 0 {
+			return 0, OK // EOF
+		}
+		pp.waitRead = append(pp.waitRead, p)
+		k.block(p, "pipe-read")
+	}
+	n := copy(buf, pp.buf)
+	pp.buf = pp.buf[n:]
+	for _, w := range pp.waitWrite {
+		k.wake(w)
+	}
+	pp.waitWrite = nil
+	return n, OK
+}
+
+func (k *Kernel) pipeWrite(p *Proc, pp *Pipe, buf []byte) (int, Errno) {
+	written := 0
+	for written < len(buf) {
+		if pp.readers == 0 {
+			if written > 0 {
+				return written, OK
+			}
+			return 0, EPIPE
+		}
+		space := pp.capacity - len(pp.buf)
+		if space == 0 {
+			pp.waitWrite = append(pp.waitWrite, p)
+			k.block(p, "pipe-write")
+			continue
+		}
+		n := space
+		if n > len(buf)-written {
+			n = len(buf) - written
+		}
+		pp.buf = append(pp.buf, buf[written:written+n]...)
+		written += n
+		for _, w := range pp.waitRead {
+			k.wake(w)
+		}
+		pp.waitRead = nil
+	}
+	return written, OK
+}

@@ -1,0 +1,723 @@
+package guestos
+
+import (
+	"bytes"
+	"testing"
+
+	"overshadow/internal/mach"
+	"overshadow/internal/sim"
+	"overshadow/internal/vmm"
+)
+
+// newTestKernel builds a small machine: memPages of guest RAM.
+func newTestKernel(t *testing.T, memPages int) (*Kernel, *sim.World) {
+	t.Helper()
+	w := sim.NewWorld(sim.DefaultCostModel(), 99)
+	hv := vmm.New(w, vmm.Config{GuestPages: memPages})
+	k := NewKernel(w, hv, Config{MemoryPages: memPages})
+	return k, w
+}
+
+// runOne registers a single program, spawns it natively, and runs to
+// completion.
+func runOne(t *testing.T, k *Kernel, body Program) {
+	t.Helper()
+	k.RegisterProgram("main", body)
+	if _, err := k.Spawn("main", SpawnOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}
+
+func TestRunTrivialProgram(t *testing.T) {
+	k, w := newTestKernel(t, 128)
+	ran := false
+	runOne(t, k, func(e Env) {
+		ran = true
+		e.Compute(1000)
+		e.Exit(0)
+	})
+	if !ran {
+		t.Fatal("program did not run")
+	}
+	if w.Now() < 1000 {
+		t.Fatalf("clock %d, want >= 1000", w.Now())
+	}
+}
+
+func TestImplicitExit(t *testing.T) {
+	k, _ := newTestKernel(t, 128)
+	runOne(t, k, func(e Env) { e.Compute(10) })
+	// Reaching here means Run returned: implicit exit worked.
+}
+
+func TestGetPidSyscall(t *testing.T) {
+	k, w := newTestKernel(t, 128)
+	var got Pid
+	k.RegisterProgram("main", func(e Env) {
+		got = e.Pid()
+		uc := e.(*UserCtx)
+		if uc.SysGetPidCall() != got {
+			t.Error("syscall getpid disagrees with Env.Pid")
+		}
+		e.Exit(0)
+	})
+	pid, err := k.Spawn("main", SpawnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if got != pid {
+		t.Fatalf("pid %d, want %d", got, pid)
+	}
+	if w.Stats.Get(sim.CtrSyscall) < 2 {
+		t.Fatal("syscalls not counted")
+	}
+}
+
+func TestMemoryAllocAndAccess(t *testing.T) {
+	k, w := newTestKernel(t, 128)
+	runOne(t, k, func(e Env) {
+		base, err := e.Alloc(4)
+		if err != nil {
+			t.Errorf("Alloc: %v", err)
+			e.Exit(1)
+		}
+		e.Store64(base, 0xDEADBEEF)
+		e.Store64(base+8192, 12345)
+		if e.Load64(base) != 0xDEADBEEF || e.Load64(base+8192) != 12345 {
+			t.Error("memory round trip failed")
+		}
+		data := []byte("hello simulated world")
+		e.WriteMem(base+100, data)
+		got := make([]byte, len(data))
+		e.ReadMem(base+100, got)
+		if !bytes.Equal(got, data) {
+			t.Error("bulk memory round trip failed")
+		}
+		e.Exit(0)
+	})
+	if w.Stats.Get(sim.CtrPageFaultDemand) == 0 {
+		t.Fatal("no demand faults recorded")
+	}
+}
+
+func TestSbrkHeap(t *testing.T) {
+	k, _ := newTestKernel(t, 128)
+	runOne(t, k, func(e Env) {
+		old, err := e.Sbrk(4)
+		if err != nil {
+			t.Errorf("Sbrk: %v", err)
+		}
+		if mach.PageOf(old) != LayoutHeapBase {
+			t.Errorf("initial break %#x", old)
+		}
+		e.Store64(old, 7)
+		if e.Load64(old) != 7 {
+			t.Error("heap access failed")
+		}
+		if _, err := e.Sbrk(-4); err != nil {
+			t.Errorf("shrink: %v", err)
+		}
+		if _, err := e.Sbrk(-1); err == nil {
+			t.Error("shrink below base succeeded")
+		}
+		e.Exit(0)
+	})
+}
+
+func TestStackAccess(t *testing.T) {
+	k, _ := newTestKernel(t, 128)
+	runOne(t, k, func(e Env) {
+		sp := mach.Addr((LayoutStackTop - 1) * mach.PageSize)
+		e.Store64(sp, 42)
+		if e.Load64(sp) != 42 {
+			t.Error("stack access failed")
+		}
+		e.Exit(0)
+	})
+}
+
+func TestFreeUnmapsPages(t *testing.T) {
+	k, _ := newTestKernel(t, 128)
+	runOne(t, k, func(e Env) {
+		base, _ := e.Alloc(2)
+		e.Store64(base, 1)
+		if err := e.Free(base); err != nil {
+			t.Errorf("Free: %v", err)
+		}
+		if err := e.Free(base); err == nil {
+			t.Error("double Free succeeded")
+		}
+		e.Exit(0)
+	})
+}
+
+func TestTwoProcessesPreempt(t *testing.T) {
+	k, w := newTestKernel(t, 128)
+	var aDone, bDone sim.Cycles
+	k.RegisterProgram("a", func(e Env) {
+		for i := 0; i < 50; i++ {
+			e.Compute(100_000)
+		}
+		aDone = e.Time()
+		e.Exit(0)
+	})
+	k.RegisterProgram("b", func(e Env) {
+		for i := 0; i < 50; i++ {
+			e.Compute(100_000)
+		}
+		bDone = e.Time()
+		e.Exit(0)
+	})
+	if _, err := k.Spawn("a", SpawnOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Spawn("b", SpawnOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if w.Stats.Get(sim.CtrContextSwitch) < 10 {
+		t.Fatalf("only %d context switches; preemption broken",
+			w.Stats.Get(sim.CtrContextSwitch))
+	}
+	// Interleaved execution: both finish near the end, not one after the
+	// other. The later finisher should be within ~20% of the earlier.
+	lo, hi := aDone, bDone
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if float64(lo) < 0.5*float64(hi) {
+		t.Fatalf("no interleaving: finished at %d and %d", aDone, bDone)
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	k, w := newTestKernel(t, 128)
+	runOne(t, k, func(e Env) {
+		start := e.Time()
+		e.Sleep(1_000_000)
+		if e.Time()-start < 1_000_000 {
+			t.Error("sleep did not advance the clock")
+		}
+		e.Exit(0)
+	})
+	if w.Now() < 1_000_000 {
+		t.Fatal("world clock did not advance over sleep")
+	}
+}
+
+func TestYieldRoundRobin(t *testing.T) {
+	k, _ := newTestKernel(t, 128)
+	var order []string
+	k.RegisterProgram("a", func(e Env) {
+		order = append(order, "a1")
+		e.Yield()
+		order = append(order, "a2")
+		e.Exit(0)
+	})
+	k.RegisterProgram("b", func(e Env) {
+		order = append(order, "b1")
+		e.Yield()
+		order = append(order, "b2")
+		e.Exit(0)
+	})
+	k.Spawn("a", SpawnOpts{})
+	k.Spawn("b", SpawnOpts{})
+	k.Run()
+	want := []string{"a1", "b1", "a2", "b2"}
+	for i, s := range want {
+		if order[i] != s {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestForkCOWIsolation(t *testing.T) {
+	k, w := newTestKernel(t, 256)
+	var childSaw, parentSaw uint64
+	runOne(t, k, func(e Env) {
+		base, _ := e.Alloc(2)
+		e.Store64(base, 111)
+		pid, err := e.Fork(func(ce Env) {
+			// Child sees the parent's value, then overwrites.
+			v := ce.Load64(base)
+			ce.Store64(base, 222)
+			if ce.Load64(base) != 222 {
+				t.Error("child write not visible to child")
+			}
+			ce.Exit(int(v))
+		})
+		if err != nil {
+			t.Errorf("fork: %v", err)
+			e.Exit(1)
+		}
+		_, status, err := e.WaitPid(pid)
+		if err != nil {
+			t.Errorf("waitpid: %v", err)
+		}
+		childSaw = uint64(status)
+		parentSaw = e.Load64(base)
+		e.Exit(0)
+	})
+	if childSaw != 111 {
+		t.Fatalf("child saw %d, want 111", childSaw)
+	}
+	if parentSaw != 111 {
+		t.Fatalf("parent saw %d after child write, want 111 (COW broken)", parentSaw)
+	}
+	if w.Stats.Get(sim.CtrPageFaultCOW) == 0 {
+		t.Fatal("no COW faults recorded")
+	}
+}
+
+func TestForkParentWriteDoesNotLeakToChild(t *testing.T) {
+	k, _ := newTestKernel(t, 256)
+	runOne(t, k, func(e Env) {
+		base, _ := e.Alloc(1)
+		e.Store64(base, 1)
+		pid, _ := e.Fork(func(ce Env) {
+			ce.Sleep(500_000) // let the parent write first
+			if got := ce.Load64(base); got != 1 {
+				t.Errorf("child saw parent's post-fork write: %d", got)
+			}
+			ce.Exit(0)
+		})
+		e.Store64(base, 99)
+		e.WaitPid(pid)
+		e.Exit(0)
+	})
+}
+
+func TestWaitPidStatusAndECHILD(t *testing.T) {
+	k, _ := newTestKernel(t, 128)
+	runOne(t, k, func(e Env) {
+		if _, _, err := e.WaitPid(-1); err != ECHILD {
+			t.Errorf("waitpid with no children: %v, want ECHILD", err)
+		}
+		pid, _ := e.Fork(func(ce Env) { ce.Exit(42) })
+		got, status, err := e.WaitPid(pid)
+		if err != nil || got != pid || status != 42 {
+			t.Errorf("waitpid = %d,%d,%v", got, status, err)
+		}
+		e.Exit(0)
+	})
+}
+
+func TestExecReplacesImage(t *testing.T) {
+	k, w := newTestKernel(t, 128)
+	var trace []string
+	k.RegisterProgram("second", func(e Env) {
+		trace = append(trace, "second:"+e.Args()[0])
+		e.Exit(0)
+	})
+	k.RegisterProgram("main", func(e Env) {
+		trace = append(trace, "first")
+		if err := e.Exec("second", []string{"hello"}); err != nil {
+			t.Errorf("exec: %v", err)
+			e.Exit(1)
+		}
+		t.Error("unreachable after exec")
+	})
+	k.Spawn("main", SpawnOpts{})
+	k.Run()
+	if len(trace) != 2 || trace[0] != "first" || trace[1] != "second:hello" {
+		t.Fatalf("trace = %v", trace)
+	}
+	if w.Stats.Get(sim.CtrExec) != 1 {
+		t.Fatal("exec not counted")
+	}
+}
+
+func TestExecMissingProgram(t *testing.T) {
+	k, _ := newTestKernel(t, 128)
+	runOne(t, k, func(e Env) {
+		if err := e.Exec("no-such", nil); err != ENOENT {
+			t.Errorf("exec missing: %v, want ENOENT", err)
+		}
+		e.Exit(0)
+	})
+}
+
+func TestPipeProducerConsumer(t *testing.T) {
+	k, _ := newTestKernel(t, 256)
+	msg := []byte("through the pipe we go, repeatedly, to exercise blocking")
+	var got []byte
+	runOne(t, k, func(e Env) {
+		rfd, wfd, err := e.Pipe()
+		if err != nil {
+			t.Errorf("pipe: %v", err)
+			e.Exit(1)
+		}
+		buf, _ := e.Alloc(16)
+		pid, _ := e.Fork(func(ce Env) {
+			// Child: write the message 400 times (exceeds pipe capacity,
+			// forcing blocking writes), then close.
+			cbuf, _ := ce.Alloc(16)
+			ce.WriteMem(cbuf, msg)
+			for i := 0; i < 400; i++ {
+				off := 0
+				for off < len(msg) {
+					n, err := ce.Write(wfd, cbuf+mach.Addr(off), len(msg)-off)
+					if err != nil {
+						t.Errorf("child write: %v", err)
+						ce.Exit(1)
+					}
+					off += n
+				}
+			}
+			ce.Close(wfd)
+			ce.Exit(0)
+		})
+		e.Close(wfd)
+		total := 0
+		tmp := make([]byte, 512)
+		for {
+			n, err := e.Read(rfd, buf, 512)
+			if err != nil {
+				t.Errorf("read: %v", err)
+				break
+			}
+			if n == 0 {
+				break
+			}
+			e.ReadMem(buf, tmp[:n])
+			if total < len(msg) {
+				got = append(got, tmp[:n]...)
+			}
+			total += n
+		}
+		if total != 400*len(msg) {
+			t.Errorf("read %d bytes, want %d", total, 400*len(msg))
+		}
+		e.WaitPid(pid)
+		e.Exit(0)
+	})
+	if !bytes.HasPrefix(got, msg) {
+		t.Fatalf("data corrupted: %q", got[:len(msg)])
+	}
+}
+
+func TestPipeEPIPE(t *testing.T) {
+	k, _ := newTestKernel(t, 128)
+	runOne(t, k, func(e Env) {
+		rfd, wfd, _ := e.Pipe()
+		e.Close(rfd)
+		buf, _ := e.Alloc(1)
+		if _, err := e.Write(wfd, buf, 10); err != EPIPE {
+			t.Errorf("write to closed pipe: %v, want EPIPE", err)
+		}
+		e.Exit(0)
+	})
+}
+
+func TestFileSyscalls(t *testing.T) {
+	k, _ := newTestKernel(t, 256)
+	runOne(t, k, func(e Env) {
+		fd, err := e.Open("/data.txt", OCreate|ORdWr)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			e.Exit(1)
+		}
+		buf, _ := e.Alloc(2)
+		content := []byte("file contents via syscalls")
+		e.WriteMem(buf, content)
+		n, err := e.Write(fd, buf, len(content))
+		if err != nil || n != len(content) {
+			t.Errorf("write = %d,%v", n, err)
+		}
+		if pos, err := e.Lseek(fd, 5, SeekSet); err != nil || pos != 5 {
+			t.Errorf("lseek = %d,%v", pos, err)
+		}
+		out, _ := e.Alloc(2)
+		n, err = e.Read(fd, out, 8)
+		if err != nil || n != 8 {
+			t.Errorf("read = %d,%v", n, err)
+		}
+		got := make([]byte, 8)
+		e.ReadMem(out, got)
+		if !bytes.Equal(got, content[5:13]) {
+			t.Errorf("read %q, want %q", got, content[5:13])
+		}
+		st, err := e.Fstat(fd)
+		if err != nil || st.Size != uint64(len(content)) {
+			t.Errorf("fstat = %+v,%v", st, err)
+		}
+		if err := e.Close(fd); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		if _, err := e.Open("/missing", ORdOnly); err != ENOENT {
+			t.Errorf("open missing: %v", err)
+		}
+		st2, err := e.Stat("/data.txt")
+		if err != nil || st2.Size != uint64(len(content)) {
+			t.Errorf("stat = %+v,%v", st2, err)
+		}
+		if err := e.Unlink("/data.txt"); err != nil {
+			t.Errorf("unlink: %v", err)
+		}
+		if _, err := e.Stat("/data.txt"); err != ENOENT {
+			t.Errorf("stat after unlink: %v", err)
+		}
+		e.Exit(0)
+	})
+}
+
+func TestPreadPwrite(t *testing.T) {
+	k, _ := newTestKernel(t, 256)
+	runOne(t, k, func(e Env) {
+		fd, _ := e.Open("/f", OCreate|ORdWr)
+		buf, _ := e.Alloc(1)
+		e.WriteMem(buf, []byte("0123456789"))
+		if n, err := e.Pwrite(fd, buf, 10, 100); err != nil || n != 10 {
+			t.Errorf("pwrite = %d,%v", n, err)
+		}
+		out, _ := e.Alloc(1)
+		if n, err := e.Pread(fd, out, 4, 103); err != nil || n != 4 {
+			t.Errorf("pread = %d,%v", n, err)
+		}
+		got := make([]byte, 4)
+		e.ReadMem(out, got)
+		if string(got) != "3456" {
+			t.Errorf("pread got %q", got)
+		}
+		// pos must be untouched by pread/pwrite.
+		if pos, _ := e.Lseek(fd, 0, SeekCur); pos != 0 {
+			t.Errorf("pos moved to %d", pos)
+		}
+		e.Exit(0)
+	})
+}
+
+func TestMkdirAndNestedPaths(t *testing.T) {
+	k, _ := newTestKernel(t, 256)
+	runOne(t, k, func(e Env) {
+		if err := e.Mkdir("/dir"); err != nil {
+			t.Errorf("mkdir: %v", err)
+		}
+		if err := e.Mkdir("/dir"); err != EEXIST {
+			t.Errorf("mkdir dup: %v", err)
+		}
+		fd, err := e.Open("/dir/inner.txt", OCreate|OWrOnly)
+		if err != nil {
+			t.Errorf("open nested: %v", err)
+		}
+		e.Close(fd)
+		if _, err := e.Open("/nodir/x", OCreate|OWrOnly); err != ENOENT {
+			t.Errorf("create under missing dir: %v", err)
+		}
+		e.Exit(0)
+	})
+}
+
+func TestDupSharesOffset(t *testing.T) {
+	k, _ := newTestKernel(t, 256)
+	runOne(t, k, func(e Env) {
+		fd, _ := e.Open("/f", OCreate|ORdWr)
+		buf, _ := e.Alloc(1)
+		e.WriteMem(buf, []byte("abcdef"))
+		e.Write(fd, buf, 6)
+		fd2, err := e.Dup(fd)
+		if err != nil {
+			t.Errorf("dup: %v", err)
+		}
+		e.Lseek(fd, 0, SeekSet)
+		out, _ := e.Alloc(1)
+		e.Read(fd2, out, 3) // shares the rewound offset
+		got := make([]byte, 3)
+		e.ReadMem(out, got)
+		if string(got) != "abc" {
+			t.Errorf("dup read %q", got)
+		}
+		e.Exit(0)
+	})
+}
+
+func TestSignalHandlerDelivery(t *testing.T) {
+	k, _ := newTestKernel(t, 256)
+	var handled []Signal
+	runOne(t, k, func(e Env) {
+		pid, _ := e.Fork(func(ce Env) {
+			ce.Signal(SIGUSR1, func(_ Env, s Signal) {
+				handled = append(handled, s)
+			})
+			// Wait until the handler has run.
+			for len(handled) == 0 {
+				ce.Yield()
+			}
+			ce.Exit(7)
+		})
+		e.Yield() // let the child install its handler
+		if err := e.Kill(pid, SIGUSR1); err != nil {
+			t.Errorf("kill: %v", err)
+		}
+		_, status, _ := e.WaitPid(pid)
+		if status != 7 {
+			t.Errorf("child status %d", status)
+		}
+		e.Exit(0)
+	})
+	if len(handled) != 1 || handled[0] != SIGUSR1 {
+		t.Fatalf("handled = %v", handled)
+	}
+}
+
+func TestSIGKILLTerminatesComputeLoop(t *testing.T) {
+	k, _ := newTestKernel(t, 256)
+	runOne(t, k, func(e Env) {
+		pid, _ := e.Fork(func(ce Env) {
+			for { // infinite loop; only SIGKILL can stop it
+				ce.Compute(10_000)
+			}
+		})
+		e.Sleep(2_000_000)
+		if err := e.Kill(pid, SIGKILL); err != nil {
+			t.Errorf("kill: %v", err)
+		}
+		_, status, err := e.WaitPid(pid)
+		if err != nil {
+			t.Errorf("waitpid: %v", err)
+		}
+		if status != 128+int(SIGKILL) {
+			t.Errorf("status = %d", status)
+		}
+		e.Exit(0)
+	})
+}
+
+func TestSIGTERMDefaultTerminates(t *testing.T) {
+	k, _ := newTestKernel(t, 256)
+	runOne(t, k, func(e Env) {
+		pid, _ := e.Fork(func(ce Env) {
+			for {
+				ce.Null() // safe point with signal delivery
+			}
+		})
+		e.Yield()
+		e.Kill(pid, SIGTERM)
+		_, status, _ := e.WaitPid(pid)
+		if status != 128+int(SIGTERM) {
+			t.Errorf("status = %d", status)
+		}
+		e.Exit(0)
+	})
+}
+
+func TestSwapUnderMemoryPressure(t *testing.T) {
+	// 96 pages of RAM; touch 160 pages of data: must swap, and data must
+	// survive eviction round trips.
+	k, w := newTestKernel(t, 96)
+	const pages = 160
+	runOne(t, k, func(e Env) {
+		base, err := e.Alloc(pages)
+		if err != nil {
+			t.Errorf("alloc: %v", err)
+			e.Exit(1)
+		}
+		for i := uint64(0); i < pages; i++ {
+			e.Store64(base+mach.Addr(i*mach.PageSize), i*7+1)
+		}
+		for i := uint64(0); i < pages; i++ {
+			if got := e.Load64(base + mach.Addr(i*mach.PageSize)); got != i*7+1 {
+				t.Errorf("page %d: got %d, want %d", i, got, i*7+1)
+				break
+			}
+		}
+		e.Exit(0)
+	})
+	if w.Stats.Get(sim.CtrPageOut) == 0 || w.Stats.Get(sim.CtrPageIn) == 0 {
+		t.Fatalf("no swap activity: out=%d in=%d",
+			w.Stats.Get(sim.CtrPageOut), w.Stats.Get(sim.CtrPageIn))
+	}
+}
+
+func TestHostFSHelpers(t *testing.T) {
+	k, _ := newTestKernel(t, 128)
+	if err := k.FS().WriteFile("/seed.txt", []byte("preloaded")); err != OK {
+		t.Fatal(err)
+	}
+	var got []byte
+	runOne(t, k, func(e Env) {
+		fd, err := e.Open("/seed.txt", ORdOnly)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			e.Exit(1)
+		}
+		buf, _ := e.Alloc(1)
+		n, _ := e.Read(fd, buf, 64)
+		got = make([]byte, n)
+		e.ReadMem(buf, got)
+		e.Exit(0)
+	})
+	if string(got) != "preloaded" {
+		t.Fatalf("got %q", got)
+	}
+	data, errno := k.FS().ReadFile("/seed.txt")
+	if errno != OK || string(data) != "preloaded" {
+		t.Fatalf("host read %q, %v", data, errno)
+	}
+}
+
+func TestProcessExitStatusViaRun(t *testing.T) {
+	k, _ := newTestKernel(t, 128)
+	k.RegisterProgram("parent", func(e Env) {
+		pids := make([]Pid, 0, 5)
+		for i := 0; i < 5; i++ {
+			v := i
+			pid, err := e.Fork(func(ce Env) { ce.Exit(v) })
+			if err != nil {
+				t.Errorf("fork %d: %v", i, err)
+			}
+			pids = append(pids, pid)
+		}
+		seen := map[int]bool{}
+		for range pids {
+			_, status, err := e.WaitPid(-1)
+			if err != nil {
+				t.Errorf("wait: %v", err)
+			}
+			seen[status] = true
+		}
+		if len(seen) != 5 {
+			t.Errorf("statuses %v", seen)
+		}
+		e.Exit(0)
+	})
+	k.Spawn("parent", SpawnOpts{})
+	k.Run()
+}
+
+func TestBadFDErrors(t *testing.T) {
+	k, _ := newTestKernel(t, 128)
+	runOne(t, k, func(e Env) {
+		buf, _ := e.Alloc(1)
+		if _, err := e.Read(99, buf, 1); err != EBADF {
+			t.Errorf("read bad fd: %v", err)
+		}
+		if _, err := e.Write(-1, buf, 1); err != EBADF {
+			t.Errorf("write bad fd: %v", err)
+		}
+		if err := e.Close(50); err != EBADF {
+			t.Errorf("close bad fd: %v", err)
+		}
+		e.Exit(0)
+	})
+}
+
+func TestTruncate(t *testing.T) {
+	k, _ := newTestKernel(t, 128)
+	runOne(t, k, func(e Env) {
+		fd, _ := e.Open("/t", OCreate|ORdWr)
+		buf, _ := e.Alloc(1)
+		e.WriteMem(buf, []byte("0123456789"))
+		e.Write(fd, buf, 10)
+		if err := e.Truncate("/t", 0); err != nil {
+			t.Errorf("truncate: %v", err)
+		}
+		st, _ := e.Stat("/t")
+		if st.Size != 0 {
+			t.Errorf("size after truncate = %d", st.Size)
+		}
+		e.Exit(0)
+	})
+}

@@ -1,0 +1,328 @@
+package guestos
+
+import (
+	"fmt"
+
+	"overshadow/internal/sim"
+	"overshadow/internal/vmm"
+)
+
+// Pid identifies a guest process.
+type Pid int
+
+// Program is a guest application body. Programs operate on simulated memory
+// and syscalls exclusively through the Env they are given; for cloaked
+// processes the Env is the shim's, for native processes the kernel's.
+type Program func(Env)
+
+// CloakRuntime is injected by the integration layer (package core) to wrap
+// cloaked program bodies with the shim. guestos cannot import the shim
+// directly (the shim builds on guestos), so the dependency is inverted.
+type CloakRuntime func(uc *UserCtx, body Program)
+
+// Config sizes and parameterizes the guest kernel.
+type Config struct {
+	MemoryPages int        // guest-physical memory size
+	SwapPages   uint64     // swap device capacity
+	FSDiskPages uint64     // filesystem device capacity
+	Quantum     sim.Cycles // scheduler time slice (0 = default 400k cycles)
+	MaxFDs      int        // per-process fd table size (0 = 64)
+}
+
+// Kernel is the guest operating system instance.
+type Kernel struct {
+	world *sim.World
+	vmm   *vmm.VMM
+	cfg   Config
+
+	fs   *FS
+	swap *swapSpace
+	mem  *gppnAllocator
+
+	procs    map[Pid]*Proc
+	nextPid  Pid
+	runq     []*Proc
+	current  *Proc
+	sleepers []*sleeper
+	resident []residentPage // global page-replacement candidate list
+	handSeq  int
+
+	shm          map[string]*ShmObj
+	programs     map[string]Program
+	cloakRuntime CloakRuntime
+
+	Adversary Adversary
+
+	liveProcs int
+	running   bool
+	done      chan struct{}
+	panicked  any // first panic escaping a process goroutine, re-raised in Run
+}
+
+// NewKernel boots a guest kernel over a fresh VMM-managed machine.
+func NewKernel(world *sim.World, hv *vmm.VMM, cfg Config) *Kernel {
+	if cfg.MemoryPages <= 0 || cfg.MemoryPages > hv.GuestPages() {
+		panic("guestos: MemoryPages must fit in guest-physical memory")
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 400_000
+	}
+	if cfg.MaxFDs == 0 {
+		cfg.MaxFDs = 64
+	}
+	if cfg.SwapPages == 0 {
+		cfg.SwapPages = 4096
+	}
+	if cfg.FSDiskPages == 0 {
+		cfg.FSDiskPages = 8192
+	}
+	k := &Kernel{
+		world:    world,
+		vmm:      hv,
+		cfg:      cfg,
+		procs:    make(map[Pid]*Proc),
+		shm:      make(map[string]*ShmObj),
+		programs: make(map[string]Program),
+		done:     make(chan struct{}),
+	}
+	k.mem = newGPPNAllocator(cfg.MemoryPages)
+	k.swap = newSwapSpace(world, cfg.SwapPages)
+	k.fs = NewFS(world, cfg.FSDiskPages)
+	return k
+}
+
+// World returns the simulation services.
+func (k *Kernel) World() *sim.World { return k.world }
+
+// VMM returns the hypervisor underneath (tests and the trusted shim use it;
+// the kernel itself treats it as hardware).
+func (k *Kernel) VMM() *vmm.VMM { return k.vmm }
+
+// FS returns the filesystem, usable before Run to populate files.
+func (k *Kernel) FS() *FS { return k.fs }
+
+// Lookup finds a live (non-reaped) task by pid.
+func (k *Kernel) Lookup(pid Pid) (*Proc, bool) {
+	p, ok := k.procs[pid]
+	return p, ok
+}
+
+// SetCloakRuntime installs the shim wrapper used for cloaked processes.
+func (k *Kernel) SetCloakRuntime(rt CloakRuntime) { k.cloakRuntime = rt }
+
+// RegisterProgram makes a program spawnable and exec-able by name.
+func (k *Kernel) RegisterProgram(name string, body Program) {
+	k.programs[name] = body
+}
+
+// SpawnOpts controls process creation.
+type SpawnOpts struct {
+	Cloaked bool
+	Args    []string
+}
+
+// Spawn creates a process that will run the named program when the kernel
+// runs. It may be called before Run (initial workload) or from within
+// syscalls (via fork/exec).
+func (k *Kernel) Spawn(name string, opts SpawnOpts) (Pid, error) {
+	body, ok := k.programs[name]
+	if !ok {
+		return 0, fmt.Errorf("guestos: no program %q", name)
+	}
+	if opts.Cloaked && k.cloakRuntime == nil {
+		return 0, fmt.Errorf("guestos: cloaked spawn without a cloak runtime")
+	}
+	p := k.newProc(0, opts.Cloaked, name, opts.Args)
+	runner := k.programRunner(p, body)
+	k.startProcGoroutine(p, runner)
+	k.makeRunnable(p)
+	return p.pid, nil
+}
+
+// programRunner wraps a program body with the appropriate runtime (shim for
+// cloaked processes) and a final implicit exit.
+func (k *Kernel) programRunner(p *Proc, body Program) func(*UserCtx) {
+	return func(uc *UserCtx) {
+		if p.cloaked {
+			k.cloakRuntime(uc, body)
+		} else {
+			body(uc)
+		}
+		// Falling off the end of the program is an implicit exit(0).
+		k.exitCurrent(p, 0)
+	}
+}
+
+// Run executes the machine until every process has exited. It must be
+// called exactly once, after at least one Spawn.
+func (k *Kernel) Run() {
+	if k.running {
+		panic("guestos: Run called twice")
+	}
+	k.running = true
+	if len(k.runq) == 0 {
+		return
+	}
+	first := k.dequeue()
+	k.current = first
+	first.baton <- struct{}{}
+	<-k.done
+	if k.panicked != nil {
+		panic(k.panicked)
+	}
+}
+
+// --- Scheduler -----------------------------------------------------------
+
+type sleeper struct {
+	p    *Proc
+	wake sim.Cycles
+}
+
+func (k *Kernel) makeRunnable(p *Proc) {
+	p.state = stateRunnable
+	k.runq = append(k.runq, p)
+}
+
+func (k *Kernel) dequeue() *Proc {
+	p := k.runq[0]
+	k.runq = k.runq[1:]
+	return p
+}
+
+// wakeDueSleepers moves every sleeper whose deadline has passed onto the
+// run queue. Called at scheduling points so a compute-bound process cannot
+// starve timed waiters while the clock advances.
+func (k *Kernel) wakeDueSleepers() {
+	now := k.world.Now()
+	kept := k.sleepers[:0]
+	for _, s := range k.sleepers {
+		if s.wake <= now {
+			k.makeRunnable(s.p)
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	k.sleepers = kept
+}
+
+// pickNext chooses the next runnable process, advancing simulated time over
+// idle periods. Returns nil when no process can ever run again.
+func (k *Kernel) pickNext() *Proc {
+	k.wakeDueSleepers()
+	for {
+		if len(k.runq) > 0 {
+			return k.dequeue()
+		}
+		if len(k.sleepers) == 0 {
+			if k.liveProcs > 0 {
+				panic("guestos: deadlock — live processes but nothing runnable")
+			}
+			return nil
+		}
+		// Advance the clock to the earliest wake time.
+		earliest := 0
+		for i, s := range k.sleepers {
+			if s.wake < k.sleepers[earliest].wake {
+				earliest = i
+			}
+		}
+		s := k.sleepers[earliest]
+		k.sleepers = append(k.sleepers[:earliest], k.sleepers[earliest+1:]...)
+		if s.wake > k.world.Now() {
+			k.world.Charge(s.wake - k.world.Now())
+		}
+		k.makeRunnable(s.p)
+	}
+}
+
+// switchTo hands the CPU from the current process to next. The caller's
+// goroutine must currently hold the baton. If park is true the caller is
+// suspended until rescheduled; otherwise (exit) the caller's goroutine
+// simply returns.
+func (k *Kernel) switchTo(next *Proc, cur *Proc, park bool) {
+	k.world.ChargeCount(k.world.Cost.ContextSwitch, sim.CtrContextSwitch)
+	k.current = next
+	next.sliceStart = k.world.Now()
+	next.state = stateRunning
+	next.baton <- struct{}{}
+	if park {
+		<-cur.baton
+		k.current = cur
+	}
+}
+
+// yield gives up the CPU: requeue and reschedule. No-op if nothing else is
+// runnable.
+func (k *Kernel) yield(p *Proc) {
+	if len(k.runq) == 0 && len(k.sleepers) == 0 {
+		p.sliceStart = k.world.Now()
+		return
+	}
+	k.makeRunnable(p)
+	next := k.pickNext()
+	if next == p {
+		p.state = stateRunning
+		p.sliceStart = k.world.Now()
+		return
+	}
+	k.switchTo(next, p, true)
+	if p.killed {
+		k.exitCurrent(p, 128+int(SIGKILL))
+	}
+}
+
+// block suspends p until something calls wake(p). The blocking reason is
+// recorded for diagnostics.
+func (k *Kernel) block(p *Proc, why string) {
+	p.state = stateBlocked
+	p.blockedOn = why
+	next := k.pickNext()
+	if next == nil {
+		panic("guestos: blocking with no other runnable process")
+	}
+	k.switchTo(next, p, true)
+	p.blockedOn = ""
+	if p.killed {
+		// Terminated while blocked: unwind out of the syscall.
+		k.exitCurrent(p, 128+int(SIGKILL))
+	}
+}
+
+// wake marks a blocked process runnable again.
+func (k *Kernel) wake(p *Proc) {
+	if p.state == stateBlocked {
+		k.makeRunnable(p)
+	}
+}
+
+// sleepUntil suspends p until the clock reaches wake.
+func (k *Kernel) sleepUntil(p *Proc, wakeAt sim.Cycles) {
+	p.state = stateBlocked
+	p.blockedOn = "sleep"
+	k.sleepers = append(k.sleepers, &sleeper{p: p, wake: wakeAt})
+	next := k.pickNext()
+	if next == p {
+		p.state = stateRunning
+		return
+	}
+	k.switchTo(next, p, true)
+	p.blockedOn = ""
+	if p.killed {
+		k.exitCurrent(p, 128+int(SIGKILL))
+	}
+}
+
+// maybePreempt ends the time slice if the quantum expired. Called from
+// safe points (syscall exit, compute loops).
+func (k *Kernel) maybePreempt(p *Proc) {
+	if k.world.Now()-p.sliceStart < k.cfg.Quantum {
+		return
+	}
+	k.wakeDueSleepers()
+	if len(k.runq) == 0 {
+		p.sliceStart = k.world.Now()
+		return
+	}
+	k.yield(p)
+}

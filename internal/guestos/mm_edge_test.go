@@ -1,0 +1,177 @@
+package guestos
+
+import (
+	"testing"
+
+	"overshadow/internal/mach"
+	"overshadow/internal/sim"
+)
+
+func TestForkAfterSwapDuplicatesSwappedPages(t *testing.T) {
+	// Parent pushes pages to swap, then forks: the child must see the
+	// swapped-out data (swap slots are duplicated, not shared).
+	k, w := newTestKernel(t, 96)
+	const pages = 150
+	runOne(t, k, func(e Env) {
+		base, _ := e.Alloc(pages)
+		for i := uint64(0); i < pages; i++ {
+			e.Store64(base+mach.Addr(i*mach.PageSize), i+7)
+		}
+		if w.Stats.Get(sim.CtrPageOut) == 0 {
+			t.Error("no pages swapped before fork; test ineffective")
+		}
+		pid, err := e.Fork(func(c Env) {
+			for i := uint64(0); i < pages; i++ {
+				if got := c.Load64(base + mach.Addr(i*mach.PageSize)); got != i+7 {
+					c.Exit(1)
+				}
+				// Diverge: child overwrites.
+				c.Store64(base+mach.Addr(i*mach.PageSize), 999)
+			}
+			c.Exit(0)
+		})
+		if err != nil {
+			t.Errorf("fork: %v", err)
+			e.Exit(1)
+		}
+		_, status, _ := e.WaitPid(pid)
+		if status != 0 {
+			t.Errorf("child saw wrong swapped data (status %d)", status)
+		}
+		// Parent still sees its own values.
+		for i := uint64(0); i < pages; i += 13 {
+			if got := e.Load64(base + mach.Addr(i*mach.PageSize)); got != i+7 {
+				t.Errorf("parent page %d corrupted after child divergence: %d", i, got)
+				break
+			}
+		}
+		e.Exit(0)
+	})
+}
+
+func TestMunmapReleasesSwapSlots(t *testing.T) {
+	k, _ := newTestKernel(t, 96)
+	runOne(t, k, func(e Env) {
+		uc := e.(*UserCtx)
+		base, _ := e.Alloc(150)
+		for i := 0; i < 150; i++ {
+			e.Store64(base+mach.Addr(i*mach.PageSize), 1)
+		}
+		swappedBefore := len(uc.p.swapped)
+		if swappedBefore == 0 {
+			t.Error("nothing swapped; test ineffective")
+		}
+		freeBefore := len(uc.k.swap.freeList)
+		if err := e.Free(base); err != nil {
+			t.Errorf("munmap: %v", err)
+		}
+		if len(uc.p.swapped) != 0 {
+			t.Errorf("%d swap entries leaked", len(uc.p.swapped))
+		}
+		if len(uc.k.swap.freeList) != freeBefore+swappedBefore {
+			t.Errorf("swap slots not returned: %d -> %d (expected +%d)",
+				freeBefore, len(uc.k.swap.freeList), swappedBefore)
+		}
+		e.Exit(0)
+	})
+}
+
+func TestSbrkShrinkReleasesFrames(t *testing.T) {
+	k, _ := newTestKernel(t, 256)
+	runOne(t, k, func(e Env) {
+		uc := e.(*UserCtx)
+		old, _ := e.Sbrk(8)
+		for i := 0; i < 8; i++ {
+			e.Store64(old+mach.Addr(i*mach.PageSize), 1)
+		}
+		free := uc.k.mem.freePages()
+		if _, err := e.Sbrk(-8); err != nil {
+			t.Errorf("shrink: %v", err)
+		}
+		if uc.k.mem.freePages() != free+8 {
+			t.Errorf("frames not released: %d -> %d", free, uc.k.mem.freePages())
+		}
+		// Heap access past the break faults.
+		e.Exit(0)
+	})
+}
+
+func TestReadDirSyscall(t *testing.T) {
+	k, _ := newTestKernel(t, 256)
+	runOne(t, k, func(e Env) {
+		e.Mkdir("/d")
+		for _, n := range []string{"/d/z", "/d/a", "/d/m"} {
+			fd, _ := e.Open(n, OCreate|OWrOnly)
+			e.Close(fd)
+		}
+		names, err := e.ReadDir("/d")
+		if err != nil {
+			t.Errorf("readdir: %v", err)
+		}
+		if len(names) != 3 || names[0] != "a" || names[1] != "m" || names[2] != "z" {
+			t.Errorf("names = %v", names)
+		}
+		if _, err := e.ReadDir("/d/a"); err != ENOTDIR {
+			t.Errorf("readdir on file: %v", err)
+		}
+		if _, err := e.ReadDir("/missing"); err != ENOENT {
+			t.Errorf("readdir missing: %v", err)
+		}
+		e.Exit(0)
+	})
+}
+
+func TestFsyncSyscall(t *testing.T) {
+	k, _ := newTestKernel(t, 256)
+	runOne(t, k, func(e Env) {
+		fd, _ := e.Open("/f", OCreate|OWrOnly)
+		if err := e.Fsync(fd); err != nil {
+			t.Errorf("fsync: %v", err)
+		}
+		if err := e.Fsync(42); err != EBADF {
+			t.Errorf("fsync bad fd: %v", err)
+		}
+		e.Exit(0)
+	})
+}
+
+func TestHeapBeyondBreakFaults(t *testing.T) {
+	k, _ := newTestKernel(t, 256)
+	k.RegisterProgram("parent", func(e Env) {
+		pid, _ := e.Fork(func(c Env) {
+			c.Sbrk(2)
+			// One past the break: outside the heap VMA -> fatal.
+			c.Store64(mach.Addr((LayoutHeapBase+2)*mach.PageSize), 1)
+			c.Exit(0)
+		})
+		_, status, _ := e.WaitPid(pid)
+		if status == 0 {
+			t.Error("access beyond break succeeded")
+		}
+		e.Exit(0)
+	})
+	k.Spawn("parent", SpawnOpts{})
+	k.Run()
+}
+
+func TestAllocFreeReuseAddressSpace(t *testing.T) {
+	// The mmap cursor only grows; repeated Alloc/Free must not exhaust the
+	// area for reasonable counts, and freed ranges must fault.
+	k, _ := newTestKernel(t, 256)
+	k.RegisterProgram("parent", func(e Env) {
+		pid, _ := e.Fork(func(c Env) {
+			base, _ := c.Alloc(2)
+			c.Store64(base, 1)
+			c.Free(base)
+			c.Store64(base, 2) // must segfault
+			c.Exit(0)
+		})
+		_, status, _ := e.WaitPid(pid)
+		if status == 0 {
+			t.Error("use-after-free succeeded")
+		}
+		e.Exit(0)
+	})
+	k.Spawn("parent", SpawnOpts{})
+	k.Run()
+}

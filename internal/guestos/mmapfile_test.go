@@ -1,0 +1,161 @@
+package guestos
+
+import (
+	"bytes"
+	"testing"
+
+	"overshadow/internal/mach"
+)
+
+// Native file-backed mmap (the substrate under the shim's cloaked windows,
+// tested here without cloaking).
+
+func TestMmapFileReadThrough(t *testing.T) {
+	k, _ := newTestKernel(t, 512)
+	if err := k.FS().WriteFile("/data", bytes.Repeat([]byte("abcd"), 4096)); err != OK {
+		t.Fatal(err)
+	}
+	runOne(t, k, func(e Env) {
+		uc := e.(*UserCtx)
+		fd, _ := e.Open("/data", ORdWr)
+		base, err := uc.MmapFile(fd, 0, 4, true)
+		if err != nil {
+			t.Errorf("mmap: %v", err)
+			e.Exit(1)
+		}
+		got := make([]byte, 8)
+		e.ReadMem(base+mach.Addr(4096), got)
+		if string(got) != "abcdabcd" {
+			t.Errorf("mapped read %q", got)
+		}
+		e.Exit(0)
+	})
+}
+
+func TestMmapFileWriteBackViaMsync(t *testing.T) {
+	k, _ := newTestKernel(t, 512)
+	if err := k.FS().WriteFile("/data", make([]byte, 2*4096)); err != OK {
+		t.Fatal(err)
+	}
+	runOne(t, k, func(e Env) {
+		uc := e.(*UserCtx)
+		fd, _ := e.Open("/data", ORdWr)
+		base, err := uc.MmapFile(fd, 0, 2, true)
+		if err != nil {
+			t.Errorf("mmap: %v", err)
+			e.Exit(1)
+		}
+		e.WriteMem(base+100, []byte("persisted"))
+		// Before msync the file is unchanged.
+		data, _ := k.FS().ReadFile("/data")
+		if bytes.Contains(data, []byte("persisted")) {
+			t.Error("write visible before msync")
+		}
+		if err := uc.Msync(base); err != nil {
+			t.Errorf("msync: %v", err)
+		}
+		data, _ = k.FS().ReadFile("/data")
+		if !bytes.Contains(data, []byte("persisted")) {
+			t.Error("msync did not write back")
+		}
+		// A second msync with nothing dirty is a no-op.
+		if err := uc.Msync(base); err != nil {
+			t.Errorf("msync 2: %v", err)
+		}
+		if err := uc.Msync(0x99999 * mach.PageSize); err != EINVAL {
+			t.Errorf("msync of non-mapping: %v", err)
+		}
+		e.Exit(0)
+	})
+}
+
+func TestMmapFileBadFD(t *testing.T) {
+	k, _ := newTestKernel(t, 256)
+	runOne(t, k, func(e Env) {
+		uc := e.(*UserCtx)
+		if _, err := uc.MmapFile(77, 0, 1, true); err != EBADF {
+			t.Errorf("mmap bad fd: %v", err)
+		}
+		rfd, wfd, _ := e.Pipe()
+		if _, err := uc.MmapFile(rfd, 0, 1, true); err != ESPIPE {
+			t.Errorf("mmap pipe: %v", err)
+		}
+		e.Close(rfd)
+		e.Close(wfd)
+		e.Exit(0)
+	})
+}
+
+func TestMmapFileCleanPageDropUnderPressure(t *testing.T) {
+	// Clean file pages are dropped (not swapped) under pressure and
+	// re-read from the file on demand.
+	k, w := newTestKernel(t, 96)
+	content := bytes.Repeat([]byte{0x5A}, 120*4096)
+	if err := k.FS().WriteFile("/big", content); err != OK {
+		t.Fatal(err)
+	}
+	runOne(t, k, func(e Env) {
+		uc := e.(*UserCtx)
+		fd, _ := e.Open("/big", ORdOnly)
+		base, err := uc.MmapFile(fd, 0, 120, false)
+		if err != nil {
+			t.Errorf("mmap: %v", err)
+			e.Exit(1)
+		}
+		// Two passes: the second re-reads dropped pages.
+		for pass := 0; pass < 2; pass++ {
+			for p := 0; p < 120; p++ {
+				var b [1]byte
+				e.ReadMem(base+mach.Addr(p*4096), b[:])
+				if b[0] != 0x5A {
+					t.Errorf("pass %d page %d corrupt: %x", pass, p, b[0])
+					e.Exit(1)
+				}
+			}
+		}
+		e.Exit(0)
+	})
+	_ = w
+}
+
+func TestStringersAndAccessors(t *testing.T) {
+	k, _ := newTestKernel(t, 128)
+	if OK.Error() != "OK" || ENOENT.Error() != "ENOENT" {
+		t.Error("errno strings")
+	}
+	if Errno(9999).Error() == "" {
+		t.Error("unknown errno empty")
+	}
+	if SysNull.String() != "null" || Sysno(9999).String() != "sys?" {
+		t.Error("sysno strings")
+	}
+	kinds := []VMAKind{VMAHeap, VMAStack, VMAAnon, VMAFile, VMAScratch, VMAShm, VMAKind(99)}
+	for _, kd := range kinds {
+		if kd.String() == "" {
+			t.Errorf("empty VMA kind string for %d", kd)
+		}
+	}
+	runOne(t, k, func(e Env) {
+		uc := e.(*UserCtx)
+		p := uc.Proc()
+		if p.Pid() != e.Pid() || p.Name() != "main" || p.Cloaked() || p.IsThread() {
+			t.Errorf("proc accessors: %v", p)
+		}
+		if p.String() == "" {
+			t.Error("empty proc string")
+		}
+		if p.AddressSpace() == nil {
+			t.Error("nil address space")
+		}
+		if uc.Kernel() != k || k.World() == nil || k.VMM() == nil {
+			t.Error("kernel accessors")
+		}
+		if got, ok := k.Lookup(e.Pid()); !ok || got != p {
+			t.Error("Lookup failed")
+		}
+		if _, ok := k.Lookup(9999); ok {
+			t.Error("Lookup ghost")
+		}
+		e.Exit(0)
+	})
+}

@@ -1,0 +1,102 @@
+package guestos
+
+import (
+	"overshadow/internal/mach"
+	"overshadow/internal/sim"
+)
+
+// Shared-memory objects: named page sets that multiple processes attach
+// into their address spaces. The kernel shares the backing frames (one
+// guest-physical page serves every attachment), so stores by one process
+// are immediately visible to the others.
+//
+// For cloaked processes the shim binds each attachment to the object's
+// stable vault identity, turning this into *protected* shared memory: all
+// attached cloaked processes see one plaintext view while the kernel — the
+// very component implementing the sharing — sees only ciphertext.
+//
+// Shared frames are RAM-pinned (the page-out sweep skips shared frames);
+// objects persist for the machine's lifetime once created.
+
+// ShmObj is one named shared-memory object.
+type ShmObj struct {
+	name  string
+	pages []mach.GPPN // 0 = not yet materialized
+}
+
+// shmUID derives the stable identity namespace for vault binding. File
+// vaults use inode numbers (small integers); shm objects use an FNV-1a
+// hash with the top bit set so the namespaces cannot collide.
+func shmUID(name string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h | 1<<63
+}
+
+// ShmUID is exported for the shim's vault binding.
+func ShmUID(name string) uint64 { return shmUID(name) }
+
+// shmOpen finds or creates the named object sized to pages. Size mismatch
+// on an existing object is an error.
+func (k *Kernel) shmOpen(name string, pages uint64) (*ShmObj, Errno) {
+	if pages == 0 || name == "" {
+		return nil, EINVAL
+	}
+	if obj, ok := k.shm[name]; ok {
+		if uint64(len(obj.pages)) != pages {
+			return nil, EINVAL
+		}
+		return obj, OK
+	}
+	obj := &ShmObj{name: name, pages: make([]mach.GPPN, pages)}
+	k.shm[name] = obj
+	return obj, OK
+}
+
+// shmAttach maps the object into p's address space at a fresh mmap range.
+func (k *Kernel) shmAttach(p *Proc, name string, pages uint64) (uint64, Errno) {
+	obj, errno := k.shmOpen(name, pages)
+	if errno != OK {
+		return 0, errno
+	}
+	base := p.mmapPtr
+	if base+pages > LayoutMmapMax {
+		return 0, ENOMEM
+	}
+	p.procShared.mmapPtr += pages
+	p.procShared.vmas = append(p.procShared.vmas, &VMA{
+		Base: base, Pages: pages, Kind: VMAShm, Writable: true, Shm: obj,
+	})
+	return base, OK
+}
+
+// pageInShm materializes (or maps) one page of a shared object.
+func (k *Kernel) pageInShm(p *Proc, vpn uint64, v *VMA) Errno {
+	idx := vpn - v.Base
+	g := v.Shm.pages[idx]
+	if g == 0 {
+		ng, ok := k.mem.alloc()
+		if !ok {
+			if !k.evictSome(8) {
+				return ENOMEM
+			}
+			ng, ok = k.mem.alloc()
+			if !ok {
+				return ENOMEM
+			}
+		}
+		// The object itself holds the allocation reference, so contents
+		// survive even when every process detaches.
+		k.vmm.PhysZero(ng)
+		v.Shm.pages[idx] = ng
+		g = ng
+	}
+	// Each mapping holds its own reference on top of the object's.
+	k.mem.share(g)
+	p.mapUserPage(vpn, g, v.Writable)
+	k.world.Stats.Inc(sim.CtrPageFaultDemand)
+	return OK
+}

@@ -1,0 +1,242 @@
+package guestos
+
+import (
+	"testing"
+
+	"overshadow/internal/mach"
+)
+
+func TestThreadSharesMemory(t *testing.T) {
+	k, _ := newTestKernel(t, 256)
+	runOne(t, k, func(e Env) {
+		base, _ := e.Alloc(1)
+		tid, err := e.SpawnThread(func(te Env) {
+			te.Store64(base, 12345)
+		})
+		if err != nil {
+			t.Errorf("spawn: %v", err)
+			e.Exit(1)
+		}
+		if err := e.JoinThread(tid); err != nil {
+			t.Errorf("join: %v", err)
+		}
+		if got := e.Load64(base); got != 12345 {
+			t.Errorf("thread write not visible: %d", got)
+		}
+		e.Exit(0)
+	})
+}
+
+func TestThreadsInterleave(t *testing.T) {
+	k, _ := newTestKernel(t, 256)
+	runOne(t, k, func(e Env) {
+		base, _ := e.Alloc(1)
+		const perThread = 50
+		var tids []Pid
+		for i := 0; i < 3; i++ {
+			tid, err := e.SpawnThread(func(te Env) {
+				for j := 0; j < perThread; j++ {
+					v := te.Load64(base)
+					te.Store64(base, v+1)
+					te.Yield()
+				}
+			})
+			if err != nil {
+				t.Errorf("spawn %d: %v", i, err)
+				e.Exit(1)
+			}
+			tids = append(tids, tid)
+		}
+		for _, tid := range tids {
+			if err := e.JoinThread(tid); err != nil {
+				t.Errorf("join %d: %v", tid, err)
+			}
+		}
+		if got := e.Load64(base); got != 3*perThread {
+			t.Errorf("counter = %d, want %d", got, 3*perThread)
+		}
+		e.Exit(0)
+	})
+}
+
+func TestThreadSharesFDs(t *testing.T) {
+	k, _ := newTestKernel(t, 256)
+	runOne(t, k, func(e Env) {
+		fd, _ := e.Open("/shared.txt", OCreate|ORdWr)
+		buf, _ := e.Alloc(1)
+		e.WriteMem(buf, []byte("from-thread"))
+		tid, _ := e.SpawnThread(func(te Env) {
+			te.Write(fd, buf, 11) // same descriptor table
+		})
+		e.JoinThread(tid)
+		e.Lseek(fd, 0, SeekSet)
+		out, _ := e.Alloc(1)
+		n, _ := e.Read(fd, out, 32)
+		got := make([]byte, n)
+		e.ReadMem(out, got)
+		if string(got) != "from-thread" {
+			t.Errorf("got %q", got)
+		}
+		e.Exit(0)
+	})
+}
+
+func TestExitKillsAllThreads(t *testing.T) {
+	k, _ := newTestKernel(t, 256)
+	sawAfter := false
+	k.RegisterProgram("parent", func(e Env) {
+		pid, _ := e.Fork(func(c Env) {
+			c.SpawnThread(func(te Env) {
+				te.Sleep(100_000)
+				te.Exit(9) // any thread may exit the whole process
+				sawAfter = true
+			})
+			for { // the leader spins until the thread's Exit kills it
+				c.Compute(10_000)
+			}
+		})
+		_, status, err := e.WaitPid(pid)
+		if err != nil {
+			t.Errorf("wait: %v", err)
+		}
+		if status != 9 {
+			t.Errorf("status = %d, want 9", status)
+		}
+		e.Exit(0)
+	})
+	if _, err := k.Spawn("parent", SpawnOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if sawAfter {
+		t.Fatal("code after Exit ran")
+	}
+}
+
+func TestExitThreadOnlyEndsCaller(t *testing.T) {
+	k, _ := newTestKernel(t, 256)
+	runOne(t, k, func(e Env) {
+		base, _ := e.Alloc(1)
+		tid, _ := e.SpawnThread(func(te Env) {
+			te.Store64(base, 1)
+			te.ExitThread()
+			te.Store64(base, 2) // unreachable
+		})
+		e.JoinThread(tid)
+		if got := e.Load64(base); got != 1 {
+			t.Errorf("value = %d, want 1", got)
+		}
+		e.Exit(0)
+	})
+}
+
+func TestJoinUnknownThread(t *testing.T) {
+	k, _ := newTestKernel(t, 256)
+	runOne(t, k, func(e Env) {
+		if err := e.JoinThread(999); err != ESRCH {
+			t.Errorf("join ghost: %v", err)
+		}
+		e.Exit(0)
+	})
+}
+
+func TestSIGKILLTerminatesThreadGroup(t *testing.T) {
+	k, _ := newTestKernel(t, 256)
+	runOne(t, k, func(e Env) {
+		pid, _ := e.Fork(func(c Env) {
+			for i := 0; i < 3; i++ {
+				c.SpawnThread(func(te Env) {
+					for {
+						te.Compute(5_000)
+					}
+				})
+			}
+			for {
+				c.Compute(5_000)
+			}
+		})
+		e.Sleep(2_000_000)
+		if err := e.Kill(pid, SIGKILL); err != nil {
+			t.Errorf("kill: %v", err)
+		}
+		_, status, err := e.WaitPid(pid)
+		if err != nil {
+			t.Errorf("wait: %v", err)
+		}
+		if status != 128+int(SIGKILL) {
+			t.Errorf("status = %d", status)
+		}
+		e.Exit(0)
+	})
+}
+
+func TestForkFromThreadCopiesProcess(t *testing.T) {
+	k, _ := newTestKernel(t, 512)
+	runOne(t, k, func(e Env) {
+		base, _ := e.Alloc(1)
+		e.Store64(base, 42)
+		tid, _ := e.SpawnThread(func(te Env) {
+			pid, err := te.Fork(func(ce Env) {
+				// The child is single-threaded with a copy of memory.
+				if ce.Load64(base) != 42 {
+					ce.Exit(1)
+				}
+				ce.Exit(0)
+			})
+			if err != nil {
+				t.Errorf("fork from thread: %v", err)
+				return
+			}
+			_, status, _ := te.WaitPid(pid)
+			if status != 0 {
+				t.Errorf("child status %d", status)
+			}
+		})
+		e.JoinThread(tid)
+		e.Exit(0)
+	})
+}
+
+func TestThreadBlockingIO(t *testing.T) {
+	k, _ := newTestKernel(t, 256)
+	runOne(t, k, func(e Env) {
+		rfd, wfd, _ := e.Pipe()
+		buf, _ := e.Alloc(1)
+		got := make([]byte, 5)
+		tid, _ := e.SpawnThread(func(te Env) {
+			// Blocks until the main thread writes.
+			tb, _ := te.Alloc(1)
+			n, err := te.Read(rfd, tb, 5)
+			if err != nil || n != 5 {
+				t.Errorf("thread read = %d,%v", n, err)
+				return
+			}
+			te.ReadMem(tb, got)
+		})
+		e.Sleep(500_000)
+		e.WriteMem(buf, []byte("hello"))
+		e.Write(wfd, buf, 5)
+		e.JoinThread(tid)
+		if string(got) != "hello" {
+			t.Errorf("got %q", got)
+		}
+		e.Exit(0)
+	})
+}
+
+func TestThreadsSeeSbrkGrowth(t *testing.T) {
+	k, _ := newTestKernel(t, 256)
+	runOne(t, k, func(e Env) {
+		tid, _ := e.SpawnThread(func(te Env) {
+			// The thread grows the heap; the leader uses it.
+			te.Sbrk(2)
+		})
+		e.JoinThread(tid)
+		va := mach.Addr(LayoutHeapBase * mach.PageSize)
+		e.Store64(va, 5)
+		if e.Load64(va) != 5 {
+			t.Error("heap grown by thread unusable by leader")
+		}
+		e.Exit(0)
+	})
+}

@@ -1,0 +1,225 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func quick() Options { return Options{Quick: true, Seed: 7} }
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 12 {
+		t.Fatalf("registry has %d experiments, want 12", len(reg))
+	}
+	for _, e := range reg {
+		if e.Run == nil || e.ID == "" || e.Title == "" {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+	}
+	if _, ok := ByID("e3"); !ok {
+		t.Fatal("ByID case-insensitive lookup failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("ByID found a ghost")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{ID: "EX", Title: "demo", Columns: []string{"a", "b"}}
+	tab.AddRow("row with a long name", 1.5, 2e9)
+	tab.Note("hello %d", 42)
+	out := tab.String()
+	for _, want := range []string{"EX — demo", "row with a long name", "note: hello 42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{ID: "EX", Title: "demo", Columns: []string{"col,a", "b"}}
+	tab.AddRow("r,1", 1.5, 42)
+	csv := tab.CSV()
+	want := "name,col;a,b\nr;1,1.5,42\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestE1MicrobenchmarksShape(t *testing.T) {
+	tab := RunE1(quick())
+	if len(tab.Rows) != len(microRowOrder) {
+		t.Fatalf("E1 rows = %d, want %d", len(tab.Rows), len(microRowOrder))
+	}
+	byName := map[string][]float64{}
+	for _, r := range tab.Rows {
+		byName[r.Name] = r.Values
+	}
+	// Every cloaked operation must cost at least as much as native.
+	for name, v := range byName {
+		if v[0] <= 0 || v[1] <= 0 {
+			t.Errorf("%s: non-positive cost %v", name, v)
+		}
+		if v[2] < 1.0 {
+			t.Errorf("%s: cloaked faster than native (%.2fx)", name, v[2])
+		}
+	}
+	// The paper's shape: null syscall slowdown is a small constant factor;
+	// fork is the most expensive relative operation.
+	if byName["fork+wait"][2] <= byName["null syscall"][2] {
+		t.Errorf("fork slowdown (%.1fx) should exceed null syscall slowdown (%.1fx)",
+			byName["fork+wait"][2], byName["null syscall"][2])
+	}
+}
+
+func TestE2BreakdownShape(t *testing.T) {
+	tab := RunE2(quick())
+	vals := map[string]float64{}
+	for _, r := range tab.Rows {
+		vals[r.Name] = r.Values[0]
+	}
+	if vals["kernel touch (encrypt+hash)"] <= vals["trap enter (CTC save+scrub)"] {
+		t.Error("page crypto should dominate CTC save")
+	}
+	if vals["app re-touch (verify+decrypt)"] <= 0 {
+		t.Error("decrypt cost missing")
+	}
+}
+
+func TestE3CPUOverheadSmall(t *testing.T) {
+	tab := RunE3(quick())
+	for _, r := range tab.Rows {
+		overhead := r.Values[2]
+		if overhead < -1 {
+			t.Errorf("%s: cloaked faster than native (%.1f%%)", r.Name, overhead)
+		}
+		if overhead > 25 {
+			t.Errorf("%s: CPU-bound overhead %.1f%% too large — cloaking should be nearly free here", r.Name, overhead)
+		}
+	}
+}
+
+func TestE4WebServerOverheadModerate(t *testing.T) {
+	tab := RunE4(quick())
+	for _, r := range tab.Rows {
+		if r.Values[0] <= 0 || r.Values[1] <= 0 {
+			t.Fatalf("%s: empty throughput", r.Name)
+		}
+		if r.Values[2] < 0 {
+			t.Errorf("%s: negative overhead %.1f%%", r.Name, r.Values[2])
+		}
+	}
+}
+
+func TestE5FileIOOrdering(t *testing.T) {
+	tab := RunE5(quick())
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	native := tab.Rows[0].Values[0]
+	marshalled := tab.Rows[1].Values[0]
+	if marshalled >= native {
+		t.Errorf("marshalled I/O (%.2f) should be slower than native (%.2f)", marshalled, native)
+	}
+}
+
+func TestE6PagingShape(t *testing.T) {
+	tab := RunE6(quick())
+	// Below RAM no page-outs; above RAM, plenty — and the absolute cost of
+	// cloaking (crypto per swap event) must grow with pressure.
+	if tab.Rows[0].Values[3] != 0 {
+		t.Errorf("pageouts at ws/ram=0.5: %v", tab.Rows[0].Values[3])
+	}
+	last := len(tab.Rows) - 1
+	if tab.Rows[last].Values[3] == 0 {
+		t.Error("no pageouts at ws/ram=1.6")
+	}
+	deltaLow := tab.Rows[0].Values[2]
+	deltaHigh := tab.Rows[last].Values[2]
+	if deltaHigh <= deltaLow {
+		t.Errorf("cloaking delta should grow with pressure: %.2f -> %.2f Mcyc",
+			deltaLow, deltaHigh)
+	}
+}
+
+func TestE7MetadataPerPage(t *testing.T) {
+	tab := RunE7(quick())
+	for _, r := range tab.Rows {
+		perPage := r.Values[2]
+		if perPage <= 0 {
+			t.Errorf("%s: no metadata measured", r.Name)
+			continue
+		}
+		if perPage > 100 {
+			t.Errorf("%s: %.0f bytes/page exceeds record size", r.Name, perPage)
+		}
+	}
+}
+
+func TestE8AllAttacksContained(t *testing.T) {
+	tab := RunE8(quick())
+	for _, r := range tab.Rows {
+		attempted, leaked, corrupted, detected := r.Values[0], r.Values[1], r.Values[2], r.Values[3]
+		if attempted == 0 {
+			t.Errorf("%s: attack never ran", r.Name)
+		}
+		if leaked != 0 {
+			t.Errorf("%s: plaintext leaked", r.Name)
+		}
+		if corrupted != 0 {
+			t.Errorf("%s: silent corruption", r.Name)
+		}
+		if detected == 0 {
+			t.Errorf("%s: not detected/contained", r.Name)
+		}
+	}
+}
+
+func TestE9ForkHeavyOverheadLargest(t *testing.T) {
+	tab := RunE9(quick())
+	for _, r := range tab.Rows {
+		if r.Values[2] <= 0 {
+			t.Errorf("%s: fork-heavy cloaked run should cost more (got %.1f%%)", r.Name, r.Values[2])
+		}
+	}
+}
+
+func TestE11ShmBeatsPipe(t *testing.T) {
+	tab := RunE11(quick())
+	pipe, shm := tab.Rows[0].Values[0], tab.Rows[1].Values[0]
+	if pipe <= 0 || shm <= 0 {
+		t.Fatalf("empty throughput: %v %v", pipe, shm)
+	}
+	if shm <= pipe {
+		t.Errorf("protected shm (%.0f) should beat marshalled pipe (%.0f)", shm, pipe)
+	}
+}
+
+func TestE12KVServiceShape(t *testing.T) {
+	tab := RunE12(quick())
+	for _, r := range tab.Rows {
+		if r.Values[0] <= 0 || r.Values[1] <= 0 {
+			t.Fatalf("%s: empty throughput", r.Name)
+		}
+		if r.Values[2] < 0 {
+			t.Errorf("%s: cloaked faster than native (%.1f%%)", r.Name, r.Values[2])
+		}
+	}
+}
+
+func TestE10AblationsCostMore(t *testing.T) {
+	tab := RunE10(quick())
+	base := tab.Rows[0].Values[0]
+	if base <= 0 {
+		t.Fatal("no baseline")
+	}
+	noMS := tab.Rows[1].Values[1]
+	if noMS <= 1.0 {
+		t.Errorf("removing multi-shadowing should cost more, got %.2fx", noMS)
+	}
+	flush := tab.Rows[2].Values[1]
+	if flush < 1.0 {
+		t.Errorf("untagged TLB should not be faster, got %.2fx", flush)
+	}
+}

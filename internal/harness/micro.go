@@ -1,0 +1,299 @@
+package harness
+
+import (
+	"overshadow/internal/core"
+	"overshadow/internal/guestos"
+	"overshadow/internal/mach"
+	"overshadow/internal/mmu"
+	"overshadow/internal/sim"
+	"overshadow/internal/vmm"
+)
+
+// microResults collects per-operation cycle costs measured inside a guest.
+type microResults map[string]float64
+
+// measure times n repetitions of f in simulated cycles and returns the
+// per-operation cost.
+func measure(e core.Env, n int, f func()) float64 {
+	t0 := e.Time()
+	for i := 0; i < n; i++ {
+		f()
+	}
+	return float64(e.Time()-t0) / float64(n)
+}
+
+// microProgram runs the single-process slice of the E1 suite and stores
+// per-op costs into out (host-side closure capture; keys are row names).
+func microProgram(out microResults, reps int) core.Program {
+	return func(e core.Env) {
+		out["null syscall"] = measure(e, reps, func() { e.Null() })
+		out["getpid"] = measure(e, reps, func() {
+			if uc, ok := e.(*guestos.UserCtx); ok {
+				uc.SysGetPidCall()
+			} else {
+				e.Null() // shim path: same trap shape as null
+			}
+		})
+
+		// File ops on a plain (non-cloaked) file.
+		buf, _ := e.Alloc(20)
+		payload := make([]byte, 64*1024)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		e.WriteMem(buf, payload)
+		fd, err := e.Open("/bench.dat", core.OCreate|core.ORdWr)
+		if err != nil {
+			e.Exit(1)
+		}
+		e.Write(fd, buf, 64*1024)
+
+		for _, sz := range []int{1024, 16 * 1024, 64 * 1024} {
+			n := sz
+			out[sizeName("read", sz)] = measure(e, reps/2, func() {
+				e.Pread(fd, buf, n, 0)
+			})
+			out[sizeName("write", sz)] = measure(e, reps/2, func() {
+				e.Pwrite(fd, buf, n, 0)
+			})
+		}
+		e.Close(fd)
+
+		out["open+close"] = measure(e, reps/2, func() {
+			f, _ := e.Open("/bench.dat", core.ORdOnly)
+			e.Close(f)
+		})
+		out["stat"] = measure(e, reps/2, func() { e.Stat("/bench.dat") })
+
+		// Signal install + self-deliver.
+		got := 0
+		e.Signal(core.SIGUSR1, func(core.Env, core.Signal) { got++ })
+		self := e.Pid()
+		out["signal deliver"] = measure(e, reps/4, func() { e.Kill(self, core.SIGUSR1) })
+
+		// fork + wait, and fork+exec+wait.
+		out["fork+wait"] = measure(e, forkReps(reps), func() {
+			pid, err := e.Fork(func(c core.Env) { c.Exit(0) })
+			if err == nil {
+				e.WaitPid(pid)
+			}
+		})
+		out["fork+exec+wait"] = measure(e, forkReps(reps), func() {
+			pid, err := e.Fork(func(c core.Env) {
+				c.Exec("noop", nil)
+			})
+			if err == nil {
+				e.WaitPid(pid)
+			}
+		})
+		// Threads share the domain, so cloaked thread creation needs no
+		// page re-cloaking — contrast with fork above.
+		out["thread create+join"] = measure(e, forkReps(reps), func() {
+			tid, err := e.SpawnThread(func(core.Env) {})
+			if err == nil {
+				e.JoinThread(tid)
+			}
+		})
+		e.Exit(0)
+	}
+}
+
+func forkReps(reps int) int {
+	n := reps / 20
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+func sizeName(op string, sz int) string {
+	switch sz {
+	case 1024:
+		return op + " 1KiB"
+	case 16 * 1024:
+		return op + " 16KiB"
+	default:
+		return op + " 64KiB"
+	}
+}
+
+// pipeLatencyProgram measures round-trip latency over a pipe pair between
+// parent and child.
+func pipeLatencyProgram(out microResults, reps int) core.Program {
+	return func(e core.Env) {
+		r1, w1, _ := e.Pipe()
+		r2, w2, _ := e.Pipe()
+		buf, _ := e.Alloc(1)
+		e.WriteMem(buf, []byte{1})
+		pid, err := e.Fork(func(c core.Env) {
+			// Close the parent's ends or EOF never arrives.
+			c.Close(w1)
+			c.Close(r2)
+			cb, _ := c.Alloc(1)
+			for {
+				n, err := c.Read(r1, cb, 1)
+				if err != nil || n == 0 {
+					break
+				}
+				if _, err := c.Write(w2, cb, 1); err != nil {
+					break
+				}
+			}
+			c.Exit(0)
+		})
+		if err != nil {
+			e.Exit(1)
+		}
+		e.Close(r1)
+		e.Close(w2)
+		out["pipe round trip"] = measure(e, reps/4, func() {
+			e.Write(w1, buf, 1)
+			e.Read(r2, buf, 1)
+		})
+		e.Close(w1)
+		e.Close(r2)
+		e.WaitPid(pid)
+		e.Exit(0)
+	}
+}
+
+// ctxSwitchProgram measures a yield ping-pong between two processes.
+func ctxSwitchProgram(out microResults, reps int) core.Program {
+	return func(e core.Env) {
+		pid, err := e.Fork(func(c core.Env) {
+			for i := 0; i < reps; i++ {
+				c.Yield()
+			}
+			c.Exit(0)
+		})
+		if err != nil {
+			e.Exit(1)
+		}
+		cost := measure(e, reps, func() { e.Yield() })
+		out["context switch"] = cost / 2 // one yield = two switches
+		e.WaitPid(pid)
+		e.Exit(0)
+	}
+}
+
+// runMicroSuite runs all E1 programs in one mode and merges results.
+func runMicroSuite(opts Options, cloaked bool) microResults {
+	out := microResults{}
+	reps := opts.scale(400, 60)
+
+	run := func(name string, prog core.Program) {
+		sys := core.NewSystem(core.Config{MemoryPages: 4096, Seed: opts.seed()})
+		sys.Register(name, prog)
+		sys.Register("noop", func(e core.Env) { e.Exit(0) })
+		var so []core.SpawnOpt
+		if cloaked {
+			so = append(so, core.Cloaked())
+		}
+		if _, err := sys.Spawn(name, so...); err != nil {
+			panic(err)
+		}
+		sys.Run()
+	}
+	run("micro", microProgram(out, reps))
+	run("pipe", pipeLatencyProgram(out, reps))
+	run("ctx", ctxSwitchProgram(out, reps))
+	return out
+}
+
+// microRowOrder fixes the table layout.
+var microRowOrder = []string{
+	"null syscall", "getpid",
+	"read 1KiB", "read 16KiB", "read 64KiB",
+	"write 1KiB", "write 16KiB", "write 64KiB",
+	"open+close", "stat", "signal deliver",
+	"pipe round trip", "context switch",
+	"fork+wait", "fork+exec+wait", "thread create+join",
+}
+
+// RunE1 produces the lmbench-style microbenchmark table.
+func RunE1(opts Options) *Table {
+	native := runMicroSuite(opts, false)
+	cloaked := runMicroSuite(opts, true)
+	t := &Table{
+		ID:      "E1",
+		Title:   "OS microbenchmarks, simulated cycles per operation",
+		Columns: []string{"native", "cloaked", "slowdown"},
+	}
+	for _, name := range microRowOrder {
+		n, c := native[name], cloaked[name]
+		slow := 0.0
+		if n > 0 {
+			slow = c / n
+		}
+		t.AddRow(name, n, c, slow)
+	}
+	t.Note("cloaked ops pay secure control transfer (world switches + CTC save/scrub/restore)")
+	t.Note("fork additionally pays per-page encrypt + copy + re-cloak (decrypt+encrypt)")
+	return t
+}
+
+// RunE2 decomposes the cost of one cloaking transition by measuring each
+// primitive directly against the VMM.
+func RunE2(opts Options) *Table {
+	w := sim.NewWorld(sim.DefaultCostModel(), opts.seed())
+	hv := vmm.New(w, vmm.Config{GuestPages: 64})
+	as := hv.CreateAddressSpace(mmu.NewPageTable())
+	if _, err := hv.HCCreateDomain(as); err != nil {
+		panic(err)
+	}
+	res, _ := hv.HCAllocResource(as)
+	if err := hv.HCRegisterRegion(as, vmm.Region{BaseVPN: 16, Pages: 8, Resource: res, Cloaked: true}); err != nil {
+		panic(err)
+	}
+	as.GuestPT().Map(16, mmu.PTE{PN: 3, Flags: mmu.FlagPresent | mmu.FlagWritable | mmu.FlagUser})
+
+	timed := func(f func()) float64 {
+		t0 := w.Now()
+		f()
+		return float64(w.Clock.Since(t0))
+	}
+
+	t := &Table{
+		ID:      "E2",
+		Title:   "Cloaking transition cost breakdown (simulated cycles)",
+		Columns: []string{"cycles"},
+	}
+
+	// First app touch: zero-fill + shadow fill.
+	one := []byte{1}
+	t.AddRow("first app touch (zero-fill)", timed(func() {
+		if err := hv.WriteVirt(as, vmm.ViewApp, 16*mach.PageSize, one, true); err != nil {
+			panic(err)
+		}
+	}))
+	// Kernel touch of plaintext page: encrypt 4 KiB + hash + shadow ops.
+	buf := make([]byte, 8)
+	t.AddRow("kernel touch (encrypt+hash)", timed(func() {
+		if err := hv.ReadVirt(as, vmm.ViewSystem, 16*mach.PageSize, buf, false); err != nil {
+			panic(err)
+		}
+	}))
+	// App re-touch: verify + decrypt.
+	t.AddRow("app re-touch (verify+decrypt)", timed(func() {
+		if err := hv.ReadVirt(as, vmm.ViewApp, 16*mach.PageSize, buf, true); err != nil {
+			panic(err)
+		}
+	}))
+
+	th := hv.CreateThread(as.Domain())
+	t.AddRow("trap enter (CTC save+scrub)", timed(func() { th.EnterKernel(vmm.TrapSyscall) }))
+	t.AddRow("trap exit (CTC restore)", timed(func() {
+		if err := th.ExitKernel(); err != nil {
+			panic(err)
+		}
+	}))
+	t.AddRow("hypercall dispatch", timed(func() { hv.HCAllocResource(as) }))
+
+	m := w.Cost
+	t.AddRow("  model: AES 4KiB", float64(m.PageCryptCost(mach.PageSize)))
+	t.AddRow("  model: SHA-256 4KiB", float64(m.PageHashCost(mach.PageSize)))
+	t.AddRow("  model: world switch", float64(m.WorldSwitch))
+	t.AddRow("  model: TLB flush", float64(m.TLBFlush))
+	t.Note("measured rows include shadow maintenance and metadata cache effects")
+	return t
+}

@@ -1,0 +1,171 @@
+// Package harness runs the paper-reconstruction experiments E1–E10 and
+// formats their results as the tables/series EXPERIMENTS.md documents. Each
+// experiment builds fresh systems (native and cloaked variants with the
+// same seed), runs the matching workload, and reports simulated-cycle
+// metrics, so results are deterministic and host-independent.
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result: a titled grid with named rows.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []Row
+	Notes   []string
+}
+
+// Row is one line of a table.
+type Row struct {
+	Name   string
+	Values []float64
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(name string, values ...float64) {
+	t.Rows = append(t.Rows, Row{Name: name, Values: values})
+}
+
+// Note appends a footnote.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table in the fixed-width layout overbench prints.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	nameW := 24
+	for _, r := range t.Rows {
+		if len(r.Name) > nameW {
+			nameW = len(r.Name)
+		}
+	}
+	colW := make([]int, len(t.Columns))
+	total := 0
+	for i, c := range t.Columns {
+		colW[i] = len(c) + 3
+		if colW[i] < 14 {
+			colW[i] = 14
+		}
+		total += colW[i]
+	}
+	fmt.Fprintf(&b, "%-*s", nameW+2, "")
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%*s", colW[i], c)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", nameW+2+total))
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", nameW+2, r.Name)
+		for i, v := range r.Values {
+			w := 14
+			if i < len(colW) {
+				w = colW[i]
+			}
+			fmt.Fprintf(&b, "%*s", w, formatCell(v))
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+func formatCell(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e7:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 1e6:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// CSV renders the table as comma-separated values (header row first),
+// suitable for plotting the figures.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("name")
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(strings.ReplaceAll(c, ",", ";"))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(strings.ReplaceAll(r.Name, ",", ";"))
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Options tunes experiment scale. Quick shrinks parameters so the whole
+// suite (and the Go benchmarks wrapping it) finishes fast; the shapes are
+// preserved.
+type Options struct {
+	Quick bool
+	Seed  uint64
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// scale picks between the full and quick value of a parameter.
+func (o Options) scale(full, quick int) int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Experiment couples an ID with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) *Table
+}
+
+// Registry lists all experiments in order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"E1", "OS microbenchmarks (lmbench-style), native vs cloaked", RunE1},
+		{"E2", "Cloaking transition cost breakdown", RunE2},
+		{"E3", "CPU-bound macro workloads (SPEC-like)", RunE3},
+		{"E4", "Web-server macro workload", RunE4},
+		{"E5", "File I/O: native, marshalled, cloaked mmap-emulated", RunE5},
+		{"E6", "Paging under memory pressure", RunE6},
+		{"E7", "Cloaking metadata space overhead", RunE7},
+		{"E8", "Security: attack suite outcomes", RunE8},
+		{"E9", "Compile-like process mix (fork/exec heavy)", RunE9},
+		{"E10", "Ablations: multi-shadowing, TLB tagging, metadata cache", RunE10},
+		{"E11", "Extension: protected IPC (pipe vs protected shared memory)", RunE11},
+		{"E12", "Key-value service (memcached-class), native vs cloaked", RunE12},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

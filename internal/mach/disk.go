@@ -1,0 +1,80 @@
+package mach
+
+import (
+	"fmt"
+
+	"overshadow/internal/sim"
+)
+
+// BlockSize is the disk sector size; one page per block keeps swap simple.
+const BlockSize = PageSize
+
+// Disk is a simple block device with a latency model: a fixed seek cost per
+// operation plus a per-byte transfer cost. Blocks are allocated lazily so a
+// large device costs nothing until written.
+type Disk struct {
+	world  *sim.World
+	blocks map[uint64][]byte
+	nblk   uint64
+}
+
+// NewDisk creates a disk with nblk blocks.
+func NewDisk(world *sim.World, nblk uint64) *Disk {
+	return &Disk{world: world, blocks: make(map[uint64][]byte), nblk: nblk}
+}
+
+// NumBlocks reports the device capacity in blocks.
+func (d *Disk) NumBlocks() uint64 { return d.nblk }
+
+// Read copies block blk into dst (len >= BlockSize) and charges disk latency.
+// Unwritten blocks read as zeros.
+func (d *Disk) Read(blk uint64, dst []byte) error {
+	if blk >= d.nblk {
+		return fmt.Errorf("disk: read of block %d beyond device (%d blocks)", blk, d.nblk)
+	}
+	if len(dst) < BlockSize {
+		return fmt.Errorf("disk: short read buffer (%d bytes)", len(dst))
+	}
+	d.world.Charge(d.world.Cost.DiskSeek + sim.Cycles(BlockSize)*d.world.Cost.DiskPerByte)
+	d.world.Stats.Inc(sim.CtrDiskRead)
+	if b, ok := d.blocks[blk]; ok {
+		copy(dst[:BlockSize], b)
+	} else {
+		for i := 0; i < BlockSize; i++ {
+			dst[i] = 0
+		}
+	}
+	return nil
+}
+
+// Write stores src (len >= BlockSize) into block blk and charges latency.
+func (d *Disk) Write(blk uint64, src []byte) error {
+	if blk >= d.nblk {
+		return fmt.Errorf("disk: write of block %d beyond device (%d blocks)", blk, d.nblk)
+	}
+	if len(src) < BlockSize {
+		return fmt.Errorf("disk: short write buffer (%d bytes)", len(src))
+	}
+	d.world.Charge(d.world.Cost.DiskSeek + sim.Cycles(BlockSize)*d.world.Cost.DiskPerByte)
+	d.world.Stats.Inc(sim.CtrDiskWrite)
+	b, ok := d.blocks[blk]
+	if !ok {
+		b = make([]byte, BlockSize)
+		d.blocks[blk] = b
+	}
+	copy(b, src[:BlockSize])
+	return nil
+}
+
+// Peek returns the raw stored content of a block without charging latency
+// and without allocating. It exists for adversary hooks (a malicious OS
+// inspecting swapped pages) and for tests; nil means never written.
+func (d *Disk) Peek(blk uint64) []byte { return d.blocks[blk] }
+
+// Poke overwrites a block without charging latency; used by adversarial
+// tests to model offline tampering with the swap device.
+func (d *Disk) Poke(blk uint64, src []byte) {
+	b := make([]byte, BlockSize)
+	copy(b, src)
+	d.blocks[blk] = b
+}

@@ -1,0 +1,200 @@
+package mach
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"overshadow/internal/sim"
+)
+
+func testWorld() *sim.World { return sim.NewWorld(sim.DefaultCostModel(), 1) }
+
+func TestPageArithmetic(t *testing.T) {
+	if PageOf(0x1234) != 1 {
+		t.Fatalf("PageOf(0x1234) = %d, want 1", PageOf(0x1234))
+	}
+	if PageOffset(0x1234) != 0x234 {
+		t.Fatalf("PageOffset = %#x, want 0x234", PageOffset(0x1234))
+	}
+	if PageBase(0x1234) != 0x1000 {
+		t.Fatalf("PageBase = %#x, want 0x1000", PageBase(0x1234))
+	}
+}
+
+func TestPageArithmeticProperty(t *testing.T) {
+	f := func(a uint64) bool {
+		addr := Addr(a)
+		return uint64(PageBase(addr))+PageOffset(addr) == a &&
+			PageOf(addr) == uint64(PageBase(addr))>>PageShift
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryPageIsolation(t *testing.T) {
+	m := NewMemory(4)
+	p1, p2 := m.Page(1), m.Page(2)
+	p1[0] = 0xAA
+	if p2[0] != 0 {
+		t.Fatal("write to frame 1 visible in frame 2")
+	}
+	m.Zero(1)
+	if p1[0] != 0 {
+		t.Fatal("Zero did not clear frame")
+	}
+}
+
+func TestMemoryBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Page did not panic")
+		}
+	}()
+	NewMemory(2).Page(5)
+}
+
+func TestFrameAllocatorExhaustion(t *testing.T) {
+	m := NewMemory(4) // frames 1..3 allocatable
+	a := NewFrameAllocator(m)
+	if a.FreeFrames() != 3 {
+		t.Fatalf("FreeFrames = %d, want 3", a.FreeFrames())
+	}
+	seen := map[MPN]bool{}
+	for i := 0; i < 3; i++ {
+		mpn, ok := a.Alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		if mpn == 0 || seen[mpn] {
+			t.Fatalf("bad frame %d", mpn)
+		}
+		seen[mpn] = true
+	}
+	if _, ok := a.Alloc(); ok {
+		t.Fatal("alloc succeeded past exhaustion")
+	}
+	for mpn := range seen {
+		a.Free(mpn)
+	}
+	if a.FreeFrames() != 3 {
+		t.Fatalf("after free, FreeFrames = %d, want 3", a.FreeFrames())
+	}
+}
+
+func TestFrameAllocatorZeroesFrames(t *testing.T) {
+	m := NewMemory(3)
+	a := NewFrameAllocator(m)
+	mpn, _ := a.Alloc()
+	m.Page(mpn)[7] = 0xFF
+	a.Free(mpn)
+	// All frames dirty now; realloc must return zeroed memory.
+	for {
+		got, ok := a.Alloc()
+		if !ok {
+			break
+		}
+		for i, b := range m.Page(got) {
+			if b != 0 {
+				t.Fatalf("frame %d byte %d = %#x after alloc, want 0", got, i, b)
+			}
+		}
+	}
+}
+
+func TestFreeReservedFramePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Free(0) did not panic")
+		}
+	}()
+	NewFrameAllocator(NewMemory(2)).Free(0)
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	w := testWorld()
+	d := NewDisk(w, 8)
+	src := make([]byte, BlockSize)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	if err := d.Write(3, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, BlockSize)
+	if err := d.Read(3, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, dst) {
+		t.Fatal("disk round trip corrupted data")
+	}
+}
+
+func TestDiskUnwrittenReadsZero(t *testing.T) {
+	w := testWorld()
+	d := NewDisk(w, 8)
+	dst := make([]byte, BlockSize)
+	dst[0] = 0xFF
+	if err := d.Read(0, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 0 {
+		t.Fatal("unwritten block not zero")
+	}
+}
+
+func TestDiskBounds(t *testing.T) {
+	w := testWorld()
+	d := NewDisk(w, 2)
+	buf := make([]byte, BlockSize)
+	if err := d.Read(2, buf); err == nil {
+		t.Fatal("read past end succeeded")
+	}
+	if err := d.Write(9, buf); err == nil {
+		t.Fatal("write past end succeeded")
+	}
+	if err := d.Read(0, buf[:10]); err == nil {
+		t.Fatal("short buffer read succeeded")
+	}
+	if err := d.Write(0, buf[:10]); err == nil {
+		t.Fatal("short buffer write succeeded")
+	}
+}
+
+func TestDiskChargesLatency(t *testing.T) {
+	w := testWorld()
+	d := NewDisk(w, 2)
+	buf := make([]byte, BlockSize)
+	before := w.Now()
+	if err := d.Write(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := w.Clock.Since(before)
+	want := w.Cost.DiskSeek + sim.Cycles(BlockSize)*w.Cost.DiskPerByte
+	if elapsed != want {
+		t.Fatalf("write charged %d cycles, want %d", elapsed, want)
+	}
+	if w.Stats.Get(sim.CtrDiskWrite) != 1 {
+		t.Fatal("disk write counter not incremented")
+	}
+}
+
+func TestDiskPeekPoke(t *testing.T) {
+	w := testWorld()
+	d := NewDisk(w, 2)
+	if d.Peek(1) != nil {
+		t.Fatal("Peek of unwritten block not nil")
+	}
+	src := make([]byte, BlockSize)
+	src[5] = 0x42
+	d.Poke(1, src)
+	before := w.Now()
+	got := d.Peek(1)
+	if got == nil || got[5] != 0x42 {
+		t.Fatal("Poke/Peek mismatch")
+	}
+	if w.Now() != before {
+		t.Fatal("Peek charged latency")
+	}
+}

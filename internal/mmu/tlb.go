@@ -1,0 +1,109 @@
+package mmu
+
+import "overshadow/internal/sim"
+
+// tlbEntry caches one translation together with the shadow context it was
+// filled from. Tagging entries with the context ID models a tagged TLB: a
+// shadow-context switch does not have to flush, which is what makes
+// multi-shadowing cheap (ablation E10d removes this and flushes instead).
+type tlbEntry struct {
+	vpn   uint64
+	ctx   uint32
+	pn    uint64
+	flags Flags
+}
+
+// TLB is a software model of a set-capacity translation cache with random
+// replacement. All costs are charged to the world clock by the caller-facing
+// methods.
+type TLB struct {
+	world   *sim.World
+	cap     int
+	entries map[uint64]tlbEntry // key: vpn | ctx<<40
+	order   []uint64            // insertion keys for eviction choice
+}
+
+// NewTLB builds a TLB with the given entry capacity.
+func NewTLB(world *sim.World, capacity int) *TLB {
+	if capacity <= 0 {
+		panic("mmu: TLB capacity must be positive")
+	}
+	return &TLB{
+		world:   world,
+		cap:     capacity,
+		entries: make(map[uint64]tlbEntry, capacity),
+	}
+}
+
+func tlbKey(ctx uint32, vpn uint64) uint64 { return vpn | uint64(ctx)<<40 }
+
+// Lookup returns the cached translation for (ctx, vpn) if present, charging
+// the hit cost; the miss path cost is charged by the walker, not here.
+func (t *TLB) Lookup(ctx uint32, vpn uint64) (PTE, bool) {
+	e, ok := t.entries[tlbKey(ctx, vpn)]
+	if !ok {
+		t.world.Stats.Inc(sim.CtrTLBMiss)
+		return PTE{}, false
+	}
+	t.world.ChargeCount(t.world.Cost.TLBHit, sim.CtrTLBHit)
+	return PTE{PN: e.pn, Flags: e.flags}, true
+}
+
+// Insert caches a translation, evicting a pseudo-random entry when full.
+func (t *TLB) Insert(ctx uint32, vpn uint64, pte PTE) {
+	key := tlbKey(ctx, vpn)
+	if _, exists := t.entries[key]; !exists && len(t.entries) >= t.cap {
+		t.evictOne()
+	}
+	if _, exists := t.entries[key]; !exists {
+		t.order = append(t.order, key)
+	}
+	t.entries[key] = tlbEntry{vpn: vpn, ctx: ctx, pn: pte.PN, flags: pte.Flags}
+}
+
+func (t *TLB) evictOne() {
+	for len(t.order) > 0 {
+		i := t.world.RNG.Intn(len(t.order))
+		key := t.order[i]
+		t.order[i] = t.order[len(t.order)-1]
+		t.order = t.order[:len(t.order)-1]
+		if _, ok := t.entries[key]; ok {
+			delete(t.entries, key)
+			return
+		}
+		// Stale order slot (entry was invalidated); retry.
+	}
+}
+
+// InvalidatePage drops the translation of vpn in every shadow context; the
+// VMM uses this when a page changes view (cloak transitions must be visible
+// immediately in all contexts).
+func (t *TLB) InvalidatePage(vpn uint64) {
+	for key, e := range t.entries {
+		if e.vpn == vpn {
+			delete(t.entries, key)
+			t.world.Charge(t.world.Cost.TLBEvict)
+		}
+	}
+}
+
+// InvalidateContext drops every translation tagged with ctx (address-space
+// teardown).
+func (t *TLB) InvalidateContext(ctx uint32) {
+	for key, e := range t.entries {
+		if e.ctx == ctx {
+			delete(t.entries, key)
+			t.world.Charge(t.world.Cost.TLBEvict)
+		}
+	}
+}
+
+// Flush empties the TLB entirely.
+func (t *TLB) Flush() {
+	t.entries = make(map[uint64]tlbEntry, t.cap)
+	t.order = t.order[:0]
+	t.world.ChargeCount(t.world.Cost.TLBFlush, sim.CtrTLBFlush)
+}
+
+// Len reports the number of cached translations (for tests and stats).
+func (t *TLB) Len() int { return len(t.entries) }

@@ -1,0 +1,66 @@
+package mmu
+
+import (
+	"testing"
+
+	"overshadow/internal/sim"
+)
+
+// TestTLBAgainstReferenceModel drives random operation sequences against
+// the TLB and a trivially correct reference (a map with no capacity
+// limit), checking the TLB's soundness invariant: every hit must return
+// exactly what the reference holds (misses are always allowed — capacity
+// eviction — but wrong translations never are).
+func TestTLBAgainstReferenceModel(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		w := sim.NewWorld(sim.DefaultCostModel(), seed)
+		tlb := NewTLB(w, 32)
+		rng := sim.NewRNG(seed * 7777)
+		type key struct {
+			ctx uint32
+			vpn uint64
+		}
+		ref := map[key]PTE{}
+
+		for step := 0; step < 5000; step++ {
+			ctx := uint32(rng.Intn(4))
+			vpn := uint64(rng.Intn(64))
+			k := key{ctx, vpn}
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // insert
+				pte := PTE{PN: rng.Uint64() % 1024, Flags: FlagPresent | Flags(rng.Intn(4))<<1}
+				tlb.Insert(ctx, vpn, pte)
+				ref[k] = pte
+			case 4, 5, 6, 7: // lookup
+				got, hit := tlb.Lookup(ctx, vpn)
+				if !hit {
+					continue // miss is always sound
+				}
+				want, ok := ref[k]
+				if !ok {
+					t.Fatalf("seed %d step %d: hit on never-inserted (ctx %d vpn %d)", seed, step, ctx, vpn)
+				}
+				if got != want {
+					t.Fatalf("seed %d step %d: stale translation %v, want %v", seed, step, got, want)
+				}
+			case 8: // invalidate page everywhere
+				tlb.InvalidatePage(vpn)
+				for kk := range ref {
+					if kk.vpn == vpn {
+						delete(ref, kk)
+					}
+				}
+			case 9: // invalidate a whole context
+				tlb.InvalidateContext(ctx)
+				for kk := range ref {
+					if kk.ctx == ctx {
+						delete(ref, kk)
+					}
+				}
+			}
+			if tlb.Len() > 32 {
+				t.Fatalf("seed %d step %d: TLB over capacity: %d", seed, step, tlb.Len())
+			}
+		}
+	}
+}

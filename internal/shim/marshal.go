@@ -1,0 +1,228 @@
+package shim
+
+import (
+	"overshadow/internal/guestos"
+	"overshadow/internal/mach"
+	"overshadow/internal/sim"
+)
+
+// This file implements the marshalled syscall class: operations whose
+// buffers must bounce through the uncloaked scratch region so the kernel
+// reads/writes plaintext it is *supposed* to see (ordinary file contents,
+// pipe data) without ever being handed a cloaked pointer.
+
+// marshalStats bumps the marshalling counters.
+func (s *Ctx) marshalStats(n int) {
+	w := s.uc.Kernel().World()
+	w.Stats.Inc(sim.CtrShimSyscall)
+	w.Stats.Add(sim.CtrShimMarshalBytes, uint64(n))
+}
+
+// Open implements Env. Cloaked paths are switched to the mmap-emulated path.
+func (s *Ctx) Open(path string, flags int) (int, error) {
+	if s.opts.cloaks(path) {
+		return s.openCloaked(path, flags)
+	}
+	return s.uc.Open(path, flags)
+}
+
+// Close implements Env.
+func (s *Ctx) Close(fd int) error {
+	if _, ok := s.cfiles[fd]; ok {
+		return s.closeCloaked(fd)
+	}
+	return s.uc.Close(fd)
+}
+
+// Read implements Env.
+func (s *Ctx) Read(fd int, va mach.Addr, n int) (int, error) {
+	if _, ok := s.cfiles[fd]; ok {
+		return s.readCloaked(fd, va, n)
+	}
+	return s.marshalledRead(fd, va, n)
+}
+
+// Write implements Env.
+func (s *Ctx) Write(fd int, va mach.Addr, n int) (int, error) {
+	if _, ok := s.cfiles[fd]; ok {
+		return s.writeCloaked(fd, va, n)
+	}
+	return s.marshalledWrite(fd, va, n)
+}
+
+// Pread implements Env.
+func (s *Ctx) Pread(fd int, va mach.Addr, n int, off uint64) (int, error) {
+	if cf, ok := s.cfiles[fd]; ok {
+		return s.cloakedIO(cf, va, n, off, false)
+	}
+	total := 0
+	for total < n {
+		chunk := min(n-total, s.scratchBytes)
+		got, err := s.uc.Pread(fd, s.scratchVA, chunk, off+uint64(total))
+		if err != nil {
+			return total, err
+		}
+		if got == 0 {
+			break
+		}
+		s.bounce(s.scratchVA, va+mach.Addr(total), got)
+		total += got
+		if got < chunk {
+			break
+		}
+	}
+	return total, nil
+}
+
+// Pwrite implements Env.
+func (s *Ctx) Pwrite(fd int, va mach.Addr, n int, off uint64) (int, error) {
+	if cf, ok := s.cfiles[fd]; ok {
+		return s.cloakedIO(cf, va, n, off, true)
+	}
+	total := 0
+	for total < n {
+		chunk := min(n-total, s.scratchBytes)
+		s.bounce(va+mach.Addr(total), s.scratchVA, chunk)
+		got, err := s.uc.Pwrite(fd, s.scratchVA, chunk, off+uint64(total))
+		if err != nil {
+			return total, err
+		}
+		total += got
+		if got < chunk {
+			break
+		}
+	}
+	return total, nil
+}
+
+// marshalledRead bounces kernel-visible data through the scratch region:
+// kernel fills scratch (plaintext, uncloaked), the app copies scratch into
+// its cloaked destination.
+func (s *Ctx) marshalledRead(fd int, va mach.Addr, n int) (int, error) {
+	total := 0
+	for total < n {
+		chunk := min(n-total, s.scratchBytes)
+		got, err := s.uc.Read(fd, s.scratchVA, chunk)
+		if err != nil {
+			return total, err
+		}
+		if got == 0 {
+			break
+		}
+		s.bounce(s.scratchVA, va+mach.Addr(total), got)
+		total += got
+		if got < chunk {
+			break // short read (EOF or pipe chunk)
+		}
+	}
+	return total, nil
+}
+
+// marshalledWrite copies cloaked data into scratch (decrypt-on-app-read,
+// plain write into the uncloaked window), then lets the kernel consume it.
+func (s *Ctx) marshalledWrite(fd int, va mach.Addr, n int) (int, error) {
+	total := 0
+	for total < n {
+		chunk := min(n-total, s.scratchBytes)
+		s.bounce(va+mach.Addr(total), s.scratchVA, chunk)
+		got, err := s.uc.Write(fd, s.scratchVA, chunk)
+		if err != nil {
+			return total, err
+		}
+		total += got
+		if got < chunk {
+			break
+		}
+	}
+	return total, nil
+}
+
+// bounce copies n bytes between two user VAs through the application view.
+func (s *Ctx) bounce(src, dst mach.Addr, n int) {
+	buf := make([]byte, n)
+	s.uc.ReadMem(src, buf)
+	s.uc.WriteMem(dst, buf)
+	s.marshalStats(n)
+}
+
+// --- Remaining marshalled/pass-through file ops -------------------------------
+
+// Lseek implements Env.
+func (s *Ctx) Lseek(fd int, off int64, whence int) (uint64, error) {
+	if cf, ok := s.cfiles[fd]; ok {
+		return s.lseekCloaked(cf, off, whence)
+	}
+	return s.uc.Lseek(fd, off, whence)
+}
+
+// Stat implements Env.
+func (s *Ctx) Stat(path string) (guestos.StatInfo, error) { return s.uc.Stat(path) }
+
+// Fstat implements Env.
+func (s *Ctx) Fstat(fd int) (guestos.StatInfo, error) {
+	if cf, ok := s.cfiles[fd]; ok {
+		st, err := s.uc.Fstat(fd)
+		if err != nil {
+			return st, err
+		}
+		st.Size = cf.size
+		return st, nil
+	}
+	return s.uc.Fstat(fd)
+}
+
+// Unlink implements Env: deleting a cloaked file also drops its vault.
+func (s *Ctx) Unlink(path string) error {
+	if s.opts.cloaks(path) {
+		if st, err := s.uc.Stat(path); err == nil {
+			s.hv.HCDropFileResource(uint64(st.Ino))
+		}
+	}
+	return s.uc.Unlink(path)
+}
+
+// Mkdir implements Env.
+func (s *Ctx) Mkdir(path string) error { return s.uc.Mkdir(path) }
+
+// Truncate implements Env.
+func (s *Ctx) Truncate(path string, size uint64) error {
+	if s.opts.cloaks(path) && size == 0 {
+		if st, err := s.uc.Stat(path); err == nil {
+			s.hv.HCDropFileResource(uint64(st.Ino))
+		}
+	}
+	return s.uc.Truncate(path, size)
+}
+
+// Dup implements Env. Cloaked descriptors get their own window; the source
+// window is flushed first so the duplicate observes everything written so
+// far (coherence between two descriptors is dup-time + close-to-open).
+func (s *Ctx) Dup(fd int) (int, error) {
+	if _, ok := s.cfiles[fd]; ok {
+		if err := s.flushCloaked(fd); err != nil {
+			return 0, err
+		}
+	}
+	nfd, err := s.uc.Dup(fd)
+	if err != nil {
+		return nfd, err
+	}
+	if cf, ok := s.cfiles[fd]; ok {
+		dup := *cf
+		dup.fd = nfd
+		dup.winPages = 0 // the window belongs to the original fd
+		dup.winBase = 0
+		s.cfiles[nfd] = &dup
+	}
+	return nfd, nil
+}
+
+// Pipe implements Env; pipe data is marshalled on read/write.
+func (s *Ctx) Pipe() (int, int, error) { return s.uc.Pipe() }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,230 @@
+package shim
+
+import (
+	"overshadow/internal/cloak"
+	"overshadow/internal/guestos"
+	"overshadow/internal/mach"
+	"overshadow/internal/sim"
+	"overshadow/internal/vmm"
+)
+
+// This file implements cloaked file I/O by transparent memory-mapped
+// emulation (the paper's companion mechanism): read() and write() on a
+// cloaked file never pass data through the kernel. The shim maps a window
+// of the file into a cloaked region bound to the file's stable vault
+// identity and performs plain memory copies; the VMM decrypts/encrypts at
+// the window, and the kernel only ever stores and pages ciphertext.
+
+// cloakedFile is the shim's per-descriptor state for a cloaked file.
+type cloakedFile struct {
+	fd     int
+	path   string
+	ino    guestos.Ino
+	vault  cloak.DomainID
+	res    cloak.ResourceID
+	pos    uint64
+	size   uint64 // logical size (the FS only knows page-rounded extents)
+	append bool
+
+	winBase  mach.Addr // 0 = no window mapped
+	winOff   uint64    // first file page the window covers
+	winPages uint64
+}
+
+func (s *Ctx) openCloaked(path string, flags int) (int, error) {
+	fd, err := s.uc.Open(path, flags)
+	if err != nil {
+		return 0, err
+	}
+	st, err := s.uc.Fstat(fd)
+	if err != nil {
+		s.uc.Close(fd)
+		return 0, err
+	}
+	if flags&guestos.OTrunc != 0 {
+		// Truncation discards the old contents *and* their metadata; a
+		// fresh vault gives the file a clean identity.
+		s.hv.HCDropFileResource(uint64(st.Ino))
+	}
+	vault, res := s.hv.HCFileResource(uint64(st.Ino))
+	s.cfiles[fd] = &cloakedFile{
+		fd: fd, path: path, ino: st.Ino,
+		vault: vault, res: res,
+		size:   st.Size,
+		append: flags&guestos.OAppend != 0,
+	}
+	return fd, nil
+}
+
+// ensureWindow maps the window containing file page idx, flushing and
+// remapping as needed.
+func (s *Ctx) ensureWindow(cf *cloakedFile, idx uint64) error {
+	wp := s.opts.windowPages()
+	if cf.winBase != 0 && idx >= cf.winOff && idx < cf.winOff+cf.winPages {
+		return nil
+	}
+	if err := s.dropWindow(cf); err != nil {
+		return err
+	}
+	off := (idx / wp) * wp // window-aligned
+	va, err := s.uc.MmapFile(cf.fd, off, wp, true)
+	if err != nil {
+		return err
+	}
+	s.mustRegister(vmm.Region{
+		BaseVPN: mach.PageOf(va), Pages: wp,
+		Resource: cf.res, Cloaked: true,
+		IndexOff: off, Domain: cf.vault,
+	})
+	cf.winBase = va
+	cf.winOff = off
+	cf.winPages = wp
+	return nil
+}
+
+// dropWindow flushes and unmaps the current window, if any.
+func (s *Ctx) dropWindow(cf *cloakedFile) error {
+	if cf.winBase == 0 {
+		return nil
+	}
+	if err := s.uc.Msync(cf.winBase); err != nil {
+		return err
+	}
+	if err := s.hv.HCUnregisterRegion(s.as, mach.PageOf(cf.winBase)); err != nil {
+		return err
+	}
+	if err := s.uc.Free(cf.winBase); err != nil {
+		return err
+	}
+	cf.winBase = 0
+	cf.winPages = 0
+	return nil
+}
+
+// cloakedIO moves n bytes between user memory at va and the file at off,
+// entirely through the mapped window (no kernel data path).
+func (s *Ctx) cloakedIO(cf *cloakedFile, va mach.Addr, n int, off uint64, write bool) (int, error) {
+	w := s.uc.Kernel().World()
+	if !write {
+		if off >= cf.size {
+			return 0, nil
+		}
+		if rem := cf.size - off; uint64(n) > rem {
+			n = int(rem)
+		}
+	}
+	done := 0
+	for done < n {
+		idx := (off + uint64(done)) / mach.PageSize
+		if err := s.ensureWindow(cf, idx); err != nil {
+			return done, err
+		}
+		winEnd := (cf.winOff + cf.winPages) * mach.PageSize
+		cur := off + uint64(done)
+		chunk := int(winEnd - cur)
+		if chunk > n-done {
+			chunk = n - done
+		}
+		winVA := cf.winBase + mach.Addr(cur-cf.winOff*mach.PageSize)
+		buf := make([]byte, chunk)
+		if write {
+			s.uc.ReadMem(va+mach.Addr(done), buf)
+			s.uc.WriteMem(winVA, buf)
+		} else {
+			s.uc.ReadMem(winVA, buf)
+			s.uc.WriteMem(va+mach.Addr(done), buf)
+		}
+		done += chunk
+	}
+	if write {
+		if end := off + uint64(done); end > cf.size {
+			cf.size = end
+		}
+	}
+	w.Stats.Inc(sim.CtrShimSyscall)
+	return done, nil
+}
+
+func (s *Ctx) readCloaked(fd int, va mach.Addr, n int) (int, error) {
+	cf := s.cfiles[fd]
+	got, err := s.cloakedIO(cf, va, n, cf.pos, false)
+	cf.pos += uint64(got)
+	return got, err
+}
+
+func (s *Ctx) writeCloaked(fd int, va mach.Addr, n int) (int, error) {
+	cf := s.cfiles[fd]
+	pos := cf.pos
+	if cf.append {
+		pos = cf.size
+	}
+	got, err := s.cloakedIO(cf, va, n, pos, true)
+	cf.pos = pos + uint64(got)
+	return got, err
+}
+
+func (s *Ctx) lseekCloaked(cf *cloakedFile, off int64, whence int) (uint64, error) {
+	var base int64
+	switch whence {
+	case guestos.SeekSet:
+		base = 0
+	case guestos.SeekCur:
+		base = int64(cf.pos)
+	case guestos.SeekEnd:
+		base = int64(cf.size)
+	default:
+		return 0, guestos.EINVAL
+	}
+	np := base + off
+	if np < 0 {
+		return 0, guestos.EINVAL
+	}
+	cf.pos = uint64(np)
+	return cf.pos, nil
+}
+
+// flushCloaked persists a cloaked file's dirty window pages (as ciphertext)
+// and its logical size.
+func (s *Ctx) flushCloaked(fd int) error {
+	cf, ok := s.cfiles[fd]
+	if !ok {
+		return guestos.EBADF
+	}
+	if cf.winBase != 0 {
+		if err := s.uc.Msync(cf.winBase); err != nil {
+			return err
+		}
+	}
+	// The FS tracks page-rounded extents; pin the logical size.
+	st, err := s.uc.Fstat(cf.fd)
+	if err == nil && st.Size != cf.size {
+		if err := s.uc.Truncate(cf.path, cf.size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Ctx) closeCloaked(fd int) error {
+	cf := s.cfiles[fd]
+	if err := s.flushCloaked(fd); err != nil {
+		return err
+	}
+	if err := s.dropWindow(cf); err != nil {
+		return err
+	}
+	delete(s.cfiles, fd)
+	return s.uc.Close(fd)
+}
+
+// Fsync implements Env: for cloaked files it flushes the mmap window (the
+// file then holds current ciphertext); for plain files it passes through.
+func (s *Ctx) Fsync(fd int) error {
+	if _, ok := s.cfiles[fd]; ok {
+		return s.flushCloaked(fd)
+	}
+	return s.uc.Fsync(fd)
+}
+
+// ReadDir implements Env.
+func (s *Ctx) ReadDir(path string) ([]string, error) { return s.uc.ReadDir(path) }

@@ -1,0 +1,397 @@
+// Package shim implements Overshadow's in-application shim: the small
+// trusted runtime loaded into every cloaked process that mediates all
+// interaction between the protected application and the untrusted guest
+// kernel.
+//
+// The shim has three jobs, mirroring the paper:
+//
+//  1. Identity and setup — create the protection domain, bind the thread's
+//     cloaked context, and register the cloaked regions (heap, stack,
+//     anonymous mappings) and the explicitly uncloaked scratch region used
+//     for marshalling.
+//  2. Syscall adaptation — pass-through calls that carry no application
+//     data (getpid, yield, ...), marshalled calls that bounce buffers
+//     through the uncloaked scratch region (read/write on ordinary files,
+//     pipes), and emulated calls implemented entirely inside the shim over
+//     cloaked memory-mapped windows (read/write on cloaked files).
+//  3. Process lifecycle — fork (hypercall-assisted re-cloaking of the
+//     child), exec (domain teardown and re-attach), exit (domain teardown),
+//     and signal-handler trampolining.
+//
+// The shim is part of the trusted computing base; it runs "inside" the
+// protected application and uses the hypercall interface directly.
+package shim
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"overshadow/internal/cloak"
+	"overshadow/internal/guestos"
+	"overshadow/internal/mach"
+	"overshadow/internal/sim"
+	"overshadow/internal/vmm"
+)
+
+// Options configures shim behavior.
+type Options struct {
+	// CloakPath decides which files get the cloaked (mmap-emulated) I/O
+	// path. Nil means paths under "/secret/".
+	CloakPath func(path string) bool
+	// WindowPages is the size of a cloaked file window (default 64 pages).
+	WindowPages uint64
+}
+
+func (o Options) cloaks(path string) bool {
+	if o.CloakPath != nil {
+		return o.CloakPath(path)
+	}
+	return len(path) >= 8 && path[:8] == "/secret/"
+}
+
+func (o Options) windowPages() uint64 {
+	if o.WindowPages == 0 {
+		return 64
+	}
+	return o.WindowPages
+}
+
+// Runtime returns the cloak runtime hook the guest kernel invokes to run a
+// cloaked program body under the shim.
+func Runtime(opts Options) guestos.CloakRuntime {
+	return func(uc *guestos.UserCtx, body guestos.Program) {
+		s := attach(uc, opts)
+		body(s)
+	}
+}
+
+// Ctx is the shim's implementation of guestos.Env for a cloaked process.
+type Ctx struct {
+	uc   *guestos.UserCtx
+	hv   *vmm.VMM
+	as   *vmm.AddressSpace
+	opts Options
+
+	domain   cloak.DomainID
+	heapRes  cloak.ResourceID
+	stackRes cloak.ResourceID
+
+	scratchVA    mach.Addr
+	scratchBytes int
+
+	// anonRegions tracks shim-allocated cloaked mappings by base VPN.
+	anonRegions map[uint64]anonRegion
+	// shmRegions tracks protected shared-memory attachments by base VPN.
+	shmRegions map[uint64]shmRegion
+	// cfiles tracks cloaked-file state by fd.
+	cfiles map[int]*cloakedFile
+}
+
+type anonRegion struct {
+	res   cloak.ResourceID
+	pages uint64
+}
+
+type shmRegion struct {
+	pages uint64
+}
+
+var _ guestos.Env = (*Ctx)(nil)
+
+// attach performs cloaked-process startup: domain creation, thread binding,
+// and region registration. It must run before any application data touches
+// memory.
+func attach(uc *guestos.UserCtx, opts Options) *Ctx {
+	k := uc.Kernel()
+	s := &Ctx{
+		uc:           uc,
+		hv:           k.VMM(),
+		as:           uc.Proc().AddressSpace(),
+		opts:         opts,
+		scratchVA:    mach.Addr(guestos.LayoutScratch * mach.PageSize),
+		scratchBytes: int(guestos.LayoutScratchLen) * mach.PageSize,
+		anonRegions:  make(map[uint64]anonRegion),
+		shmRegions:   make(map[uint64]shmRegion),
+		cfiles:       make(map[int]*cloakedFile),
+	}
+	var err error
+	s.domain, err = s.hv.HCCreateDomain(s.as)
+	if err != nil {
+		panic(fmt.Sprintf("shim: domain creation failed: %v", err))
+	}
+	uc.Thread().Domain = s.domain
+
+	// Measure the application identity and record it with the VMM — the
+	// verified-startup step: relying parties ask the VMM, not the OS, what
+	// runs in this domain.
+	digest := sha256.Sum256([]byte("overshadow-program:" + uc.Proc().Name()))
+	if err := s.hv.HCRecordIdentity(s.as, digest); err != nil {
+		panic(fmt.Sprintf("shim: identity measurement failed: %v", err))
+	}
+
+	s.heapRes = s.mustResource()
+	s.stackRes = s.mustResource()
+	s.mustRegister(vmm.Region{
+		BaseVPN:  guestos.LayoutHeapBase,
+		Pages:    guestos.LayoutHeapMax - guestos.LayoutHeapBase,
+		Resource: s.heapRes, Cloaked: true,
+	})
+	s.mustRegister(vmm.Region{
+		BaseVPN:  guestos.LayoutStackTop - guestos.LayoutStackMax,
+		Pages:    guestos.LayoutStackMax,
+		Resource: s.stackRes, Cloaked: true,
+	})
+	s.mustRegister(vmm.Region{
+		BaseVPN: guestos.LayoutScratch,
+		Pages:   guestos.LayoutScratchLen,
+		// Uncloaked: this is the marshalling buffer the kernel may read.
+	})
+	uc.Proc().AddExitHook(s.onExit)
+	return s
+}
+
+func (s *Ctx) mustResource() cloak.ResourceID {
+	r, err := s.hv.HCAllocResource(s.as)
+	if err != nil {
+		panic(fmt.Sprintf("shim: resource allocation failed: %v", err))
+	}
+	return r
+}
+
+func (s *Ctx) mustRegister(r vmm.Region) {
+	if err := s.hv.HCRegisterRegion(s.as, r); err != nil {
+		panic(fmt.Sprintf("shim: region registration failed: %v", err))
+	}
+}
+
+// onExit tears down the shim's cloaking state when the process dies. It
+// runs before the kernel reclaims any resource, on the process's own
+// goroutine.
+func (s *Ctx) onExit() {
+	for fd := range s.cfiles {
+		// Best-effort flush of cloaked files (ignore errors on exit).
+		s.flushCloaked(fd)
+	}
+	if s.hv.DomainSpaceCount(s.domain) <= 1 {
+		// Last address space in the domain: destroy it (zeroes plaintext,
+		// purges metadata).
+		s.hv.HCDestroyDomain(s.domain)
+	} else {
+		// Siblings still alive: release only our private resources.
+		s.hv.HCReleaseResource(s.as, s.heapRes, guestos.LayoutHeapMax-guestos.LayoutHeapBase)
+		s.hv.HCReleaseResource(s.as, s.stackRes, guestos.LayoutStackMax)
+		for _, ar := range s.anonRegions {
+			s.hv.HCReleaseResource(s.as, ar.res, ar.pages)
+		}
+	}
+}
+
+// --- Identity / trivial pass-through ----------------------------------------
+
+// Pid implements Env.
+func (s *Ctx) Pid() guestos.Pid { return s.uc.Pid() }
+
+// PPid implements Env.
+func (s *Ctx) PPid() guestos.Pid { return s.uc.PPid() }
+
+// Cloaked implements Env.
+func (s *Ctx) Cloaked() bool { return true }
+
+// Args implements Env.
+func (s *Ctx) Args() []string { return s.uc.Args() }
+
+// Time implements Env.
+func (s *Ctx) Time() sim.Cycles { return s.uc.Time() }
+
+// Compute implements Env.
+func (s *Ctx) Compute(units uint64) { s.uc.Compute(units) }
+
+// Null implements Env.
+func (s *Ctx) Null() { s.uc.Null() }
+
+// Yield implements Env.
+func (s *Ctx) Yield() { s.uc.Yield() }
+
+// Sleep implements Env.
+func (s *Ctx) Sleep(cycles uint64) { s.uc.Sleep(cycles) }
+
+// --- Memory -------------------------------------------------------------------
+
+// ReadMem implements Env; cloaked pages decrypt transparently in the
+// application view.
+func (s *Ctx) ReadMem(va mach.Addr, buf []byte) { s.uc.ReadMem(va, buf) }
+
+// WriteMem implements Env.
+func (s *Ctx) WriteMem(va mach.Addr, buf []byte) { s.uc.WriteMem(va, buf) }
+
+// Load64 implements Env.
+func (s *Ctx) Load64(va mach.Addr) uint64 { return s.uc.Load64(va) }
+
+// Store64 implements Env.
+func (s *Ctx) Store64(va mach.Addr, val uint64) { s.uc.Store64(va, val) }
+
+// Sbrk implements Env; the heap region is pre-registered.
+func (s *Ctx) Sbrk(deltaPages int64) (mach.Addr, error) { return s.uc.Sbrk(deltaPages) }
+
+// Alloc implements Env: anonymous mappings get their own cloaked region.
+func (s *Ctx) Alloc(pages int) (mach.Addr, error) {
+	base, err := s.uc.Alloc(pages)
+	if err != nil {
+		return 0, err
+	}
+	res := s.mustResource()
+	s.mustRegister(vmm.Region{
+		BaseVPN: mach.PageOf(base), Pages: uint64(pages),
+		Resource: res, Cloaked: true,
+	})
+	s.anonRegions[mach.PageOf(base)] = anonRegion{res: res, pages: uint64(pages)}
+	return base, nil
+}
+
+// Free implements Env.
+func (s *Ctx) Free(base mach.Addr) error {
+	vpn := mach.PageOf(base)
+	if sr, ok := s.shmRegions[vpn]; ok {
+		// Shared-memory detach: unregister our view; the vault (and the
+		// object's pages) outlive us for the other attachments.
+		_ = sr
+		if err := s.hv.HCUnregisterRegion(s.as, vpn); err != nil {
+			return err
+		}
+		delete(s.shmRegions, vpn)
+		return s.uc.Free(base)
+	}
+	ar, ok := s.anonRegions[vpn]
+	if !ok {
+		return guestos.EINVAL
+	}
+	if err := s.hv.HCUnregisterRegion(s.as, vpn); err != nil {
+		return err
+	}
+	s.hv.HCReleaseResource(s.as, ar.res, ar.pages)
+	delete(s.anonRegions, vpn)
+	return s.uc.Free(base)
+}
+
+// ShmAttach implements Env: the attachment's region is bound to the
+// object's stable vault identity, so every cloaked attacher shares one
+// plaintext view while the kernel handles only ciphertext.
+func (s *Ctx) ShmAttach(name string, pages int) (mach.Addr, error) {
+	base, err := s.uc.ShmAttach(name, pages)
+	if err != nil {
+		return 0, err
+	}
+	vault, res := s.hv.HCFileResource(guestos.ShmUID(name))
+	s.mustRegister(vmm.Region{
+		BaseVPN: mach.PageOf(base), Pages: uint64(pages),
+		Resource: res, Cloaked: true, Domain: vault,
+	})
+	s.shmRegions[mach.PageOf(base)] = shmRegion{pages: uint64(pages)}
+	return base, nil
+}
+
+// --- Process control ------------------------------------------------------------
+
+// Fork implements Env: the kernel copies the address space (as ciphertext),
+// then the shim's onPrepared hypercall re-cloaks the child before it runs.
+func (s *Ctx) Fork(child func(guestos.Env)) (guestos.Pid, error) {
+	var rmap map[cloak.ResourceID]cloak.ResourceID
+	parent := s
+	pid, err := s.uc.ForkWith(func(cuc *guestos.UserCtx) {
+		cs := attachForked(cuc, parent, rmap)
+		child(cs)
+	}, func(pas, cas *vmm.AddressSpace) error {
+		m, err := s.hv.HCCloneDomainInto(pas, cas)
+		rmap = m
+		return err
+	})
+	return pid, err
+}
+
+// attachForked builds the child's shim context after a fork: same domain,
+// remapped private resources, inherited cloaked-file table.
+func attachForked(cuc *guestos.UserCtx, parent *Ctx, rmap map[cloak.ResourceID]cloak.ResourceID) *Ctx {
+	cs := &Ctx{
+		uc:           cuc,
+		hv:           parent.hv,
+		as:           cuc.Proc().AddressSpace(),
+		opts:         parent.opts,
+		domain:       parent.domain,
+		scratchVA:    parent.scratchVA,
+		scratchBytes: parent.scratchBytes,
+		anonRegions:  make(map[uint64]anonRegion),
+		shmRegions:   make(map[uint64]shmRegion),
+		cfiles:       make(map[int]*cloakedFile),
+	}
+	cuc.Thread().Domain = cs.domain
+	remap := func(r cloak.ResourceID) cloak.ResourceID {
+		if nr, ok := rmap[r]; ok {
+			return nr
+		}
+		return r
+	}
+	cs.heapRes = remap(parent.heapRes)
+	cs.stackRes = remap(parent.stackRes)
+	for vpn, ar := range parent.anonRegions {
+		cs.anonRegions[vpn] = anonRegion{res: remap(ar.res), pages: ar.pages}
+	}
+	for fd, cf := range parent.cfiles {
+		dup := *cf
+		cs.cfiles[fd] = &dup
+	}
+	cuc.Proc().AddExitHook(cs.onExit)
+	return cs
+}
+
+// SpawnThread implements Env: the new thread shares this process's domain
+// and shim state; its fresh hardware context is bound to the domain before
+// the body runs, so its registers are CTC-protected from the first trap.
+func (s *Ctx) SpawnThread(body func(guestos.Env)) (guestos.Pid, error) {
+	return s.uc.SpawnThreadWith(func(tuc *guestos.UserCtx) {
+		ts := *s // share maps (cfiles, anonRegions) and identities
+		ts.uc = tuc
+		tuc.Thread().Domain = s.domain
+		body(&ts)
+	})
+}
+
+// JoinThread implements Env.
+func (s *Ctx) JoinThread(tid guestos.Pid) error { return s.uc.JoinThread(tid) }
+
+// ExitThread implements Env.
+func (s *Ctx) ExitThread() { s.uc.ExitThread() }
+
+// Exec implements Env: the domain dies with the old image; the new image's
+// shim re-attaches via the kernel's cloak runtime.
+func (s *Ctx) Exec(name string, args []string) error {
+	for fd := range s.cfiles {
+		if err := s.flushCloaked(fd); err != nil {
+			return err
+		}
+	}
+	if s.hv.DomainSpaceCount(s.domain) <= 1 {
+		s.hv.HCDestroyDomain(s.domain)
+	}
+	s.uc.Proc().ClearExitHooks()
+	return s.uc.Exec(name, args)
+}
+
+// Exit implements Env.
+func (s *Ctx) Exit(status int) { s.uc.Exit(status) }
+
+// WaitPid implements Env.
+func (s *Ctx) WaitPid(pid guestos.Pid) (guestos.Pid, int, error) { return s.uc.WaitPid(pid) }
+
+// Kill implements Env.
+func (s *Ctx) Kill(pid guestos.Pid, sig guestos.Signal) error { return s.uc.Kill(pid, sig) }
+
+// Signal implements Env: the handler is trampolined so it runs against the
+// shim environment, never the raw kernel context.
+func (s *Ctx) Signal(sig guestos.Signal, h guestos.SigHandler) error {
+	if h == nil {
+		return s.uc.Signal(sig, nil)
+	}
+	return s.uc.Signal(sig, func(_ guestos.Env, got guestos.Signal) {
+		h(s, got)
+	})
+}

@@ -1,0 +1,53 @@
+// Package sim provides the deterministic simulation substrate shared by the
+// whole machine: a virtual cycle clock, the cycle cost model, event counters,
+// and a seeded PRNG.
+//
+// The simulated machine is single-clocked: exactly one simulated CPU context
+// executes at a time (the guest scheduler hands off a baton), so none of the
+// types in this package are synchronized. All performance results reported by
+// the benchmark harness are expressed in simulated cycles drawn from this
+// clock, which makes experiment shapes reproducible run-to-run and
+// independent of host hardware.
+package sim
+
+import "fmt"
+
+// Cycles is a quantity of simulated CPU cycles.
+type Cycles uint64
+
+// String renders a cycle count with a thousands-grouping for readability.
+func (c Cycles) String() string {
+	if c < 1000 {
+		return fmt.Sprintf("%d cyc", uint64(c))
+	}
+	if c < 1000*1000 {
+		return fmt.Sprintf("%.1f Kcyc", float64(c)/1e3)
+	}
+	if c < 1000*1000*1000 {
+		return fmt.Sprintf("%.2f Mcyc", float64(c)/1e6)
+	}
+	return fmt.Sprintf("%.3f Gcyc", float64(c)/1e9)
+}
+
+// Clock is the global simulated-time source. Components charge costs to the
+// clock as they perform work; the guest OS uses it for preemption and timers.
+type Clock struct {
+	now Cycles
+}
+
+// NewClock returns a clock at cycle zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now reports the current simulated time.
+func (c *Clock) Now() Cycles { return c.now }
+
+// Advance moves simulated time forward by n cycles.
+func (c *Clock) Advance(n Cycles) { c.now += n }
+
+// Since reports the cycles elapsed since an earlier reading.
+func (c *Clock) Since(t Cycles) Cycles {
+	if c.now < t {
+		return 0
+	}
+	return c.now - t
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter names every event class the machine records. Keeping these as
+// typed constants (rather than free-form strings at call sites) makes the
+// experiment harness robust against typos.
+type Counter string
+
+// Counters recorded across the stack.
+const (
+	CtrMemAccess        Counter = "mem.access"
+	CtrTLBHit           Counter = "tlb.hit"
+	CtrTLBMiss          Counter = "tlb.miss"
+	CtrTLBFlush         Counter = "tlb.flush"
+	CtrShadowFill       Counter = "vmm.shadow.fill"
+	CtrShadowDrop       Counter = "vmm.shadow.drop"
+	CtrShadowSwitch     Counter = "vmm.shadow.switch"
+	CtrHiddenFault      Counter = "vmm.fault.hidden"
+	CtrGuestFault       Counter = "vmm.fault.guest"
+	CtrCloakFault       Counter = "vmm.fault.cloak"
+	CtrPageEncrypt      Counter = "cloak.encrypt"
+	CtrPageDecrypt      Counter = "cloak.decrypt"
+	CtrHashCompute      Counter = "cloak.hash"
+	CtrHashVerifyOK     Counter = "cloak.verify.ok"
+	CtrHashVerifyFail   Counter = "cloak.verify.fail"
+	CtrMetaCacheHit     Counter = "cloak.metacache.hit"
+	CtrMetaCacheMiss    Counter = "cloak.metacache.miss"
+	CtrCTCSave          Counter = "vmm.ctc.save"
+	CtrCTCRestore       Counter = "vmm.ctc.restore"
+	CtrHypercall        Counter = "vmm.hypercall"
+	CtrWorldSwitch      Counter = "vmm.worldswitch"
+	CtrSyscall          Counter = "os.syscall"
+	CtrContextSwitch    Counter = "os.contextswitch"
+	CtrPageFaultDemand  Counter = "os.fault.demand"
+	CtrPageFaultCOW     Counter = "os.fault.cow"
+	CtrPageOut          Counter = "os.swap.out"
+	CtrPageIn           Counter = "os.swap.in"
+	CtrDiskRead         Counter = "disk.read"
+	CtrDiskWrite        Counter = "disk.write"
+	CtrFork             Counter = "os.fork"
+	CtrExec             Counter = "os.exec"
+	CtrSignalDeliver    Counter = "os.signal.deliver"
+	CtrShimMarshalBytes Counter = "shim.marshal.bytes"
+	CtrShimSyscall      Counter = "shim.syscall"
+	CtrAttackSnoop      Counter = "attack.snoop"
+	CtrAttackTamper     Counter = "attack.tamper"
+	CtrAttackDetected   Counter = "attack.detected"
+)
+
+// Stats is a bag of monotonically increasing event counters.
+type Stats struct {
+	counts map[Counter]uint64
+}
+
+// NewStats returns an empty counter set.
+func NewStats() *Stats { return &Stats{counts: make(map[Counter]uint64)} }
+
+// Inc adds one to counter c.
+func (s *Stats) Inc(c Counter) { s.counts[c]++ }
+
+// Add adds n to counter c.
+func (s *Stats) Add(c Counter, n uint64) { s.counts[c] += n }
+
+// Get reports the current value of counter c.
+func (s *Stats) Get(c Counter) uint64 { return s.counts[c] }
+
+// Snapshot returns a copy of all counters, for before/after deltas.
+func (s *Stats) Snapshot() map[Counter]uint64 {
+	out := make(map[Counter]uint64, len(s.counts))
+	for k, v := range s.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// DeltaSince subtracts an earlier snapshot from the current counters.
+func (s *Stats) DeltaSince(prev map[Counter]uint64) map[Counter]uint64 {
+	out := make(map[Counter]uint64)
+	for k, v := range s.counts {
+		if d := v - prev[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() { s.counts = make(map[Counter]uint64) }
+
+// String renders the non-zero counters sorted by name.
+func (s *Stats) String() string {
+	keys := make([]string, 0, len(s.counts))
+	for k := range s.counts {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-24s %12d\n", k, s.counts[Counter(k)])
+	}
+	return b.String()
+}

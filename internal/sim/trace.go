@@ -1,0 +1,72 @@
+package sim
+
+import "fmt"
+
+// TraceEvent is one entry in the world's diagnostic trace.
+type TraceEvent struct {
+	Time   Cycles
+	Kind   string
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("[%12d] %-16s %s", uint64(e.Time), e.Kind, e.Detail)
+}
+
+// Tracer is a fixed-capacity ring buffer of diagnostic events. It is
+// disabled by default: emission costs one branch until EnableTrace is
+// called, so production runs pay nothing for the instrumentation points
+// sprinkled through the VMM and guest kernel.
+type Tracer struct {
+	enabled bool
+	cap     int
+	buf     []TraceEvent
+	next    int
+	total   uint64
+}
+
+// EnableTrace turns on tracing with a ring of the given capacity.
+func (w *World) EnableTrace(capacity int) {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	w.Tracer = &Tracer{enabled: true, cap: capacity, buf: make([]TraceEvent, 0, capacity)}
+}
+
+// Trace records an event if tracing is enabled. The format string is only
+// rendered when enabled.
+func (w *World) Trace(kind, format string, args ...any) {
+	t := w.Tracer
+	if t == nil || !t.enabled {
+		return
+	}
+	ev := TraceEvent{Time: w.Clock.Now(), Kind: kind, Detail: fmt.Sprintf(format, args...)}
+	if len(t.buf) < t.cap {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.next] = ev
+		t.next = (t.next + 1) % t.cap
+	}
+	t.total++
+}
+
+// TraceEnabled reports whether events are being recorded.
+func (w *World) TraceEnabled() bool { return w.Tracer != nil && w.Tracer.enabled }
+
+// TraceEvents returns the retained events oldest-first, plus the total
+// number ever emitted (the ring may have dropped early ones).
+func (w *World) TraceEvents() ([]TraceEvent, uint64) {
+	t := w.Tracer
+	if t == nil {
+		return nil, 0
+	}
+	out := make([]TraceEvent, 0, len(t.buf))
+	if len(t.buf) == t.cap {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out, t.total
+}

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	w := NewWorld(DefaultCostModel(), 1)
+	w.Trace("kind", "should vanish %d", 1)
+	evts, total := w.TraceEvents()
+	if len(evts) != 0 || total != 0 {
+		t.Fatal("events recorded while disabled")
+	}
+	if w.TraceEnabled() {
+		t.Fatal("TraceEnabled true without EnableTrace")
+	}
+}
+
+func TestTraceRecordsInOrder(t *testing.T) {
+	w := NewWorld(DefaultCostModel(), 1)
+	w.EnableTrace(16)
+	for i := 0; i < 5; i++ {
+		w.Charge(10)
+		w.Trace("tick", "event %d", i)
+	}
+	evts, total := w.TraceEvents()
+	if total != 5 || len(evts) != 5 {
+		t.Fatalf("got %d/%d events", len(evts), total)
+	}
+	for i, e := range evts {
+		if !strings.Contains(e.Detail, "event "+string(rune('0'+i))) {
+			t.Fatalf("order broken at %d: %q", i, e.Detail)
+		}
+		if i > 0 && evts[i].Time < evts[i-1].Time {
+			t.Fatal("timestamps not monotone")
+		}
+	}
+}
+
+func TestTraceRingWraps(t *testing.T) {
+	w := NewWorld(DefaultCostModel(), 1)
+	w.EnableTrace(4)
+	for i := 0; i < 10; i++ {
+		w.Trace("t", "%d", i)
+	}
+	evts, total := w.TraceEvents()
+	if total != 10 {
+		t.Fatalf("total = %d", total)
+	}
+	if len(evts) != 4 {
+		t.Fatalf("retained %d, want 4", len(evts))
+	}
+	want := []string{"6", "7", "8", "9"}
+	for i, e := range evts {
+		if e.Detail != want[i] {
+			t.Fatalf("ring order: %v", evts)
+		}
+	}
+}
+
+func TestTraceEventString(t *testing.T) {
+	e := TraceEvent{Time: 42, Kind: "cloak.encrypt", Detail: "page x"}
+	s := e.String()
+	if !strings.Contains(s, "cloak.encrypt") || !strings.Contains(s, "page x") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestEnableTraceDefaultCap(t *testing.T) {
+	w := NewWorld(DefaultCostModel(), 1)
+	w.EnableTrace(0)
+	if !w.TraceEnabled() {
+		t.Fatal("not enabled")
+	}
+	w.Trace("a", "b")
+	if evts, _ := w.TraceEvents(); len(evts) != 1 {
+		t.Fatal("default-capacity tracer dropped an event")
+	}
+}

@@ -1,0 +1,36 @@
+package sim
+
+// World bundles the shared simulation services — clock, cost model, counters,
+// and PRNG — into a single handle threaded through every component of the
+// machine. One World corresponds to one simulated machine.
+type World struct {
+	Clock *Clock
+	Cost  CostModel
+	Stats *Stats
+	RNG   *RNG
+	// Tracer is nil until EnableTrace; see trace.go.
+	Tracer *Tracer
+}
+
+// NewWorld builds a World with the given cost model and seed.
+func NewWorld(cost CostModel, seed uint64) *World {
+	return &World{
+		Clock: NewClock(),
+		Cost:  cost,
+		Stats: NewStats(),
+		RNG:   NewRNG(seed),
+	}
+}
+
+// Charge advances the clock by n cycles.
+func (w *World) Charge(n Cycles) { w.Clock.Advance(n) }
+
+// ChargeCount advances the clock and increments the matching counter; the
+// two almost always travel together.
+func (w *World) ChargeCount(n Cycles, c Counter) {
+	w.Clock.Advance(n)
+	w.Stats.Inc(c)
+}
+
+// Now is shorthand for w.Clock.Now().
+func (w *World) Now() Cycles { return w.Clock.Now() }

@@ -1,0 +1,73 @@
+package vmm
+
+import (
+	"fmt"
+
+	"overshadow/internal/cloak"
+	"overshadow/internal/mach"
+	"overshadow/internal/sim"
+)
+
+// EventKind classifies security-relevant observations the VMM makes.
+type EventKind uint8
+
+// Security event kinds.
+const (
+	// EventIntegrityViolation: a cloaked page failed hash verification —
+	// tampering, substitution, or replay by the OS.
+	EventIntegrityViolation EventKind = iota
+	// EventIdentityMismatch: the OS presented a plaintext cloaked frame at
+	// the wrong virtual location (page remapping attack).
+	EventIdentityMismatch
+	// EventCloakOnKernelAccess: informational — a plaintext page was
+	// encrypted because a non-owner context touched it. Not an attack by
+	// itself (legitimate paging does this) but the audit trail for snooping.
+	EventCloakOnKernelAccess
+	// EventCTCTamper: the kernel attempted to resume a cloaked thread with
+	// a corrupted context.
+	EventCTCTamper
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventIntegrityViolation:
+		return "integrity-violation"
+	case EventIdentityMismatch:
+		return "identity-mismatch"
+	case EventCloakOnKernelAccess:
+		return "cloak-on-kernel-access"
+	case EventCTCTamper:
+		return "ctc-tamper"
+	}
+	return "unknown"
+}
+
+// Event is one entry in the VMM's security audit log.
+type Event struct {
+	Time   sim.Cycles
+	Kind   EventKind
+	Domain cloak.DomainID
+	Page   cloak.PageID
+	GPPN   mach.GPPN
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	return fmt.Sprintf("[%d] %s dom=%d page=%s gppn=%d %s",
+		uint64(e.Time), e.Kind, e.Domain, e.Page, e.GPPN, e.Detail)
+}
+
+// SecViolation is the error the translation path returns when an access is
+// denied for security reasons (as opposed to an ordinary page fault). The
+// guest kernel cannot "handle" it; the process is compromised and must be
+// terminated.
+type SecViolation struct {
+	Event Event
+}
+
+// Error implements the error interface.
+func (s *SecViolation) Error() string {
+	return "vmm: security violation: " + s.Event.String()
+}

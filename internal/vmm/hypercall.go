@@ -1,0 +1,266 @@
+package vmm
+
+import (
+	"fmt"
+
+	"overshadow/internal/cloak"
+	"overshadow/internal/mach"
+	"overshadow/internal/sim"
+)
+
+// This file is the hypercall surface: the operations the in-application
+// shim invokes directly on the VMM, bypassing the guest kernel. Each entry
+// point charges the hypercall cost (two world switches plus dispatch).
+
+func (v *VMM) chargeHypercall() {
+	v.world.ChargeCount(v.world.Cost.Hypercall, sim.CtrHypercall)
+}
+
+// HCCreateDomain establishes a new protection domain and binds it to the
+// calling address space. Called by the shim during cloaked-process startup.
+func (v *VMM) HCCreateDomain(as *AddressSpace) (cloak.DomainID, error) {
+	v.chargeHypercall()
+	if as.domain != 0 {
+		return 0, fmt.Errorf("vmm: address space %d already in domain %d", as.id, as.domain)
+	}
+	d := v.nextDomain
+	v.nextDomain++
+	as.domain = d
+	v.domainSpaces[d] = append(v.domainSpaces[d], as)
+	return d, nil
+}
+
+// HCAllocResource hands out a fresh resource identifier within a domain
+// (heap, stack, a cloaked file mapping, ...).
+func (v *VMM) HCAllocResource(as *AddressSpace) (cloak.ResourceID, error) {
+	v.chargeHypercall()
+	if as.domain == 0 {
+		return 0, fmt.Errorf("vmm: address space %d has no domain", as.id)
+	}
+	r := v.nextResource
+	v.nextResource++
+	return r, nil
+}
+
+// HCRegisterRegion declares a virtual range of the calling address space as
+// cloaked (bound to a resource) or explicitly uncloaked (the shim's
+// marshalling scratch area).
+func (v *VMM) HCRegisterRegion(as *AddressSpace, r Region) error {
+	v.chargeHypercall()
+	if as.domain == 0 {
+		return fmt.Errorf("vmm: address space %d has no domain", as.id)
+	}
+	if r.Cloaked && r.Resource == 0 {
+		return fmt.Errorf("vmm: cloaked region needs a resource id")
+	}
+	if err := as.addRegion(r); err != nil {
+		return err
+	}
+	// Any stale shadow entries in the range predate the region's semantics.
+	for vpn := r.BaseVPN; vpn < r.BaseVPN+r.Pages; vpn++ {
+		v.dropShadowsFor(as, vpn, ViewApp, ViewSystem)
+	}
+	return nil
+}
+
+// HCUnregisterRegion removes a region registration (munmap of a cloaked
+// mapping). Metadata for the resource is retained until HCReleaseResource.
+func (v *VMM) HCUnregisterRegion(as *AddressSpace, baseVPN uint64) error {
+	v.chargeHypercall()
+	for i, r := range as.regions {
+		if r.BaseVPN == baseVPN {
+			for vpn := r.BaseVPN; vpn < r.BaseVPN+r.Pages; vpn++ {
+				v.dropShadowsFor(as, vpn, ViewApp, ViewSystem)
+			}
+			as.regions = append(as.regions[:i], as.regions[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("vmm: no region at vpn %#x", baseVPN)
+}
+
+// HCReleaseResource discards all metadata of a resource (its pages become
+// unrecoverable). Called when a cloaked mapping is torn down for good.
+func (v *VMM) HCReleaseResource(as *AddressSpace, res cloak.ResourceID, pages uint64) error {
+	v.chargeHypercall()
+	if as.domain == 0 {
+		return fmt.Errorf("vmm: address space %d has no domain", as.id)
+	}
+	for i := uint64(0); i < pages; i++ {
+		v.metas.Delete(cloak.PageID{Domain: as.domain, Resource: res, Index: i})
+	}
+	return nil
+}
+
+// HCDestroyDomain tears down a domain: every plaintext page is zeroed (so
+// nothing leaks into recycled frames), registrations and metadata records
+// are dropped. Vault (file) domains are separate domains and unaffected.
+func (v *VMM) HCDestroyDomain(d cloak.DomainID) {
+	v.chargeHypercall()
+	for gppn, cp := range v.byDomain[d] {
+		if cp.state == statePlain {
+			zeroFrame(v.frame(gppn))
+			v.world.Charge(v.world.Cost.PageZero)
+		}
+		v.dropAllShadowsOfGPPN(gppn)
+		delete(v.pages, gppn)
+	}
+	delete(v.byDomain, d)
+	delete(v.identities, d)
+	v.metas.DeleteDomain(d)
+	for _, as := range v.domainSpaces[d] {
+		as.domain = 0
+		as.regions = nil
+	}
+	delete(v.domainSpaces, d)
+}
+
+// HCFileResource binds a stable (vault domain, resource) pair to a file
+// identity, so cloaked file contents keep a consistent page identity across
+// windows, processes, and reopens. The uid is the file's inode number.
+func (v *VMM) HCFileResource(uid uint64) (cloak.DomainID, cloak.ResourceID) {
+	v.chargeHypercall()
+	if b, ok := v.fileVaults[uid]; ok {
+		return b.domain, b.resource
+	}
+	d := v.nextDomain
+	v.nextDomain++
+	r := v.nextResource
+	v.nextResource++
+	v.fileVaults[uid] = fileVault{domain: d, resource: r}
+	return d, r
+}
+
+// HCDropFileResource forgets a file's vault binding and metadata (file
+// deletion).
+func (v *VMM) HCDropFileResource(uid uint64) {
+	v.chargeHypercall()
+	if b, ok := v.fileVaults[uid]; ok {
+		v.metas.DeleteDomain(b.domain)
+		delete(v.fileVaults, uid)
+	}
+}
+
+// HCCloneDomainInto supports fork of a cloaked process. The guest kernel
+// has already built the child address space and eagerly copied every
+// present page — necessarily as ciphertext, since the kernel copy forced
+// encryption. The VMM now walks the child's cloaked regions and re-cloaks
+// each copied page under the child's own fresh resource identities:
+// verify + decrypt under the parent identity, re-encrypt under the child's.
+//
+// This is why fork is one of the expensive operations for cloaked
+// applications (experiment E1): each resident page pays a kernel-side
+// encryption, a copy, and a decrypt/re-encrypt pair here.
+//
+// resourceMap translates parent resource IDs to the child's new ones;
+// regions are duplicated accordingly.
+func (v *VMM) HCCloneDomainInto(parent, child *AddressSpace) (map[cloak.ResourceID]cloak.ResourceID, error) {
+	v.chargeHypercall()
+	if parent.domain == 0 {
+		return nil, fmt.Errorf("vmm: parent space %d has no domain", parent.id)
+	}
+	if child.domain != 0 {
+		return nil, fmt.Errorf("vmm: child space %d already in a domain", child.id)
+	}
+	child.domain = parent.domain
+	v.domainSpaces[parent.domain] = append(v.domainSpaces[parent.domain], child)
+
+	resourceMap := make(map[cloak.ResourceID]cloak.ResourceID)
+	for _, r := range parent.regions {
+		nr := r
+		if r.Cloaked && r.Domain == 0 {
+			// Domain-private region: the child gets fresh resources.
+			newRes, ok := resourceMap[r.Resource]
+			if !ok {
+				newRes = v.nextResource
+				v.nextResource++
+				resourceMap[r.Resource] = newRes
+			}
+			nr.Resource = newRes
+		}
+		// Vault (file) regions are shared: same domain, same resource.
+		if err := child.addRegion(nr); err != nil {
+			return nil, err
+		}
+	}
+
+	// Re-cloak every resident page of the child's domain-private cloaked
+	// regions. (Vault regions verify under their own stable identity; the
+	// kernel's eager ciphertext copy is already correct for them.)
+	for _, r := range child.regions {
+		if !r.Cloaked || r.Domain != 0 {
+			continue
+		}
+		// Find the parent resource this region was cloned from.
+		var parentRes cloak.ResourceID
+		for pr, cr := range resourceMap {
+			if cr == r.Resource {
+				parentRes = pr
+			}
+		}
+		for vpn := r.BaseVPN; vpn < r.BaseVPN+r.Pages; vpn++ {
+			gpte := child.guestPT.Lookup(vpn)
+			if !gpte.Present() {
+				continue
+			}
+			gppn := mach.GPPN(gpte.PN)
+			idx := r.IndexOff + (vpn - r.BaseVPN)
+			parentID := cloak.PageID{Domain: child.domain, Resource: parentRes, Index: idx}
+			childID := cloak.PageID{Domain: child.domain, Resource: r.Resource, Index: idx}
+			meta, ok := v.metas.Get(parentID)
+			if !ok {
+				// Parent page was never encrypted — can only happen if it
+				// was never touched; the copied frame is all zeros. First
+				// touch in the child will zero-fill, so skip.
+				continue
+			}
+			frame := v.frame(gppn)
+			if err := v.engine.DecryptPage(parentID, meta, frame); err != nil {
+				ev := Event{Kind: EventIntegrityViolation, Domain: child.domain,
+					Page: parentID, GPPN: gppn,
+					Detail: "fork copy failed verification: " + err.Error()}
+				v.logEvent(ev)
+				return nil, &SecViolation{Event: ev}
+			}
+			newMeta := v.engine.EncryptPage(childID, 0, frame)
+			v.metas.Put(childID, newMeta)
+			v.registerPage(gppn, &cloakPage{state: stateEncrypted, id: childID})
+		}
+	}
+	return resourceMap, nil
+}
+
+// HCRecordIdentity records the measured identity (e.g. a hash over the
+// program image) of the calling domain, the analogue of the paper's
+// verified application startup: the shim measures what it is about to run
+// and the VMM remembers it, so relying parties can ask the *trusted* layer
+// who is executing in a domain rather than the OS.
+func (v *VMM) HCRecordIdentity(as *AddressSpace, digest [32]byte) error {
+	v.chargeHypercall()
+	if as.domain == 0 {
+		return fmt.Errorf("vmm: address space %d has no domain", as.id)
+	}
+	if _, dup := v.identities[as.domain]; dup {
+		return fmt.Errorf("vmm: domain %d already measured", as.domain)
+	}
+	v.identities[as.domain] = digest
+	return nil
+}
+
+// DomainIdentity reports the measured identity of a domain (ok=false if
+// the domain was never measured). Read-only; safe for relying parties.
+func (v *VMM) DomainIdentity(d cloak.DomainID) ([32]byte, bool) {
+	id, ok := v.identities[d]
+	return id, ok
+}
+
+// HCAttest returns a fingerprint of a domain's current metadata for a
+// resource page — used by the secure-I/O layer to attest stored state and
+// by tests to observe versions without reaching into internals.
+func (v *VMM) HCAttest(as *AddressSpace, res cloak.ResourceID, index uint64) (cloak.Meta, bool) {
+	v.chargeHypercall()
+	if as.domain == 0 {
+		return cloak.Meta{}, false
+	}
+	return v.metas.Get(cloak.PageID{Domain: as.domain, Resource: res, Index: index})
+}

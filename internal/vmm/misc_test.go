@@ -1,0 +1,165 @@
+package vmm
+
+import (
+	"strings"
+	"testing"
+
+	"overshadow/internal/cloak"
+	"overshadow/internal/mach"
+)
+
+func TestStringers(t *testing.T) {
+	if ViewApp.String() != "app" || ViewSystem.String() != "system" {
+		t.Error("view strings")
+	}
+	for _, k := range []TrapKind{TrapSyscall, TrapInterrupt, TrapFault, TrapKind(9)} {
+		if k.String() == "" {
+			t.Errorf("empty trap kind %d", k)
+		}
+	}
+	kinds := []EventKind{EventIntegrityViolation, EventIdentityMismatch,
+		EventCloakOnKernelAccess, EventCTCTamper, EventKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty event kind %d", k)
+		}
+	}
+	ev := Event{Kind: EventIntegrityViolation, Domain: 1,
+		Page: cloak.PageID{Domain: 1, Resource: 2, Index: 3}, GPPN: 4, Detail: "x"}
+	if !strings.Contains(ev.String(), "integrity-violation") {
+		t.Errorf("event string %q", ev.String())
+	}
+	sv := &SecViolation{Event: ev}
+	if !strings.Contains(sv.Error(), "security violation") {
+		t.Errorf("violation error %q", sv.Error())
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	r := newRig(t, Options{})
+	if r.v.World() != r.w {
+		t.Error("World accessor")
+	}
+	if r.as.ID() == 0 {
+		t.Error("zero ASID")
+	}
+	if r.as.GuestPT() == nil {
+		t.Error("nil guest PT")
+	}
+	th := r.v.CreateThread(0)
+	if th.InTrap() {
+		t.Error("fresh thread in trap")
+	}
+	th.EnterKernel(TrapSyscall)
+	if !th.InTrap() {
+		t.Error("InTrap false inside trap")
+	}
+	th.ExitKernel()
+	r.v.DestroyThread(th)
+}
+
+func TestHypercallErrorPaths(t *testing.T) {
+	r := newRig(t, Options{})
+	// No domain yet: resource/region/identity calls must fail.
+	if _, err := r.v.HCAllocResource(r.as); err == nil {
+		t.Error("HCAllocResource without domain")
+	}
+	if err := r.v.HCRegisterRegion(r.as, Region{BaseVPN: 1, Pages: 1, Resource: 1, Cloaked: true}); err == nil {
+		t.Error("HCRegisterRegion without domain")
+	}
+	if err := r.v.HCReleaseResource(r.as, 1, 1); err == nil {
+		t.Error("HCReleaseResource without domain")
+	}
+	if err := r.v.HCRecordIdentity(r.as, [32]byte{1}); err == nil {
+		t.Error("HCRecordIdentity without domain")
+	}
+	if _, ok := r.v.HCAttest(r.as, 1, 0); ok {
+		t.Error("HCAttest without domain")
+	}
+
+	r.cloakSetup(20, 4)
+	// Cloaked region without a resource id.
+	if err := r.v.HCRegisterRegion(r.as, Region{BaseVPN: 60, Pages: 1, Cloaked: true}); err == nil {
+		t.Error("cloaked region without resource accepted")
+	}
+	// Unregister of an unknown region.
+	if err := r.v.HCUnregisterRegion(r.as, 0x5555); err == nil {
+		t.Error("unregister ghost region")
+	}
+	// Double identity measurement.
+	if err := r.v.HCRecordIdentity(r.as, [32]byte{1}); err != nil {
+		t.Errorf("first identity: %v", err)
+	}
+	if err := r.v.HCRecordIdentity(r.as, [32]byte{2}); err == nil {
+		t.Error("second identity accepted")
+	}
+	// Clone into a space that already has a domain.
+	other := r.v.CreateAddressSpace(r.as.GuestPT())
+	if _, err := r.v.HCCloneDomainInto(r.as, other); err != nil {
+		t.Errorf("clone: %v", err)
+	}
+	if _, err := r.v.HCCloneDomainInto(r.as, other); err == nil {
+		t.Error("clone into domained space accepted")
+	}
+	uncloaked := r.v.CreateAddressSpace(r.as.GuestPT())
+	if _, err := r.v.HCCloneDomainInto(uncloaked, r.v.CreateAddressSpace(r.as.GuestPT())); err == nil {
+		t.Error("clone from undomained parent accepted")
+	}
+}
+
+func TestFileVaultLifecycle(t *testing.T) {
+	r := newRig(t, Options{})
+	d1, res1 := r.v.HCFileResource(42)
+	d2, res2 := r.v.HCFileResource(42)
+	if d1 != d2 || res1 != res2 {
+		t.Error("vault binding not stable")
+	}
+	d3, _ := r.v.HCFileResource(43)
+	if d3 == d1 {
+		t.Error("distinct files share a vault domain")
+	}
+	r.v.HCDropFileResource(42)
+	d4, _ := r.v.HCFileResource(42)
+	if d4 == d1 {
+		t.Error("dropped vault identity reused")
+	}
+	r.v.HCDropFileResource(999) // unknown uid: no-op
+}
+
+func TestUnregisterRegionDropsShadows(t *testing.T) {
+	r := newRig(t, Options{})
+	r.cloakSetup(20, 4)
+	r.mapGuest(r.as, 20, 7)
+	if err := r.appWrite(20, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.v.HCUnregisterRegion(r.as, 20); err != nil {
+		t.Fatal(err)
+	}
+	// The range is uncloaked now: an app access sees the raw frame (which
+	// still holds plaintext here — region teardown does not scrub; the
+	// resource release / domain teardown does).
+	if r.as.regionAt(20) != nil {
+		t.Fatal("region still present")
+	}
+}
+
+func TestPhysAccessBounds(t *testing.T) {
+	r := newRig(t, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-page phys access did not panic")
+		}
+	}()
+	buf := make([]byte, 100)
+	r.v.PhysRead(1, mach.PageSize-10, buf)
+}
+
+func TestRegionContains(t *testing.T) {
+	reg := Region{BaseVPN: 10, Pages: 5}
+	for vpn, want := range map[uint64]bool{9: false, 10: true, 14: true, 15: false} {
+		if reg.Contains(vpn) != want {
+			t.Errorf("Contains(%d) = %v", vpn, !want)
+		}
+	}
+}

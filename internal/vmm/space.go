@@ -1,0 +1,136 @@
+// Package vmm implements the trusted hypervisor at the heart of Overshadow:
+// shadow page tables kept coherent with guest page tables, the
+// multi-shadowing mechanism that gives different execution contexts
+// different views of the same guest-physical page, the memory-cloaking state
+// machine that encrypts pages on kernel access and decrypt-verifies them on
+// application access, cloaked thread contexts (secure control transfer), and
+// the hypercall interface used by the in-application shim.
+//
+// Everything in this package is inside the trusted computing base. The guest
+// kernel (package guestos) interacts with it only through the narrow
+// "hardware-ish" surface: translations, physical accesses, guest-PTE change
+// notifications, and trap entry/exit.
+package vmm
+
+import (
+	"fmt"
+	"sort"
+
+	"overshadow/internal/cloak"
+	"overshadow/internal/mmu"
+)
+
+// View selects which shadow of an address space a memory access goes
+// through. This is the multi-shadowing axis: the same guest-virtual address
+// in the same address space translates differently depending on the view.
+type View uint8
+
+// The two views of the paper's design.
+const (
+	// ViewApp is the application's own view: cloaked pages appear as
+	// plaintext. Only the owning protection domain runs in this view.
+	ViewApp View = iota
+	// ViewSystem is everyone else's view — most importantly the guest
+	// kernel's: cloaked pages appear only as ciphertext.
+	ViewSystem
+
+	numViews
+)
+
+// String implements fmt.Stringer.
+func (v View) String() string {
+	if v == ViewApp {
+		return "app"
+	}
+	return "system"
+}
+
+// ASID identifies a guest address space.
+type ASID uint32
+
+// Region describes one registered virtual range of an address space, as
+// declared by the shim via hypercall. Cloaked regions carry the resource
+// identity that binds page contents to their position.
+type Region struct {
+	BaseVPN  uint64
+	Pages    uint64
+	Resource cloak.ResourceID
+	Cloaked  bool
+	// IndexOff shifts page identity: the page at BaseVPN has resource index
+	// IndexOff. File windows use it to map a window onto a file offset.
+	IndexOff uint64
+	// Domain, when non-zero, overrides the address space's domain for this
+	// region's page identity. Cloaked files live in stable per-file vault
+	// domains so their contents survive process lifetimes; such regions are
+	// shared rather than cloned across fork.
+	Domain cloak.DomainID
+}
+
+// Contains reports whether vpn falls inside the region.
+func (r Region) Contains(vpn uint64) bool {
+	return vpn >= r.BaseVPN && vpn < r.BaseVPN+r.Pages
+}
+
+// AddressSpace is the VMM's bookkeeping for one guest address space: the
+// guest page table it shadows, one shadow page table per view, and the
+// registered cloaked/uncloaked regions.
+type AddressSpace struct {
+	id      ASID
+	guestPT *mmu.PageTable
+	domain  cloak.DomainID // 0 while no cloaked app is attached
+	shadows [numViews]*mmu.PageTable
+	ctxIDs  [numViews]uint32
+	regions []Region // sorted by BaseVPN
+}
+
+// ID returns the address-space identifier.
+func (as *AddressSpace) ID() ASID { return as.id }
+
+// Domain returns the protection domain bound to this address space
+// (0 = none).
+func (as *AddressSpace) Domain() cloak.DomainID { return as.domain }
+
+// GuestPT returns the guest page table being shadowed. The guest kernel
+// writes it; the VMM only reads it.
+func (as *AddressSpace) GuestPT() *mmu.PageTable { return as.guestPT }
+
+// regionAt returns the region containing vpn, or nil.
+func (as *AddressSpace) regionAt(vpn uint64) *Region {
+	i := sort.Search(len(as.regions), func(i int) bool {
+		return as.regions[i].BaseVPN+as.regions[i].Pages > vpn
+	})
+	if i < len(as.regions) && as.regions[i].Contains(vpn) {
+		return &as.regions[i]
+	}
+	return nil
+}
+
+// addRegion inserts a region, rejecting overlaps.
+func (as *AddressSpace) addRegion(r Region) error {
+	for _, q := range as.regions {
+		if r.BaseVPN < q.BaseVPN+q.Pages && q.BaseVPN < r.BaseVPN+r.Pages {
+			return fmt.Errorf("vmm: region [%#x,+%d) overlaps [%#x,+%d)",
+				r.BaseVPN, r.Pages, q.BaseVPN, q.Pages)
+		}
+	}
+	as.regions = append(as.regions, r)
+	sort.Slice(as.regions, func(i, j int) bool {
+		return as.regions[i].BaseVPN < as.regions[j].BaseVPN
+	})
+	return nil
+}
+
+// pageIdentity derives the stable cloaked identity of vpn within region r.
+// asDomain is the accessing address space's domain, used unless the region
+// carries a vault-domain override.
+func pageIdentity(asDomain cloak.DomainID, r *Region, vpn uint64) cloak.PageID {
+	d := asDomain
+	if r.Domain != 0 {
+		d = r.Domain
+	}
+	return cloak.PageID{
+		Domain:   d,
+		Resource: r.Resource,
+		Index:    r.IndexOff + (vpn - r.BaseVPN),
+	}
+}

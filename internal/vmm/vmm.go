@@ -1,0 +1,347 @@
+package vmm
+
+import (
+	"fmt"
+
+	"overshadow/internal/cloak"
+	"overshadow/internal/mach"
+	"overshadow/internal/mmu"
+	"overshadow/internal/sim"
+)
+
+// pageState is the cloaking state of one guest-physical page.
+type pageState uint8
+
+const (
+	// statePlain: the machine frame holds plaintext; only app-view mappings
+	// of the owning domain may exist.
+	statePlain pageState = iota
+	// stateEncrypted: the machine frame holds ciphertext; only system-view
+	// (and foreign) mappings may exist.
+	stateEncrypted
+)
+
+// cloakPage is the VMM's registration for a guest-physical page that
+// currently holds cloaked material.
+type cloakPage struct {
+	state pageState
+	id    cloak.PageID
+}
+
+// fileVault is the stable (domain, resource) identity of a cloaked file.
+type fileVault struct {
+	domain   cloak.DomainID
+	resource cloak.ResourceID
+}
+
+// Options toggles the ablation knobs studied in experiment E10. The zero
+// value is the full Overshadow design.
+type Options struct {
+	// NoMultiShadow disables per-view shadow retention: every world switch
+	// between app and system context eagerly encrypts all plaintext pages
+	// of the domain (ablation E10a: "encrypt on every crossing").
+	NoMultiShadow bool
+	// FlushTLBOnSwitch models an untagged TLB: every shadow-context switch
+	// flushes the whole TLB (ablation E10d).
+	FlushTLBOnSwitch bool
+	// MetaCacheSize overrides the metadata cache capacity (0 = default 4096
+	// records; ablation E10c sweeps this).
+	MetaCacheSize int
+	// TLBSize overrides the TLB capacity (0 = default 256 entries).
+	TLBSize int
+}
+
+// VMM is the hypervisor. One VMM instance runs one guest.
+type VMM struct {
+	world *sim.World
+	opts  Options
+
+	mem   *mach.Memory
+	alloc *mach.FrameAllocator
+	tlb   *mmu.TLB
+
+	engine *cloak.Engine
+	metas  *cloak.MetaStore
+
+	// pmap: guest-physical -> machine. Established at boot; the guest
+	// kernel addresses memory exclusively by GPPN.
+	pmap []mach.MPN
+
+	spaces    map[ASID]*AddressSpace
+	nextASID  ASID
+	nextCtxID uint32
+
+	// pages registers every guest-physical page currently holding cloaked
+	// material (plaintext or ciphertext).
+	pages map[mach.GPPN]*cloakPage
+	// byDomain indexes registrations for teardown and eager encryption.
+	byDomain map[cloak.DomainID]map[mach.GPPN]*cloakPage
+
+	nextDomain   cloak.DomainID
+	nextResource cloak.ResourceID
+	domainSpaces map[cloak.DomainID][]*AddressSpace
+	fileVaults   map[uint64]fileVault
+	identities   map[cloak.DomainID][32]byte
+
+	threads    map[ThreadID]*Thread
+	nextThread ThreadID
+
+	activeCtx uint32 // currently loaded shadow context (for switch costs)
+
+	events []Event
+}
+
+// Config sizes the VMM and machine.
+type Config struct {
+	GuestPages int // size of guest "physical" memory in pages
+	Options    Options
+	// MasterSecret seeds the domain key hierarchy.
+	MasterSecret []byte
+}
+
+// New boots a VMM over freshly allocated machine memory. Machine memory is
+// sized to back all guest-physical pages plus one reserved frame.
+func New(world *sim.World, cfg Config) *VMM {
+	if cfg.GuestPages <= 0 {
+		panic("vmm: GuestPages must be positive")
+	}
+	secret := cfg.MasterSecret
+	if secret == nil {
+		secret = []byte("overshadow-default-master-secret")
+	}
+	metaCap := cfg.Options.MetaCacheSize
+	if metaCap == 0 {
+		metaCap = 4096
+	}
+	tlbCap := cfg.Options.TLBSize
+	if tlbCap == 0 {
+		tlbCap = 256
+	}
+	mem := mach.NewMemory(cfg.GuestPages + 1)
+	alloc := mach.NewFrameAllocator(mem)
+	v := &VMM{
+		world:        world,
+		opts:         cfg.Options,
+		mem:          mem,
+		alloc:        alloc,
+		tlb:          mmu.NewTLB(world, tlbCap),
+		engine:       cloak.NewEngine(world, cloak.NewMasterKeyer(secret)),
+		metas:        cloak.NewMetaStore(world, metaCap),
+		pmap:         make([]mach.MPN, cfg.GuestPages),
+		spaces:       make(map[ASID]*AddressSpace),
+		pages:        make(map[mach.GPPN]*cloakPage),
+		byDomain:     make(map[cloak.DomainID]map[mach.GPPN]*cloakPage),
+		domainSpaces: make(map[cloak.DomainID][]*AddressSpace),
+		fileVaults:   make(map[uint64]fileVault),
+		identities:   make(map[cloak.DomainID][32]byte),
+		threads:      make(map[ThreadID]*Thread),
+		nextDomain:   1,
+		nextResource: 1,
+	}
+	// Populate the pmap eagerly: the guest owns all of "its" memory from
+	// boot, exactly like a fixed-size VM.
+	for g := 0; g < cfg.GuestPages; g++ {
+		mpn, ok := alloc.Alloc()
+		if !ok {
+			panic("vmm: machine memory exhausted at boot")
+		}
+		v.pmap[g] = mpn
+	}
+	return v
+}
+
+// World exposes the simulation services (clock, stats) for read-mostly use
+// by the harness.
+func (v *VMM) World() *sim.World { return v.world }
+
+// GuestPages reports the guest-physical memory size in pages.
+func (v *VMM) GuestPages() int { return len(v.pmap) }
+
+// Events returns a copy of the security audit log.
+func (v *VMM) Events() []Event {
+	out := make([]Event, len(v.events))
+	copy(out, v.events)
+	return out
+}
+
+// MetadataBytes reports current cloaking metadata space (experiment E7).
+func (v *VMM) MetadataBytes() int { return v.metas.SpaceOverheadBytes() }
+
+// CloakedPages reports how many guest-physical pages are currently
+// registered as holding cloaked material.
+func (v *VMM) CloakedPages() int { return len(v.pages) }
+
+// DomainSpaceCount reports how many address spaces are currently bound to a
+// domain. The shim destroys the domain when the last one exits.
+func (v *VMM) DomainSpaceCount(d cloak.DomainID) int { return len(v.domainSpaces[d]) }
+
+func (v *VMM) logEvent(e Event) {
+	e.Time = v.world.Now()
+	v.events = append(v.events, e)
+	if e.Kind != EventCloakOnKernelAccess {
+		v.world.Trace("sec.event", "%s page %s: %s", e.Kind, e.Page, e.Detail)
+	}
+}
+
+func (v *VMM) machineOf(gppn mach.GPPN) mach.MPN {
+	if int(gppn) >= len(v.pmap) {
+		panic(fmt.Sprintf("vmm: GPPN %d beyond guest memory (%d pages)", gppn, len(v.pmap)))
+	}
+	return v.pmap[gppn]
+}
+
+// frame returns the machine bytes backing a guest-physical page.
+func (v *VMM) frame(gppn mach.GPPN) []byte { return v.mem.Page(v.machineOf(gppn)) }
+
+// --- Address-space lifecycle -------------------------------------------
+
+// CreateAddressSpace registers a guest page table with the VMM and returns
+// the handle used for all translations in that space.
+func (v *VMM) CreateAddressSpace(guestPT *mmu.PageTable) *AddressSpace {
+	v.nextASID++
+	as := &AddressSpace{id: v.nextASID, guestPT: guestPT}
+	for i := range as.shadows {
+		as.shadows[i] = mmu.NewPageTable()
+		v.nextCtxID++
+		as.ctxIDs[i] = v.nextCtxID
+	}
+	v.spaces[as.id] = as
+	return as
+}
+
+// DestroyAddressSpace drops all shadows and TLB entries for as. The caller
+// (guest kernel) remains responsible for freeing guest-physical pages; the
+// VMM only forgets its own state.
+func (v *VMM) DestroyAddressSpace(as *AddressSpace) {
+	for i := range as.shadows {
+		as.shadows[i].Clear()
+		v.tlb.InvalidateContext(as.ctxIDs[i])
+	}
+	if as.domain != 0 {
+		list := v.domainSpaces[as.domain]
+		for i, q := range list {
+			if q == as {
+				v.domainSpaces[as.domain] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+	}
+	delete(v.spaces, as.id)
+}
+
+// --- Shadow maintenance -------------------------------------------------
+
+// dropShadowsFor removes vpn from the given views of as and invalidates the
+// TLB for that page across all contexts.
+func (v *VMM) dropShadowsFor(as *AddressSpace, vpn uint64, views ...View) {
+	for _, view := range views {
+		if as.shadows[view].Lookup(vpn).Present() {
+			as.shadows[view].Unmap(vpn)
+			v.world.ChargeCount(v.world.Cost.ShadowDrop, sim.CtrShadowDrop)
+		}
+	}
+	v.tlb.InvalidatePage(vpn)
+}
+
+// dropAllShadowsOfGPPN removes every shadow mapping (any space, any view)
+// that points at gppn. Needed when a page changes cloak state: stale
+// mappings in other views/spaces would bypass the state machine.
+func (v *VMM) dropAllShadowsOfGPPN(gppn mach.GPPN) {
+	mpn := uint64(v.machineOf(gppn))
+	for _, as := range v.spaces {
+		for view := View(0); view < numViews; view++ {
+			sh := as.shadows[view]
+			var victims []uint64
+			sh.Range(func(vpn uint64, pte mmu.PTE) bool {
+				if pte.PN == mpn {
+					victims = append(victims, vpn)
+				}
+				return true
+			})
+			for _, vpn := range victims {
+				sh.Unmap(vpn)
+				v.world.ChargeCount(v.world.Cost.ShadowDrop, sim.CtrShadowDrop)
+				v.tlb.InvalidatePage(vpn)
+			}
+		}
+	}
+}
+
+// InvalidateGuestMapping must be called by the guest kernel whenever it
+// changes a guest PTE (unmap, protection change, remap). It plays the role
+// of the write traces a real shadow-paging VMM places on guest page tables.
+func (v *VMM) InvalidateGuestMapping(as *AddressSpace, vpn uint64) {
+	v.dropShadowsFor(as, vpn, ViewApp, ViewSystem)
+}
+
+// NotifyFrameRecycled must be called by the guest kernel when it frees a
+// guest-physical page for reuse. Any cloak registration for the old use is
+// dropped; the *metadata* for the page's identity survives in the metadata
+// store, so discarding a dirty cloaked page without writing it out is still
+// detected when the application next faults on that data.
+func (v *VMM) NotifyFrameRecycled(gppn mach.GPPN) {
+	if cp, ok := v.pages[gppn]; ok {
+		if cp.state == statePlain {
+			// Never let cloaked plaintext linger in a recycled frame.
+			zeroFrame(v.frame(gppn))
+			v.world.Charge(v.world.Cost.PageZero)
+		}
+		v.unregisterPage(gppn, cp)
+		v.dropAllShadowsOfGPPN(gppn)
+	}
+}
+
+func (v *VMM) registerPage(gppn mach.GPPN, cp *cloakPage) {
+	v.pages[gppn] = cp
+	m := v.byDomain[cp.id.Domain]
+	if m == nil {
+		m = make(map[mach.GPPN]*cloakPage)
+		v.byDomain[cp.id.Domain] = m
+	}
+	m[gppn] = cp
+}
+
+func (v *VMM) unregisterPage(gppn mach.GPPN, cp *cloakPage) {
+	delete(v.pages, gppn)
+	if m := v.byDomain[cp.id.Domain]; m != nil {
+		delete(m, gppn)
+	}
+}
+
+// encryptPage transitions a plaintext cloaked page to the encrypted state.
+func (v *VMM) encryptPage(gppn mach.GPPN, cp *cloakPage, why string) {
+	frame := v.frame(gppn)
+	meta := v.engine.EncryptPage(cp.id, v.metas.Version(cp.id), frame)
+	v.metas.Put(cp.id, meta)
+	cp.state = stateEncrypted
+	v.world.Trace("cloak.encrypt", "page %s gppn %d v%d (%s)", cp.id, gppn, meta.Version, why)
+	v.dropAllShadowsOfGPPN(gppn)
+	v.logEvent(Event{
+		Kind: EventCloakOnKernelAccess, Domain: cp.id.Domain,
+		Page: cp.id, GPPN: gppn, Detail: why,
+	})
+}
+
+// decryptPage transitions an encrypted frame to plaintext for identity id,
+// verifying integrity and freshness. The caller supplies the identity
+// derived from the faulting virtual address.
+func (v *VMM) decryptPage(gppn mach.GPPN, id cloak.PageID) error {
+	meta, ok := v.metas.Get(id)
+	if !ok {
+		// No record: this identity was never encrypted, yet the frame is
+		// supposed to carry its ciphertext. The OS substituted garbage.
+		ev := Event{Kind: EventIntegrityViolation, Domain: id.Domain, Page: id,
+			GPPN: gppn, Detail: "no metadata record for identity"}
+		v.logEvent(ev)
+		return &SecViolation{Event: ev}
+	}
+	frame := v.frame(gppn)
+	v.world.Trace("cloak.decrypt", "page %s gppn %d v%d", id, gppn, meta.Version)
+	if err := v.engine.DecryptPage(id, meta, frame); err != nil {
+		ev := Event{Kind: EventIntegrityViolation, Domain: id.Domain, Page: id,
+			GPPN: gppn, Detail: err.Error()}
+		v.logEvent(ev)
+		return &SecViolation{Event: ev}
+	}
+	return nil
+}

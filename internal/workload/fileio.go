@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"overshadow/internal/guestos"
+	"overshadow/internal/mach"
+)
+
+// FileIOConfig parameterizes the file-I/O workload (experiment E5) — a
+// dbench-like mix of sequential writes, sequential reads, and random reads
+// against one file, either plain (marshalled syscalls) or cloaked
+// (shim-emulated mmap I/O).
+type FileIOConfig struct {
+	FileKB    int  // file size in KiB
+	IOSize    int  // bytes per operation
+	RandReads int  // random-read operations after the sequential phases
+	Cloak     bool // place the file in the cloaked namespace
+}
+
+// FileIOPath returns the workload's target file path.
+func FileIOPath(cfg FileIOConfig) string {
+	if cfg.Cloak {
+		return "/secret/data.bin"
+	}
+	return "/plain-data.bin"
+}
+
+// FileIOProgram builds the file-I/O program body.
+func FileIOProgram(cfg FileIOConfig) guestos.Program {
+	return func(e guestos.Env) {
+		if cfg.Cloak {
+			if err := e.Mkdir("/secret"); err != nil && err != guestos.EEXIST {
+				e.Exit(1)
+			}
+		}
+		path := FileIOPath(cfg)
+		total := cfg.FileKB * 1024
+		bufPages := cfg.IOSize/mach.PageSize + 2
+		buf, err := e.Alloc(bufPages)
+		if err != nil {
+			e.Exit(1)
+		}
+		chunk := make([]byte, cfg.IOSize)
+		for i := range chunk {
+			chunk[i] = byte(i*7 + 3)
+		}
+		e.WriteMem(buf, chunk)
+
+		// Sequential write phase.
+		fd, err := e.Open(path, guestos.OCreate|guestos.ORdWr|guestos.OTrunc)
+		if err != nil {
+			e.Exit(1)
+		}
+		for off := 0; off < total; off += cfg.IOSize {
+			n := cfg.IOSize
+			if off+n > total {
+				n = total - off
+			}
+			if _, err := e.Write(fd, buf, n); err != nil {
+				e.Exit(1)
+			}
+		}
+
+		// Sequential read phase.
+		if _, err := e.Lseek(fd, 0, guestos.SeekSet); err != nil {
+			e.Exit(1)
+		}
+		for {
+			n, err := e.Read(fd, buf, cfg.IOSize)
+			if err != nil {
+				e.Exit(1)
+			}
+			if n == 0 {
+				break
+			}
+			e.Compute(uint64(n) / 64)
+		}
+
+		// Random read phase.
+		x := uint64(6364136223846793005)
+		slots := total / cfg.IOSize
+		if slots == 0 {
+			slots = 1
+		}
+		for i := 0; i < cfg.RandReads; i++ {
+			x = x*2862933555777941757 + 3037000493
+			off := int(x%uint64(slots)) * cfg.IOSize
+			if _, err := e.Pread(fd, buf, cfg.IOSize, uint64(off)); err != nil {
+				e.Exit(1)
+			}
+			e.Compute(uint64(cfg.IOSize) / 64)
+		}
+		if err := e.Close(fd); err != nil {
+			e.Exit(1)
+		}
+		e.Exit(0)
+	}
+}
+
+// PagingConfig parameterizes the memory-pressure sweep (experiment E6): a
+// working set touched with page-granularity strides, sized relative to the
+// machine's RAM so the kernel must page cloaked memory to swap.
+type PagingConfig struct {
+	WorkingSetPages int
+	Sweeps          int
+}
+
+// PagingProgram builds the paging-pressure body.
+func PagingProgram(cfg PagingConfig) guestos.Program {
+	return func(e guestos.Env) {
+		base, err := e.Alloc(cfg.WorkingSetPages)
+		if err != nil {
+			e.Exit(1)
+		}
+		for s := 0; s < cfg.Sweeps; s++ {
+			for p := 0; p < cfg.WorkingSetPages; p++ {
+				va := base + mach.Addr(p*mach.PageSize)
+				if s == 0 {
+					e.Store64(va, uint64(p)+1)
+				} else if e.Load64(va) != uint64(p)+1 {
+					e.Exit(2) // data corrupted across paging
+				}
+				e.Compute(500)
+			}
+		}
+		e.Exit(0)
+	}
+}
+
+// ProcessMixConfig parameterizes the compile-like fork/exec mix (E9).
+type ProcessMixConfig struct {
+	Jobs        int    // parallel "compiler" children
+	UnitsPerJob uint64 // compute per child
+	FilesPerJob int    // temp files each child writes and reads
+	FileKB      int
+}
+
+// ProcessMixProgram builds a make(1)-like driver: fork Jobs children, each
+// computing and doing temp-file I/O, then reap them all.
+func ProcessMixProgram(cfg ProcessMixConfig) guestos.Program {
+	return func(e guestos.Env) {
+		for j := 0; j < cfg.Jobs; j++ {
+			job := j
+			_, err := e.Fork(func(c guestos.Env) {
+				compileJob(c, cfg, job)
+			})
+			if err != nil {
+				e.Exit(1)
+			}
+		}
+		for j := 0; j < cfg.Jobs; j++ {
+			if _, status, err := e.WaitPid(-1); err != nil || status != 0 {
+				e.Exit(1)
+			}
+		}
+		e.Exit(0)
+	}
+}
+
+func compileJob(e guestos.Env, cfg ProcessMixConfig, job int) {
+	buf, err := e.Alloc(cfg.FileKB/4 + 1)
+	if err != nil {
+		e.Exit(1)
+	}
+	data := make([]byte, cfg.FileKB*1024)
+	for i := range data {
+		data[i] = byte(i + job)
+	}
+	e.WriteMem(buf, data)
+	e.Compute(cfg.UnitsPerJob)
+	for f := 0; f < cfg.FilesPerJob; f++ {
+		path := tmpPath(job, f)
+		fd, err := e.Open(path, guestos.OCreate|guestos.ORdWr|guestos.OTrunc)
+		if err != nil {
+			e.Exit(1)
+		}
+		if _, err := e.Write(fd, buf, len(data)); err != nil {
+			e.Exit(1)
+		}
+		e.Lseek(fd, 0, guestos.SeekSet)
+		if _, err := e.Read(fd, buf, len(data)); err != nil {
+			e.Exit(1)
+		}
+		e.Close(fd)
+		e.Unlink(path)
+	}
+	e.Exit(0)
+}
+
+func tmpPath(job, f int) string {
+	const digits = "0123456789"
+	return "/tmp-" + string([]byte{digits[job/10%10], digits[job%10], '-', digits[f%10]}) + ".o"
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"fmt"
+
+	"overshadow/internal/guestos"
+	"overshadow/internal/mach"
+)
+
+// WebConfig parameterizes the web-server macro workload (experiment E4):
+// a server process answers requests arriving over a pipe, fetching content
+// from the filesystem and writing responses back — the syscall mix of an
+// Apache-style static server (accept/read/open/read/write per request).
+type WebConfig struct {
+	Requests     int // total requests the client issues
+	PayloadBytes int // size of each served document
+	NumDocs      int // distinct documents (rotated round-robin)
+	ParseCompute uint64
+	// CloakFiles serves documents from the cloaked-file namespace.
+	CloakFiles bool
+}
+
+// WebDocPath names document i.
+func WebDocPath(cfg WebConfig, i int) string {
+	dir := "/www"
+	if cfg.CloakFiles {
+		dir = "/secret"
+	}
+	return fmt.Sprintf("%s/doc%03d", dir, i%cfg.NumDocs)
+}
+
+// WebSeed pre-populates the document tree. Call on the Env of a setup
+// program (or via core.System.WriteGuestFile for plain files) before the
+// server runs.
+func WebSeed(e guestos.Env, cfg WebConfig) error {
+	dir := "/www"
+	if cfg.CloakFiles {
+		dir = "/secret"
+	}
+	if err := e.Mkdir(dir); err != nil && err != guestos.EEXIST {
+		return err
+	}
+	buf, err := e.Alloc((cfg.PayloadBytes+mach.PageSize-1)/mach.PageSize + 1)
+	if err != nil {
+		return err
+	}
+	doc := make([]byte, cfg.PayloadBytes)
+	for i := range doc {
+		doc[i] = byte('A' + i%26)
+	}
+	e.WriteMem(buf, doc)
+	for i := 0; i < cfg.NumDocs; i++ {
+		fd, err := e.Open(WebDocPath(cfg, i), guestos.OCreate|guestos.OWrOnly|guestos.OTrunc)
+		if err != nil {
+			return err
+		}
+		if _, err := e.Write(fd, buf, cfg.PayloadBytes); err != nil {
+			return err
+		}
+		if err := e.Close(fd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WebServerProgram builds the combined client+server program: it forks a
+// client that issues requests through a pipe pair, while the parent serves
+// them. Served bytes flow back through the response pipe.
+//
+// Request protocol: 2-byte document index. Response: 4-byte length followed
+// by the document bytes.
+func WebServerProgram(cfg WebConfig) guestos.Program {
+	return func(e guestos.Env) {
+		if err := WebSeed(e, cfg); err != nil {
+			e.Exit(1)
+		}
+		reqR, reqW, err := e.Pipe()
+		if err != nil {
+			e.Exit(1)
+		}
+		respR, respW, err := e.Pipe()
+		if err != nil {
+			e.Exit(1)
+		}
+
+		pid, err := e.Fork(func(c guestos.Env) {
+			webClient(c, cfg, reqW, respR)
+		})
+		if err != nil {
+			e.Exit(1)
+		}
+		e.Close(reqW)
+		e.Close(respR)
+		webServe(e, cfg, reqR, respW)
+		e.WaitPid(pid)
+		e.Exit(0)
+	}
+}
+
+func webClient(e guestos.Env, cfg WebConfig, reqW, respR int) {
+	msg, err := e.Alloc(1)
+	if err != nil {
+		e.Exit(1)
+	}
+	resp, err := e.Alloc(cfg.PayloadBytes/mach.PageSize + 2)
+	if err != nil {
+		e.Exit(1)
+	}
+	two := make([]byte, 2)
+	for i := 0; i < cfg.Requests; i++ {
+		two[0] = byte(i % cfg.NumDocs)
+		two[1] = byte((i % cfg.NumDocs) >> 8)
+		e.WriteMem(msg, two)
+		if _, err := e.Write(reqW, msg, 2); err != nil {
+			e.Exit(1)
+		}
+		// Read the 4-byte length header.
+		if !readFull(e, respR, resp, 4) {
+			e.Exit(1)
+		}
+		hdr := make([]byte, 4)
+		e.ReadMem(resp, hdr)
+		n := int(hdr[0]) | int(hdr[1])<<8 | int(hdr[2])<<16 | int(hdr[3])<<24
+		if !readFull(e, respR, resp, n) {
+			e.Exit(1)
+		}
+	}
+	e.Close(reqW)
+	e.Close(respR)
+	e.Exit(0)
+}
+
+func readFull(e guestos.Env, fd int, va mach.Addr, n int) bool {
+	got := 0
+	for got < n {
+		m, err := e.Read(fd, va+mach.Addr(got), n-got)
+		if err != nil || m == 0 {
+			return false
+		}
+		got += m
+	}
+	return true
+}
+
+func webServe(e guestos.Env, cfg WebConfig, reqR, respW int) {
+	reqBuf, err := e.Alloc(1)
+	if err != nil {
+		e.Exit(1)
+	}
+	body, err := e.Alloc(cfg.PayloadBytes/mach.PageSize + 2)
+	if err != nil {
+		e.Exit(1)
+	}
+	hdrB := make([]byte, 4)
+	for {
+		if !readFull(e, reqR, reqBuf, 2) {
+			break // client closed: done
+		}
+		two := make([]byte, 2)
+		e.ReadMem(reqBuf, two)
+		doc := int(two[0]) | int(two[1])<<8
+		e.Compute(cfg.ParseCompute)
+		fd, err := e.Open(WebDocPath(cfg, doc), guestos.ORdOnly)
+		if err != nil {
+			e.Exit(1)
+		}
+		n, err := e.Read(fd, body+4, cfg.PayloadBytes)
+		if err != nil {
+			e.Exit(1)
+		}
+		e.Close(fd)
+		hdrB[0], hdrB[1], hdrB[2], hdrB[3] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+		e.WriteMem(body, hdrB)
+		off := 0
+		for off < n+4 {
+			m, err := e.Write(respW, body+mach.Addr(off), n+4-off)
+			if err != nil {
+				e.Exit(1)
+			}
+			off += m
+		}
+	}
+	e.Close(reqR)
+	e.Close(respW)
+}

@@ -1,0 +1,219 @@
+package workload_test
+
+import (
+	"testing"
+
+	"overshadow/internal/core"
+	"overshadow/internal/sim"
+	"overshadow/internal/workload"
+)
+
+// runWithStatus runs prog in a child so the parent can report its exit
+// status back to the host test.
+func runWithStatus(t *testing.T, memPages int, cloaked bool, prog core.Program) (int, *core.System) {
+	t.Helper()
+	sys := core.NewSystem(core.Config{MemoryPages: memPages, Seed: 5})
+	status := -1
+	sys.Register("driver", func(e core.Env) {
+		pid, err := e.Fork(func(c core.Env) { prog(c) })
+		if err != nil {
+			t.Errorf("fork: %v", err)
+			e.Exit(1)
+		}
+		_, st, err := e.WaitPid(pid)
+		if err != nil {
+			t.Errorf("wait: %v", err)
+		}
+		status = st
+		e.Exit(0)
+	})
+	var so []core.SpawnOpt
+	if cloaked {
+		so = append(so, core.Cloaked())
+	}
+	if _, err := sys.Spawn("driver", so...); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	return status, sys
+}
+
+func TestAllCPUKernelsCompleteNative(t *testing.T) {
+	for _, k := range workload.AllCPUKernels() {
+		k := k
+		t.Run(string(k), func(t *testing.T) {
+			cfg := workload.CPUConfig{Kernel: k, WorkingSetK: 32, Iters: 1}
+			status, _ := runWithStatus(t, 2048, false, workload.CPUProgram(cfg))
+			if status != 0 {
+				t.Fatalf("%s exited %d", k, status)
+			}
+		})
+	}
+}
+
+func TestAllCPUKernelsCompleteCloaked(t *testing.T) {
+	for _, k := range workload.AllCPUKernels() {
+		k := k
+		t.Run(string(k), func(t *testing.T) {
+			cfg := workload.CPUConfig{Kernel: k, WorkingSetK: 32, Iters: 1}
+			status, _ := runWithStatus(t, 2048, true, workload.CPUProgram(cfg))
+			if status != 0 {
+				t.Fatalf("%s exited %d", k, status)
+			}
+		})
+	}
+}
+
+func TestIntSortActuallySorts(t *testing.T) {
+	// The kernel itself verifies sortedness and exits 2 on failure, so a
+	// zero status is the assertion.
+	cfg := workload.CPUConfig{Kernel: workload.KernelIntSort, WorkingSetK: 16, Iters: 2}
+	status, _ := runWithStatus(t, 1024, false, workload.CPUProgram(cfg))
+	if status != 0 {
+		t.Fatalf("intsort status %d", status)
+	}
+}
+
+func TestWebServerServesAllRequests(t *testing.T) {
+	cfg := workload.WebConfig{Requests: 25, PayloadBytes: 2048, NumDocs: 3, ParseCompute: 500}
+	status, sys := runWithStatus(t, 4096, false, workload.WebServerProgram(cfg))
+	if status != 0 {
+		t.Fatalf("webserver exited %d", status)
+	}
+	if sys.Stats().Get(sim.CtrSyscall) < uint64(cfg.Requests) {
+		t.Fatal("suspiciously few syscalls for a request loop")
+	}
+}
+
+func TestWebServerCloaked(t *testing.T) {
+	cfg := workload.WebConfig{Requests: 10, PayloadBytes: 1024, NumDocs: 2, ParseCompute: 100}
+	status, sys := runWithStatus(t, 4096, true, workload.WebServerProgram(cfg))
+	if status != 0 {
+		t.Fatalf("cloaked webserver exited %d", status)
+	}
+	if sys.Stats().Get(sim.CtrShimMarshalBytes) == 0 {
+		t.Fatal("cloaked server never marshalled")
+	}
+}
+
+func TestFileIOCompletesAllModes(t *testing.T) {
+	cases := []struct {
+		name   string
+		cloakP bool
+		cloakF bool
+	}{
+		{"native", false, false},
+		{"cloaked-marshalled", true, false},
+		{"cloaked-secure", true, true},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			cfg := workload.FileIOConfig{FileKB: 64, IOSize: 8192, RandReads: 10, Cloak: c.cloakF}
+			status, _ := runWithStatus(t, 2048, c.cloakP, workload.FileIOProgram(cfg))
+			if status != 0 {
+				t.Fatalf("fileio %s exited %d", c.name, status)
+			}
+		})
+	}
+}
+
+func TestFileIOCloakedFileStoresCiphertext(t *testing.T) {
+	cfg := workload.FileIOConfig{FileKB: 32, IOSize: 4096, RandReads: 0, Cloak: true}
+	status, sys := runWithStatus(t, 2048, true, workload.FileIOProgram(cfg))
+	if status != 0 {
+		t.Fatalf("exited %d", status)
+	}
+	data, err := sys.ReadGuestFile(workload.FileIOPath(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plaintext pattern is byte(i*7+3); scan a stretch for it.
+	matches := 0
+	for i := 0; i+4 < 4096 && i < len(data)-4; i++ {
+		if data[i] == 3 && data[i+1] == 10 && data[i+2] == 17 && data[i+3] == 24 {
+			matches++
+		}
+	}
+	if matches > 0 {
+		t.Fatal("plaintext pattern found in cloaked file")
+	}
+}
+
+func TestPagingProgramSurvivesPressure(t *testing.T) {
+	cfg := workload.PagingConfig{WorkingSetPages: 160, Sweeps: 3}
+	status, sys := runWithStatus(t, 128, false, workload.PagingProgram(cfg))
+	if status != 0 {
+		t.Fatalf("paging exited %d (2 = corruption)", status)
+	}
+	if sys.Stats().Get(sim.CtrPageOut) == 0 {
+		t.Fatal("no paging under pressure")
+	}
+}
+
+func TestPagingProgramSurvivesPressureCloaked(t *testing.T) {
+	cfg := workload.PagingConfig{WorkingSetPages: 160, Sweeps: 3}
+	status, sys := runWithStatus(t, 128, true, workload.PagingProgram(cfg))
+	if status != 0 {
+		t.Fatalf("cloaked paging exited %d", status)
+	}
+	if sys.Stats().Get(sim.CtrPageEncrypt) == 0 {
+		t.Fatal("cloaked paging without encryption")
+	}
+}
+
+func TestProcessMixRunsAllJobs(t *testing.T) {
+	cfg := workload.ProcessMixConfig{Jobs: 3, UnitsPerJob: 50_000, FilesPerJob: 2, FileKB: 8}
+	status, sys := runWithStatus(t, 4096, false, workload.ProcessMixProgram(cfg))
+	if status != 0 {
+		t.Fatalf("mix exited %d", status)
+	}
+	// driver + mix + 3 jobs => at least 4 forks.
+	if sys.Stats().Get(sim.CtrFork) < 4 {
+		t.Fatalf("forks = %d", sys.Stats().Get(sim.CtrFork))
+	}
+}
+
+func TestProcessMixCloaked(t *testing.T) {
+	cfg := workload.ProcessMixConfig{Jobs: 2, UnitsPerJob: 20_000, FilesPerJob: 1, FileKB: 4}
+	status, _ := runWithStatus(t, 4096, true, workload.ProcessMixProgram(cfg))
+	if status != 0 {
+		t.Fatalf("cloaked mix exited %d", status)
+	}
+}
+
+func TestKVServiceCorrectNativeAndCloaked(t *testing.T) {
+	// The client verifies every get against what it put and exits 3 on any
+	// wrong answer, so status 0 is the correctness assertion.
+	cfg := workload.KVConfig{Ops: 60, ValueBytes: 100, Keys: 8, PutRatio: 40, Persist: true}
+	for _, cloaked := range []bool{false, true} {
+		status, sys := runWithStatus(t, 2048, cloaked, workload.KVProgram(cfg))
+		if status != 0 {
+			t.Fatalf("cloaked=%v: exited %d", cloaked, status)
+		}
+		if _, err := sys.ReadGuestFile("/kv-snapshot"); err != nil {
+			t.Fatalf("cloaked=%v: snapshot missing: %v", cloaked, err)
+		}
+	}
+}
+
+func TestWebSeedCreatesDocs(t *testing.T) {
+	sys := core.NewSystem(core.Config{MemoryPages: 2048})
+	cfg := workload.WebConfig{Requests: 1, PayloadBytes: 512, NumDocs: 4}
+	sys.Register("seed", func(e core.Env) {
+		if err := workload.WebSeed(e, cfg); err != nil {
+			t.Errorf("seed: %v", err)
+		}
+		for i := 0; i < cfg.NumDocs; i++ {
+			st, err := e.Stat(workload.WebDocPath(cfg, i))
+			if err != nil || st.Size != uint64(cfg.PayloadBytes) {
+				t.Errorf("doc %d: %+v %v", i, st, err)
+			}
+		}
+		e.Exit(0)
+	})
+	if _, err := sys.Spawn("seed", core.Cloaked()); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+}

@@ -1,0 +1,59 @@
+// Package overshadow is the top-level facade of the Overshadow
+// reproduction: a virtualization-based system that protects the privacy and
+// integrity of application data even from a fully compromised operating
+// system (Chen et al., ASPLOS 2008).
+//
+// The system presents an application with a normal view of its resources,
+// but the OS with an encrypted view — multi-shadowing plus memory cloaking —
+// so the commodity kernel keeps managing resources it can no longer read or
+// forge. This package re-exports the public API from internal/core; see
+// README.md for the architecture and examples/ for runnable programs.
+package overshadow
+
+import (
+	"overshadow/internal/core"
+	"overshadow/internal/sim"
+)
+
+// Core types, re-exported.
+type (
+	// Config sizes the simulated machine.
+	Config = core.Config
+	// System is one assembled machine (hardware, VMM, guest OS, shim).
+	System = core.System
+	// Env is the guest application programming surface.
+	Env = core.Env
+	// Program is an application body.
+	Program = core.Program
+	// Pid identifies a guest process.
+	Pid = core.Pid
+	// Addr is a simulated virtual address.
+	Addr = core.Addr
+	// Event is a VMM security audit record.
+	Event = core.Event
+	// Cycles counts simulated time.
+	Cycles = sim.Cycles
+)
+
+// File-mode and whence constants.
+const (
+	ORdOnly  = core.ORdOnly
+	OWrOnly  = core.OWrOnly
+	ORdWr    = core.ORdWr
+	OCreate  = core.OCreate
+	OTrunc   = core.OTrunc
+	OAppend  = core.OAppend
+	SeekSet  = core.SeekSet
+	SeekCur  = core.SeekCur
+	SeekEnd  = core.SeekEnd
+	PageSize = core.PageSize
+)
+
+// NewSystem boots a machine.
+func NewSystem(cfg Config) *System { return core.NewSystem(cfg) }
+
+// Cloaked marks a spawn as protected by an Overshadow domain.
+func Cloaked() core.SpawnOpt { return core.Cloaked() }
+
+// WithArgs passes argv to a spawned program.
+func WithArgs(args ...string) core.SpawnOpt { return core.WithArgs(args...) }
