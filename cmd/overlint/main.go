@@ -1,0 +1,61 @@
+// Command overlint runs the module's domain-aware static analyzers:
+//
+//	determinism     — no host time, math/rand, multi-channel select, or
+//	                  unscheduled goroutines inside the simulated machine
+//	cloakboundary   — untrusted guestos code never touches machine memory
+//	                  or cloaking secrets directly
+//	errnodiscipline — no raw errno literals, no discarded error/Errno results
+//	cyclecharge     — exported memory-touching VMM/guestos functions charge
+//	                  the sim cost model
+//
+// Usage:
+//
+//	go run ./cmd/overlint [-json] [packages]
+//
+// Packages default to ./... . The exit status is 0 when the tree is clean,
+// 1 when findings are reported, and 2 when loading or analysis fails.
+// Findings can be suppressed, with a recorded justification, by
+// "//overlint:allow <analyzer> -- <reason>" on or directly above the
+// offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"overshadow/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: overlint [-json] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "overlint:", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(os.Stdout, cwd, lint.Options{
+		Patterns: patterns,
+		JSON:     *jsonOut,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "overlint:", err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "overlint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}

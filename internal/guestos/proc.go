@@ -204,6 +204,7 @@ func (p *Proc) setupStandardVMAs() {
 // whenever it holds the scheduler baton.
 func (k *Kernel) startProcGoroutine(p *Proc, runner func(*UserCtx)) {
 	p.thread = k.vmm.CreateThread(0)
+	//overlint:allow determinism -- baton-scheduled: the goroutine runs only while holding p.baton, so exactly one task executes at a time
 	go func() {
 		<-p.baton // wait to be scheduled the first time
 		p.state = stateRunning
@@ -277,6 +278,10 @@ func (k *Kernel) exitThread(p *Proc) {
 	delete(k.procs, p.pid)
 	k.liveProcs--
 	sh := p.procShared
+	// Capture the status while this goroutine still holds the baton: once
+	// switchTo hands it off below, a sibling thread may run exitCurrent and
+	// write sh.exitStatus while this dying goroutine is still unwinding.
+	status := sh.exitStatus
 	sh.liveThreads--
 	for _, w := range p.waiters {
 		k.wake(w)
@@ -289,11 +294,11 @@ func (k *Kernel) exitThread(p *Proc) {
 
 	if k.liveProcs == 0 {
 		close(k.done)
-		panic(procExit{status: sh.exitStatus})
+		panic(procExit{status: status})
 	}
 	next := k.pickNext()
 	k.switchTo(next, p, false)
-	panic(procExit{status: sh.exitStatus})
+	panic(procExit{status: status})
 }
 
 // finishProcessExit runs once per process, on the goroutine of its last
@@ -307,6 +312,7 @@ func (k *Kernel) finishProcessExit(sh *procShared) {
 	sh.exitHooks = nil
 	for fd, f := range sh.fds {
 		if f != nil {
+			//overlint:allow errnodiscipline -- process teardown: fd is live by construction and there is no caller to report to
 			k.closeFD(leader, fd)
 		}
 	}
@@ -409,6 +415,7 @@ func (k *Kernel) forkProc(p *Proc, childRunner func(*UserCtx), onPrepared func(p
 func (k *Kernel) destroyStillborn(c *Proc) {
 	for fd, f := range c.fds {
 		if f != nil {
+			//overlint:allow errnodiscipline -- fork unwinding: fd is live by construction and there is no caller to report to
 			k.closeFD(c, fd)
 		}
 	}

@@ -41,8 +41,8 @@ func pipeIPCProgram(totalKB, chunk int) core.Program {
 			e.Exit(1)
 		}
 		pid, err := e.Fork(func(c core.Env) {
-			c.Close(rfd)
-			buf, _ := c.Alloc(chunk/mach.PageSize + 1)
+			must(c.Close(rfd))
+			buf := must1(c.Alloc(chunk/mach.PageSize + 1))
 			payload := make([]byte, chunk)
 			for i := range payload {
 				payload[i] = byte(i)
@@ -60,14 +60,14 @@ func pipeIPCProgram(totalKB, chunk int) core.Program {
 				}
 				sent += chunk
 			}
-			c.Close(wfd)
+			must(c.Close(wfd))
 			c.Exit(0)
 		})
 		if err != nil {
 			e.Exit(1)
 		}
-		e.Close(wfd)
-		buf, _ := e.Alloc(chunk/mach.PageSize + 1)
+		must(e.Close(wfd))
+		buf := must1(e.Alloc(chunk/mach.PageSize + 1))
 		for {
 			n, err := e.Read(rfd, buf, chunk)
 			if err != nil {
@@ -78,7 +78,7 @@ func pipeIPCProgram(totalKB, chunk int) core.Program {
 			}
 			e.Compute(uint64(n) / 64)
 		}
-		e.WaitPid(pid)
+		must2(e.WaitPid(pid))
 		e.Exit(0)
 	}
 }
@@ -117,7 +117,7 @@ func shmIPCProgram(totalKB, chunk int) core.Program {
 			e.Compute(uint64(chunk) / 64)
 			e.Store64(base+8, uint64(r))
 		}
-		e.WaitPid(pid)
+		must2(e.WaitPid(pid))
 		e.Exit(0)
 	}
 }

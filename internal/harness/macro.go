@@ -269,7 +269,7 @@ func mixedWorkload(opts Options) core.Program {
 		if err != nil {
 			e.Exit(1)
 		}
-		buf, _ := e.Alloc(4)
+		buf := must1(e.Alloc(4))
 		fd, err := e.Open("/mix.dat", core.OCreate|core.ORdWr)
 		if err != nil {
 			e.Exit(1)
@@ -283,8 +283,8 @@ func mixedWorkload(opts Options) core.Program {
 				e.Store64(hot+core.Addr(p*4096), uint64(i+p))
 			}
 			// File I/O through marshalling.
-			e.Pwrite(fd, buf, 4096, uint64(i%16)*4096)
-			e.Pread(fd, buf, 4096, uint64(i%16)*4096)
+			must1(e.Pwrite(fd, buf, 4096, uint64(i%16)*4096))
+			must1(e.Pread(fd, buf, 4096, uint64(i%16)*4096))
 			// Periodic cold sweep forces paging churn.
 			if i%4 == 0 {
 				for p := 0; p < coldPages; p += 2 {
@@ -292,7 +292,7 @@ func mixedWorkload(opts Options) core.Program {
 				}
 			}
 		}
-		e.Close(fd)
+		must(e.Close(fd))
 		e.Exit(0)
 	}
 }

@@ -36,7 +36,7 @@ func microProgram(out microResults, reps int) core.Program {
 		})
 
 		// File ops on a plain (non-cloaked) file.
-		buf, _ := e.Alloc(20)
+		buf := must1(e.Alloc(20))
 		payload := make([]byte, 64*1024)
 		for i := range payload {
 			payload[i] = byte(i)
@@ -46,44 +46,44 @@ func microProgram(out microResults, reps int) core.Program {
 		if err != nil {
 			e.Exit(1)
 		}
-		e.Write(fd, buf, 64*1024)
+		must1(e.Write(fd, buf, 64*1024))
 
 		for _, sz := range []int{1024, 16 * 1024, 64 * 1024} {
 			n := sz
 			out[sizeName("read", sz)] = measure(e, reps/2, func() {
-				e.Pread(fd, buf, n, 0)
+				must1(e.Pread(fd, buf, n, 0))
 			})
 			out[sizeName("write", sz)] = measure(e, reps/2, func() {
-				e.Pwrite(fd, buf, n, 0)
+				must1(e.Pwrite(fd, buf, n, 0))
 			})
 		}
-		e.Close(fd)
+		must(e.Close(fd))
 
 		out["open+close"] = measure(e, reps/2, func() {
-			f, _ := e.Open("/bench.dat", core.ORdOnly)
-			e.Close(f)
+			f := must1(e.Open("/bench.dat", core.ORdOnly))
+			must(e.Close(f))
 		})
-		out["stat"] = measure(e, reps/2, func() { e.Stat("/bench.dat") })
+		out["stat"] = measure(e, reps/2, func() { must1(e.Stat("/bench.dat")) })
 
 		// Signal install + self-deliver.
 		got := 0
-		e.Signal(core.SIGUSR1, func(core.Env, core.Signal) { got++ })
+		must(e.Signal(core.SIGUSR1, func(core.Env, core.Signal) { got++ }))
 		self := e.Pid()
-		out["signal deliver"] = measure(e, reps/4, func() { e.Kill(self, core.SIGUSR1) })
+		out["signal deliver"] = measure(e, reps/4, func() { must(e.Kill(self, core.SIGUSR1)) })
 
 		// fork + wait, and fork+exec+wait.
 		out["fork+wait"] = measure(e, forkReps(reps), func() {
 			pid, err := e.Fork(func(c core.Env) { c.Exit(0) })
 			if err == nil {
-				e.WaitPid(pid)
+				must2(e.WaitPid(pid))
 			}
 		})
 		out["fork+exec+wait"] = measure(e, forkReps(reps), func() {
 			pid, err := e.Fork(func(c core.Env) {
-				c.Exec("noop", nil)
+				must(c.Exec("noop", nil))
 			})
 			if err == nil {
-				e.WaitPid(pid)
+				must2(e.WaitPid(pid))
 			}
 		})
 		// Threads share the domain, so cloaked thread creation needs no
@@ -91,7 +91,7 @@ func microProgram(out microResults, reps int) core.Program {
 		out["thread create+join"] = measure(e, forkReps(reps), func() {
 			tid, err := e.SpawnThread(func(core.Env) {})
 			if err == nil {
-				e.JoinThread(tid)
+				must(e.JoinThread(tid))
 			}
 		})
 		e.Exit(0)
@@ -121,15 +121,15 @@ func sizeName(op string, sz int) string {
 // parent and child.
 func pipeLatencyProgram(out microResults, reps int) core.Program {
 	return func(e core.Env) {
-		r1, w1, _ := e.Pipe()
-		r2, w2, _ := e.Pipe()
-		buf, _ := e.Alloc(1)
+		r1, w1 := must2(e.Pipe())
+		r2, w2 := must2(e.Pipe())
+		buf := must1(e.Alloc(1))
 		e.WriteMem(buf, []byte{1})
 		pid, err := e.Fork(func(c core.Env) {
 			// Close the parent's ends or EOF never arrives.
-			c.Close(w1)
-			c.Close(r2)
-			cb, _ := c.Alloc(1)
+			must(c.Close(w1))
+			must(c.Close(r2))
+			cb := must1(c.Alloc(1))
 			for {
 				n, err := c.Read(r1, cb, 1)
 				if err != nil || n == 0 {
@@ -144,15 +144,15 @@ func pipeLatencyProgram(out microResults, reps int) core.Program {
 		if err != nil {
 			e.Exit(1)
 		}
-		e.Close(r1)
-		e.Close(w2)
+		must(e.Close(r1))
+		must(e.Close(w2))
 		out["pipe round trip"] = measure(e, reps/4, func() {
-			e.Write(w1, buf, 1)
-			e.Read(r2, buf, 1)
+			must1(e.Write(w1, buf, 1))
+			must1(e.Read(r2, buf, 1))
 		})
-		e.Close(w1)
-		e.Close(r2)
-		e.WaitPid(pid)
+		must(e.Close(w1))
+		must(e.Close(r2))
+		must2(e.WaitPid(pid))
 		e.Exit(0)
 	}
 }
@@ -171,7 +171,7 @@ func ctxSwitchProgram(out microResults, reps int) core.Program {
 		}
 		cost := measure(e, reps, func() { e.Yield() })
 		out["context switch"] = cost / 2 // one yield = two switches
-		e.WaitPid(pid)
+		must2(e.WaitPid(pid))
 		e.Exit(0)
 	}
 }
@@ -241,7 +241,7 @@ func RunE2(opts Options) *Table {
 	if _, err := hv.HCCreateDomain(as); err != nil {
 		panic(err)
 	}
-	res, _ := hv.HCAllocResource(as)
+	res := must1(hv.HCAllocResource(as))
 	if err := hv.HCRegisterRegion(as, vmm.Region{BaseVPN: 16, Pages: 8, Resource: res, Cloaked: true}); err != nil {
 		panic(err)
 	}
@@ -287,7 +287,7 @@ func RunE2(opts Options) *Table {
 			panic(err)
 		}
 	}))
-	t.AddRow("hypercall dispatch", timed(func() { hv.HCAllocResource(as) }))
+	t.AddRow("hypercall dispatch", timed(func() { must1(hv.HCAllocResource(as)) }))
 
 	m := w.Cost
 	t.AddRow("  model: AES 4KiB", float64(m.PageCryptCost(mach.PageSize)))

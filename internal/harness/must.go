@@ -1,0 +1,22 @@
+package harness
+
+// The experiment programs drive guest syscalls whose failure would silently
+// distort the measured shapes (a read that errors every iteration "costs"
+// the failure path, not the read). The must helpers turn any unexpected
+// guest error into a loud panic, which the kernel surfaces out of Run.
+
+func must(err error) {
+	if err != nil {
+		panic("harness: unexpected guest error: " + err.Error())
+	}
+}
+
+func must1[T any](v T, err error) T {
+	must(err)
+	return v
+}
+
+func must2[A, B any](a A, b B, err error) (A, B) {
+	must(err)
+	return a, b
+}

@@ -70,7 +70,7 @@ func attackSyscallSnoop(opts Options) attackOutcome {
 		}
 	}
 	sys.Register("victim", func(e core.Env) {
-		base, _ := e.Sbrk(1)
+		base := must1(e.Sbrk(1))
 		e.WriteMem(base, e8secret)
 		for i := 0; i < 10; i++ {
 			e.Null()
@@ -103,7 +103,7 @@ func attackMemoryTamper(opts Options) attackOutcome {
 	}
 	survived := false
 	sys.Register("victim", func(e core.Env) {
-		base, _ := e.Sbrk(1)
+		base := must1(e.Sbrk(1))
 		e.WriteMem(base, e8secret)
 		e.Null() // tamper point
 		got := make([]byte, len(e8secret))
@@ -142,7 +142,7 @@ func attackSwapTamper(opts Options) attackOutcome {
 	completed := false
 	sys.Register("victim", func(e core.Env) {
 		const pages = 200
-		base, _ := e.Alloc(pages)
+		base := must1(e.Alloc(pages))
 		for i := 0; i < pages; i++ {
 			e.Store64(base+core.Addr(i*core.PageSize), uint64(i)|1<<40)
 		}
@@ -196,7 +196,7 @@ func attackSwapReplayDrop(opts Options) attackOutcome {
 	completed := false
 	sys.Register("victim", func(e core.Env) {
 		const pages = 200
-		base, _ := e.Alloc(pages)
+		base := must1(e.Alloc(pages))
 		// Two update rounds so page versions move past the stashed copy.
 		for round := uint64(1); round <= 3; round++ {
 			for i := 0; i < pages; i++ {
@@ -277,7 +277,7 @@ func attackRegisterTamper(opts Options) attackOutcome {
 		// The register state is managed by the trap path itself; the body
 		// just has to make a syscall and keep functioning afterwards.
 		e.Null()
-		base, _ := e.Sbrk(1)
+		base := must1(e.Sbrk(1))
 		e.WriteMem(base, e8secret)
 		got := make([]byte, len(e8secret))
 		e.ReadMem(base, got)
@@ -319,7 +319,7 @@ func attackCrossProcessMap(opts Options) attackOutcome {
 		}
 	}
 	sys.Register("victim", func(e core.Env) {
-		base, _ := e.Sbrk(1)
+		base := must1(e.Sbrk(1))
 		e.WriteMem(base, e8secret)
 		e.Null()
 		got := make([]byte, len(e8secret))

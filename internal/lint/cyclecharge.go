@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CycleChargeAnalyzer keeps the benchmark shapes honest. Every path that
+// moves guest-memory bytes must advance the simulated clock through the
+// internal/sim cost model; an exported VMM or guestos entry point that
+// touches frame bytes without charging would make that operation free,
+// silently distorting the paper's overhead curves.
+//
+// The check builds a static call graph over the whole module and flags
+// exported functions declared in internal/vmm or internal/guestos that can
+// reach a raw memory primitive ((*mach.Memory).Page / Zero) without any
+// path-insensitive evidence of charging ((*sim.World).Charge/ChargeCount or
+// (*sim.Clock).Advance). The analysis is an under-approximation on dynamic
+// calls (function values, interface methods), which is the safe direction:
+// it may miss, it does not spuriously block.
+var CycleChargeAnalyzer = &Analyzer{
+	Name: "cyclecharge",
+	Doc:  "exported VMM/guestos functions touching guest memory must charge the sim cost model",
+	Run:  runCycleCharge,
+}
+
+// chargedPkgs are the packages whose exported API is held to the rule.
+var chargedPkgs = map[string]bool{
+	"overshadow/internal/vmm":     true,
+	"overshadow/internal/guestos": true,
+}
+
+func runCycleCharge(pass *Pass) {
+	if !chargedPkgs[pass.Pkg.Path] {
+		return
+	}
+	graph := buildCallGraph(pass.All)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if r := receiverTypeName(fd); r != "" && !ast.IsExported(r) {
+				continue // method of an unexported type: not module API
+			}
+			obj := pass.Pkg.Info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			if graph.touches(obj) && !graph.charges(obj) {
+				pass.Report(fd.Name.Pos(), "exported %s reaches guest memory without charging the sim cost model", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// receiverTypeName extracts the receiver's base type name, if any.
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// callGraph records, per declared function, which functions it statically
+// calls plus whether it directly hits a memory or charging primitive.
+type callGraph struct {
+	edges         map[types.Object][]types.Object
+	touchesDirect map[types.Object]bool
+	chargesDirect map[types.Object]bool
+	touchesAll    map[types.Object]bool
+	chargesAll    map[types.Object]bool
+}
+
+// buildCallGraph scans every function declaration in the loaded module.
+// Calls inside function literals are attributed to the enclosing
+// declaration, which is how callback-style iteration (PageTable.Range)
+// stays visible.
+func buildCallGraph(pkgs []*Package) *callGraph {
+	g := &callGraph{
+		edges:         make(map[types.Object][]types.Object),
+		touchesDirect: make(map[types.Object]bool),
+		chargesDirect: make(map[types.Object]bool),
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				caller := pkg.Info.Defs[fd.Name]
+				if caller == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := calleeObject(pkg.Info, call)
+					if callee == nil {
+						return true
+					}
+					g.edges[caller] = append(g.edges[caller], callee)
+					if isMemoryPrimitive(callee) {
+						g.touchesDirect[caller] = true
+					}
+					if isChargePrimitive(callee) {
+						g.chargesDirect[caller] = true
+					}
+					return true
+				})
+			}
+		}
+	}
+	g.touchesAll = g.closure(g.touchesDirect)
+	g.chargesAll = g.closure(g.chargesDirect)
+	return g
+}
+
+// calleeObject resolves the statically-known target of a call, if any.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isMemoryPrimitive reports whether obj is a raw machine-memory accessor.
+func isMemoryPrimitive(obj types.Object) bool {
+	return objIs(obj, "overshadow/internal/mach", "Memory", "Page") ||
+		objIs(obj, "overshadow/internal/mach", "Memory", "Zero")
+}
+
+// isChargePrimitive reports whether obj advances the simulated clock.
+func isChargePrimitive(obj types.Object) bool {
+	return objIs(obj, "overshadow/internal/sim", "World", "Charge") ||
+		objIs(obj, "overshadow/internal/sim", "World", "ChargeCount") ||
+		objIs(obj, "overshadow/internal/sim", "Clock", "Advance")
+}
+
+// objIs matches a method object by package path, receiver name, and name.
+func objIs(obj types.Object, pkgPath, recv, name string) bool {
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath || obj.Name() != name {
+		return false
+	}
+	return recvNamed(obj) == recv
+}
+
+// touches reports whether obj can reach a memory primitive.
+func (g *callGraph) touches(obj types.Object) bool { return g.touchesAll[obj] }
+
+// charges reports whether obj can reach a charging primitive.
+func (g *callGraph) charges(obj types.Object) bool { return g.chargesAll[obj] }
+
+// closure propagates the direct fact set backward over call edges to a
+// fixpoint, yielding "can reach" for every declared function. The graph is
+// small (one module), so the quadratic worst case is irrelevant.
+func (g *callGraph) closure(direct map[types.Object]bool) map[types.Object]bool {
+	reach := make(map[types.Object]bool, len(direct))
+	for o := range direct {
+		reach[o] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for caller, callees := range g.edges {
+			if reach[caller] {
+				continue
+			}
+			for _, callee := range callees {
+				if reach[callee] {
+					reach[caller] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return reach
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeterminismAnalyzer guards the simulation's bit-exact reproducibility
+// (DESIGN.md "Determinism note", internal/core/determinism_test.go). Inside
+// the simulated-machine packages every source of nondeterminism is banned:
+//
+//   - host wall-clock reads (time.Now, time.Since, ...) and host sleeps —
+//     simulated time comes only from sim.Clock;
+//   - math/rand — randomness comes only from the seeded sim RNG;
+//   - select over multiple channels — the runtime picks a ready case
+//     pseudo-randomly (a single case plus default stays deterministic);
+//   - bare go statements — concurrency must be routed through the guest
+//     kernel's baton scheduler, which admits exactly one runnable goroutine.
+//
+// cmd/overbench's host wall-clock reporting is outside the checked set.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid host time, math/rand, multi-channel select, and unscheduled goroutines in simulated-machine packages",
+	Run:  runDeterminism,
+}
+
+// deterministicPkgs are the packages forming the simulated machine; only
+// they are subject to the determinism rules.
+var deterministicPkgs = map[string]bool{
+	"overshadow/internal/sim":     true,
+	"overshadow/internal/mach":    true,
+	"overshadow/internal/mmu":     true,
+	"overshadow/internal/vmm":     true,
+	"overshadow/internal/guestos": true,
+	"overshadow/internal/cloak":   true,
+}
+
+// forbiddenTimeFuncs are the package time functions that read the host
+// clock or block on host time. Pure value manipulation (time.Duration
+// arithmetic, time.Unix) is not listed: it is deterministic.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func runDeterminism(pass *Pass) {
+	if !deterministicPkgs[pass.Pkg.Path] {
+		return
+	}
+	info := pass.Pkg.Info
+	inspect(pass.Pkg, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ImportSpec:
+			path := strings.Trim(n.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Report(n.Pos(), "import of %s: use the seeded sim RNG (internal/sim/rng.go) so runs stay reproducible", path)
+			}
+		case *ast.SelectorExpr:
+			ident, ok := n.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := info.Uses[ident].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			if forbiddenTimeFuncs[n.Sel.Name] {
+				pass.Report(n.Pos(), "time.%s reads host time: simulated components must use sim.Clock", n.Sel.Name)
+			}
+		case *ast.SelectStmt:
+			comms := 0
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+					comms++
+				}
+			}
+			if comms >= 2 {
+				pass.Report(n.Pos(), "select over %d channels: the runtime chooses a ready case nondeterministically", comms)
+			}
+		case *ast.GoStmt:
+			pass.Report(n.Pos(), "bare go statement: goroutines must be baton-scheduled by the guest kernel")
+		}
+		return true
+	})
+}

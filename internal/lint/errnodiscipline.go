@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// ErrnoDisciplineAnalyzer guards the guest errno contract. Syscall results
+// travel through a Linux-style return register (internal/guestos/errno.go),
+// so two disciplines matter:
+//
+//   - errno values must be drawn from the named constants in errno.go —
+//     converting a raw integer literal to Errno outside that file invents
+//     an errno the decode table does not know;
+//   - error and Errno results must never be discarded anywhere under
+//     internal/: not by calling a fallible function as a bare statement,
+//     not by deferring one, and not by assigning the error position to _.
+//     A swallowed Errno turns a failed syscall into silent corruption.
+var ErrnoDisciplineAnalyzer = &Analyzer{
+	Name: "errnodiscipline",
+	Doc:  "forbid raw errno literals and discarded error/Errno results under internal/",
+	Run:  runErrnoDiscipline,
+}
+
+func runErrnoDiscipline(pass *Pass) {
+	if !strings.HasPrefix(pass.Pkg.Path, "overshadow/internal/") {
+		return
+	}
+	inspect(pass.Pkg, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkRawErrnoConversion(pass, n)
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				checkDiscardedCall(pass, call, "")
+			}
+		case *ast.DeferStmt:
+			checkDiscardedCall(pass, n.Call, "deferred ")
+		case *ast.GoStmt:
+			checkDiscardedCall(pass, n.Call, "spawned ")
+		case *ast.AssignStmt:
+			checkBlankedErrors(pass, n)
+		}
+		return true
+	})
+}
+
+// isErrorLike reports whether t is the error interface, a type implementing
+// it (guestos.Errno, *mmu.Fault, ...), or a pointer to one.
+func isErrorLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if types.Implements(t, errIface) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), errIface)
+	}
+	return false
+}
+
+// isErrnoType reports whether t is a module-internal Errno type (the real
+// guestos.Errno, or a stand-in declared in analyzer testdata).
+func isErrnoType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Errno" &&
+		strings.HasPrefix(named.Obj().Pkg().Path(), "overshadow/")
+}
+
+// checkRawErrnoConversion flags Errno(<integer literal>) conversions outside
+// errno.go.
+func checkRawErrnoConversion(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || !isErrnoType(tv.Type) {
+		return
+	}
+	if filepath.Base(pass.Fset.Position(call.Pos()).Filename) == "errno.go" {
+		return
+	}
+	if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok {
+		pass.Report(call.Pos(), "raw errno literal Errno(%s): use a named constant from errno.go", lit.Value)
+	}
+}
+
+// resultTypes returns the individual result types of a call expression.
+func resultTypes(pass *Pass, call *ast.CallExpr) []types.Type {
+	tv, ok := pass.Pkg.Info.Types[call]
+	if !ok {
+		return nil
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		out := make([]types.Type, t.Len())
+		for i := 0; i < t.Len(); i++ {
+			out[i] = t.At(i).Type()
+		}
+		return out
+	default:
+		if tv.IsValue() {
+			return []types.Type{t}
+		}
+	}
+	return nil
+}
+
+// calleeName renders a readable name for the called function.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+// infallibleWriter reports whether t is a writer whose methods are
+// documented never to return a non-nil error: strings.Builder,
+// bytes.Buffer, and hash.Hash. Discarding their error results is idiomatic,
+// not a discipline violation.
+func infallibleWriter(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (pkg == "strings" && name == "Builder") ||
+		(pkg == "bytes" && name == "Buffer") ||
+		(pkg == "hash" && name == "Hash")
+}
+
+// exemptCall reports whether the call's error result is documented
+// infallible: a method on an infallible writer, or fmt.Fprint* targeting
+// one.
+func exemptCall(pass *Pass, call *ast.CallExpr) bool {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Method on an infallible writer: check the receiver expression's static
+	// type (hash.Hash's Write is declared on an embedded io.Writer, so the
+	// method's own receiver would not reveal it).
+	if tv, ok := pass.Pkg.Info.Types[fun.X]; ok && infallibleWriter(tv.Type) {
+		return true
+	}
+	obj := pass.Pkg.Info.Uses[fun.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+			infallibleWriter(sig.Recv().Type()) {
+			return true
+		}
+	}
+	if obj.Pkg().Path() == "fmt" && strings.HasPrefix(obj.Name(), "Fprint") &&
+		len(call.Args) > 0 {
+		if tv, ok := pass.Pkg.Info.Types[call.Args[0]]; ok && infallibleWriter(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDiscardedCall flags a call statement whose error/Errno results are
+// dropped on the floor.
+func checkDiscardedCall(pass *Pass, call *ast.CallExpr, how string) {
+	// Type conversions parse as calls; skip them.
+	if tv, ok := pass.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	if exemptCall(pass, call) {
+		return
+	}
+	for _, t := range resultTypes(pass, call) {
+		if isErrorLike(t) {
+			pass.Report(call.Pos(), "%scall to %s discards its %s result", how, calleeName(call), typeLabel(t))
+			return
+		}
+	}
+}
+
+// checkBlankedErrors flags assignments that send an error/Errno result to _.
+func checkBlankedErrors(pass *Pass, assign *ast.AssignStmt) {
+	// Position-by-position types: either a 1:1 assignment or a multi-value
+	// call/comma-ok expansion on the right.
+	var rhsTypes []types.Type
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		if call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr); ok {
+			rhsTypes = resultTypes(pass, call)
+		} else {
+			return // comma-ok forms (map index, type assert, recv) have no error slot
+		}
+	} else {
+		for _, e := range assign.Rhs {
+			if tv, ok := pass.Pkg.Info.Types[e]; ok {
+				rhsTypes = append(rhsTypes, tv.Type)
+			} else {
+				rhsTypes = append(rhsTypes, nil)
+			}
+		}
+	}
+	if len(rhsTypes) != len(assign.Lhs) {
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if isErrorLike(rhsTypes[i]) {
+			pass.Report(id.Pos(), "%s result assigned to _: handle or propagate it", typeLabel(rhsTypes[i]))
+		}
+	}
+}
+
+// typeLabel names an error-like type compactly for messages.
+func typeLabel(t types.Type) string {
+	if isErrnoType(t) {
+		return "Errno"
+	}
+	s := t.String()
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}

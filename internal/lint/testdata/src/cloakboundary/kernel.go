@@ -1,0 +1,39 @@
+// Package guestos is cloakboundary-analyzer testdata loaded under the
+// production import path overshadow/internal/guestos, importing the real
+// mach and cloak packages.
+package guestos
+
+import (
+	"overshadow/internal/cloak"
+	"overshadow/internal/mach"
+)
+
+func badMemoryHandle(m *mach.Memory) { // want `references mach\.Memory`
+	frame := m.Page(0) // want `calls mach\.Memory\.Page`
+	_ = frame
+}
+
+func badMPN(x uint64) mach.MPN { // want `references mach\.MPN`
+	return mach.MPN(x) // want `references mach\.MPN`
+}
+
+func badAllocator(a *mach.FrameAllocator) { // want `references mach\.FrameAllocator`
+	a.Free(3) // want `calls mach\.FrameAllocator\.Free`
+}
+
+func badKeys(secret []byte) [cloak.KeySize]byte { // want `references cloak\.KeySize`
+	keys := cloak.NewMasterKeyer(secret) // want `references cloak\.NewMasterKeyer`
+	return keys.DomainKey(1)             // want `references cloak\.DomainKey`
+}
+
+// Opaque identifier types carry no key or plaintext material and may pass
+// through untrusted code freely.
+func okOpaqueIDs(d cloak.DomainID, r cloak.ResourceID, g mach.GPPN) bool {
+	return uint32(d) == 0 && uint64(r) == 0 && uint64(g) == 0
+}
+
+func allowedHandle() {
+	//overlint:allow cloakboundary -- testdata: deliberate exception
+	var m *mach.Memory
+	_ = m
+}

@@ -1,0 +1,60 @@
+// Package vmm is cyclecharge-analyzer testdata loaded under the production
+// import path overshadow/internal/vmm, importing the real mach and sim
+// packages so the analyzer's memory/charge primitives resolve to the same
+// objects as on the production tree.
+package vmm
+
+import (
+	"overshadow/internal/mach"
+	"overshadow/internal/sim"
+)
+
+type Device struct {
+	mem   *mach.Memory
+	world *sim.World
+}
+
+func (d *Device) BadRead(mpn mach.MPN) byte { // want `BadRead reaches guest memory without charging`
+	return d.mem.Page(mpn)[0]
+}
+
+func (d *Device) GoodRead(mpn mach.MPN) byte {
+	d.world.Charge(d.world.Cost.MemAccess)
+	return d.mem.Page(mpn)[0]
+}
+
+// The reachability is transitive: BadIndirect never names mem.Page itself.
+func (d *Device) BadIndirect(mpn mach.MPN) byte { // want `BadIndirect reaches guest memory without charging`
+	return d.raw(mpn)
+}
+
+// Charging through a helper counts too.
+func (d *Device) GoodIndirect(mpn mach.MPN) byte {
+	d.charge()
+	return d.raw(mpn)
+}
+
+// Memory touched inside a function literal is attributed to the enclosing
+// declaration.
+func (d *Device) BadClosure(mpns []mach.MPN) int { // want `BadClosure reaches guest memory without charging`
+	total := 0
+	visit := func(mpn mach.MPN) { total += int(d.mem.Page(mpn)[0]) }
+	for _, m := range mpns {
+		visit(m)
+	}
+	return total
+}
+
+// Unexported helpers are internal plumbing; only the exported API surface
+// must guarantee the charge.
+func (d *Device) raw(mpn mach.MPN) byte { return d.mem.Page(mpn)[0] }
+
+func (d *Device) charge() { d.world.Charge(1) }
+
+// Exported but never reaches memory: not flagged.
+func (d *Device) Frames() int { return 0 }
+
+//overlint:allow cyclecharge -- testdata: deliberate exception
+func (d *Device) AllowedRead(mpn mach.MPN) byte {
+	return d.mem.Page(mpn)[0]
+}

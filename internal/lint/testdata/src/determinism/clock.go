@@ -1,0 +1,46 @@
+// Package sim is determinism-analyzer testdata loaded under the production
+// import path overshadow/internal/sim.
+package sim
+
+import (
+	"math/rand" // want "import of math/rand"
+	"time"
+)
+
+// Deterministic time arithmetic is fine: only host-clock reads are banned.
+const tick = 10 * time.Millisecond
+
+func badTime() int64 {
+	t := time.Now()    // want `time\.Now reads host time`
+	time.Sleep(tick)   // want `time\.Sleep reads host time`
+	d := time.Since(t) // want `time\.Since reads host time`
+	<-time.After(tick) // want `time\.After reads host time`
+	return d.Nanoseconds() + rand.Int63()
+}
+
+func badSelect(a, b chan int) int {
+	select { // want "select over 2 channels"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func okSelect(a chan int) int {
+	select { // single channel + default: deterministic, not flagged
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+func badGo() {
+	go badTime() // want "bare go statement"
+}
+
+func allowedGo() {
+	//overlint:allow determinism -- testdata: pretend this is baton-scheduled
+	go badTime()
+}

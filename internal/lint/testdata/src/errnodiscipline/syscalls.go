@@ -1,0 +1,55 @@
+// Package guestos is errnodiscipline-analyzer testdata loaded under the
+// production import path overshadow/internal/guestos. It declares a local
+// Errno stand-in (the real one lives in this same import path, so importing
+// it here would be a self-import).
+package guestos
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Errno mirrors the production guest errno type.
+type Errno int
+
+func (e Errno) Error() string { return "errno" }
+
+const (
+	OK     Errno = 0
+	EINVAL Errno = 22
+)
+
+func fallible() error { return nil }
+
+func sysRead() (int, Errno) { return 0, OK }
+
+func badDiscards() {
+	fallible()        // want `call to fallible discards its error result`
+	sysRead()         // want `call to sysRead discards its Errno result`
+	_ = fallible()    // want `error result assigned to _`
+	n, _ := sysRead() // want `Errno result assigned to _`
+	_ = n
+	defer fallible() // want `deferred call to fallible discards its error result`
+	go fallible()    // want `spawned call to fallible discards its error result`
+}
+
+func badRawErrno() Errno {
+	return Errno(99) // want `raw errno literal Errno\(99\)`
+}
+
+func okHandled() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	if _, e := sysRead(); e != OK { // binding e handles the Errno
+		return e
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "x") // infallible writer: not flagged
+	b.WriteString("y")   // likewise
+	n := int(EINVAL)     // conversion *from* Errno is fine
+	_ = n
+	//overlint:allow errnodiscipline -- testdata: deliberate exception
+	fallible()
+	return nil
+}

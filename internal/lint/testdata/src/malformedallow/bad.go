@@ -1,0 +1,6 @@
+// Package lintbad is driver testdata: its allow directive lacks the
+// mandatory "-- reason" clause and must itself be reported.
+package lintbad
+
+//overlint:allow determinism
+func noReason() {}

@@ -1,0 +1,103 @@
+package lint
+
+// Want-comment test harness, in the spirit of x/tools' analysistest: each
+// testdata file annotates the lines where an analyzer must report with
+//
+//	// want "regexp" ["regexp" ...]
+//
+// and the harness fails on any missing or unexpected finding. Testdata
+// packages are loaded under *production* import paths (via Loader.Overrides)
+// so the analyzers' package-path gates apply exactly as they do on the real
+// tree.
+
+import (
+	"fmt"
+	"regexp"
+	"testing"
+)
+
+// Want patterns may be double-quoted or backquoted (the latter avoids
+// escaping regexp backslashes).
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`")
+
+// expectation is one want regexp at a file:line.
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// runWantTest loads dir as importPath and checks analyzer findings against
+// the // want comments in its files.
+func runWantTest(t *testing.T, analyzer *Analyzer, importPath, dir string) {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.Overrides = map[string]string{importPath: dir}
+	pkg, err := loader.Load(importPath)
+	if err != nil {
+		t.Fatalf("loading %s from %s: %v", importPath, dir, err)
+	}
+
+	// Collect expectations from // want comments.
+	expected := make(map[string][]*expectation) // "file:line" -> expectations
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				idx := indexWant(c.Text)
+				if idx < 0 {
+					continue
+				}
+				pos := loader.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+					pat := m[1]
+					if m[2] != "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					expected[key] = append(expected[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	// Run just the analyzer under test, restricted to the testdata package;
+	// the full loaded set is still passed through for whole-module views.
+	findings := Analyze(loader, loader.order, []*Analyzer{analyzer}, []string{importPath})
+
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.File, f.Line)
+		ok := false
+		for _, e := range expected[key] {
+			if !e.matched && e.re.MatchString(f.Message) {
+				e.matched, ok = true, true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding at %s: %s", key, f.Message)
+		}
+	}
+	for key, exps := range expected {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s: expected finding matching %q, got none", key, e.re)
+			}
+		}
+	}
+}
+
+// indexWant finds the start of a want clause in a comment, if any.
+func indexWant(text string) int {
+	for i := 0; i+5 <= len(text); i++ {
+		if text[i:i+5] == "want " || text[i:i+5] == `want"` {
+			return i
+		}
+	}
+	return -1
+}

@@ -38,6 +38,7 @@ func (s *Ctx) openCloaked(path string, flags int) (int, error) {
 	}
 	st, err := s.uc.Fstat(fd)
 	if err != nil {
+		//overlint:allow errnodiscipline -- error path: the Fstat failure is what gets reported, not the best-effort close
 		s.uc.Close(fd)
 		return 0, err
 	}

@@ -170,6 +170,7 @@ func (s *Ctx) mustRegister(r vmm.Region) {
 func (s *Ctx) onExit() {
 	for fd := range s.cfiles {
 		// Best-effort flush of cloaked files (ignore errors on exit).
+		//overlint:allow errnodiscipline -- exit path: the process is gone, a flush failure has no one left to report to
 		s.flushCloaked(fd)
 	}
 	if s.hv.DomainSpaceCount(s.domain) <= 1 {
@@ -178,9 +179,12 @@ func (s *Ctx) onExit() {
 		s.hv.HCDestroyDomain(s.domain)
 	} else {
 		// Siblings still alive: release only our private resources.
+		//overlint:allow errnodiscipline -- exit path: resources are known-registered, release cannot meaningfully fail here
 		s.hv.HCReleaseResource(s.as, s.heapRes, guestos.LayoutHeapMax-guestos.LayoutHeapBase)
+		//overlint:allow errnodiscipline -- exit path: resources are known-registered, release cannot meaningfully fail here
 		s.hv.HCReleaseResource(s.as, s.stackRes, guestos.LayoutStackMax)
 		for _, ar := range s.anonRegions {
+			//overlint:allow errnodiscipline -- exit path: resources are known-registered, release cannot meaningfully fail here
 			s.hv.HCReleaseResource(s.as, ar.res, ar.pages)
 		}
 	}
@@ -268,7 +272,9 @@ func (s *Ctx) Free(base mach.Addr) error {
 	if err := s.hv.HCUnregisterRegion(s.as, vpn); err != nil {
 		return err
 	}
-	s.hv.HCReleaseResource(s.as, ar.res, ar.pages)
+	if err := s.hv.HCReleaseResource(s.as, ar.res, ar.pages); err != nil {
+		return err
+	}
 	delete(s.anonRegions, vpn)
 	return s.uc.Free(base)
 }

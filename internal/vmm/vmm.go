@@ -101,6 +101,8 @@ type Config struct {
 
 // New boots a VMM over freshly allocated machine memory. Machine memory is
 // sized to back all guest-physical pages plus one reserved frame.
+//
+//overlint:allow cyclecharge -- boot-time construction: frames are touched once before any measured run starts
 func New(world *sim.World, cfg Config) *VMM {
 	if cfg.GuestPages <= 0 {
 		panic("vmm: GuestPages must be positive")

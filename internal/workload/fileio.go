@@ -176,12 +176,12 @@ func compileJob(e guestos.Env, cfg ProcessMixConfig, job int) {
 		if _, err := e.Write(fd, buf, len(data)); err != nil {
 			e.Exit(1)
 		}
-		e.Lseek(fd, 0, guestos.SeekSet)
+		must1(e.Lseek(fd, 0, guestos.SeekSet))
 		if _, err := e.Read(fd, buf, len(data)); err != nil {
 			e.Exit(1)
 		}
-		e.Close(fd)
-		e.Unlink(path)
+		must(e.Close(fd))
+		must(e.Unlink(path))
 	}
 	e.Exit(0)
 }

@@ -37,17 +37,17 @@ func KVProgram(cfg KVConfig) guestos.Program {
 			e.Exit(1)
 		}
 		pid, err := e.Fork(func(c guestos.Env) {
-			c.Close(reqR)
-			c.Close(repW)
+			must(c.Close(reqR))
+			must(c.Close(repW))
 			kvClient(c, cfg, reqW, repR)
 		})
 		if err != nil {
 			e.Exit(1)
 		}
-		e.Close(reqW)
-		e.Close(repR)
+		must(e.Close(reqW))
+		must(e.Close(repR))
 		kvServe(e, cfg, reqR, repW)
-		if _, status, _ := e.WaitPid(pid); status != 0 {
+		if _, status := must2(e.WaitPid(pid)); status != 0 {
 			e.Exit(1)
 		}
 		e.Exit(0)
@@ -148,10 +148,10 @@ func kvServe(e guestos.Env, cfg KVConfig, reqR, repW int) {
 		if _, err := e.Write(fd, table, cfg.Keys*kvSlot); err != nil {
 			e.Exit(1)
 		}
-		e.Close(fd)
+		must(e.Close(fd))
 	}
-	e.Close(reqR)
-	e.Close(repW)
+	must(e.Close(reqR))
+	must(e.Close(repW))
 }
 
 func kvClient(e guestos.Env, cfg KVConfig, reqW, repR int) {
@@ -210,7 +210,7 @@ func kvClient(e guestos.Env, cfg KVConfig, reqW, repR int) {
 	}
 	e.WriteMem(io, []byte{'Q'})
 	kvWriteFull(e, reqW, io, 1)
-	e.Close(reqW)
-	e.Close(repR)
+	must(e.Close(reqW))
+	must(e.Close(repR))
 	e.Exit(0)
 }

@@ -1,0 +1,22 @@
+package workload
+
+// Workload programs exercise long syscall sequences; a silently failed
+// close or seek would skew the workload shape without failing the run. The
+// must helpers make any unexpected guest error fatal (the guest kernel
+// surfaces the panic out of Run).
+
+func must(err error) {
+	if err != nil {
+		panic("workload: unexpected guest error: " + err.Error())
+	}
+}
+
+func must1[T any](v T, err error) T {
+	must(err)
+	return v
+}
+
+func must2[A, B any](a A, b B, err error) (A, B) {
+	must(err)
+	return a, b
+}

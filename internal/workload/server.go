@@ -90,10 +90,10 @@ func WebServerProgram(cfg WebConfig) guestos.Program {
 		if err != nil {
 			e.Exit(1)
 		}
-		e.Close(reqW)
-		e.Close(respR)
+		must(e.Close(reqW))
+		must(e.Close(respR))
 		webServe(e, cfg, reqR, respW)
-		e.WaitPid(pid)
+		must2(e.WaitPid(pid))
 		e.Exit(0)
 	}
 }
@@ -126,8 +126,8 @@ func webClient(e guestos.Env, cfg WebConfig, reqW, respR int) {
 			e.Exit(1)
 		}
 	}
-	e.Close(reqW)
-	e.Close(respR)
+	must(e.Close(reqW))
+	must(e.Close(respR))
 	e.Exit(0)
 }
 
@@ -169,7 +169,7 @@ func webServe(e guestos.Env, cfg WebConfig, reqR, respW int) {
 		if err != nil {
 			e.Exit(1)
 		}
-		e.Close(fd)
+		must(e.Close(fd))
 		hdrB[0], hdrB[1], hdrB[2], hdrB[3] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
 		e.WriteMem(body, hdrB)
 		off := 0
@@ -181,6 +181,6 @@ func webServe(e guestos.Env, cfg WebConfig, reqR, respW int) {
 			off += m
 		}
 	}
-	e.Close(reqR)
-	e.Close(respW)
+	must(e.Close(reqR))
+	must(e.Close(respW))
 }

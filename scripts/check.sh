@@ -1,0 +1,40 @@
+#!/bin/sh
+# check.sh — the full verification gate for this repo (ROADMAP tier-1 plus
+# the static-analysis and race gates). Run from anywhere inside the module.
+#
+#   gofmt      every file formatted
+#   go vet     compiler-adjacent checks
+#   overlint   domain invariants (determinism, cloakboundary,
+#              errnodiscipline, cyclecharge) — see DESIGN.md
+#   build      everything compiles
+#   tests      full suite
+#   race       race detector over the concurrent packages (guest kernel
+#              goroutines + end-to-end scenarios)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== overlint"
+go run ./cmd/overlint ./...
+
+echo "== build"
+go build ./...
+
+echo "== tests"
+go test ./...
+
+echo "== race pass"
+go test -race ./internal/guestos/... ./internal/core/...
+
+echo "ALL CHECKS PASSED"
