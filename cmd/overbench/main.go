@@ -3,11 +3,14 @@
 //
 // Usage:
 //
-//	overbench               # run every experiment at quick scale
-//	overbench -full         # full-scale parameters (slower)
-//	overbench -e E1,E8      # a subset by ID
-//	overbench -seed 7       # change the simulation seed
-//	overbench -list         # list experiments
+//	overbench                      # run every experiment at quick scale
+//	overbench -full                # full-scale parameters (slower)
+//	overbench -e E1,E8             # a subset by ID
+//	overbench -seed 7              # change the simulation seed
+//	overbench -list                # list experiments
+//	overbench -json                # emit tables as JSON
+//	overbench -e E2 -trace t.json  # also write a Perfetto-loadable trace
+//	overbench -metrics m.json      # also write attributed cycle metrics
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"time"
 
 	"overshadow/internal/harness"
+	"overshadow/internal/obs"
 )
 
 func main() {
@@ -26,6 +30,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	list := flag.Bool("list", false, "list experiments and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of formatted tables")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of formatted tables")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON (load in Perfetto) to `file`")
+	metricsOut := flag.String("metrics", "", "write attributed cycle metrics JSON to `file`")
 	flag.Parse()
 
 	if *list {
@@ -36,6 +43,12 @@ func main() {
 	}
 
 	opts := harness.Options{Quick: !*full, Seed: *seed}
+	if *traceOut != "" || *metricsOut != "" {
+		opts.Observe = &harness.Observer{}
+		if *traceOut != "" {
+			opts.Observe.TraceCap = 1 << 18
+		}
+	}
 	selected := harness.Registry()
 	if *only != "" {
 		selected = selected[:0]
@@ -49,23 +62,75 @@ func main() {
 		}
 	}
 
-	if *csv {
+	switch {
+	case *csv:
 		for _, e := range selected {
 			tab := e.Run(opts)
 			fmt.Printf("# %s — %s\n%s\n", tab.ID, tab.Title, tab.CSV())
 		}
-		return
+	case *jsonOut:
+		out := make([]string, 0, len(selected))
+		for _, e := range selected {
+			out = append(out, e.Run(opts).JSON())
+		}
+		fmt.Printf("[\n%s\n]\n", strings.Join(out, ",\n"))
+	default:
+		mode := "quick"
+		if *full {
+			mode = "full"
+		}
+		fmt.Printf("overshadow experiment suite (%s scale, seed %d)\n\n", mode, *seed)
+		for _, e := range selected {
+			start := time.Now()
+			tab := e.Run(opts)
+			fmt.Println(tab)
+			fmt.Printf("  (host time %.1fs)\n\n", time.Since(start).Seconds())
+		}
 	}
 
-	mode := "quick"
-	if *full {
-		mode = "full"
+	if opts.Observe != nil {
+		writeObservations(opts.Observe, *traceOut, *metricsOut)
 	}
-	fmt.Printf("overshadow experiment suite (%s scale, seed %d)\n\n", mode, *seed)
-	for _, e := range selected {
-		start := time.Now()
-		tab := e.Run(opts)
-		fmt.Println(tab)
-		fmt.Printf("  (host time %.1fs)\n\n", time.Since(start).Seconds())
+}
+
+// writeObservations exports the collected spans and metrics to the
+// requested files.
+func writeObservations(ob *harness.Observer, tracePath, metricsPath string) {
+	if tracePath != "" {
+		spans, ring := ob.Trace()
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteChromeTrace(f, spans, ring); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "overbench: wrote %d spans to %s (%d emitted, %d dropped)\n",
+			len(spans), tracePath, ring.Total, ring.Dropped)
 	}
+	if metricsPath != "" {
+		m := ob.Metrics
+		if m == nil {
+			m = obs.NewMetrics() // no experiment attached a world
+		}
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteMetricsJSON(f, m); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "overbench: wrote attributed metrics to %s\n", metricsPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "overbench: %v\n", err)
+	os.Exit(1)
 }

@@ -126,15 +126,15 @@ func main() {
 	fmt.Printf("\ncounters:\n%s", filterStats(sys.Stats()))
 
 	if *trace {
-		evts, total := sys.World.TraceEvents()
-		fmt.Printf("\ndiagnostic trace (%d events total, showing last %d):\n",
-			total, min(len(evts), 40))
-		start := len(evts) - 40
+		spans, ring := sys.World.TraceSpans()
+		fmt.Printf("\ndiagnostic trace (%d spans total, %d dropped, showing last %d):\n",
+			ring.Total, ring.Dropped, min(len(spans), 40))
+		start := len(spans) - 40
 		if start < 0 {
 			start = 0
 		}
-		for _, ev := range evts[start:] {
-			fmt.Printf("  %s\n", ev)
+		for _, s := range spans[start:] {
+			fmt.Printf("  %s\n", s)
 		}
 	}
 }

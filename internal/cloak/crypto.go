@@ -146,10 +146,8 @@ func (e *Engine) EncryptPage(id PageID, prevVersion uint64, page []byte) Meta {
 	e.stream(id.Domain, iv).XORKeyStream(page, page)
 	version := prevVersion + 1
 	hash := hashPage(id, version, iv, page)
-	e.world.Charge(e.world.Cost.PageCryptCost(len(page)))
-	e.world.Charge(e.world.Cost.PageHashCost(len(page)))
-	e.world.Stats.Inc(sim.CtrPageEncrypt)
-	e.world.Stats.Inc(sim.CtrHashCompute)
+	e.world.ChargeCount(e.world.Cost.PageCryptCost(len(page)), sim.CtrPageEncrypt)
+	e.world.ChargeCount(e.world.Cost.PageHashCost(len(page)), sim.CtrHashCompute)
 	return Meta{IV: iv, Hash: hash, Version: version}
 }
 
@@ -169,15 +167,14 @@ func (e *ErrIntegrity) Error() string {
 // decrypts in place. On failure the page is left untouched and an
 // *ErrIntegrity is returned.
 func (e *Engine) DecryptPage(id PageID, meta Meta, page []byte) error {
-	e.world.Charge(e.world.Cost.PageHashCost(len(page)))
+	e.world.ChargeAdd(e.world.Cost.PageHashCost(len(page)), sim.CtrHashCompute, 0)
 	want := hashPage(id, meta.Version, meta.IV, page)
 	if want != meta.Hash {
-		e.world.Stats.Inc(sim.CtrHashVerifyFail)
+		e.world.ChargeAdd(0, sim.CtrHashVerifyFail, 1)
 		return &ErrIntegrity{Page: id}
 	}
-	e.world.Stats.Inc(sim.CtrHashVerifyOK)
+	e.world.ChargeAdd(0, sim.CtrHashVerifyOK, 1)
 	e.stream(id.Domain, meta.IV).XORKeyStream(page, page)
-	e.world.Charge(e.world.Cost.PageCryptCost(len(page)))
-	e.world.Stats.Inc(sim.CtrPageDecrypt)
+	e.world.ChargeCount(e.world.Cost.PageCryptCost(len(page)), sim.CtrPageDecrypt)
 	return nil
 }

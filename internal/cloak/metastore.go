@@ -51,7 +51,7 @@ func (s *MetaStore) evictOne() {
 			// Spill to the hash-tree-protected backing area.
 			s.backing[victim] = m
 			delete(s.cache, victim)
-			s.world.Charge(s.world.Cost.MetaCacheMiss)
+			s.world.ChargeAdd(s.world.Cost.MetaCacheMiss, sim.CtrMetaCacheMiss, 0)
 			return
 		}
 	}

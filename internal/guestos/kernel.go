@@ -3,6 +3,7 @@ package guestos
 import (
 	"fmt"
 
+	"overshadow/internal/obs"
 	"overshadow/internal/sim"
 	"overshadow/internal/vmm"
 )
@@ -165,6 +166,7 @@ func (k *Kernel) Run() {
 	}
 	first := k.dequeue()
 	k.current = first
+	k.dispatchAttr(first)
 	first.baton <- struct{}{}
 	<-k.done
 	if k.panicked != nil {
@@ -230,7 +232,9 @@ func (k *Kernel) pickNext() *Proc {
 		s := k.sleepers[earliest]
 		k.sleepers = append(k.sleepers[:earliest], k.sleepers[earliest+1:]...)
 		if s.wake > k.world.Now() {
-			k.world.Charge(s.wake - k.world.Now())
+			// Idle: no task holds the CPU while the clock advances.
+			k.world.SetTask(0, 0, "", 0, false)
+			k.world.ChargeAdd(s.wake-k.world.Now(), sim.CtrIdle, 0)
 		}
 		k.makeRunnable(s.p)
 	}
@@ -242,6 +246,8 @@ func (k *Kernel) pickNext() *Proc {
 // simply returns.
 func (k *Kernel) switchTo(next *Proc, cur *Proc, park bool) {
 	k.world.ChargeCount(k.world.Cost.ContextSwitch, sim.CtrContextSwitch)
+	k.world.EmitSpan(obs.KindCtxSwitch, "switch", uint64(next.pid), k.world.Cost.ContextSwitch)
+	k.dispatchAttr(next)
 	k.current = next
 	next.sliceStart = k.world.Now()
 	next.state = stateRunning
@@ -264,6 +270,7 @@ func (k *Kernel) yield(p *Proc) {
 	if next == p {
 		p.state = stateRunning
 		p.sliceStart = k.world.Now()
+		k.dispatchAttr(p)
 		return
 	}
 	k.switchTo(next, p, true)
@@ -304,6 +311,7 @@ func (k *Kernel) sleepUntil(p *Proc, wakeAt sim.Cycles) {
 	next := k.pickNext()
 	if next == p {
 		p.state = stateRunning
+		k.dispatchAttr(p)
 		return
 	}
 	k.switchTo(next, p, true)
@@ -325,4 +333,10 @@ func (k *Kernel) maybePreempt(p *Proc) {
 		return
 	}
 	k.yield(p)
+}
+
+// dispatchAttr points cycle and span attribution at p; the scheduler calls
+// it at every point where p (re)takes the simulated CPU.
+func (k *Kernel) dispatchAttr(p *Proc) {
+	k.world.SetTask(int(p.procShared.leader.pid), int(p.pid), p.name, uint32(p.thread.Domain), p.cloaked)
 }

@@ -3,6 +3,7 @@ package guestos
 import (
 	"overshadow/internal/mach"
 	"overshadow/internal/mmu"
+	"overshadow/internal/obs"
 	"overshadow/internal/sim"
 )
 
@@ -283,8 +284,8 @@ func (k *Kernel) pageOut(p *Proc, vpn uint64, pte mmu.PTE) bool {
 			k.swap.freeSlot(old)
 		}
 		p.swapped[vpn] = blk
-		k.world.Stats.Inc(sim.CtrPageOut)
-		k.world.Trace("swap.out", "pid %d vpn %#x -> slot %d", p.pid, vpn, blk)
+		k.world.ChargeAdd(0, sim.CtrPageOut, 1)
+		k.world.Emit(obs.KindSwap, "out", vpn)
 	}
 	p.gpt.Unmap(vpn)
 	p.residentPages--
@@ -338,7 +339,7 @@ func (k *Kernel) pageInZero(p *Proc, vpn uint64, v *VMA) Errno {
 	}
 	k.vmm.PhysZero(g)
 	p.mapUserPage(vpn, g, v.Writable)
-	k.world.Stats.Inc(sim.CtrPageFaultDemand)
+	k.world.ChargeAdd(0, sim.CtrPageFaultDemand, 1)
 	return OK
 }
 
@@ -360,8 +361,8 @@ func (k *Kernel) pageInSwap(p *Proc, vpn uint64, v *VMA, blk uint64) Errno {
 	p.mapUserPage(vpn, g, v.Writable)
 	delete(p.swapped, vpn)
 	k.swap.freeSlot(blk)
-	k.world.Stats.Inc(sim.CtrPageIn)
-	k.world.Trace("swap.in", "pid %d vpn %#x <- slot %d", p.pid, vpn, blk)
+	k.world.ChargeAdd(0, sim.CtrPageIn, 1)
+	k.world.Emit(obs.KindSwap, "in", vpn)
 	return OK
 }
 
@@ -379,7 +380,7 @@ func (k *Kernel) pageInFile(p *Proc, vpn uint64, v *VMA) Errno {
 	}
 	k.vmm.PhysWrite(g, 0, buf)
 	p.mapUserPage(vpn, g, v.Writable)
-	k.world.Stats.Inc(sim.CtrPageFaultDemand)
+	k.world.ChargeAdd(0, sim.CtrPageFaultDemand, 1)
 	return OK
 }
 
@@ -390,7 +391,7 @@ func (k *Kernel) cowBreak(p *Proc, vpn uint64, pte mmu.PTE) Errno {
 		// Last sharer: just restore write permission.
 		p.gpt.SetFlags(vpn, mmu.FlagWritable)
 		k.vmm.InvalidateGuestMapping(p.as, vpn)
-		k.world.Stats.Inc(sim.CtrPageFaultCOW)
+		k.world.ChargeAdd(0, sim.CtrPageFaultCOW, 1)
 		return OK
 	}
 	ng, errno := k.allocUserPage(p, vpn)
@@ -400,12 +401,12 @@ func (k *Kernel) cowBreak(p *Proc, vpn uint64, pte mmu.PTE) Errno {
 	buf := make([]byte, mach.PageSize)
 	k.vmm.PhysRead(g, 0, buf)
 	k.vmm.PhysWrite(ng, 0, buf)
-	k.world.Charge(k.world.Cost.PageCopy)
+	k.world.ChargeAdd(k.world.Cost.PageCopy, sim.CtrPageCopy, 1)
 	k.mem.release(g)
 	p.gpt.Map(vpn, mmu.PTE{PN: uint64(ng),
 		Flags: mmu.FlagPresent | mmu.FlagUser | mmu.FlagWritable})
 	k.vmm.InvalidateGuestMapping(p.as, vpn)
-	k.world.Stats.Inc(sim.CtrPageFaultCOW)
+	k.world.ChargeAdd(0, sim.CtrPageFaultCOW, 1)
 	return OK
 }
 

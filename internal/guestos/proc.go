@@ -5,6 +5,7 @@ import (
 
 	"overshadow/internal/mach"
 	"overshadow/internal/mmu"
+	"overshadow/internal/obs"
 	"overshadow/internal/sim"
 	"overshadow/internal/vmm"
 )
@@ -272,7 +273,7 @@ func (k *Kernel) exitCurrent(p *Proc, status int) {
 // exitThread terminates the calling thread. The last thread out performs
 // the process-level teardown. Never returns.
 func (k *Kernel) exitThread(p *Proc) {
-	k.world.Trace("proc.exit", "pid %d %q status %d", p.pid, p.name, p.procShared.exitStatus)
+	k.world.Emit(obs.KindProc, "exit", uint64(p.pid))
 	k.vmm.DestroyThread(p.thread)
 	p.state = stateZombie
 	delete(k.procs, p.pid)
@@ -365,8 +366,8 @@ func (k *Kernel) releaseAddressSpace(p *Proc) {
 // the child address space is fully built but before the child is runnable;
 // the shim uses it to re-cloak the child via hypercall.
 func (k *Kernel) forkProc(p *Proc, childRunner func(*UserCtx), onPrepared func(parent, child *vmm.AddressSpace) error) (Pid, Errno) {
-	k.world.Stats.Inc(sim.CtrFork)
-	k.world.Trace("proc.fork", "pid %d forking", p.pid)
+	k.world.ChargeAdd(0, sim.CtrFork, 1)
+	k.world.Emit(obs.KindProc, "fork", uint64(p.pid))
 	child := k.newProc(p.procShared.leader.pid, p.cloaked, p.name, p.args)
 	child.procShared.brk = p.brk
 	child.procShared.mmapPtr = p.mmapPtr
@@ -491,7 +492,7 @@ func (k *Kernel) execProc(p *Proc, name string, args []string) Errno {
 	if !ok {
 		return ENOENT
 	}
-	k.world.Stats.Inc(sim.CtrExec)
+	k.world.ChargeAdd(0, sim.CtrExec, 1)
 	sh := p.procShared
 	for _, t := range sh.threads {
 		if t != p && t.state != stateZombie {
@@ -601,7 +602,7 @@ func (k *Kernel) killProc(p *Proc, target Pid, sig Signal) Errno {
 		return OK
 	}
 	t.procShared.sigPending = append(t.procShared.sigPending, sig)
-	k.world.Stats.Inc(sim.CtrSignalDeliver)
+	k.world.ChargeAdd(0, sim.CtrSignalDeliver, 1)
 	k.wake(t.procShared.leader)
 	return OK
 }

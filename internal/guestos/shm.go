@@ -97,6 +97,6 @@ func (k *Kernel) pageInShm(p *Proc, vpn uint64, v *VMA) Errno {
 	// Each mapping holds its own reference on top of the object's.
 	k.mem.share(g)
 	p.mapUserPage(vpn, g, v.Writable)
-	k.world.Stats.Inc(sim.CtrPageFaultDemand)
+	k.world.ChargeAdd(0, sim.CtrPageFaultDemand, 1)
 	return OK
 }

@@ -21,10 +21,10 @@ func RunE11(opts Options) *Table {
 	totalKB := opts.scale(4096, 512)
 	chunk := 16 * 1024
 
-	pipeCycles, _ := runToCompletion(
+	pipeCycles, _ := runToCompletion(opts,
 		core.Config{MemoryPages: 4096, Seed: opts.seed()},
 		"pipeipc", pipeIPCProgram(totalKB, chunk), true)
-	shmCycles, _ := runToCompletion(
+	shmCycles, _ := runToCompletion(opts,
 		core.Config{MemoryPages: 4096, Seed: opts.seed()},
 		"shmipc", shmIPCProgram(totalKB, chunk), true)
 

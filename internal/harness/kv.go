@@ -23,8 +23,8 @@ func RunE12(opts Options) *Table {
 		}
 		prog := workload.KVProgram(cfg)
 		sysCfg := core.Config{MemoryPages: 4096, Seed: opts.seed()}
-		nat, _ := runToCompletion(sysCfg, "kv", prog, false)
-		clo, _ := runToCompletion(sysCfg, "kv", prog, true)
+		nat, _ := runToCompletion(opts, sysCfg, "kv", prog, false)
+		clo, _ := runToCompletion(opts, sysCfg, "kv", prog, true)
 		t.AddRow(fmt.Sprintf("value %dB", vs), thrput(ops, nat), thrput(ops, clo), pct(clo, nat))
 	}
 	t.Note("per op: pipe round trip (marshalled both sides when cloaked) + protected table access")

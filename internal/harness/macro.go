@@ -11,9 +11,15 @@ import (
 )
 
 // runToCompletion builds a system, runs one program, and returns elapsed
-// simulated cycles plus the system for counter inspection.
-func runToCompletion(cfg core.Config, name string, prog core.Program, cloaked bool) (sim.Cycles, *core.System) {
+// simulated cycles plus the system for counter inspection. The world is
+// attached to opts.Observe (if any) under a "<program>/<mode>" phase label.
+func runToCompletion(opts Options, cfg core.Config, name string, prog core.Program, cloaked bool) (sim.Cycles, *core.System) {
 	sys := core.NewSystem(cfg)
+	mode := "native"
+	if cloaked {
+		mode = "cloaked"
+	}
+	opts.observe(sys.World, name+"/"+mode)
 	sys.Register(name, prog)
 	var so []core.SpawnOpt
 	if cloaked {
@@ -54,8 +60,8 @@ func RunE3(opts Options) *Table {
 		cfg := workload.CPUConfig{Kernel: k, WorkingSetK: ws, Iters: iters}
 		prog := workload.CPUProgram(cfg)
 		sysCfg := core.Config{MemoryPages: 4096, Seed: opts.seed()}
-		nat, _ := runToCompletion(sysCfg, string(k), prog, false)
-		clo, _ := runToCompletion(sysCfg, string(k), prog, true)
+		nat, _ := runToCompletion(opts, sysCfg, string(k), prog, false)
+		clo, _ := runToCompletion(opts, sysCfg, string(k), prog, true)
 		t.AddRow(string(k), mcyc(nat), mcyc(clo), pct(clo, nat))
 	}
 	t.Note("working set %d KiB, fits in RAM: cloaking costs only startup + timer crossings", ws)
@@ -76,8 +82,8 @@ func RunE4(opts Options) *Table {
 		}
 		prog := workload.WebServerProgram(cfg)
 		sysCfg := core.Config{MemoryPages: 8192, Seed: opts.seed()}
-		nat, _ := runToCompletion(sysCfg, "web", prog, false)
-		clo, _ := runToCompletion(sysCfg, "web", prog, true)
+		nat, _ := runToCompletion(opts, sysCfg, "web", prog, false)
+		clo, _ := runToCompletion(opts, sysCfg, "web", prog, true)
 		name := fmt.Sprintf("payload %dKiB", payload/1024)
 		t.AddRow(name, thrput(reqs, nat), thrput(reqs, clo), pct(clo, nat))
 	}
@@ -110,7 +116,7 @@ func RunE5(opts Options) *Table {
 		cfg := workload.FileIOConfig{FileKB: fileKB, IOSize: io, RandReads: rand, Cloak: m.cloakF}
 		prog := workload.FileIOProgram(cfg)
 		sysCfg := core.Config{MemoryPages: 8192, FSDiskPages: 65536, Seed: opts.seed()}
-		cycles, _ := runToCompletion(sysCfg, "fileio", prog, m.cloakP)
+		cycles, _ := runToCompletion(opts, sysCfg, "fileio", prog, m.cloakP)
 		t.AddRow(m.name, totalKB/mcyc(cycles), mcyc(cycles))
 	}
 	t.Note("cloaked files use the shim's mmap-emulated I/O: data never crosses the kernel in plaintext")
@@ -131,8 +137,8 @@ func RunE6(opts Options) *Table {
 		cfg := workload.PagingConfig{WorkingSetPages: pages, Sweeps: sweeps}
 		prog := workload.PagingProgram(cfg)
 		sysCfg := core.Config{MemoryPages: ram, SwapPages: uint64(ram) * 8, Seed: opts.seed()}
-		nat, _ := runToCompletion(sysCfg, "paging", prog, false)
-		clo, sys := runToCompletion(sysCfg, "paging", prog, true)
+		nat, _ := runToCompletion(opts, sysCfg, "paging", prog, false)
+		clo, sys := runToCompletion(opts, sysCfg, "paging", prog, true)
 		name := fmt.Sprintf("ws/ram = %.1f", ratio)
 		t.AddRow(name, mcyc(nat), mcyc(clo),
 			mcyc(clo)-mcyc(nat), float64(sys.Stats().Get(sim.CtrPageOut)))
@@ -154,6 +160,7 @@ func RunE7(opts Options) *Table {
 	for _, pages := range []int{ram * 5 / 4, ram * 3 / 2, ram * 2} {
 		cfg := workload.PagingConfig{WorkingSetPages: pages, Sweeps: 2}
 		sys := core.NewSystem(core.Config{MemoryPages: ram, SwapPages: uint64(ram) * 8, Seed: opts.seed()})
+		opts.observe(sys.World, fmt.Sprintf("meta-%dp/cloaked", pages))
 		maxBytes := 0
 		maxPages := 0
 		// Sample metadata growth whenever the kernel pages something out.
@@ -198,8 +205,8 @@ func RunE9(opts Options) *Table {
 		}
 		prog := workload.ProcessMixProgram(cfg)
 		sysCfg := core.Config{MemoryPages: 8192, Seed: opts.seed()}
-		nat, _ := runToCompletion(sysCfg, "mix", prog, false)
-		clo, _ := runToCompletion(sysCfg, "mix", prog, true)
+		nat, _ := runToCompletion(opts, sysCfg, "mix", prog, false)
+		clo, _ := runToCompletion(opts, sysCfg, "mix", prog, true)
 		t.AddRow(fmt.Sprintf("jobs=%d", jobs), mcyc(nat), mcyc(clo), pct(clo, nat))
 	}
 	t.Note("cloaked fork is eager-copy + re-cloak: the dominant overhead source, as in the paper")
@@ -240,7 +247,7 @@ func RunE10(opts Options) *Table {
 		cfg.MemoryPages = 448
 		cfg.Cost = &fastDisk
 		cfg.Seed = opts.seed()
-		cycles, _ := runToCompletion(cfg, "mixed", mixed, true)
+		cycles, _ := runToCompletion(opts, cfg, "mixed", mixed, true)
 		m := mcyc(cycles)
 		if i == 0 {
 			base = m

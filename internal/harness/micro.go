@@ -181,8 +181,13 @@ func runMicroSuite(opts Options, cloaked bool) microResults {
 	out := microResults{}
 	reps := opts.scale(400, 60)
 
+	mode := "native"
+	if cloaked {
+		mode = "cloaked"
+	}
 	run := func(name string, prog core.Program) {
 		sys := core.NewSystem(core.Config{MemoryPages: 4096, Seed: opts.seed()})
+		opts.observe(sys.World, name+"/"+mode)
 		sys.Register(name, prog)
 		sys.Register("noop", func(e core.Env) { e.Exit(0) })
 		var so []core.SpawnOpt
@@ -232,10 +237,47 @@ func RunE1(opts Options) *Table {
 	return t
 }
 
+// e2Component maps a counter name to its E2 breakdown column: crypto
+// (encryption, hashing, metadata), vmm (world switches, CTC, traps,
+// hypercalls), or mem+tlb (raw memory movement and TLB churn). Everything
+// else lands in the "other" remainder column.
+func e2Component(name string) int {
+	switch sim.Counter(name) {
+	case sim.CtrPageEncrypt, sim.CtrPageDecrypt, sim.CtrHashCompute, sim.CtrMetaCacheMiss:
+		return 1
+	case sim.CtrCTCSave, sim.CtrCTCRestore, sim.CtrWorldSwitch, sim.CtrTrap, sim.CtrHypercall:
+		return 2
+	case sim.CtrMemAccess, sim.CtrTLBMiss, sim.CtrTLBEvict, sim.CtrTLBFlush, sim.CtrPageZero, sim.CtrPageCopy:
+		return 3
+	}
+	return 4
+}
+
+// breakdown turns a total and the attributed before/after counter deltas
+// into the [total, crypto, vmm, mem+tlb, other] row shape of E2. The four
+// component columns sum exactly to total: every charge in the machine is
+// attributed to a named counter and the remainder is computed, not measured.
+func breakdown(total float64, before, after map[string]uint64) []float64 {
+	vals := []float64{total, 0, 0, 0, 0}
+	for name, v := range after {
+		if c := e2Component(name); c != 4 {
+			vals[c] += float64(v - before[name])
+		}
+	}
+	vals[4] = total - vals[1] - vals[2] - vals[3]
+	return vals
+}
+
 // RunE2 decomposes the cost of one cloaking transition by measuring each
-// primitive directly against the VMM.
+// primitive directly against the VMM, splitting every measured row into
+// per-component attributed cycles.
 func RunE2(opts Options) *Table {
 	w := sim.NewWorld(sim.DefaultCostModel(), opts.seed())
+	opts.observe(w, "E2/primitives")
+	met := w.Metrics
+	if met == nil {
+		met = w.EnableMetrics(nil) // breakdown columns need attribution even unobserved
+	}
 	hv := vmm.New(w, vmm.Config{GuestPages: 64})
 	as := hv.CreateAddressSpace(mmu.NewPageTable())
 	if _, err := hv.HCCreateDomain(as); err != nil {
@@ -247,16 +289,17 @@ func RunE2(opts Options) *Table {
 	}
 	as.GuestPT().Map(16, mmu.PTE{PN: 3, Flags: mmu.FlagPresent | mmu.FlagWritable | mmu.FlagUser})
 
-	timed := func(f func()) float64 {
+	timed := func(f func()) []float64 {
+		before := met.TotalsByName()
 		t0 := w.Now()
 		f()
-		return float64(w.Clock.Since(t0))
+		return breakdown(float64(w.Clock.Since(t0)), before, met.TotalsByName())
 	}
 
 	t := &Table{
 		ID:      "E2",
 		Title:   "Cloaking transition cost breakdown (simulated cycles)",
-		Columns: []string{"cycles"},
+		Columns: []string{"cycles", "crypto", "vmm", "mem+tlb", "other"},
 	}
 
 	// First app touch: zero-fill + shadow fill.
@@ -265,35 +308,78 @@ func RunE2(opts Options) *Table {
 		if err := hv.WriteVirt(as, vmm.ViewApp, 16*mach.PageSize, one, true); err != nil {
 			panic(err)
 		}
-	}))
+	})...)
 	// Kernel touch of plaintext page: encrypt 4 KiB + hash + shadow ops.
 	buf := make([]byte, 8)
 	t.AddRow("kernel touch (encrypt+hash)", timed(func() {
 		if err := hv.ReadVirt(as, vmm.ViewSystem, 16*mach.PageSize, buf, false); err != nil {
 			panic(err)
 		}
-	}))
+	})...)
 	// App re-touch: verify + decrypt.
 	t.AddRow("app re-touch (verify+decrypt)", timed(func() {
 		if err := hv.ReadVirt(as, vmm.ViewApp, 16*mach.PageSize, buf, true); err != nil {
 			panic(err)
 		}
-	}))
+	})...)
 
 	th := hv.CreateThread(as.Domain())
-	t.AddRow("trap enter (CTC save+scrub)", timed(func() { th.EnterKernel(vmm.TrapSyscall) }))
+	t.AddRow("trap enter (CTC save+scrub)", timed(func() { th.EnterKernel(vmm.TrapSyscall) })...)
 	t.AddRow("trap exit (CTC restore)", timed(func() {
 		if err := th.ExitKernel(); err != nil {
 			panic(err)
 		}
-	}))
-	t.AddRow("hypercall dispatch", timed(func() { must1(hv.HCAllocResource(as)) }))
+	})...)
+	t.AddRow("hypercall dispatch", timed(func() { must1(hv.HCAllocResource(as)) })...)
+
+	// End-to-end probe: one cloaked process exercising the full stack —
+	// syscalls, hypercalls, file I/O, demand faults — so a traced E2 run
+	// (overbench -e E2 -trace) contains every span kind on the process's
+	// own track, and the row shows where a whole run's cycles go.
+	t.AddRow("end-to-end probe (cloaked)", e2Probe(opts)...)
 
 	m := w.Cost
-	t.AddRow("  model: AES 4KiB", float64(m.PageCryptCost(mach.PageSize)))
-	t.AddRow("  model: SHA-256 4KiB", float64(m.PageHashCost(mach.PageSize)))
-	t.AddRow("  model: world switch", float64(m.WorldSwitch))
-	t.AddRow("  model: TLB flush", float64(m.TLBFlush))
+	aes := float64(m.PageCryptCost(mach.PageSize))
+	sha := float64(m.PageHashCost(mach.PageSize))
+	t.AddRow("  model: AES 4KiB", aes, aes, 0, 0, 0)
+	t.AddRow("  model: SHA-256 4KiB", sha, sha, 0, 0, 0)
+	t.AddRow("  model: world switch", float64(m.WorldSwitch), 0, float64(m.WorldSwitch), 0, 0)
+	t.AddRow("  model: TLB flush", float64(m.TLBFlush), 0, 0, float64(m.TLBFlush), 0)
 	t.Note("measured rows include shadow maintenance and metadata cache effects")
+	t.Note("component columns (crypto/vmm/mem+tlb/other) sum to the cycles column")
 	return t
+}
+
+// e2Probe runs a small cloaked workload end to end (syscalls + file I/O on a
+// fresh system) and returns the same [total, crypto, vmm, mem+tlb, other]
+// row shape as RunE2's primitive measurements.
+func e2Probe(opts Options) []float64 {
+	sys := core.NewSystem(core.Config{MemoryPages: 2048, Seed: opts.seed()})
+	opts.observe(sys.World, "E2/probe")
+	met := sys.World.Metrics
+	if met == nil {
+		met = sys.World.EnableMetrics(nil)
+	}
+	before := met.TotalsByName()
+	sys.Register("probe", func(e core.Env) {
+		buf := must1(e.Alloc(2))
+		payload := make([]byte, 4096)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		e.WriteMem(buf, payload)
+		fd := must1(e.Open("/probe.dat", core.OCreate|core.ORdWr))
+		for i := 0; i < 8; i++ {
+			e.Null()
+			must1(e.Pwrite(fd, buf, 4096, uint64(i)*4096))
+			must1(e.Pread(fd, buf, 4096, 0))
+		}
+		must(e.Close(fd))
+		e.Exit(0)
+	})
+	if _, err := sys.Spawn("probe", core.Cloaked()); err != nil {
+		panic(err)
+	}
+	sys.Run()
+	return breakdown(float64(sys.Now()), before, met.TotalsByName())
 }

@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"overshadow/internal/obs"
+	"overshadow/internal/sim"
+)
+
+// Observer aggregates observability output across the many short-lived
+// worlds one experiment run builds (native and cloaked variants, repeated
+// sweeps). All attached worlds charge into one shared obs.Metrics store,
+// labelled per phase, and — when TraceCap > 0 — record spans into per-world
+// rings that Trace() later concatenates onto a single timeline.
+type Observer struct {
+	// Metrics is the shared attributed-cycle store. Populated on first
+	// attach; callers may also pre-seed it to merge several Observers.
+	Metrics *obs.Metrics
+	// TraceCap, when positive, enables span tracing on every attached world
+	// with a ring of this capacity.
+	TraceCap int
+
+	worlds []*sim.World
+}
+
+// attach wires a freshly built world into the observer: shared metrics, the
+// phase label for attribution, and (optionally) a span ring.
+func (ob *Observer) attach(w *sim.World, phase string) {
+	ob.Metrics = w.EnableMetrics(ob.Metrics)
+	w.SetPhase(phase)
+	if ob.TraceCap > 0 {
+		w.EnableTrace(ob.TraceCap)
+	}
+	ob.worlds = append(ob.worlds, w)
+}
+
+// Trace merges the spans of every attached world, oldest world first. Each
+// world's clock starts at zero, so spans are rebased onto a concatenated
+// timeline: world k's spans are offset by the total simulated time of worlds
+// 0..k-1. Ring statistics are summed (Wrapped is true if any ring wrapped),
+// so a truncated merged trace is still detectable.
+func (ob *Observer) Trace() ([]obs.Span, obs.RingStats) {
+	var out []obs.Span
+	var ring obs.RingStats
+	var base uint64
+	for _, w := range ob.worlds {
+		spans, r := w.TraceSpans()
+		for _, s := range spans {
+			s.Start += base
+			out = append(out, s)
+		}
+		ring.Total += r.Total
+		ring.Dropped += r.Dropped
+		ring.Wrapped = ring.Wrapped || r.Wrapped
+		base += uint64(w.Now())
+	}
+	return out, ring
+}
+
+// observe attaches w to the configured observer, if any. Harness code calls
+// this at every world-construction site so -trace/-metrics cover the whole
+// run without per-experiment plumbing.
+func (o Options) observe(w *sim.World, phase string) {
+	if o.Observe != nil {
+		o.Observe.attach(w, phase)
+	}
+}

@@ -56,6 +56,7 @@ var e8secret = []byte("E8-SECRET-PAYLOAD-0123456789-ABCDEF")
 func attackSyscallSnoop(opts Options) attackOutcome {
 	o := attackOutcome{name: "syscall-time memory snoop"}
 	sys := core.NewSystem(core.Config{MemoryPages: 512, Seed: opts.seed()})
+	opts.observe(sys.World, "attack/"+o.name)
 	sys.Adversary().OnSyscall = func(k *guestos.Kernel, p *guestos.Proc, _ guestos.Sysno, _ *vmm.Regs) {
 		if !p.Cloaked() {
 			return
@@ -92,6 +93,7 @@ func attackSyscallSnoop(opts Options) attackOutcome {
 func attackMemoryTamper(opts Options) attackOutcome {
 	o := attackOutcome{name: "memory tamper via system view"}
 	sys := core.NewSystem(core.Config{MemoryPages: 512, Seed: opts.seed()})
+	opts.observe(sys.World, "attack/"+o.name)
 	sys.Adversary().OnSyscall = func(k *guestos.Kernel, p *guestos.Proc, _ guestos.Sysno, _ *vmm.Regs) {
 		if o.attempted || !p.Cloaked() {
 			return
@@ -133,6 +135,7 @@ func attackMemoryTamper(opts Options) attackOutcome {
 func attackSwapTamper(opts Options) attackOutcome {
 	o := attackOutcome{name: "swap page-in tamper"}
 	sys := core.NewSystem(core.Config{MemoryPages: 128, Seed: opts.seed()})
+	opts.observe(sys.World, "attack/"+o.name)
 	sys.Adversary().OnPageIn = func(_ *guestos.Kernel, p *guestos.Proc, _ uint64, frame []byte) {
 		if p.Cloaked() && !o.attempted {
 			frame[100] ^= 0x01
@@ -173,6 +176,7 @@ func attackSwapTamper(opts Options) attackOutcome {
 func attackSwapReplayDrop(opts Options) attackOutcome {
 	o := attackOutcome{name: "swap replay (stale page)"}
 	sys := core.NewSystem(core.Config{MemoryPages: 128, Seed: opts.seed()})
+	opts.observe(sys.World, "attack/"+o.name)
 	var stash []byte
 	var stashVPN uint64
 	sys.Adversary().OnPageOut = func(_ *guestos.Kernel, p *guestos.Proc, vpn uint64, frame []byte) {
@@ -227,6 +231,7 @@ func attackRegisterGrab(opts Options) attackOutcome {
 	o := attackOutcome{name: "register harvest at traps"}
 	const marker = 0x5EC4E7C0DE
 	sys := core.NewSystem(core.Config{MemoryPages: 512, Seed: opts.seed()})
+	opts.observe(sys.World, "attack/"+o.name)
 	sys.Adversary().OnSyscall = func(_ *guestos.Kernel, p *guestos.Proc, _ guestos.Sysno, kregs *vmm.Regs) {
 		if !p.Cloaked() {
 			return
@@ -264,6 +269,7 @@ func attackRegisterGrab(opts Options) attackOutcome {
 func attackRegisterTamper(opts Options) attackOutcome {
 	o := attackOutcome{name: "register tamper during trap"}
 	sys := core.NewSystem(core.Config{MemoryPages: 512, Seed: opts.seed()})
+	opts.observe(sys.World, "attack/"+o.name)
 	sys.Adversary().OnSyscall = func(_ *guestos.Kernel, p *guestos.Proc, _ guestos.Sysno, kregs *vmm.Regs) {
 		if !p.Cloaked() || o.attempted {
 			return
@@ -302,6 +308,7 @@ func attackRegisterTamper(opts Options) attackOutcome {
 func attackCrossProcessMap(opts Options) attackOutcome {
 	o := attackOutcome{name: "cross-process frame remap"}
 	sys := core.NewSystem(core.Config{MemoryPages: 512, Seed: opts.seed()})
+	opts.observe(sys.World, "attack/"+o.name)
 	var spySaw []byte
 	sys.Adversary().OnSyscall = func(k *guestos.Kernel, p *guestos.Proc, _ guestos.Sysno, _ *vmm.Regs) {
 		if o.attempted || !p.Cloaked() {

@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -112,12 +113,26 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
+// JSON renders the table as indented JSON for machine consumption
+// (overbench -json). Row order and field order are fixed, so the output is
+// byte-identical across same-seed runs.
+func (t *Table) JSON() string {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		panic(err) // Table holds only plain values; cannot fail
+	}
+	return string(data)
+}
+
 // Options tunes experiment scale. Quick shrinks parameters so the whole
 // suite (and the Go benchmarks wrapping it) finishes fast; the shapes are
 // preserved.
 type Options struct {
 	Quick bool
 	Seed  uint64
+	// Observe, when non-nil, collects attributed metrics (and spans, if
+	// Observe.TraceCap > 0) from every world the experiments build.
+	Observe *Observer
 }
 
 func (o Options) seed() uint64 {

@@ -11,6 +11,14 @@ func TestDeterminismAnalyzer(t *testing.T) {
 		"overshadow/internal/sim", "testdata/src/determinism")
 }
 
+// TestDeterminismAnalyzerCoversObs loads a tracer-shaped package under the
+// internal/obs import path: host-clock reads inside the observability layer
+// must be findings, or trace exports would stop being bit-identical.
+func TestDeterminismAnalyzerCoversObs(t *testing.T) {
+	runWantTest(t, DeterminismAnalyzer,
+		"overshadow/internal/obs", "testdata/src/obsdeterminism")
+}
+
 func TestCloakBoundaryAnalyzer(t *testing.T) {
 	runWantTest(t, CloakBoundaryAnalyzer,
 		"overshadow/internal/guestos", "testdata/src/cloakboundary")

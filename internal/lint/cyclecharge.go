@@ -14,10 +14,13 @@ import (
 // The check builds a static call graph over the whole module and flags
 // exported functions declared in internal/vmm or internal/guestos that can
 // reach a raw memory primitive ((*mach.Memory).Page / Zero) without any
-// path-insensitive evidence of charging ((*sim.World).Charge/ChargeCount or
-// (*sim.Clock).Advance). The analysis is an under-approximation on dynamic
-// calls (function values, interface methods), which is the safe direction:
-// it may miss, it does not spuriously block.
+// path-insensitive evidence of charging ((*sim.World).Charge/ChargeCount/
+// ChargeAdd or (*sim.Clock).Advance). Calls into the observability surface
+// (internal/obs; the sim span/attribution methods) are pruned from the
+// graph: they are charge-free observers, so tracing an operation is never
+// evidence of charging for it. The analysis is an under-approximation on
+// dynamic calls (function values, interface methods), which is the safe
+// direction: it may miss, it does not spuriously block.
 var CycleChargeAnalyzer = &Analyzer{
 	Name: "cyclecharge",
 	Doc:  "exported VMM/guestos functions touching guest memory must charge the sim cost model",
@@ -107,7 +110,7 @@ func buildCallGraph(pkgs []*Package) *callGraph {
 						return true
 					}
 					callee := calleeObject(pkg.Info, call)
-					if callee == nil {
+					if callee == nil || isObserverPrimitive(callee) {
 						return true
 					}
 					g.edges[caller] = append(g.edges[caller], callee)
@@ -148,7 +151,45 @@ func isMemoryPrimitive(obj types.Object) bool {
 func isChargePrimitive(obj types.Object) bool {
 	return objIs(obj, "overshadow/internal/sim", "World", "Charge") ||
 		objIs(obj, "overshadow/internal/sim", "World", "ChargeCount") ||
+		objIs(obj, "overshadow/internal/sim", "World", "ChargeAdd") ||
 		objIs(obj, "overshadow/internal/sim", "Clock", "Advance")
+}
+
+// observerMethods are the sim.World (and SpanHandle) methods that only
+// observe the machine: span emission, attribution bookkeeping, and
+// trace/metrics plumbing. None of them charges the clock.
+var observerMethods = map[string]bool{
+	"Begin": true, "Emit": true, "EmitSpan": true,
+	"SetTask": true, "SetTaskDomain": true, "SetPhase": true, "Attr": true,
+	"EnableTrace": true, "EnableMetrics": true,
+	"TraceEnabled": true, "TraceSpans": true,
+}
+
+// isObserverPrimitive reports whether obj belongs to the observability
+// surface: anything in internal/obs, or a sim tracing/attribution method.
+// Call edges into observers are pruned from the graph so that observing an
+// operation can never stand in as evidence of charging for it — e.g. a
+// future self-charging EmitSpan must not make every traced-but-unchanged
+// memory touch look paid for. (Pruning is safe in the other direction too:
+// internal/obs never touches guest memory; it imports nothing from the
+// module.)
+func isObserverPrimitive(obj types.Object) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if obj.Pkg().Path() == "overshadow/internal/obs" {
+		return true
+	}
+	if obj.Pkg().Path() != "overshadow/internal/sim" {
+		return false
+	}
+	switch recvNamed(obj) {
+	case "World":
+		return observerMethods[obj.Name()]
+	case "SpanHandle", "Tracer":
+		return true
+	}
+	return false
 }
 
 // objIs matches a method object by package path, receiver name, and name.

@@ -34,6 +34,9 @@ var deterministicPkgs = map[string]bool{
 	"overshadow/internal/vmm":     true,
 	"overshadow/internal/guestos": true,
 	"overshadow/internal/cloak":   true,
+	// obs timestamps spans and buckets cycles: a host-clock read there
+	// would silently break the bit-identical trace/metrics exports.
+	"overshadow/internal/obs": true,
 }
 
 // forbiddenTimeFuncs are the package time functions that read the host

@@ -6,6 +6,7 @@ package vmm
 
 import (
 	"overshadow/internal/mach"
+	"overshadow/internal/obs"
 	"overshadow/internal/sim"
 )
 
@@ -57,4 +58,30 @@ func (d *Device) Frames() int { return 0 }
 //overlint:allow cyclecharge -- testdata: deliberate exception
 func (d *Device) AllowedRead(mpn mach.MPN) byte {
 	return d.mem.Page(mpn)[0]
+}
+
+// ChargeAdd is a charge primitive even when the event count is zero.
+func (d *Device) GoodChargeAdd(mpn mach.MPN) byte {
+	d.world.ChargeAdd(d.world.Cost.MemAccess, sim.CtrMemAccess, 0)
+	return d.mem.Page(mpn)[0]
+}
+
+// Span emission is observation, not charging: a function that carefully
+// traces its memory touch but never charges the clock is still flagged.
+func (d *Device) BadTraced(mpn mach.MPN) byte { // want `BadTraced reaches guest memory without charging`
+	sp := d.world.Begin(obs.KindDisk, "read", uint64(mpn))
+	defer sp.End()
+	return d.mem.Page(mpn)[0]
+}
+
+// The same holds for instant events and attribution bookkeeping reached
+// transitively through an unexported helper.
+func (d *Device) BadEmit(mpn mach.MPN) byte { // want `BadEmit reaches guest memory without charging`
+	d.observe(mpn)
+	return d.raw(mpn)
+}
+
+func (d *Device) observe(mpn mach.MPN) {
+	d.world.SetTaskDomain(1)
+	d.world.Emit(obs.KindDisk, "touch", uint64(mpn))
 }

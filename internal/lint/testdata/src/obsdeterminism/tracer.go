@@ -1,0 +1,25 @@
+// Package obs is determinism-analyzer testdata loaded under the production
+// import path overshadow/internal/obs: span timestamps must come from the
+// simulated clock, so every host-time read in the tracer is a finding.
+package obs
+
+import "time"
+
+type span struct {
+	start uint64
+	wall  time.Time
+}
+
+// stamp is the classic mistake this case guards against: timestamping a
+// span with the host clock instead of simulated cycles.
+func stamp(s *span) {
+	s.wall = time.Now() // want `time\.Now reads host time: simulated components must use sim\.Clock`
+}
+
+// age compounds it: host-clock deltas leak into exported durations.
+func age(s *span) time.Duration {
+	return time.Since(s.wall) // want `time\.Since reads host time: simulated components must use sim\.Clock`
+}
+
+// fromCycles is fine: pure value manipulation of a simulated timestamp.
+func fromCycles(c uint64) uint64 { return c * 2 }

@@ -3,6 +3,7 @@ package mach
 import (
 	"fmt"
 
+	"overshadow/internal/obs"
 	"overshadow/internal/sim"
 )
 
@@ -35,8 +36,9 @@ func (d *Disk) Read(blk uint64, dst []byte) error {
 	if len(dst) < BlockSize {
 		return fmt.Errorf("disk: short read buffer (%d bytes)", len(dst))
 	}
-	d.world.Charge(d.world.Cost.DiskSeek + sim.Cycles(BlockSize)*d.world.Cost.DiskPerByte)
-	d.world.Stats.Inc(sim.CtrDiskRead)
+	cost := d.world.Cost.DiskSeek + sim.Cycles(BlockSize)*d.world.Cost.DiskPerByte
+	d.world.ChargeCount(cost, sim.CtrDiskRead)
+	d.world.EmitSpan(obs.KindDisk, "read", blk, cost)
 	if b, ok := d.blocks[blk]; ok {
 		copy(dst[:BlockSize], b)
 	} else {
@@ -55,8 +57,9 @@ func (d *Disk) Write(blk uint64, src []byte) error {
 	if len(src) < BlockSize {
 		return fmt.Errorf("disk: short write buffer (%d bytes)", len(src))
 	}
-	d.world.Charge(d.world.Cost.DiskSeek + sim.Cycles(BlockSize)*d.world.Cost.DiskPerByte)
-	d.world.Stats.Inc(sim.CtrDiskWrite)
+	cost := d.world.Cost.DiskSeek + sim.Cycles(BlockSize)*d.world.Cost.DiskPerByte
+	d.world.ChargeCount(cost, sim.CtrDiskWrite)
+	d.world.EmitSpan(obs.KindDisk, "write", blk, cost)
 	b, ok := d.blocks[blk]
 	if !ok {
 		b = make([]byte, BlockSize)

@@ -42,7 +42,7 @@ func tlbKey(ctx uint32, vpn uint64) uint64 { return vpn | uint64(ctx)<<40 }
 func (t *TLB) Lookup(ctx uint32, vpn uint64) (PTE, bool) {
 	e, ok := t.entries[tlbKey(ctx, vpn)]
 	if !ok {
-		t.world.Stats.Inc(sim.CtrTLBMiss)
+		t.world.ChargeAdd(0, sim.CtrTLBMiss, 1)
 		return PTE{}, false
 	}
 	t.world.ChargeCount(t.world.Cost.TLBHit, sim.CtrTLBHit)
@@ -82,7 +82,7 @@ func (t *TLB) InvalidatePage(vpn uint64) {
 	for key, e := range t.entries {
 		if e.vpn == vpn {
 			delete(t.entries, key)
-			t.world.Charge(t.world.Cost.TLBEvict)
+			t.world.ChargeAdd(t.world.Cost.TLBEvict, sim.CtrTLBEvict, 1)
 		}
 	}
 }
@@ -93,7 +93,7 @@ func (t *TLB) InvalidateContext(ctx uint32) {
 	for key, e := range t.entries {
 		if e.ctx == ctx {
 			delete(t.entries, key)
-			t.world.Charge(t.world.Cost.TLBEvict)
+			t.world.ChargeAdd(t.world.Cost.TLBEvict, sim.CtrTLBEvict, 1)
 		}
 	}
 }

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteBreakdown renders the attributed metrics as a flame-style text
+// profile: attribution keys sorted by descending cycle share, counters
+// sorted the same way within each key. Ties break on the deterministic
+// attribute/counter order, so the output is byte-identical per seed.
+func WriteBreakdown(w io.Writer, m *Metrics) error {
+	points := m.Snapshot()
+	total := m.TotalCycles()
+	if _, err := fmt.Fprintf(w, "attributed cycle breakdown — total %d cycles\n", total); err != nil {
+		return err
+	}
+	if total == 0 {
+		_, err := fmt.Fprintln(w, "(no attributed cycles)")
+		return err
+	}
+
+	type group struct {
+		attr   Attr
+		key    string
+		cycles uint64
+		points []MetricPoint
+	}
+	byAttr := make(map[Attr]*group)
+	var groups []*group
+	for _, p := range points {
+		g := byAttr[p.Attr]
+		if g == nil {
+			g = &group{attr: p.Attr, key: p.Attr.key()}
+			byAttr[p.Attr] = g
+			groups = append(groups, g)
+		}
+		g.cycles += p.Cycles
+		g.points = append(g.points, p)
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].cycles != groups[j].cycles {
+			return groups[i].cycles > groups[j].cycles
+		}
+		return groups[i].key < groups[j].key
+	})
+	pct := func(c uint64) float64 { return 100 * float64(c) / float64(total) }
+	for _, g := range groups {
+		if _, err := fmt.Fprintf(w, "\n%s — %d cycles (%.1f%%)\n", g.attr, g.cycles, pct(g.cycles)); err != nil {
+			return err
+		}
+		sort.Slice(g.points, func(i, j int) bool {
+			if g.points[i].Cycles != g.points[j].Cycles {
+				return g.points[i].Cycles > g.points[j].Cycles
+			}
+			return g.points[i].Name < g.points[j].Name
+		})
+		for _, p := range g.points {
+			line := fmt.Sprintf("  %-24s %14d  %5.1f%%", p.Name, p.Cycles, pct(p.Cycles))
+			if p.Events != 0 {
+				line += fmt.Sprintf("  (%d events)", p.Events)
+			}
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

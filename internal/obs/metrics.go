@@ -1,0 +1,91 @@
+package obs
+
+import "sort"
+
+// bucket accumulates per-counter cycles and event counts for one Attr.
+type bucket struct {
+	cycles map[string]uint64
+	counts map[string]uint64
+}
+
+// Metrics is the attributed cycle-accounting store: every cost-model charge
+// is bucketed under (attribution key, counter name). Nothing here reads host
+// state; buckets are plain accumulators, so two runs with the same seed
+// produce identical snapshots.
+type Metrics struct {
+	buckets map[Attr]*bucket
+}
+
+// NewMetrics returns an empty attributed-metrics store.
+func NewMetrics() *Metrics { return &Metrics{buckets: make(map[Attr]*bucket)} }
+
+// Charge records cycles (and optionally events) against counter name under
+// attribution key a.
+func (m *Metrics) Charge(a Attr, name string, cycles, events uint64) {
+	b := m.buckets[a]
+	if b == nil {
+		b = &bucket{cycles: make(map[string]uint64), counts: make(map[string]uint64)}
+		m.buckets[a] = b
+	}
+	b.cycles[name] += cycles
+	if events != 0 {
+		b.counts[name] += events
+	}
+}
+
+// TotalCycles reports the sum of all attributed cycles.
+func (m *Metrics) TotalCycles() uint64 {
+	var total uint64
+	for _, b := range m.buckets {
+		for _, c := range b.cycles {
+			total += c
+		}
+	}
+	return total
+}
+
+// TotalsByName sums attributed cycles per counter name across all
+// attribution keys. The returned map is a fresh copy.
+func (m *Metrics) TotalsByName() map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, b := range m.buckets {
+		for name, c := range b.cycles {
+			out[name] += c
+		}
+	}
+	return out
+}
+
+// MetricPoint is one (attribution, counter) cell of a metrics snapshot.
+type MetricPoint struct {
+	Attr   Attr
+	Name   string
+	Cycles uint64
+	Events uint64
+}
+
+// Snapshot flattens the store into a deterministically ordered slice:
+// attribution keys in key order, counter names alphabetical within each.
+func (m *Metrics) Snapshot() []MetricPoint {
+	attrs := make([]Attr, 0, len(m.buckets))
+	for a := range m.buckets {
+		attrs = append(attrs, a)
+	}
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i].key() < attrs[j].key() })
+	var out []MetricPoint
+	for _, a := range attrs {
+		b := m.buckets[a]
+		names := make([]string, 0, len(b.cycles))
+		for n := range b.cycles {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			out = append(out, MetricPoint{Attr: a, Name: n, Cycles: b.cycles[n], Events: b.counts[n]})
+		}
+	}
+	return out
+}
+
+// Reset drops all buckets.
+func (m *Metrics) Reset() { m.buckets = make(map[Attr]*bucket) }

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestMetricsChargeAndTotals(t *testing.T) {
+	m := NewMetrics()
+	a := Attr{PID: 3, TID: 3, Task: "kv", Cloaked: true, Domain: 2}
+	b := Attr{PID: 4, TID: 4, Task: "web"}
+	m.Charge(a, "cloak.encrypt", 100, 1)
+	m.Charge(a, "cloak.encrypt", 50, 1)
+	m.Charge(a, "mem.access", 8, 2)
+	m.Charge(b, "mem.access", 4, 1)
+	m.Charge(b, "cpu.idle", 1000, 0)
+
+	if got := m.TotalCycles(); got != 1162 {
+		t.Fatalf("TotalCycles = %d, want 1162", got)
+	}
+	totals := m.TotalsByName()
+	if totals["cloak.encrypt"] != 150 || totals["mem.access"] != 12 || totals["cpu.idle"] != 1000 {
+		t.Fatalf("TotalsByName = %v", totals)
+	}
+}
+
+func TestMetricsSnapshotDeterministicOrder(t *testing.T) {
+	build := func(order []int) []MetricPoint {
+		m := NewMetrics()
+		attrs := []Attr{{PID: 1, TID: 1}, {PID: 2, TID: 2}, {Phase: "E2", PID: 1, TID: 1}}
+		for _, i := range order {
+			m.Charge(attrs[i], "z.ctr", uint64(10*(i+1)), 1)
+			m.Charge(attrs[i], "a.ctr", uint64(i+1), 1)
+		}
+		return m.Snapshot()
+	}
+	s1 := build([]int{0, 1, 2})
+	s2 := build([]int{2, 0, 1})
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("snapshot order depends on insertion order:\n%v\n%v", s1, s2)
+	}
+	// Counter names alphabetical within each attr.
+	if s1[0].Name != "a.ctr" || s1[1].Name != "z.ctr" {
+		t.Fatalf("counter order: %v", s1)
+	}
+}
+
+func TestMetricsZeroEventsCreateNoCount(t *testing.T) {
+	m := NewMetrics()
+	m.Charge(Attr{}, "cpu.idle", 500, 0)
+	snap := m.Snapshot()
+	if len(snap) != 1 || snap[0].Events != 0 || snap[0].Cycles != 500 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestAttrString(t *testing.T) {
+	if got := (Attr{}).String(); got != "machine" {
+		t.Fatalf("zero attr = %q", got)
+	}
+	a := Attr{Phase: "E2/cloaked", Domain: 2, PID: 3, TID: 4, Task: "kv", Cloaked: true}
+	s := a.String()
+	for _, want := range []string{"E2/cloaked", "pid 3", "tid 4", `"kv"`, "dom 2", "cloaked"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Attr.String() = %q, missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// CounterJSON is one counter cell of the metrics export.
+type CounterJSON struct {
+	Name   string `json:"name"`
+	Cycles uint64 `json:"cycles"`
+	Events uint64 `json:"events,omitempty"`
+}
+
+// BucketJSON is one attribution bucket of the metrics export.
+type BucketJSON struct {
+	Attr     Attr          `json:"attr"`
+	Cycles   uint64        `json:"cycles"`
+	Counters []CounterJSON `json:"counters"`
+}
+
+// MetricsJSON is the top-level machine-readable metrics document.
+type MetricsJSON struct {
+	TotalCycles uint64       `json:"totalCycles"`
+	Buckets     []BucketJSON `json:"buckets"`
+}
+
+// BuildMetricsJSON assembles the export document in deterministic order
+// (attribution key order, counter names alphabetical).
+func BuildMetricsJSON(m *Metrics) *MetricsJSON {
+	doc := &MetricsJSON{TotalCycles: m.TotalCycles(), Buckets: []BucketJSON{}}
+	var cur *BucketJSON
+	for _, p := range m.Snapshot() {
+		if cur == nil || cur.Attr != p.Attr {
+			doc.Buckets = append(doc.Buckets, BucketJSON{Attr: p.Attr})
+			cur = &doc.Buckets[len(doc.Buckets)-1]
+		}
+		cur.Cycles += p.Cycles
+		cur.Counters = append(cur.Counters, CounterJSON{Name: p.Name, Cycles: p.Cycles, Events: p.Events})
+	}
+	return doc
+}
+
+// WriteMetricsJSON serializes the attributed metrics as indented JSON.
+func WriteMetricsJSON(w io.Writer, m *Metrics) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(BuildMetricsJSON(m))
+}

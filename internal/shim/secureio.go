@@ -142,7 +142,7 @@ func (s *Ctx) cloakedIO(cf *cloakedFile, va mach.Addr, n int, off uint64, write 
 			cf.size = end
 		}
 	}
-	w.Stats.Inc(sim.CtrShimSyscall)
+	w.ChargeAdd(0, sim.CtrShimSyscall, 1)
 	return done, nil
 }
 

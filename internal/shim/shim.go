@@ -120,6 +120,7 @@ func attach(uc *guestos.UserCtx, opts Options) *Ctx {
 		panic(fmt.Sprintf("shim: domain creation failed: %v", err))
 	}
 	uc.Thread().Domain = s.domain
+	s.world().SetTaskDomain(uint32(s.domain))
 
 	// Measure the application identity and record it with the VMM — the
 	// verified-startup step: relying parties ask the VMM, not the OS, what
@@ -330,6 +331,7 @@ func attachForked(cuc *guestos.UserCtx, parent *Ctx, rmap map[cloak.ResourceID]c
 		cfiles:       make(map[int]*cloakedFile),
 	}
 	cuc.Thread().Domain = cs.domain
+	cs.world().SetTaskDomain(uint32(cs.domain))
 	remap := func(r cloak.ResourceID) cloak.ResourceID {
 		if nr, ok := rmap[r]; ok {
 			return nr
@@ -357,6 +359,7 @@ func (s *Ctx) SpawnThread(body func(guestos.Env)) (guestos.Pid, error) {
 		ts := *s // share maps (cfiles, anonRegions) and identities
 		ts.uc = tuc
 		tuc.Thread().Domain = s.domain
+		ts.world().SetTaskDomain(uint32(s.domain))
 		body(&ts)
 	})
 }
@@ -401,3 +404,6 @@ func (s *Ctx) Signal(sig guestos.Signal, h guestos.SigHandler) error {
 		h(s, got)
 	})
 }
+
+// world returns the simulation services of the kernel this shim runs on.
+func (s *Ctx) world() *sim.World { return s.uc.Kernel().World() }

@@ -50,6 +50,18 @@ const (
 	CtrAttackSnoop      Counter = "attack.snoop"
 	CtrAttackTamper     Counter = "attack.tamper"
 	CtrAttackDetected   Counter = "attack.detected"
+
+	// Cycle-attribution counters: these name cycle sinks that previously
+	// charged the clock anonymously, so attributed profiles can decompose
+	// every simulated cycle. CtrOther is the catch-all that keeps the
+	// per-component breakdown summing to the clock total.
+	CtrCompute  Counter = "cpu.compute"
+	CtrIdle     Counter = "cpu.idle"
+	CtrTrap     Counter = "cpu.trap"
+	CtrTLBEvict Counter = "tlb.evict"
+	CtrPageZero Counter = "mm.pagezero"
+	CtrPageCopy Counter = "mm.pagecopy"
+	CtrOther    Counter = "cycles.other"
 )
 
 // Stats is a bag of monotonically increasing event counters.

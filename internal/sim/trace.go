@@ -1,29 +1,40 @@
 package sim
 
-import "fmt"
+import "overshadow/internal/obs"
 
-// TraceEvent is one entry in the world's diagnostic trace.
-type TraceEvent struct {
-	Time   Cycles
-	Kind   string
-	Detail string
-}
-
-// String implements fmt.Stringer.
-func (e TraceEvent) String() string {
-	return fmt.Sprintf("[%12d] %-16s %s", uint64(e.Time), e.Kind, e.Detail)
-}
-
-// Tracer is a fixed-capacity ring buffer of diagnostic events. It is
-// disabled by default: emission costs one branch until EnableTrace is
+// Tracer is a fixed-capacity ring buffer of structured spans (obs.Span). It
+// is disabled by default: emission costs one branch until EnableTrace is
 // called, so production runs pay nothing for the instrumentation points
 // sprinkled through the VMM and guest kernel.
 type Tracer struct {
 	enabled bool
 	cap     int
-	buf     []TraceEvent
+	buf     []obs.Span
 	next    int
 	total   uint64
+}
+
+// Wrapped reports whether the ring filled and began overwriting, i.e.
+// whether the exported trace is truncated.
+func (t *Tracer) Wrapped() bool { return t != nil && len(t.buf) == t.cap && t.total > uint64(t.cap) }
+
+// Dropped reports how many spans were overwritten after the ring wrapped.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil || !t.Wrapped() {
+		return 0
+	}
+	return t.total - uint64(t.cap)
+}
+
+// record appends a span, overwriting the oldest entry once full.
+func (t *Tracer) record(s obs.Span) {
+	if len(t.buf) < t.cap {
+		t.buf = append(t.buf, s)
+	} else {
+		t.buf[t.next] = s
+		t.next = (t.next + 1) % t.cap
+	}
+	t.total++
 }
 
 // EnableTrace turns on tracing with a ring of the given capacity.
@@ -31,42 +42,84 @@ func (w *World) EnableTrace(capacity int) {
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	w.Tracer = &Tracer{enabled: true, cap: capacity, buf: make([]TraceEvent, 0, capacity)}
+	w.Tracer = &Tracer{enabled: true, cap: capacity, buf: make([]obs.Span, 0, capacity)}
 }
 
-// Trace records an event if tracing is enabled. The format string is only
-// rendered when enabled.
-func (w *World) Trace(kind, format string, args ...any) {
+// TraceEnabled reports whether spans are being recorded.
+func (w *World) TraceEnabled() bool { return w.Tracer != nil && w.Tracer.enabled }
+
+// SpanHandle marks an open span returned by Begin; End closes it. The zero
+// handle (returned when tracing is off) makes End a no-op.
+type SpanHandle struct {
+	w     *World
+	start Cycles
+	kind  obs.Kind
+	name  string
+	arg   uint64
+	attr  obs.Attr
+}
+
+// Begin opens a span of the given kind at the current simulated time,
+// attributed to the current task. When tracing is disabled this is a single
+// branch and returns the zero handle.
+func (w *World) Begin(kind obs.Kind, name string, arg uint64) SpanHandle {
+	t := w.Tracer
+	if t == nil || !t.enabled {
+		return SpanHandle{}
+	}
+	return SpanHandle{w: w, start: w.Clock.Now(), kind: kind, name: name, arg: arg, attr: w.attr}
+}
+
+// End closes the span at the current simulated time and records it.
+func (h SpanHandle) End() {
+	if h.w == nil {
+		return
+	}
+	h.w.Tracer.record(obs.Span{
+		Start: uint64(h.start),
+		Dur:   uint64(h.w.Clock.Now() - h.start),
+		Kind:  h.kind,
+		Name:  h.name,
+		Arg:   h.arg,
+		Attr:  h.attr,
+	})
+}
+
+// Emit records an instantaneous event at the current simulated time.
+func (w *World) Emit(kind obs.Kind, name string, arg uint64) {
 	t := w.Tracer
 	if t == nil || !t.enabled {
 		return
 	}
-	ev := TraceEvent{Time: w.Clock.Now(), Kind: kind, Detail: fmt.Sprintf(format, args...)}
-	if len(t.buf) < t.cap {
-		t.buf = append(t.buf, ev)
-	} else {
-		t.buf[t.next] = ev
-		t.next = (t.next + 1) % t.cap
-	}
-	t.total++
+	t.record(obs.Span{Start: uint64(w.Clock.Now()), Kind: kind, Name: name, Arg: arg, Instant: true, Attr: w.attr})
 }
 
-// TraceEnabled reports whether events are being recorded.
-func (w *World) TraceEnabled() bool { return w.Tracer != nil && w.Tracer.enabled }
+// EmitSpan records a completed span that ended now and covered the last dur
+// cycles — the natural shape for block charges (world switch, disk op)
+// where the cost is paid in one Advance.
+func (w *World) EmitSpan(kind obs.Kind, name string, arg uint64, dur Cycles) {
+	t := w.Tracer
+	if t == nil || !t.enabled {
+		return
+	}
+	now := w.Clock.Now()
+	t.record(obs.Span{Start: uint64(now - dur), Dur: uint64(dur), Kind: kind, Name: name, Arg: arg, Attr: w.attr})
+}
 
-// TraceEvents returns the retained events oldest-first, plus the total
-// number ever emitted (the ring may have dropped early ones).
-func (w *World) TraceEvents() ([]TraceEvent, uint64) {
+// TraceSpans returns the retained spans oldest-first plus the ring state
+// (total emitted, dropped, wrapped), so consumers can tell a truncated
+// trace from a complete one.
+func (w *World) TraceSpans() ([]obs.Span, obs.RingStats) {
 	t := w.Tracer
 	if t == nil {
-		return nil, 0
+		return nil, obs.RingStats{}
 	}
-	out := make([]TraceEvent, 0, len(t.buf))
+	out := make([]obs.Span, 0, len(t.buf))
 	if len(t.buf) == t.cap {
 		out = append(out, t.buf[t.next:]...)
 		out = append(out, t.buf[:t.next]...)
 	} else {
 		out = append(out, t.buf...)
 	}
-	return out, t.total
+	return out, obs.RingStats{Total: t.total, Dropped: t.Dropped(), Wrapped: t.Wrapped()}
 }

@@ -1,16 +1,20 @@
 package sim
 
 import (
-	"strings"
+	"fmt"
 	"testing"
+
+	"overshadow/internal/obs"
 )
 
 func TestTraceDisabledByDefault(t *testing.T) {
 	w := NewWorld(DefaultCostModel(), 1)
-	w.Trace("kind", "should vanish %d", 1)
-	evts, total := w.TraceEvents()
-	if len(evts) != 0 || total != 0 {
-		t.Fatal("events recorded while disabled")
+	w.Emit(obs.KindProc, "should vanish", 1)
+	h := w.Begin(obs.KindSyscall, "noop", 0)
+	h.End()
+	spans, ring := w.TraceSpans()
+	if len(spans) != 0 || ring.Total != 0 {
+		t.Fatal("spans recorded while disabled")
 	}
 	if w.TraceEnabled() {
 		t.Fatal("TraceEnabled true without EnableTrace")
@@ -22,48 +26,107 @@ func TestTraceRecordsInOrder(t *testing.T) {
 	w.EnableTrace(16)
 	for i := 0; i < 5; i++ {
 		w.Charge(10)
-		w.Trace("tick", "event %d", i)
+		w.Emit(obs.KindProc, fmt.Sprintf("event %d", i), uint64(i))
 	}
-	evts, total := w.TraceEvents()
-	if total != 5 || len(evts) != 5 {
-		t.Fatalf("got %d/%d events", len(evts), total)
+	spans, ring := w.TraceSpans()
+	if ring.Total != 5 || len(spans) != 5 {
+		t.Fatalf("got %d/%d spans", len(spans), ring.Total)
 	}
-	for i, e := range evts {
-		if !strings.Contains(e.Detail, "event "+string(rune('0'+i))) {
-			t.Fatalf("order broken at %d: %q", i, e.Detail)
+	if ring.Wrapped || ring.Dropped != 0 {
+		t.Fatalf("spurious wrap: %+v", ring)
+	}
+	for i, s := range spans {
+		if s.Arg != uint64(i) {
+			t.Fatalf("order broken at %d: %v", i, s)
 		}
-		if i > 0 && evts[i].Time < evts[i-1].Time {
+		if i > 0 && spans[i].Start < spans[i-1].Start {
 			t.Fatal("timestamps not monotone")
 		}
 	}
 }
 
-func TestTraceRingWraps(t *testing.T) {
+func TestTraceRingWrapsAndReportsDrops(t *testing.T) {
 	w := NewWorld(DefaultCostModel(), 1)
 	w.EnableTrace(4)
 	for i := 0; i < 10; i++ {
-		w.Trace("t", "%d", i)
+		w.Emit(obs.KindProc, "t", uint64(i))
 	}
-	evts, total := w.TraceEvents()
-	if total != 10 {
-		t.Fatalf("total = %d", total)
+	spans, ring := w.TraceSpans()
+	if ring.Total != 10 {
+		t.Fatalf("total = %d", ring.Total)
 	}
-	if len(evts) != 4 {
-		t.Fatalf("retained %d, want 4", len(evts))
+	if len(spans) != 4 {
+		t.Fatalf("retained %d, want 4", len(spans))
 	}
-	want := []string{"6", "7", "8", "9"}
-	for i, e := range evts {
-		if e.Detail != want[i] {
-			t.Fatalf("ring order: %v", evts)
+	for i, s := range spans {
+		if s.Arg != uint64(6+i) {
+			t.Fatalf("ring order: %v", spans)
 		}
+	}
+	if !ring.Wrapped || ring.Dropped != 6 {
+		t.Fatalf("ring state = %+v, want wrapped with 6 dropped", ring)
+	}
+	if !w.Tracer.Wrapped() || w.Tracer.Dropped() != 6 {
+		t.Fatal("Tracer accessors disagree with export")
 	}
 }
 
-func TestTraceEventString(t *testing.T) {
-	e := TraceEvent{Time: 42, Kind: "cloak.encrypt", Detail: "page x"}
-	s := e.String()
-	if !strings.Contains(s, "cloak.encrypt") || !strings.Contains(s, "page x") {
-		t.Fatalf("String = %q", s)
+func TestTracerExactlyFullIsNotWrapped(t *testing.T) {
+	w := NewWorld(DefaultCostModel(), 1)
+	w.EnableTrace(4)
+	for i := 0; i < 4; i++ {
+		w.Emit(obs.KindProc, "t", uint64(i))
+	}
+	if w.Tracer.Wrapped() || w.Tracer.Dropped() != 0 {
+		t.Fatal("full-but-not-overwritten ring reported as wrapped")
+	}
+}
+
+func TestBeginEndSpanCoversCharges(t *testing.T) {
+	w := NewWorld(DefaultCostModel(), 1)
+	w.EnableTrace(16)
+	w.Charge(100)
+	h := w.Begin(obs.KindSyscall, "write", 42)
+	w.Charge(250)
+	h.End()
+	spans, _ := w.TraceSpans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %v", spans)
+	}
+	s := spans[0]
+	if s.Start != 100 || s.Dur != 250 || s.Kind != obs.KindSyscall || s.Name != "write" || s.Arg != 42 {
+		t.Fatalf("span = %+v", s)
+	}
+	if s.Instant {
+		t.Fatal("begin/end span marked instant")
+	}
+}
+
+func TestEmitSpanIsBackdated(t *testing.T) {
+	w := NewWorld(DefaultCostModel(), 1)
+	w.EnableTrace(16)
+	w.Charge(1000)
+	w.EmitSpan(obs.KindWorldSwitch, "enter", 0, 800)
+	spans, _ := w.TraceSpans()
+	if len(spans) != 1 || spans[0].Start != 200 || spans[0].Dur != 800 {
+		t.Fatalf("spans = %v", spans)
+	}
+}
+
+func TestSpansCarryAttribution(t *testing.T) {
+	w := NewWorld(DefaultCostModel(), 1)
+	w.EnableTrace(16)
+	w.SetPhase("E2/cloaked")
+	w.SetTask(3, 4, "kv", 0, true)
+	w.SetTaskDomain(2)
+	w.Emit(obs.KindCloak, "encrypt", 7)
+	spans, _ := w.TraceSpans()
+	want := obs.Attr{Phase: "E2/cloaked", Domain: 2, PID: 3, TID: 4, Task: "kv", Cloaked: true}
+	if spans[0].Attr != want {
+		t.Fatalf("attr = %+v, want %+v", spans[0].Attr, want)
+	}
+	if got := w.Attr(); got != want {
+		t.Fatalf("Attr() = %+v", got)
 	}
 }
 
@@ -73,8 +136,68 @@ func TestEnableTraceDefaultCap(t *testing.T) {
 	if !w.TraceEnabled() {
 		t.Fatal("not enabled")
 	}
-	w.Trace("a", "b")
-	if evts, _ := w.TraceEvents(); len(evts) != 1 {
-		t.Fatal("default-capacity tracer dropped an event")
+	w.Emit(obs.KindProc, "a", 0)
+	if spans, _ := w.TraceSpans(); len(spans) != 1 {
+		t.Fatal("default-capacity tracer dropped a span")
+	}
+}
+
+func TestAttributedChargesBucketPerTask(t *testing.T) {
+	w := NewWorld(DefaultCostModel(), 1)
+	m := w.EnableMetrics(nil)
+	w.SetTask(1, 1, "a", 0, false)
+	w.ChargeCount(100, CtrSyscall)
+	w.SetTask(2, 2, "b", 0, false)
+	w.ChargeCount(300, CtrSyscall)
+	w.ChargeAdd(50, CtrMemAccess, 10)
+	w.Charge(7) // catch-all
+
+	if got := m.TotalCycles(); got != 457 {
+		t.Fatalf("TotalCycles = %d", got)
+	}
+	if uint64(w.Now()) != 457 {
+		t.Fatalf("clock = %d, want attributed total 457", w.Now())
+	}
+	totals := m.TotalsByName()
+	if totals[string(CtrSyscall)] != 400 || totals[string(CtrMemAccess)] != 50 || totals[string(CtrOther)] != 7 {
+		t.Fatalf("totals = %v", totals)
+	}
+	snap := m.Snapshot()
+	perTask := map[string]uint64{}
+	for _, p := range snap {
+		perTask[p.Attr.Task] += p.Cycles
+	}
+	if perTask["a"] != 100 || perTask["b"] != 357 {
+		t.Fatalf("per-task cycles = %v", perTask)
+	}
+	// Flat counters still maintained.
+	if w.Stats.Get(CtrSyscall) != 2 || w.Stats.Get(CtrMemAccess) != 10 {
+		t.Fatal("flat counters diverged")
+	}
+}
+
+func TestChargeAddZeroEventsKeepsStatsClean(t *testing.T) {
+	w := NewWorld(DefaultCostModel(), 1)
+	w.ChargeAdd(500, CtrIdle, 0)
+	if w.Stats.Get(CtrIdle) != 0 {
+		t.Fatal("zero-event ChargeAdd created a flat count")
+	}
+	if uint64(w.Now()) != 500 {
+		t.Fatal("cycles not charged")
+	}
+}
+
+func TestMetricsSharedAcrossWorlds(t *testing.T) {
+	m := obs.NewMetrics()
+	w1 := NewWorld(DefaultCostModel(), 1)
+	w2 := NewWorld(DefaultCostModel(), 2)
+	w1.EnableMetrics(m)
+	w2.EnableMetrics(m)
+	w1.SetPhase("native")
+	w1.Charge(10)
+	w2.SetPhase("cloaked")
+	w2.Charge(20)
+	if m.TotalCycles() != 30 {
+		t.Fatalf("shared metrics total = %d", m.TotalCycles())
 	}
 }

@@ -1,5 +1,7 @@
 package sim
 
+import "overshadow/internal/obs"
+
 // World bundles the shared simulation services — clock, cost model, counters,
 // and PRNG — into a single handle threaded through every component of the
 // machine. One World corresponds to one simulated machine.
@@ -10,6 +12,13 @@ type World struct {
 	RNG   *RNG
 	// Tracer is nil until EnableTrace; see trace.go.
 	Tracer *Tracer
+	// Metrics is nil until EnableMetrics: with it off every charge pays
+	// exactly one extra nil check, preserving the uninstrumented fast path.
+	Metrics *obs.Metrics
+
+	// attr identifies the simulated CPU context charges are attributed to;
+	// the guest scheduler and the shim keep it current (see SetTask).
+	attr obs.Attr
 }
 
 // NewWorld builds a World with the given cost model and seed.
@@ -22,15 +31,72 @@ func NewWorld(cost CostModel, seed uint64) *World {
 	}
 }
 
-// Charge advances the clock by n cycles.
-func (w *World) Charge(n Cycles) { w.Clock.Advance(n) }
+// EnableMetrics turns on attributed cycle accounting. Passing a non-nil
+// store shares it between worlds (the harness aggregates native and cloaked
+// runs into one profile); passing nil allocates a fresh one. Returns the
+// active store.
+func (w *World) EnableMetrics(shared *obs.Metrics) *obs.Metrics {
+	if shared == nil {
+		shared = obs.NewMetrics()
+	}
+	w.Metrics = shared
+	return shared
+}
+
+// Charge advances the clock by n cycles. Sites with a meaningful counter
+// should prefer ChargeCount/ChargeAdd; anything left here lands in the
+// catch-all bucket so attributed components still sum to the clock total.
+func (w *World) Charge(n Cycles) {
+	w.Clock.Advance(n)
+	if w.Metrics != nil {
+		w.Metrics.Charge(w.attr, string(CtrOther), uint64(n), 0)
+	}
+}
 
 // ChargeCount advances the clock and increments the matching counter; the
 // two almost always travel together.
 func (w *World) ChargeCount(n Cycles, c Counter) {
 	w.Clock.Advance(n)
 	w.Stats.Inc(c)
+	if w.Metrics != nil {
+		w.Metrics.Charge(w.attr, string(c), uint64(n), 1)
+	}
+}
+
+// ChargeAdd advances the clock by n cycles attributed to counter c, adding
+// events to the flat counter (events may be zero when the count is already
+// maintained elsewhere and only the cycles need attribution).
+func (w *World) ChargeAdd(n Cycles, c Counter, events uint64) {
+	w.Clock.Advance(n)
+	if events != 0 {
+		w.Stats.Add(c, events)
+	}
+	if w.Metrics != nil {
+		w.Metrics.Charge(w.attr, string(c), uint64(n), events)
+	}
 }
 
 // Now is shorthand for w.Clock.Now().
 func (w *World) Now() Cycles { return w.Clock.Now() }
+
+// SetTask records which guest task the simulated CPU is now running;
+// subsequent charges and spans are attributed to it. The guest scheduler
+// calls this on every dispatch; pid/tid zero resets to the machine context.
+func (w *World) SetTask(pid, tid int, name string, domain uint32, cloaked bool) {
+	w.attr.PID = pid
+	w.attr.TID = tid
+	w.attr.Task = name
+	w.attr.Domain = domain
+	w.attr.Cloaked = cloaked
+}
+
+// SetTaskDomain updates the cloaking domain of the current task (the shim
+// learns the domain only after its first hypercall, mid-run).
+func (w *World) SetTaskDomain(domain uint32) { w.attr.Domain = domain }
+
+// SetPhase labels all subsequent attribution with an experiment phase
+// (e.g. "E2/cloaked"); the harness sets it per measured region.
+func (w *World) SetPhase(phase string) { w.attr.Phase = phase }
+
+// Attr returns the current attribution context.
+func (w *World) Attr() obs.Attr { return w.attr }

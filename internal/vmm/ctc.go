@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"overshadow/internal/cloak"
+	"overshadow/internal/obs"
 	"overshadow/internal/sim"
 )
 
@@ -92,15 +93,17 @@ func (t *Thread) EnterKernel(kind TrapKind) *Regs {
 	v := t.vmm
 	t.inTrap = true
 	t.trap = kind
-	v.world.Charge(v.world.Cost.SyscallTrap)
+	v.world.ChargeAdd(v.world.Cost.SyscallTrap, sim.CtrTrap, 0)
 	if !t.Cloaked() {
 		return &t.Regs
 	}
 	// Cloaked: the trap bounces through the VMM (world switch in).
 	v.world.ChargeCount(v.world.Cost.WorldSwitch, sim.CtrWorldSwitch)
+	v.world.EmitSpan(obs.KindWorldSwitch, "guest->vmm", uint64(t.ID), v.world.Cost.WorldSwitch)
 	t.ctc = t.Regs
 	t.pending = true
 	v.world.ChargeCount(v.world.Cost.CTCSave, sim.CtrCTCSave)
+	v.world.EmitSpan(obs.KindCTC, "save", uint64(t.ID), v.world.Cost.CTCSave)
 	switch kind {
 	case TrapSyscall:
 		// Expose only the syscall number and arguments (which the shim has
@@ -114,6 +117,7 @@ func (t *Thread) EnterKernel(kind TrapKind) *Regs {
 	}
 	t.exposed = t.Regs
 	v.world.ChargeCount(v.world.Cost.WorldSwitch, sim.CtrWorldSwitch)
+	v.world.EmitSpan(obs.KindWorldSwitch, "vmm->guest", uint64(t.ID), v.world.Cost.WorldSwitch)
 	return &t.Regs
 }
 
@@ -129,11 +133,12 @@ func (t *Thread) ExitKernel() error {
 		return fmt.Errorf("vmm: ExitKernel on thread %d not in a trap", t.ID)
 	}
 	t.inTrap = false
-	v.world.Charge(v.world.Cost.SyscallReturn)
+	v.world.ChargeAdd(v.world.Cost.SyscallReturn, sim.CtrTrap, 0)
 	if !t.Cloaked() {
 		return nil
 	}
 	v.world.ChargeCount(v.world.Cost.WorldSwitch, sim.CtrWorldSwitch)
+	v.world.EmitSpan(obs.KindWorldSwitch, "guest->vmm", uint64(t.ID), v.world.Cost.WorldSwitch)
 	if !t.pending {
 		ev := Event{Kind: EventCTCTamper, Domain: t.Domain,
 			Detail: "resume with no saved context"}
@@ -161,6 +166,8 @@ func (t *Thread) ExitKernel() error {
 	t.Regs = restored
 	t.pending = false
 	v.world.ChargeCount(v.world.Cost.CTCRestore, sim.CtrCTCRestore)
+	v.world.EmitSpan(obs.KindCTC, "restore", uint64(t.ID), v.world.Cost.CTCRestore)
 	v.world.ChargeCount(v.world.Cost.WorldSwitch, sim.CtrWorldSwitch)
+	v.world.EmitSpan(obs.KindWorldSwitch, "vmm->guest", uint64(t.ID), v.world.Cost.WorldSwitch)
 	return tamperErr
 }

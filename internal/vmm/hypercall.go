@@ -5,6 +5,7 @@ import (
 
 	"overshadow/internal/cloak"
 	"overshadow/internal/mach"
+	"overshadow/internal/obs"
 	"overshadow/internal/sim"
 )
 
@@ -12,14 +13,15 @@ import (
 // shim invokes directly on the VMM, bypassing the guest kernel. Each entry
 // point charges the hypercall cost (two world switches plus dispatch).
 
-func (v *VMM) chargeHypercall() {
+func (v *VMM) chargeHypercall(name string) {
 	v.world.ChargeCount(v.world.Cost.Hypercall, sim.CtrHypercall)
+	v.world.EmitSpan(obs.KindHypercall, name, 0, v.world.Cost.Hypercall)
 }
 
 // HCCreateDomain establishes a new protection domain and binds it to the
 // calling address space. Called by the shim during cloaked-process startup.
 func (v *VMM) HCCreateDomain(as *AddressSpace) (cloak.DomainID, error) {
-	v.chargeHypercall()
+	v.chargeHypercall("create_domain")
 	if as.domain != 0 {
 		return 0, fmt.Errorf("vmm: address space %d already in domain %d", as.id, as.domain)
 	}
@@ -33,7 +35,7 @@ func (v *VMM) HCCreateDomain(as *AddressSpace) (cloak.DomainID, error) {
 // HCAllocResource hands out a fresh resource identifier within a domain
 // (heap, stack, a cloaked file mapping, ...).
 func (v *VMM) HCAllocResource(as *AddressSpace) (cloak.ResourceID, error) {
-	v.chargeHypercall()
+	v.chargeHypercall("alloc_resource")
 	if as.domain == 0 {
 		return 0, fmt.Errorf("vmm: address space %d has no domain", as.id)
 	}
@@ -46,7 +48,7 @@ func (v *VMM) HCAllocResource(as *AddressSpace) (cloak.ResourceID, error) {
 // cloaked (bound to a resource) or explicitly uncloaked (the shim's
 // marshalling scratch area).
 func (v *VMM) HCRegisterRegion(as *AddressSpace, r Region) error {
-	v.chargeHypercall()
+	v.chargeHypercall("register_region")
 	if as.domain == 0 {
 		return fmt.Errorf("vmm: address space %d has no domain", as.id)
 	}
@@ -66,7 +68,7 @@ func (v *VMM) HCRegisterRegion(as *AddressSpace, r Region) error {
 // HCUnregisterRegion removes a region registration (munmap of a cloaked
 // mapping). Metadata for the resource is retained until HCReleaseResource.
 func (v *VMM) HCUnregisterRegion(as *AddressSpace, baseVPN uint64) error {
-	v.chargeHypercall()
+	v.chargeHypercall("unregister_region")
 	for i, r := range as.regions {
 		if r.BaseVPN == baseVPN {
 			for vpn := r.BaseVPN; vpn < r.BaseVPN+r.Pages; vpn++ {
@@ -82,7 +84,7 @@ func (v *VMM) HCUnregisterRegion(as *AddressSpace, baseVPN uint64) error {
 // HCReleaseResource discards all metadata of a resource (its pages become
 // unrecoverable). Called when a cloaked mapping is torn down for good.
 func (v *VMM) HCReleaseResource(as *AddressSpace, res cloak.ResourceID, pages uint64) error {
-	v.chargeHypercall()
+	v.chargeHypercall("release_resource")
 	if as.domain == 0 {
 		return fmt.Errorf("vmm: address space %d has no domain", as.id)
 	}
@@ -96,11 +98,11 @@ func (v *VMM) HCReleaseResource(as *AddressSpace, res cloak.ResourceID, pages ui
 // nothing leaks into recycled frames), registrations and metadata records
 // are dropped. Vault (file) domains are separate domains and unaffected.
 func (v *VMM) HCDestroyDomain(d cloak.DomainID) {
-	v.chargeHypercall()
+	v.chargeHypercall("destroy_domain")
 	for gppn, cp := range v.byDomain[d] {
 		if cp.state == statePlain {
 			zeroFrame(v.frame(gppn))
-			v.world.Charge(v.world.Cost.PageZero)
+			v.world.ChargeAdd(v.world.Cost.PageZero, sim.CtrPageZero, 1)
 		}
 		v.dropAllShadowsOfGPPN(gppn)
 		delete(v.pages, gppn)
@@ -119,7 +121,7 @@ func (v *VMM) HCDestroyDomain(d cloak.DomainID) {
 // identity, so cloaked file contents keep a consistent page identity across
 // windows, processes, and reopens. The uid is the file's inode number.
 func (v *VMM) HCFileResource(uid uint64) (cloak.DomainID, cloak.ResourceID) {
-	v.chargeHypercall()
+	v.chargeHypercall("file_resource")
 	if b, ok := v.fileVaults[uid]; ok {
 		return b.domain, b.resource
 	}
@@ -134,7 +136,7 @@ func (v *VMM) HCFileResource(uid uint64) (cloak.DomainID, cloak.ResourceID) {
 // HCDropFileResource forgets a file's vault binding and metadata (file
 // deletion).
 func (v *VMM) HCDropFileResource(uid uint64) {
-	v.chargeHypercall()
+	v.chargeHypercall("drop_file_resource")
 	if b, ok := v.fileVaults[uid]; ok {
 		v.metas.DeleteDomain(b.domain)
 		delete(v.fileVaults, uid)
@@ -155,7 +157,7 @@ func (v *VMM) HCDropFileResource(uid uint64) {
 // resourceMap translates parent resource IDs to the child's new ones;
 // regions are duplicated accordingly.
 func (v *VMM) HCCloneDomainInto(parent, child *AddressSpace) (map[cloak.ResourceID]cloak.ResourceID, error) {
-	v.chargeHypercall()
+	v.chargeHypercall("clone_domain")
 	if parent.domain == 0 {
 		return nil, fmt.Errorf("vmm: parent space %d has no domain", parent.id)
 	}
@@ -236,7 +238,7 @@ func (v *VMM) HCCloneDomainInto(parent, child *AddressSpace) (map[cloak.Resource
 // and the VMM remembers it, so relying parties can ask the *trusted* layer
 // who is executing in a domain rather than the OS.
 func (v *VMM) HCRecordIdentity(as *AddressSpace, digest [32]byte) error {
-	v.chargeHypercall()
+	v.chargeHypercall("record_identity")
 	if as.domain == 0 {
 		return fmt.Errorf("vmm: address space %d has no domain", as.id)
 	}
@@ -258,7 +260,7 @@ func (v *VMM) DomainIdentity(d cloak.DomainID) ([32]byte, bool) {
 // resource page — used by the secure-I/O layer to attest stored state and
 // by tests to observe versions without reaching into internals.
 func (v *VMM) HCAttest(as *AddressSpace, res cloak.ResourceID, index uint64) (cloak.Meta, bool) {
-	v.chargeHypercall()
+	v.chargeHypercall("attest")
 	if as.domain == 0 {
 		return cloak.Meta{}, false
 	}

@@ -60,7 +60,7 @@ func (v *VMM) Translate(as *AddressSpace, view View, vpn uint64, access mmu.Acce
 		v.tlb.InvalidatePage(vpn)
 	}
 	// TLB miss: hardware walks the shadow page table.
-	v.world.Charge(v.world.Cost.TLBMiss)
+	v.world.ChargeAdd(v.world.Cost.TLBMiss, sim.CtrTLBMiss, 0)
 	pte := as.shadows[view].Lookup(vpn)
 	if f := mmu.CheckPerms(vpn, pte, access, user); f == nil {
 		v.tlb.Insert(ctx, vpn, pte)
@@ -143,7 +143,7 @@ func (v *VMM) resolveCloaked(as *AddressSpace, view View, vpn uint64, gppn mach.
 
 	switch view {
 	case ViewApp:
-		v.world.Stats.Inc(sim.CtrCloakFault)
+		v.world.ChargeAdd(0, sim.CtrCloakFault, 1)
 		switch {
 		case !registered:
 			// Fresh frame from the OS. Two legitimate cases: first touch of
@@ -155,7 +155,7 @@ func (v *VMM) resolveCloaked(as *AddressSpace, view View, vpn uint64, gppn mach.
 				}
 			} else {
 				zeroFrame(v.frame(gppn))
-				v.world.Charge(v.world.Cost.PageZero)
+				v.world.ChargeAdd(v.world.Cost.PageZero, sim.CtrPageZero, 1)
 			}
 			v.registerPage(gppn, &cloakPage{state: statePlain, id: id})
 			v.dropAllShadowsOfGPPN(gppn) // stale system-view mappings
@@ -197,8 +197,7 @@ func zeroFrame(p []byte) {
 // chargeCopy charges memory-system cost for n bytes moved.
 func (v *VMM) chargeCopy(n int) {
 	lines := (n + cacheLine - 1) / cacheLine
-	v.world.Charge(sim.Cycles(lines) * v.world.Cost.MemAccess)
-	v.world.Stats.Add(sim.CtrMemAccess, uint64(lines))
+	v.world.ChargeAdd(sim.Cycles(lines)*v.world.Cost.MemAccess, sim.CtrMemAccess, uint64(lines))
 }
 
 // ReadVirt copies len(buf) bytes from virtual address va in (as, view) into
@@ -283,5 +282,5 @@ func (v *VMM) PhysZero(gppn mach.GPPN) {
 		v.encryptPage(gppn, cp, "kernel zeroing cloaked page")
 	}
 	zeroFrame(v.frame(gppn))
-	v.world.Charge(v.world.Cost.PageZero)
+	v.world.ChargeAdd(v.world.Cost.PageZero, sim.CtrPageZero, 1)
 }

@@ -6,6 +6,7 @@ import (
 	"overshadow/internal/cloak"
 	"overshadow/internal/mach"
 	"overshadow/internal/mmu"
+	"overshadow/internal/obs"
 	"overshadow/internal/sim"
 )
 
@@ -181,7 +182,7 @@ func (v *VMM) logEvent(e Event) {
 	e.Time = v.world.Now()
 	v.events = append(v.events, e)
 	if e.Kind != EventCloakOnKernelAccess {
-		v.world.Trace("sec.event", "%s page %s: %s", e.Kind, e.Page, e.Detail)
+		v.world.Emit(obs.KindSecurity, e.Kind.String(), uint64(e.GPPN))
 	}
 }
 
@@ -286,7 +287,7 @@ func (v *VMM) NotifyFrameRecycled(gppn mach.GPPN) {
 		if cp.state == statePlain {
 			// Never let cloaked plaintext linger in a recycled frame.
 			zeroFrame(v.frame(gppn))
-			v.world.Charge(v.world.Cost.PageZero)
+			v.world.ChargeAdd(v.world.Cost.PageZero, sim.CtrPageZero, 1)
 		}
 		v.unregisterPage(gppn, cp)
 		v.dropAllShadowsOfGPPN(gppn)
@@ -312,12 +313,13 @@ func (v *VMM) unregisterPage(gppn mach.GPPN, cp *cloakPage) {
 
 // encryptPage transitions a plaintext cloaked page to the encrypted state.
 func (v *VMM) encryptPage(gppn mach.GPPN, cp *cloakPage, why string) {
+	sp := v.world.Begin(obs.KindCloak, "encrypt", uint64(gppn))
 	frame := v.frame(gppn)
 	meta := v.engine.EncryptPage(cp.id, v.metas.Version(cp.id), frame)
 	v.metas.Put(cp.id, meta)
 	cp.state = stateEncrypted
-	v.world.Trace("cloak.encrypt", "page %s gppn %d v%d (%s)", cp.id, gppn, meta.Version, why)
 	v.dropAllShadowsOfGPPN(gppn)
+	sp.End()
 	v.logEvent(Event{
 		Kind: EventCloakOnKernelAccess, Domain: cp.id.Domain,
 		Page: cp.id, GPPN: gppn, Detail: why,
@@ -338,7 +340,8 @@ func (v *VMM) decryptPage(gppn mach.GPPN, id cloak.PageID) error {
 		return &SecViolation{Event: ev}
 	}
 	frame := v.frame(gppn)
-	v.world.Trace("cloak.decrypt", "page %s gppn %d v%d", id, gppn, meta.Version)
+	sp := v.world.Begin(obs.KindCloak, "decrypt", uint64(gppn))
+	defer sp.End()
 	if err := v.engine.DecryptPage(id, meta, frame); err != nil {
 		ev := Event{Kind: EventIntegrityViolation, Domain: id.Domain, Page: id,
 			GPPN: gppn, Detail: err.Error()}
