@@ -3,7 +3,9 @@
 //	determinism     — no host time, math/rand, multi-channel select, or
 //	                  unscheduled goroutines inside the simulated machine
 //	cloakboundary   — untrusted guestos code never touches machine memory
-//	                  or cloaking secrets directly
+//	                  or cloaking secrets directly; outside internal/vmm,
+//	                  domain hypercalls go through the typed vmm.DomainConn
+//	                  handle, never the raw VMM.HC* forwarders
 //	errnodiscipline — no raw errno literals, no discarded error/Errno results
 //	cyclecharge     — exported memory-touching VMM/guestos functions charge
 //	                  the sim cost model

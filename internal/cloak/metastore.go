@@ -17,9 +17,22 @@ type MetaStore struct {
 	cache   map[PageID]Meta
 	order   []PageID // FIFO eviction order
 	backing map[PageID]Meta
+
+	// One-entry MRU cache in front of the map: sequential touch patterns
+	// (streaming reads/writes, fork re-cloak, eager encryption sweeps) hit
+	// the same PageID several times in a row, and the map lookup + hash is
+	// the metastore's hot-path cost. Invariant: lastOK implies lastID is
+	// present in cache with value lastMeta, so the fast path charges the
+	// same MetaCacheHit a map hit would.
+	lastID   PageID
+	lastMeta Meta
+	lastOK   bool
 }
 
-// NewMetaStore builds a store whose cache holds cacheCap records.
+// NewMetaStore builds a store whose cache holds cacheCap records. The
+// backing spill area is pre-sized to the cache capacity: workloads that
+// overflow the cache at all usually overflow it by a lot, and growing the
+// map incrementally is a measurable host-side cost in the page-out sweeps.
 func NewMetaStore(world *sim.World, cacheCap int) *MetaStore {
 	if cacheCap <= 0 {
 		cacheCap = 1
@@ -28,7 +41,7 @@ func NewMetaStore(world *sim.World, cacheCap int) *MetaStore {
 		world:   world,
 		cap:     cacheCap,
 		cache:   make(map[PageID]Meta, cacheCap),
-		backing: make(map[PageID]Meta),
+		backing: make(map[PageID]Meta, cacheCap),
 	}
 }
 
@@ -41,6 +54,7 @@ func (s *MetaStore) Put(id PageID, meta Meta) {
 		s.order = append(s.order, id)
 	}
 	s.cache[id] = meta
+	s.lastID, s.lastMeta, s.lastOK = id, meta, true
 }
 
 func (s *MetaStore) evictOne() {
@@ -51,6 +65,9 @@ func (s *MetaStore) evictOne() {
 			// Spill to the hash-tree-protected backing area.
 			s.backing[victim] = m
 			delete(s.cache, victim)
+			if s.lastOK && victim == s.lastID {
+				s.lastOK = false
+			}
 			s.world.ChargeAdd(s.world.Cost.MetaCacheMiss, sim.CtrMetaCacheMiss, 0)
 			return
 		}
@@ -60,8 +77,13 @@ func (s *MetaStore) evictOne() {
 // Get returns the current record for id, charging the cache hit or miss
 // cost. ok is false if the page has never been encrypted.
 func (s *MetaStore) Get(id PageID) (Meta, bool) {
+	if s.lastOK && id == s.lastID {
+		s.world.ChargeCount(s.world.Cost.MetaCacheHit, sim.CtrMetaCacheHit)
+		return s.lastMeta, true
+	}
 	if m, ok := s.cache[id]; ok {
 		s.world.ChargeCount(s.world.Cost.MetaCacheHit, sim.CtrMetaCacheHit)
+		s.lastID, s.lastMeta, s.lastOK = id, m, true
 		return m, true
 	}
 	if m, ok := s.backing[id]; ok {
@@ -77,6 +99,9 @@ func (s *MetaStore) Get(id PageID) (Meta, bool) {
 // effects (0 if never encrypted). Used when encrypting to derive the next
 // version.
 func (s *MetaStore) Version(id PageID) uint64 {
+	if s.lastOK && id == s.lastID {
+		return s.lastMeta.Version
+	}
 	if m, ok := s.cache[id]; ok {
 		return m.Version
 	}
@@ -90,6 +115,9 @@ func (s *MetaStore) Version(id PageID) uint64 {
 func (s *MetaStore) Delete(id PageID) {
 	delete(s.cache, id)
 	delete(s.backing, id)
+	if s.lastOK && id == s.lastID {
+		s.lastOK = false
+	}
 }
 
 // DeleteDomain forgets every record belonging to a domain (domain
@@ -104,6 +132,9 @@ func (s *MetaStore) DeleteDomain(d DomainID) {
 		if id.Domain == d {
 			delete(s.backing, id)
 		}
+	}
+	if s.lastOK && s.lastID.Domain == d {
+		s.lastOK = false
 	}
 }
 

@@ -21,12 +21,12 @@ func RunE11(opts Options) *Table {
 	totalKB := opts.scale(4096, 512)
 	chunk := 16 * 1024
 
-	pipeCycles, _ := runToCompletion(opts,
-		core.Config{MemoryPages: 4096, Seed: opts.seed()},
-		"pipeipc", pipeIPCProgram(totalKB, chunk), true)
-	shmCycles, _ := runToCompletion(opts,
-		core.Config{MemoryPages: 4096, Seed: opts.seed()},
-		"shmipc", shmIPCProgram(totalKB, chunk), true)
+	cfg := core.Config{MemoryPages: 4096, Seed: opts.seed()}
+	fpipe := deferRun(opts, cfg, "pipeipc",
+		func() core.Program { return pipeIPCProgram(totalKB, chunk) }, true)
+	fshm := deferRun(opts, cfg, "shmipc",
+		func() core.Program { return shmIPCProgram(totalKB, chunk) }, true)
+	pipeCycles, shmCycles := fpipe.wait().cycles, fshm.wait().cycles
 
 	t.AddRow("pipe (marshalled)", float64(totalKB)/mcyc(pipeCycles), mcyc(pipeCycles))
 	t.AddRow("protected shm", float64(totalKB)/mcyc(shmCycles), mcyc(shmCycles))

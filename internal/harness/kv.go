@@ -17,14 +17,17 @@ func RunE12(opts Options) *Table {
 		Columns: []string{"native ops/Mcyc", "cloaked ops/Mcyc", "overhead %"},
 	}
 	ops := opts.scale(600, 80)
-	for _, vs := range []int{64, 252} {
+	sizes := []int{64, 252}
+	pairs := make([]runPair, len(sizes))
+	for i, vs := range sizes {
 		cfg := workload.KVConfig{
 			Ops: ops, ValueBytes: vs, Keys: 32, PutRatio: 30, Persist: true,
 		}
-		prog := workload.KVProgram(cfg)
 		sysCfg := core.Config{MemoryPages: 4096, Seed: opts.seed()}
-		nat, _ := runToCompletion(opts, sysCfg, "kv", prog, false)
-		clo, _ := runToCompletion(opts, sysCfg, "kv", prog, true)
+		pairs[i] = deferPair(opts, sysCfg, "kv", func() core.Program { return workload.KVProgram(cfg) })
+	}
+	for i, vs := range sizes {
+		nat, clo := pairs[i].nat.wait().cycles, pairs[i].clo.wait().cycles
 		t.AddRow(fmt.Sprintf("value %dB", vs), thrput(ops, nat), thrput(ops, clo), pct(clo, nat))
 	}
 	t.Note("per op: pipe round trip (marshalled both sides when cloaked) + protected table access")

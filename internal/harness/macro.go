@@ -32,6 +32,35 @@ func runToCompletion(opts Options, cfg core.Config, name string, prog core.Progr
 	return sys.Now(), sys
 }
 
+// runOut is one completed runToCompletion job.
+type runOut struct {
+	cycles sim.Cycles
+	sys    *core.System
+}
+
+// deferRun submits runToCompletion as a pool job. Each job builds its own
+// program closure: workload programs may capture per-run state, and two jobs
+// must never share one.
+func deferRun(opts Options, cfg core.Config, name string, mk func() core.Program, cloaked bool) *future[runOut] {
+	return submit(opts, func(o Options) runOut {
+		c, s := runToCompletion(o, cfg, name, mk(), cloaked)
+		return runOut{cycles: c, sys: s}
+	})
+}
+
+// runPair is the native/cloaked future pair most macro experiments sweep.
+type runPair struct {
+	nat, clo *future[runOut]
+}
+
+// deferPair submits a native and a cloaked run of the same workload.
+func deferPair(opts Options, cfg core.Config, name string, mk func() core.Program) runPair {
+	return runPair{
+		nat: deferRun(opts, cfg, name, mk, false),
+		clo: deferRun(opts, cfg, name, mk, true),
+	}
+}
+
 // RunE3 compares the CPU-bound kernels native vs cloaked.
 func RunE3(opts Options) *Table {
 	t := &Table{
@@ -52,16 +81,19 @@ func RunE3(opts Options) *Table {
 		workload.KernelPointerChase: 60, workload.KernelChecksum: 60,
 		workload.KernelRLE: 300, workload.KernelPureCompute: 400,
 	}
-	for _, k := range workload.AllCPUKernels() {
+	kernels := workload.AllCPUKernels()
+	pairs := make([]runPair, len(kernels))
+	for i, k := range kernels {
 		iters := fullIters[k]
 		if opts.Quick {
 			iters = quickIters[k]
 		}
 		cfg := workload.CPUConfig{Kernel: k, WorkingSetK: ws, Iters: iters}
-		prog := workload.CPUProgram(cfg)
 		sysCfg := core.Config{MemoryPages: 4096, Seed: opts.seed()}
-		nat, _ := runToCompletion(opts, sysCfg, string(k), prog, false)
-		clo, _ := runToCompletion(opts, sysCfg, string(k), prog, true)
+		pairs[i] = deferPair(opts, sysCfg, string(k), func() core.Program { return workload.CPUProgram(cfg) })
+	}
+	for i, k := range kernels {
+		nat, clo := pairs[i].nat.wait().cycles, pairs[i].clo.wait().cycles
 		t.AddRow(string(k), mcyc(nat), mcyc(clo), pct(clo, nat))
 	}
 	t.Note("working set %d KiB, fits in RAM: cloaking costs only startup + timer crossings", ws)
@@ -76,14 +108,17 @@ func RunE4(opts Options) *Table {
 		Columns: []string{"native req/Mcyc", "cloaked req/Mcyc", "overhead %"},
 	}
 	reqs := opts.scale(300, 40)
-	for _, payload := range []int{1024, 4096, 16384, 65536} {
+	payloads := []int{1024, 4096, 16384, 65536}
+	pairs := make([]runPair, len(payloads))
+	for i, payload := range payloads {
 		cfg := workload.WebConfig{
 			Requests: reqs, PayloadBytes: payload, NumDocs: 8, ParseCompute: 2000,
 		}
-		prog := workload.WebServerProgram(cfg)
 		sysCfg := core.Config{MemoryPages: 8192, Seed: opts.seed()}
-		nat, _ := runToCompletion(opts, sysCfg, "web", prog, false)
-		clo, _ := runToCompletion(opts, sysCfg, "web", prog, true)
+		pairs[i] = deferPair(opts, sysCfg, "web", func() core.Program { return workload.WebServerProgram(cfg) })
+	}
+	for i, payload := range payloads {
+		nat, clo := pairs[i].nat.wait().cycles, pairs[i].clo.wait().cycles
 		name := fmt.Sprintf("payload %dKiB", payload/1024)
 		t.AddRow(name, thrput(reqs, nat), thrput(reqs, clo), pct(clo, nat))
 	}
@@ -112,11 +147,15 @@ func RunE5(opts Options) *Table {
 	}
 	// Total bytes moved: write + read + random reads.
 	totalKB := float64(fileKB*2) + float64(rand*io)/1024
-	for _, m := range modes {
+	futs := make([]*future[runOut], len(modes))
+	for i, m := range modes {
 		cfg := workload.FileIOConfig{FileKB: fileKB, IOSize: io, RandReads: rand, Cloak: m.cloakF}
-		prog := workload.FileIOProgram(cfg)
 		sysCfg := core.Config{MemoryPages: 8192, FSDiskPages: 65536, Seed: opts.seed()}
-		cycles, _ := runToCompletion(opts, sysCfg, "fileio", prog, m.cloakP)
+		futs[i] = deferRun(opts, sysCfg, "fileio",
+			func() core.Program { return workload.FileIOProgram(cfg) }, m.cloakP)
+	}
+	for i, m := range modes {
+		cycles := futs[i].wait().cycles
 		t.AddRow(m.name, totalKB/mcyc(cycles), mcyc(cycles))
 	}
 	t.Note("cloaked files use the shim's mmap-emulated I/O: data never crosses the kernel in plaintext")
@@ -132,16 +171,20 @@ func RunE6(opts Options) *Table {
 	}
 	ram := opts.scale(512, 128)
 	sweeps := opts.scale(5, 3)
-	for _, ratio := range []float64{0.5, 0.8, 1.2, 1.6} {
+	ratios := []float64{0.5, 0.8, 1.2, 1.6}
+	pairs := make([]runPair, len(ratios))
+	for i, ratio := range ratios {
 		pages := int(float64(ram) * ratio)
 		cfg := workload.PagingConfig{WorkingSetPages: pages, Sweeps: sweeps}
-		prog := workload.PagingProgram(cfg)
 		sysCfg := core.Config{MemoryPages: ram, SwapPages: uint64(ram) * 8, Seed: opts.seed()}
-		nat, _ := runToCompletion(opts, sysCfg, "paging", prog, false)
-		clo, sys := runToCompletion(opts, sysCfg, "paging", prog, true)
+		pairs[i] = deferPair(opts, sysCfg, "paging", func() core.Program { return workload.PagingProgram(cfg) })
+	}
+	for i, ratio := range ratios {
+		nat := pairs[i].nat.wait().cycles
+		co := pairs[i].clo.wait()
 		name := fmt.Sprintf("ws/ram = %.1f", ratio)
-		t.AddRow(name, mcyc(nat), mcyc(clo),
-			mcyc(clo)-mcyc(nat), float64(sys.Stats().Get(sim.CtrPageOut)))
+		t.AddRow(name, mcyc(nat), mcyc(co.cycles),
+			mcyc(co.cycles)-mcyc(nat), float64(co.sys.Stats().Get(sim.CtrPageOut)))
 	}
 	t.Note("past ws/ram=1 every page-out of a cloaked page adds encrypt, every page-in verify+decrypt")
 	return t
@@ -156,27 +199,34 @@ func RunE7(opts Options) *Table {
 	}
 	ram := opts.scale(256, 96)
 	// Working sets beyond RAM so the kernel pages every cloaked page out
-	// (each page-out creates/updates one metadata record).
-	for _, pages := range []int{ram * 5 / 4, ram * 3 / 2, ram * 2} {
-		cfg := workload.PagingConfig{WorkingSetPages: pages, Sweeps: 2}
-		sys := core.NewSystem(core.Config{MemoryPages: ram, SwapPages: uint64(ram) * 8, Seed: opts.seed()})
-		opts.observe(sys.World, fmt.Sprintf("meta-%dp/cloaked", pages))
-		maxBytes := 0
-		maxPages := 0
-		// Sample metadata growth whenever the kernel pages something out.
-		sys.Adversary().OnPageOut = func(_ *guestos.Kernel, _ *guestos.Proc, _ uint64, _ []byte) {
-			if b := sys.VMM.MetadataBytes(); b > maxBytes {
-				maxBytes = b
+	// (each page-out creates/updates one metadata record). Each working-set
+	// size is one job; the job returns the peak metadata footprint sampled
+	// at page-out time.
+	sizes := []int{ram * 5 / 4, ram * 3 / 2, ram * 2}
+	futs := make([]*future[int], len(sizes))
+	for i, pages := range sizes {
+		pages := pages
+		futs[i] = submit(opts, func(o Options) int {
+			cfg := workload.PagingConfig{WorkingSetPages: pages, Sweeps: 2}
+			sys := core.NewSystem(core.Config{MemoryPages: ram, SwapPages: uint64(ram) * 8, Seed: o.seed()})
+			o.observe(sys.World, fmt.Sprintf("meta-%dp/cloaked", pages))
+			maxBytes := 0
+			// Sample metadata growth whenever the kernel pages something out.
+			sys.Adversary().OnPageOut = func(_ *guestos.Kernel, _ *guestos.Proc, _ uint64, _ []byte) {
+				if b := sys.VMM.MetadataBytes(); b > maxBytes {
+					maxBytes = b
+				}
 			}
-			if p := sys.VMM.CloakedPages(); p > maxPages {
-				maxPages = p
+			sys.Register("paging", workload.PagingProgram(cfg))
+			if _, err := sys.Spawn("paging", core.Cloaked()); err != nil {
+				panic(err)
 			}
-		}
-		sys.Register("paging", workload.PagingProgram(cfg))
-		if _, err := sys.Spawn("paging", core.Cloaked()); err != nil {
-			panic(err)
-		}
-		sys.Run()
+			sys.Run()
+			return maxBytes
+		})
+	}
+	for i, pages := range sizes {
+		maxBytes := futs[i].wait()
 		perPage := 0.0
 		if maxBytes > 0 {
 			// Metadata records exist for every page that has ever been
@@ -196,17 +246,20 @@ func RunE9(opts Options) *Table {
 		Title:   "Compile-like process mix (fork/exec + temp file I/O)",
 		Columns: []string{"native Mcyc", "cloaked Mcyc", "overhead %"},
 	}
-	for _, jobs := range []int{2, 4, 8} {
+	jobCounts := []int{2, 4, 8}
+	pairs := make([]runPair, len(jobCounts))
+	for i, jobs := range jobCounts {
 		cfg := workload.ProcessMixConfig{
 			Jobs:        jobs,
 			UnitsPerJob: uint64(opts.scale(2_000_000, 200_000)),
 			FilesPerJob: opts.scale(4, 2),
 			FileKB:      opts.scale(64, 16),
 		}
-		prog := workload.ProcessMixProgram(cfg)
 		sysCfg := core.Config{MemoryPages: 8192, Seed: opts.seed()}
-		nat, _ := runToCompletion(opts, sysCfg, "mix", prog, false)
-		clo, _ := runToCompletion(opts, sysCfg, "mix", prog, true)
+		pairs[i] = deferPair(opts, sysCfg, "mix", func() core.Program { return workload.ProcessMixProgram(cfg) })
+	}
+	for i, jobs := range jobCounts {
+		nat, clo := pairs[i].nat.wait().cycles, pairs[i].clo.wait().cycles
 		t.AddRow(fmt.Sprintf("jobs=%d", jobs), mcyc(nat), mcyc(clo), pct(clo, nat))
 	}
 	t.Note("cloaked fork is eager-copy + re-cloak: the dominant overhead source, as in the paper")
@@ -238,7 +291,7 @@ func RunE10(opts Options) *Table {
 	fastDisk.DiskSeek = 2000
 	fastDisk.DiskPerByte = 1
 
-	var base float64
+	futs := make([]*future[runOut], len(variants))
 	for i, v := range variants {
 		cfg := v.cfg
 		// Modest RAM so the mixed workload's sweep exceeds it: paging then
@@ -247,8 +300,11 @@ func RunE10(opts Options) *Table {
 		cfg.MemoryPages = 448
 		cfg.Cost = &fastDisk
 		cfg.Seed = opts.seed()
-		cycles, _ := runToCompletion(opts, cfg, "mixed", mixed, true)
-		m := mcyc(cycles)
+		futs[i] = deferRun(opts, cfg, "mixed", func() core.Program { return mixed }, true)
+	}
+	var base float64
+	for i, v := range variants {
+		m := mcyc(futs[i].wait().cycles)
 		if i == 0 {
 			base = m
 		}

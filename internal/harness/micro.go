@@ -215,10 +215,12 @@ var microRowOrder = []string{
 	"fork+wait", "fork+exec+wait", "thread create+join",
 }
 
-// RunE1 produces the lmbench-style microbenchmark table.
+// RunE1 produces the lmbench-style microbenchmark table. The native and
+// cloaked suites are independent jobs; rows pair their results by name.
 func RunE1(opts Options) *Table {
-	native := runMicroSuite(opts, false)
-	cloaked := runMicroSuite(opts, true)
+	fnat := submit(opts, func(o Options) microResults { return runMicroSuite(o, false) })
+	fclo := submit(opts, func(o Options) microResults { return runMicroSuite(o, true) })
+	native, cloaked := fnat.wait(), fclo.wait()
 	t := &Table{
 		ID:      "E1",
 		Title:   "OS microbenchmarks, simulated cycles per operation",
@@ -270,75 +272,26 @@ func breakdown(total float64, before, after map[string]uint64) []float64 {
 
 // RunE2 decomposes the cost of one cloaking transition by measuring each
 // primitive directly against the VMM, splitting every measured row into
-// per-component attributed cycles.
+// per-component attributed cycles. The primitive measurements and the
+// end-to-end probe build independent worlds, so they run as two jobs.
 func RunE2(opts Options) *Table {
-	w := sim.NewWorld(sim.DefaultCostModel(), opts.seed())
-	opts.observe(w, "E2/primitives")
-	met := w.Metrics
-	if met == nil {
-		met = w.EnableMetrics(nil) // breakdown columns need attribution even unobserved
-	}
-	hv := vmm.New(w, vmm.Config{GuestPages: 64})
-	as := hv.CreateAddressSpace(mmu.NewPageTable())
-	if _, err := hv.HCCreateDomain(as); err != nil {
-		panic(err)
-	}
-	res := must1(hv.HCAllocResource(as))
-	if err := hv.HCRegisterRegion(as, vmm.Region{BaseVPN: 16, Pages: 8, Resource: res, Cloaked: true}); err != nil {
-		panic(err)
-	}
-	as.GuestPT().Map(16, mmu.PTE{PN: 3, Flags: mmu.FlagPresent | mmu.FlagWritable | mmu.FlagUser})
-
-	timed := func(f func()) []float64 {
-		before := met.TotalsByName()
-		t0 := w.Now()
-		f()
-		return breakdown(float64(w.Clock.Since(t0)), before, met.TotalsByName())
-	}
+	fprim := submit(opts, e2Primitives)
+	fprobe := submit(opts, e2Probe)
 
 	t := &Table{
 		ID:      "E2",
 		Title:   "Cloaking transition cost breakdown (simulated cycles)",
 		Columns: []string{"cycles", "crypto", "vmm", "mem+tlb", "other"},
 	}
-
-	// First app touch: zero-fill + shadow fill.
-	one := []byte{1}
-	t.AddRow("first app touch (zero-fill)", timed(func() {
-		if err := hv.WriteVirt(as, vmm.ViewApp, 16*mach.PageSize, one, true); err != nil {
-			panic(err)
-		}
-	})...)
-	// Kernel touch of plaintext page: encrypt 4 KiB + hash + shadow ops.
-	buf := make([]byte, 8)
-	t.AddRow("kernel touch (encrypt+hash)", timed(func() {
-		if err := hv.ReadVirt(as, vmm.ViewSystem, 16*mach.PageSize, buf, false); err != nil {
-			panic(err)
-		}
-	})...)
-	// App re-touch: verify + decrypt.
-	t.AddRow("app re-touch (verify+decrypt)", timed(func() {
-		if err := hv.ReadVirt(as, vmm.ViewApp, 16*mach.PageSize, buf, true); err != nil {
-			panic(err)
-		}
-	})...)
-
-	th := hv.CreateThread(as.Domain())
-	t.AddRow("trap enter (CTC save+scrub)", timed(func() { th.EnterKernel(vmm.TrapSyscall) })...)
-	t.AddRow("trap exit (CTC restore)", timed(func() {
-		if err := th.ExitKernel(); err != nil {
-			panic(err)
-		}
-	})...)
-	t.AddRow("hypercall dispatch", timed(func() { must1(hv.HCAllocResource(as)) })...)
+	t.Rows = append(t.Rows, fprim.wait()...)
 
 	// End-to-end probe: one cloaked process exercising the full stack —
 	// syscalls, hypercalls, file I/O, demand faults — so a traced E2 run
 	// (overbench -e E2 -trace) contains every span kind on the process's
 	// own track, and the row shows where a whole run's cycles go.
-	t.AddRow("end-to-end probe (cloaked)", e2Probe(opts)...)
+	t.AddRow("end-to-end probe (cloaked)", fprobe.wait()...)
 
-	m := w.Cost
+	m := sim.DefaultCostModel()
 	aes := float64(m.PageCryptCost(mach.PageSize))
 	sha := float64(m.PageHashCost(mach.PageSize))
 	t.AddRow("  model: AES 4KiB", aes, aes, 0, 0, 0)
@@ -348,6 +301,65 @@ func RunE2(opts Options) *Table {
 	t.Note("measured rows include shadow maintenance and metadata cache effects")
 	t.Note("component columns (crypto/vmm/mem+tlb/other) sum to the cycles column")
 	return t
+}
+
+// e2Primitives measures each transition primitive directly against the VMM
+// through the typed hypercall handle and returns the measured rows.
+func e2Primitives(opts Options) []Row {
+	w := sim.NewWorld(sim.DefaultCostModel(), opts.seed())
+	opts.observe(w, "E2/primitives")
+	met := w.Metrics
+	if met == nil {
+		met = w.EnableMetrics(nil) // breakdown columns need attribution even unobserved
+	}
+	hv := vmm.New(w, vmm.Config{GuestPages: 64})
+	as := hv.CreateAddressSpace(mmu.NewPageTable())
+	conn := must1(hv.HCCreateDomain(as))
+	res := must1(conn.AllocResource())
+	if err := conn.RegisterRegion(vmm.Region{BaseVPN: 16, Pages: 8, Resource: res, Cloaked: true}); err != nil {
+		panic(err)
+	}
+	as.GuestPT().Map(16, mmu.PTE{PN: 3, Flags: mmu.FlagPresent | mmu.FlagWritable | mmu.FlagUser})
+
+	var rows []Row
+	timed := func(name string, f func()) {
+		before := met.TotalsByName()
+		t0 := w.Now()
+		f()
+		rows = append(rows, Row{Name: name,
+			Values: breakdown(float64(w.Clock.Since(t0)), before, met.TotalsByName())})
+	}
+
+	// First app touch: zero-fill + shadow fill.
+	one := []byte{1}
+	timed("first app touch (zero-fill)", func() {
+		if err := hv.WriteVirt(as, vmm.ViewApp, 16*mach.PageSize, one, true); err != nil {
+			panic(err)
+		}
+	})
+	// Kernel touch of plaintext page: encrypt 4 KiB + hash + shadow ops.
+	buf := make([]byte, 8)
+	timed("kernel touch (encrypt+hash)", func() {
+		if err := hv.ReadVirt(as, vmm.ViewSystem, 16*mach.PageSize, buf, false); err != nil {
+			panic(err)
+		}
+	})
+	// App re-touch: verify + decrypt.
+	timed("app re-touch (verify+decrypt)", func() {
+		if err := hv.ReadVirt(as, vmm.ViewApp, 16*mach.PageSize, buf, true); err != nil {
+			panic(err)
+		}
+	})
+
+	th := hv.CreateThread(as.Domain())
+	timed("trap enter (CTC save+scrub)", func() { th.EnterKernel(vmm.TrapSyscall) })
+	timed("trap exit (CTC restore)", func() {
+		if err := th.ExitKernel(); err != nil {
+			panic(err)
+		}
+	})
+	timed("hypercall dispatch", func() { must1(conn.AllocResource()) })
+	return rows
 }
 
 // e2Probe runs a small cloaked workload end to end (syscalls + file I/O on a

@@ -1,38 +1,76 @@
 package harness
 
 import (
+	"sort"
+	"sync"
+
 	"overshadow/internal/obs"
 	"overshadow/internal/sim"
 )
 
 // Observer aggregates observability output across the many short-lived
-// worlds one experiment run builds (native and cloaked variants, repeated
-// sweeps). All attached worlds charge into one shared obs.Metrics store,
-// labelled per phase, and — when TraceCap > 0 — record spans into per-world
-// rings that Trace() later concatenates onto a single timeline.
+// worlds one benchmark run builds (native and cloaked variants, repeated
+// sweeps). Each attached world charges into its own obs.Metrics store and —
+// when TraceCap > 0 — records spans into its own ring. Exports merge the
+// per-world stores in declaration order (the slot key assigned at job
+// submission), so the merged metrics JSON and the concatenated trace are
+// byte-identical for any shard count, including the serial path.
 type Observer struct {
-	// Metrics is the shared attributed-cycle store. Populated on first
-	// attach; callers may also pre-seed it to merge several Observers.
-	Metrics *obs.Metrics
 	// TraceCap, when positive, enables span tracing on every attached world
 	// with a ring of this capacity.
 	TraceCap int
 
-	worlds []*sim.World
+	mu    sync.Mutex
+	slots []obsSlot
 }
 
-// attach wires a freshly built world into the observer: shared metrics, the
-// phase label for attribution, and (optionally) a span ring.
-func (ob *Observer) attach(w *sim.World, phase string) {
-	ob.Metrics = w.EnableMetrics(ob.Metrics)
+// obsSlot is one attached world plus the submission-order key that pins its
+// place in merged exports. Worlds attached from the same job share a key and
+// keep their attach order (the sort below is stable); the serial path leaves
+// every key zero, which degrades to plain attach order.
+type obsSlot struct {
+	key   uint64
+	world *sim.World
+	store *obs.Metrics
+}
+
+// attach wires a freshly built world into the observer: a private metrics
+// store, the phase label for attribution, and (optionally) a span ring.
+// Safe to call from concurrent benchmark jobs.
+func (ob *Observer) attach(w *sim.World, phase string, key uint64) {
+	store := w.EnableMetrics(nil)
 	w.SetPhase(phase)
 	if ob.TraceCap > 0 {
 		w.EnableTrace(ob.TraceCap)
 	}
-	ob.worlds = append(ob.worlds, w)
+	ob.mu.Lock()
+	ob.slots = append(ob.slots, obsSlot{key: key, world: w, store: store})
+	ob.mu.Unlock()
 }
 
-// Trace merges the spans of every attached world, oldest world first. Each
+// ordered returns the slots sorted by submission key (stable, so same-key
+// worlds keep attach order). Call only after all jobs have finished.
+func (ob *Observer) ordered() []obsSlot {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	out := make([]obsSlot, len(ob.slots))
+	copy(out, ob.slots)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// MergedMetrics folds every attached world's store into one snapshot-ready
+// view. Merge is additive and commutative, so the result is independent of
+// which worker built which world.
+func (ob *Observer) MergedMetrics() *obs.Metrics {
+	m := obs.NewMetrics()
+	for _, s := range ob.ordered() {
+		m.Merge(s.store)
+	}
+	return m
+}
+
+// Trace merges the spans of every attached world in declaration order. Each
 // world's clock starts at zero, so spans are rebased onto a concatenated
 // timeline: world k's spans are offset by the total simulated time of worlds
 // 0..k-1. Ring statistics are summed (Wrapped is true if any ring wrapped),
@@ -41,25 +79,29 @@ func (ob *Observer) Trace() ([]obs.Span, obs.RingStats) {
 	var out []obs.Span
 	var ring obs.RingStats
 	var base uint64
-	for _, w := range ob.worlds {
-		spans, r := w.TraceSpans()
-		for _, s := range spans {
-			s.Start += base
-			out = append(out, s)
+	for _, s := range ob.ordered() {
+		spans, r := s.world.TraceSpans()
+		for _, sp := range spans {
+			sp.Start += base
+			out = append(out, sp)
 		}
 		ring.Total += r.Total
 		ring.Dropped += r.Dropped
 		ring.Wrapped = ring.Wrapped || r.Wrapped
-		base += uint64(w.Now())
+		base += uint64(s.world.Now())
 	}
 	return out, ring
 }
 
-// observe attaches w to the configured observer, if any. Harness code calls
-// this at every world-construction site so -trace/-metrics cover the whole
-// run without per-experiment plumbing.
+// observe attaches w to the configured observer, if any, and registers it
+// with the experiment's world tally. Harness code calls this at every
+// world-construction site so -trace/-metrics and the bench record cover the
+// whole run without per-experiment plumbing.
 func (o Options) observe(w *sim.World, phase string) {
 	if o.Observe != nil {
-		o.Observe.attach(w, phase)
+		o.Observe.attach(w, phase, o.obsKey)
+	}
+	if o.tally != nil {
+		o.tally.add(w)
 	}
 }

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"overshadow/internal/obs"
+)
+
+// renderAll runs the full registry under RunAll and renders every export
+// surface: table JSON, merged metrics JSON, the concatenated Chrome trace,
+// and the per-experiment simulated-cycle totals.
+func renderAll(t *testing.T, seed uint64, shards int) (tables, metrics, trace string, cycles []uint64) {
+	t.Helper()
+	ob := &Observer{TraceCap: 1 << 14}
+	opts := Options{Quick: true, Seed: seed, Observe: ob}
+	results := RunAll(opts, Registry(), shards)
+
+	var tabs strings.Builder
+	for _, r := range results {
+		tabs.WriteString(r.Table.JSON())
+		tabs.WriteByte('\n')
+		cycles = append(cycles, r.SimCycles)
+	}
+	var met bytes.Buffer
+	if err := obs.WriteMetricsJSON(&met, ob.MergedMetrics()); err != nil {
+		t.Fatal(err)
+	}
+	var tr bytes.Buffer
+	spans, ring := ob.Trace()
+	if err := obs.WriteChromeTrace(&tr, spans, ring); err != nil {
+		t.Fatal(err)
+	}
+	return tabs.String(), met.String(), tr.String(), cycles
+}
+
+// TestShardDeterminism is the harness's core guarantee: for any shard count,
+// every export is byte-identical — sharding may only change host wall time.
+// Two seeds guard against a coincidental ordering collision.
+func TestShardDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry determinism sweep is slow")
+	}
+	for _, seed := range []uint64{1, 42} {
+		tab1, met1, tr1, cyc1 := renderAll(t, seed, 1)
+		tab8, met8, tr8, cyc8 := renderAll(t, seed, 8)
+		if tab1 != tab8 {
+			t.Errorf("seed %d: table JSON differs between -shards 1 and -shards 8", seed)
+		}
+		if met1 != met8 {
+			t.Errorf("seed %d: metrics JSON differs between -shards 1 and -shards 8", seed)
+		}
+		if tr1 != tr8 {
+			t.Errorf("seed %d: trace export differs between -shards 1 and -shards 8", seed)
+		}
+		for i := range cyc1 {
+			if cyc1[i] != cyc8[i] {
+				t.Errorf("seed %d: experiment %d SimCycles %d (serial) != %d (sharded)",
+					seed, i, cyc1[i], cyc8[i])
+			}
+		}
+		if len(tr1) == 0 || !strings.Contains(tr1, "traceEvents") {
+			t.Fatalf("seed %d: trace export empty or malformed", seed)
+		}
+	}
+}
+
+// TestRunAllSerialMatchesDirect pins the back-compat contract: RunAll with
+// one shard produces the same tables as calling each experiment directly
+// (the path the per-experiment shape tests use).
+func TestRunAllSerialMatchesDirect(t *testing.T) {
+	exps := []Experiment{Registry()[1], Registry()[7]} // E2, E8: cheap + span-rich
+	opts := Options{Quick: true, Seed: 7}
+	results := RunAll(opts, exps, 1)
+	for i, e := range exps {
+		direct := e.Run(Options{Quick: true, Seed: 7})
+		if results[i].Table.JSON() != direct.JSON() {
+			t.Errorf("%s: RunAll table differs from direct Run", e.ID)
+		}
+		if results[i].SimCycles == 0 {
+			t.Errorf("%s: RunAll reported zero simulated cycles", e.ID)
+		}
+		if results[i].HostNS <= 0 {
+			t.Errorf("%s: RunAll reported non-positive host time", e.ID)
+		}
+	}
+}

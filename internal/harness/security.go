@@ -19,16 +19,25 @@ type attackOutcome struct {
 
 // RunE8 mounts the malicious-OS attack suite and reports outcomes. The
 // paper's security argument is reproduced as executable checks: every
-// attack must end with leaked=0, corrupted=0.
+// attack must end with leaked=0, corrupted=0. Each attack builds its own
+// system, so each runs as one pool job.
 func RunE8(opts Options) *Table {
-	outcomes := []attackOutcome{
-		attackSyscallSnoop(opts),
-		attackMemoryTamper(opts),
-		attackSwapTamper(opts),
-		attackSwapReplayDrop(opts),
-		attackRegisterGrab(opts),
-		attackRegisterTamper(opts),
-		attackCrossProcessMap(opts),
+	attacks := []func(Options) attackOutcome{
+		attackSyscallSnoop,
+		attackMemoryTamper,
+		attackSwapTamper,
+		attackSwapReplayDrop,
+		attackRegisterGrab,
+		attackRegisterTamper,
+		attackCrossProcessMap,
+	}
+	futs := make([]*future[attackOutcome], len(attacks))
+	for i, atk := range attacks {
+		futs[i] = submit(opts, atk)
+	}
+	outcomes := make([]attackOutcome, len(attacks))
+	for i, f := range futs {
+		outcomes[i] = f.wait()
 	}
 	t := &Table{
 		ID:      "E8",

@@ -133,6 +133,14 @@ type Options struct {
 	// Observe, when non-nil, collects attributed metrics (and spans, if
 	// Observe.TraceCap > 0) from every world the experiments build.
 	Observe *Observer
+
+	// Sharding state, populated by RunAll. Zero values give the serial
+	// inline path (direct RunEn calls keep working unchanged).
+	pool    *pool   // bounded worker pool; nil runs jobs inline
+	obsBase uint64  // experiment index << 32, namespaces observer keys
+	obsSeq  *uint64 // next job sequence number; bumped on the experiment goroutine
+	obsKey  uint64  // this job's key: obsBase | sequence
+	tally   *tally  // per-experiment world registry for SimCycles accounting
 }
 
 func (o Options) seed() uint64 {

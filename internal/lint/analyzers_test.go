@@ -24,6 +24,14 @@ func TestCloakBoundaryAnalyzer(t *testing.T) {
 		"overshadow/internal/guestos", "testdata/src/cloakboundary")
 }
 
+// TestCloakBoundaryConnRule loads a shim-shaped package: raw VMM.HC*
+// hypercalls outside internal/vmm must route through the typed DomainConn
+// handle; only HCCreateDomain and the vault calls pass.
+func TestCloakBoundaryConnRule(t *testing.T) {
+	runWantTest(t, CloakBoundaryAnalyzer,
+		"overshadow/internal/shim", "testdata/src/conncall")
+}
+
 func TestErrnoDisciplineAnalyzer(t *testing.T) {
 	runWantTest(t, ErrnoDisciplineAnalyzer,
 		"overshadow/internal/guestos", "testdata/src/errnodiscipline")

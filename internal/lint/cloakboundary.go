@@ -19,6 +19,13 @@ import (
 //     MasterKeyer, MetaStore, Meta, ...) is off limits entirely; only the
 //     opaque identifier types (DomainID, ResourceID, PageID) may pass
 //     through untrusted code.
+//
+// A second rule applies everywhere outside internal/vmm: domain hypercalls
+// must go through the typed vmm.DomainConn handle. The raw VMM.HC* methods
+// (deprecated forwarders kept for one release) are findings; only the
+// handle-free entry points — HCCreateDomain, which mints the handle, and
+// the vault calls HCFileResource/HCDropFileResource, which have no domain
+// precondition — may be called on the VMM directly.
 var CloakBoundaryAnalyzer = &Analyzer{
 	Name: "cloakboundary",
 	Doc:  "forbid untrusted guestos code from touching machine memory or cloaking secrets directly",
@@ -28,6 +35,7 @@ var CloakBoundaryAnalyzer = &Analyzer{
 const (
 	machPath  = "overshadow/internal/mach"
 	cloakPath = "overshadow/internal/cloak"
+	vmmPath   = "overshadow/internal/vmm"
 )
 
 // forbiddenMachNames are the mach identifiers that expose machine (not
@@ -44,10 +52,18 @@ var allowedCloakNames = map[string]bool{
 	"DomainID": true, "ResourceID": true, "PageID": true,
 }
 
+// connExemptHypercalls are the VMM methods callers outside internal/vmm may
+// invoke directly: HCCreateDomain mints the DomainConn handle, and the vault
+// calls carry no domain precondition (a handle would be meaningless).
+var connExemptHypercalls = map[string]bool{
+	"HCCreateDomain": true, "HCFileResource": true, "HCDropFileResource": true,
+}
+
 func runCloakBoundary(pass *Pass) {
-	if pass.Pkg.Path != "overshadow/internal/guestos" {
-		return
+	if pass.Pkg.Path == vmmPath {
+		return // the VMM is the trusted side of every boundary checked here
 	}
+	inGuestOS := pass.Pkg.Path == "overshadow/internal/guestos"
 	info := pass.Pkg.Info
 	inspect(pass.Pkg, func(n ast.Node) bool {
 		ident, ok := n.(*ast.Ident)
@@ -59,19 +75,40 @@ func runCloakBoundary(pass *Pass) {
 			return true
 		}
 		switch obj.Pkg().Path() {
+		case vmmPath:
+			if isRawHypercall(obj) {
+				pass.Report(ident.Pos(), "raw hypercall vmm.VMM.%s outside internal/vmm: go through the vmm.DomainConn handle from HCCreateDomain", obj.Name())
+			}
 		case machPath:
+			if !inGuestOS {
+				break
+			}
 			if forbiddenMachNames[obj.Name()] {
 				pass.Report(ident.Pos(), "untrusted guestos code references mach.%s: machine memory belongs to the VMM; use GPPNs and VMM-mediated access", obj.Name())
 			} else if forbiddenMachReceiver(obj) {
 				pass.Report(ident.Pos(), "untrusted guestos code calls mach.%s.%s: physical-memory accessors are VMM-only", recvNamed(obj), obj.Name())
 			}
 		case cloakPath:
-			if !allowedCloakNames[obj.Name()] {
+			if inGuestOS && !allowedCloakNames[obj.Name()] {
 				pass.Report(ident.Pos(), "untrusted guestos code references cloak.%s: key/plaintext machinery must stay inside the VMM trust boundary", obj.Name())
 			}
 		}
 		return true
 	})
+}
+
+// isRawHypercall reports whether obj is a VMM.HC* method that should be
+// reached through DomainConn instead.
+func isRawHypercall(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	name := fn.Name()
+	if len(name) < 2 || name[:2] != "HC" || connExemptHypercalls[name] {
+		return false
+	}
+	return recvNamed(fn) == "VMM"
 }
 
 // recvNamed returns the name of obj's receiver type if obj is a method.

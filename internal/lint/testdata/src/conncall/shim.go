@@ -1,0 +1,47 @@
+// Package shim is cloakboundary-analyzer testdata loaded under the
+// production import path overshadow/internal/shim: raw VMM.HC* hypercalls
+// outside internal/vmm must be findings, while the typed DomainConn methods
+// and the handle-free entry points (HCCreateDomain and the vault calls) are
+// the sanctioned surface.
+package shim
+
+import "overshadow/internal/vmm"
+
+func badRawHypercalls(hv *vmm.VMM, as *vmm.AddressSpace) {
+	hv.HCAllocResource(as)                // want `raw hypercall vmm\.VMM\.HCAllocResource`
+	hv.HCRegisterRegion(as, vmm.Region{}) // want `raw hypercall vmm\.VMM\.HCRegisterRegion`
+	hv.HCUnregisterRegion(as, 0)          // want `raw hypercall vmm\.VMM\.HCUnregisterRegion`
+	hv.HCReleaseResource(as, 0, 0)        // want `raw hypercall vmm\.VMM\.HCReleaseResource`
+	hv.HCRecordIdentity(as, [32]byte{})   // want `raw hypercall vmm\.VMM\.HCRecordIdentity`
+	hv.HCAttest(as, 0, 0)                 // want `raw hypercall vmm\.VMM\.HCAttest`
+}
+
+// A method value (not just a call) smuggles the forwarder too.
+func badMethodValue(hv *vmm.VMM) func(*vmm.AddressSpace) error {
+	return func(as *vmm.AddressSpace) error {
+		_, err := hv.HCAllocResource(as) // want `raw hypercall vmm\.VMM\.HCAllocResource`
+		return err
+	}
+}
+
+func okTypedHandle(hv *vmm.VMM, as *vmm.AddressSpace) error {
+	conn, err := hv.HCCreateDomain(as) // handle-free entry point: allowed
+	if err != nil {
+		return err
+	}
+	if _, err := conn.AllocResource(); err != nil {
+		return err
+	}
+	return conn.RegisterRegion(vmm.Region{BaseVPN: 1, Pages: 1})
+}
+
+func okVaultCalls(hv *vmm.VMM) {
+	d, r := hv.HCFileResource(1)
+	_, _ = d, r
+	hv.HCDropFileResource(1)
+}
+
+func allowedEscape(hv *vmm.VMM, as *vmm.AddressSpace) {
+	//overlint:allow cloakboundary -- testdata: deliberate exception
+	hv.HCAllocResource(as)
+}

@@ -87,5 +87,27 @@ func (m *Metrics) Snapshot() []MetricPoint {
 	return out
 }
 
+// Merge adds every cell of other into m. Addition commutes, so merging the
+// same set of per-world stores in any order yields identical totals — the
+// property the sharded harness relies on for byte-identical exports.
+func (m *Metrics) Merge(other *Metrics) {
+	if other == nil {
+		return
+	}
+	for a, ob := range other.buckets {
+		b := m.buckets[a]
+		if b == nil {
+			b = &bucket{cycles: make(map[string]uint64), counts: make(map[string]uint64)}
+			m.buckets[a] = b
+		}
+		for name, c := range ob.cycles {
+			b.cycles[name] += c
+		}
+		for name, n := range ob.counts {
+			b.counts[name] += n
+		}
+	}
+}
+
 // Reset drops all buckets.
 func (m *Metrics) Reset() { m.buckets = make(map[Attr]*bucket) }

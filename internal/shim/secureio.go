@@ -91,7 +91,7 @@ func (s *Ctx) dropWindow(cf *cloakedFile) error {
 	if err := s.uc.Msync(cf.winBase); err != nil {
 		return err
 	}
-	if err := s.hv.HCUnregisterRegion(s.as, mach.PageOf(cf.winBase)); err != nil {
+	if err := s.conn.UnregisterRegion(mach.PageOf(cf.winBase)); err != nil {
 		return err
 	}
 	if err := s.uc.Free(cf.winBase); err != nil {

@@ -70,6 +70,7 @@ type Ctx struct {
 	uc   *guestos.UserCtx
 	hv   *vmm.VMM
 	as   *vmm.AddressSpace
+	conn *vmm.DomainConn // typed hypercall handle for the process's domain
 	opts Options
 
 	domain   cloak.DomainID
@@ -115,10 +116,11 @@ func attach(uc *guestos.UserCtx, opts Options) *Ctx {
 		cfiles:       make(map[int]*cloakedFile),
 	}
 	var err error
-	s.domain, err = s.hv.HCCreateDomain(s.as)
+	s.conn, err = s.hv.HCCreateDomain(s.as)
 	if err != nil {
 		panic(fmt.Sprintf("shim: domain creation failed: %v", err))
 	}
+	s.domain = s.conn.Domain()
 	uc.Thread().Domain = s.domain
 	s.world().SetTaskDomain(uint32(s.domain))
 
@@ -126,7 +128,7 @@ func attach(uc *guestos.UserCtx, opts Options) *Ctx {
 	// verified-startup step: relying parties ask the VMM, not the OS, what
 	// runs in this domain.
 	digest := sha256.Sum256([]byte("overshadow-program:" + uc.Proc().Name()))
-	if err := s.hv.HCRecordIdentity(s.as, digest); err != nil {
+	if err := s.conn.RecordIdentity(digest); err != nil {
 		panic(fmt.Sprintf("shim: identity measurement failed: %v", err))
 	}
 
@@ -152,7 +154,7 @@ func attach(uc *guestos.UserCtx, opts Options) *Ctx {
 }
 
 func (s *Ctx) mustResource() cloak.ResourceID {
-	r, err := s.hv.HCAllocResource(s.as)
+	r, err := s.conn.AllocResource()
 	if err != nil {
 		panic(fmt.Sprintf("shim: resource allocation failed: %v", err))
 	}
@@ -160,7 +162,7 @@ func (s *Ctx) mustResource() cloak.ResourceID {
 }
 
 func (s *Ctx) mustRegister(r vmm.Region) {
-	if err := s.hv.HCRegisterRegion(s.as, r); err != nil {
+	if err := s.conn.RegisterRegion(r); err != nil {
 		panic(fmt.Sprintf("shim: region registration failed: %v", err))
 	}
 }
@@ -177,16 +179,16 @@ func (s *Ctx) onExit() {
 	if s.hv.DomainSpaceCount(s.domain) <= 1 {
 		// Last address space in the domain: destroy it (zeroes plaintext,
 		// purges metadata).
-		s.hv.HCDestroyDomain(s.domain)
+		s.conn.Destroy()
 	} else {
 		// Siblings still alive: release only our private resources.
 		//overlint:allow errnodiscipline -- exit path: resources are known-registered, release cannot meaningfully fail here
-		s.hv.HCReleaseResource(s.as, s.heapRes, guestos.LayoutHeapMax-guestos.LayoutHeapBase)
+		s.conn.ReleaseResource(s.heapRes, guestos.LayoutHeapMax-guestos.LayoutHeapBase)
 		//overlint:allow errnodiscipline -- exit path: resources are known-registered, release cannot meaningfully fail here
-		s.hv.HCReleaseResource(s.as, s.stackRes, guestos.LayoutStackMax)
+		s.conn.ReleaseResource(s.stackRes, guestos.LayoutStackMax)
 		for _, ar := range s.anonRegions {
 			//overlint:allow errnodiscipline -- exit path: resources are known-registered, release cannot meaningfully fail here
-			s.hv.HCReleaseResource(s.as, ar.res, ar.pages)
+			s.conn.ReleaseResource(ar.res, ar.pages)
 		}
 	}
 }
@@ -260,7 +262,7 @@ func (s *Ctx) Free(base mach.Addr) error {
 		// Shared-memory detach: unregister our view; the vault (and the
 		// object's pages) outlive us for the other attachments.
 		_ = sr
-		if err := s.hv.HCUnregisterRegion(s.as, vpn); err != nil {
+		if err := s.conn.UnregisterRegion(vpn); err != nil {
 			return err
 		}
 		delete(s.shmRegions, vpn)
@@ -270,10 +272,10 @@ func (s *Ctx) Free(base mach.Addr) error {
 	if !ok {
 		return guestos.EINVAL
 	}
-	if err := s.hv.HCUnregisterRegion(s.as, vpn); err != nil {
+	if err := s.conn.UnregisterRegion(vpn); err != nil {
 		return err
 	}
-	if err := s.hv.HCReleaseResource(s.as, ar.res, ar.pages); err != nil {
+	if err := s.conn.ReleaseResource(ar.res, ar.pages); err != nil {
 		return err
 	}
 	delete(s.anonRegions, vpn)
@@ -303,13 +305,14 @@ func (s *Ctx) ShmAttach(name string, pages int) (mach.Addr, error) {
 // then the shim's onPrepared hypercall re-cloaks the child before it runs.
 func (s *Ctx) Fork(child func(guestos.Env)) (guestos.Pid, error) {
 	var rmap map[cloak.ResourceID]cloak.ResourceID
+	var childConn *vmm.DomainConn
 	parent := s
 	pid, err := s.uc.ForkWith(func(cuc *guestos.UserCtx) {
-		cs := attachForked(cuc, parent, rmap)
+		cs := attachForked(cuc, parent, childConn, rmap)
 		child(cs)
 	}, func(pas, cas *vmm.AddressSpace) error {
-		m, err := s.hv.HCCloneDomainInto(pas, cas)
-		rmap = m
+		m, cc, err := s.conn.CloneInto(cas)
+		rmap, childConn = m, cc
 		return err
 	})
 	return pid, err
@@ -317,13 +320,14 @@ func (s *Ctx) Fork(child func(guestos.Env)) (guestos.Pid, error) {
 
 // attachForked builds the child's shim context after a fork: same domain,
 // remapped private resources, inherited cloaked-file table.
-func attachForked(cuc *guestos.UserCtx, parent *Ctx, rmap map[cloak.ResourceID]cloak.ResourceID) *Ctx {
+func attachForked(cuc *guestos.UserCtx, parent *Ctx, conn *vmm.DomainConn, rmap map[cloak.ResourceID]cloak.ResourceID) *Ctx {
 	cs := &Ctx{
 		uc:           cuc,
 		hv:           parent.hv,
 		as:           cuc.Proc().AddressSpace(),
+		conn:         conn,
 		opts:         parent.opts,
-		domain:       parent.domain,
+		domain:       conn.Domain(),
 		scratchVA:    parent.scratchVA,
 		scratchBytes: parent.scratchBytes,
 		anonRegions:  make(map[uint64]anonRegion),
@@ -379,7 +383,7 @@ func (s *Ctx) Exec(name string, args []string) error {
 		}
 	}
 	if s.hv.DomainSpaceCount(s.domain) <= 1 {
-		s.hv.HCDestroyDomain(s.domain)
+		s.conn.Destroy()
 	}
 	s.uc.Proc().ClearExitHooks()
 	return s.uc.Exec(name, args)

@@ -65,8 +65,8 @@ func BenchmarkCloakTransitionRoundTrip(b *testing.B) {
 
 func BenchmarkSecureControlTransfer(b *testing.B) {
 	r := benchRig(b)
-	d, _ := r.v.HCCreateDomain(r.as)
-	th := r.v.CreateThread(d)
+	c, _ := r.v.HCCreateDomain(r.as)
+	th := r.v.CreateThread(c.Domain())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		th.EnterKernel(TrapSyscall)

@@ -1,0 +1,82 @@
+package vmm
+
+import "overshadow/internal/cloak"
+
+// Thin forwarders for the raw per-call hypercall surface that predates
+// DomainConn. They rebuild the handle per call via ConnOf, so they pay the
+// domain check the typed surface establishes once; kept for one release so
+// out-of-tree callers can migrate. Each charges the hypercall cost even on
+// the no-domain path, matching the old entry points (charge, then guard).
+
+// HCAllocResource hands out a fresh resource identifier.
+//
+// Deprecated: use [VMM.HCCreateDomain] and [DomainConn.AllocResource].
+func (v *VMM) HCAllocResource(as *AddressSpace) (cloak.ResourceID, error) {
+	c, err := v.ConnOf(as)
+	if err != nil {
+		v.chargeHypercall("alloc_resource")
+		return 0, err
+	}
+	return c.AllocResource()
+}
+
+// HCRegisterRegion declares a virtual range cloaked or uncloaked.
+//
+// Deprecated: use [DomainConn.RegisterRegion].
+func (v *VMM) HCRegisterRegion(as *AddressSpace, r Region) error {
+	c, err := v.ConnOf(as)
+	if err != nil {
+		v.chargeHypercall("register_region")
+		return err
+	}
+	return c.RegisterRegion(r)
+}
+
+// HCUnregisterRegion removes a region registration.
+//
+// Deprecated: use [DomainConn.UnregisterRegion].
+func (v *VMM) HCUnregisterRegion(as *AddressSpace, baseVPN uint64) error {
+	c, err := v.ConnOf(as)
+	if err != nil {
+		v.chargeHypercall("unregister_region")
+		return err
+	}
+	return c.UnregisterRegion(baseVPN)
+}
+
+// HCReleaseResource discards all metadata of a resource.
+//
+// Deprecated: use [DomainConn.ReleaseResource].
+func (v *VMM) HCReleaseResource(as *AddressSpace, res cloak.ResourceID, pages uint64) error {
+	c, err := v.ConnOf(as)
+	if err != nil {
+		v.chargeHypercall("release_resource")
+		return err
+	}
+	return c.ReleaseResource(res, pages)
+}
+
+// HCRecordIdentity records the measured identity of the space's domain.
+//
+// Deprecated: use [DomainConn.RecordIdentity].
+func (v *VMM) HCRecordIdentity(as *AddressSpace, digest [32]byte) error {
+	c, err := v.ConnOf(as)
+	if err != nil {
+		v.chargeHypercall("record_identity")
+		return err
+	}
+	return c.RecordIdentity(digest)
+}
+
+// HCAttest returns a fingerprint of the domain's current metadata for a
+// resource page.
+//
+// Deprecated: use [DomainConn.Attest].
+func (v *VMM) HCAttest(as *AddressSpace, res cloak.ResourceID, index uint64) (cloak.Meta, bool) {
+	c, err := v.ConnOf(as)
+	if err != nil {
+		v.chargeHypercall("attest")
+		return cloak.Meta{}, false
+	}
+	return c.Attest(res, index)
+}

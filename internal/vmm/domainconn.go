@@ -1,0 +1,135 @@
+package vmm
+
+import "overshadow/internal/cloak"
+
+// DomainConn is the typed hypercall handle for one protection domain bound
+// to one address space. HCCreateDomain returns it, and every hypercall whose
+// precondition is "the calling space has a domain" lives on it — so the
+// precondition is established once, when the handle is minted, instead of
+// being re-validated with copy-pasted guards in every entry point.
+//
+// A handle goes stale when its domain dies (Destroy, or the address space is
+// torn down): stale handles fail every call with ErrNoDomain. live() is the
+// single place that staleness is checked.
+type DomainConn struct {
+	v      *VMM
+	as     *AddressSpace
+	domain cloak.DomainID
+}
+
+// Domain returns the protection domain this handle is bound to.
+func (c *DomainConn) Domain() cloak.DomainID { return c.domain }
+
+// AddressSpace returns the address space this handle is bound to.
+func (c *DomainConn) AddressSpace() *AddressSpace { return c.as }
+
+// live reports whether the handle still names the space's current domain.
+func (c *DomainConn) live() bool { return c.as.domain == c.domain }
+
+// ConnOf rebuilds the hypercall handle for an address space that is already
+// bound to a domain (the deprecated raw-surface forwarders use it; new code
+// should hold on to the handle HCCreateDomain returned). Returns ErrNoDomain
+// for unbound spaces.
+func (v *VMM) ConnOf(as *AddressSpace) (*DomainConn, error) {
+	if as.domain == 0 {
+		return nil, ErrNoDomain
+	}
+	return &DomainConn{v: v, as: as, domain: as.domain}, nil
+}
+
+// AllocResource hands out a fresh resource identifier within the domain
+// (heap, stack, a cloaked file mapping, ...).
+func (c *DomainConn) AllocResource() (cloak.ResourceID, error) {
+	c.v.chargeHypercall("alloc_resource")
+	if !c.live() {
+		return 0, ErrNoDomain
+	}
+	return c.v.allocResource(), nil
+}
+
+// RegisterRegion declares a virtual range of the bound address space as
+// cloaked (bound to a resource) or explicitly uncloaked (the shim's
+// marshalling scratch area).
+func (c *DomainConn) RegisterRegion(r Region) error {
+	c.v.chargeHypercall("register_region")
+	if !c.live() {
+		return ErrNoDomain
+	}
+	return c.v.registerRegion(c.as, r)
+}
+
+// UnregisterRegion removes a region registration (munmap of a cloaked
+// mapping). Metadata for the resource is retained until ReleaseResource.
+func (c *DomainConn) UnregisterRegion(baseVPN uint64) error {
+	c.v.chargeHypercall("unregister_region")
+	if !c.live() {
+		return ErrNoDomain
+	}
+	return c.v.unregisterRegion(c.as, baseVPN)
+}
+
+// ReleaseResource discards all metadata of a resource (its pages become
+// unrecoverable). Called when a cloaked mapping is torn down for good.
+func (c *DomainConn) ReleaseResource(res cloak.ResourceID, pages uint64) error {
+	c.v.chargeHypercall("release_resource")
+	if !c.live() {
+		return ErrNoDomain
+	}
+	c.v.releaseResource(c.domain, res, pages)
+	return nil
+}
+
+// RecordIdentity records the measured identity (e.g. a hash over the program
+// image) of the domain — the paper's verified application startup: the shim
+// measures what it is about to run and the VMM remembers it, so relying
+// parties ask the *trusted* layer who executes in a domain, not the OS.
+func (c *DomainConn) RecordIdentity(digest [32]byte) error {
+	c.v.chargeHypercall("record_identity")
+	if !c.live() {
+		return ErrNoDomain
+	}
+	return c.v.recordIdentity(c.domain, digest)
+}
+
+// Attest returns a fingerprint of the domain's current metadata for a
+// resource page — used by the secure-I/O layer to attest stored state and by
+// tests to observe versions without reaching into internals. ok is false for
+// a stale handle or a never-encrypted page.
+func (c *DomainConn) Attest(res cloak.ResourceID, index uint64) (cloak.Meta, bool) {
+	c.v.chargeHypercall("attest")
+	if !c.live() {
+		return cloak.Meta{}, false
+	}
+	return c.v.metas.Get(cloak.PageID{Domain: c.domain, Resource: res, Index: index})
+}
+
+// CloneInto supports fork of a cloaked process: it re-cloaks the child's
+// eagerly copied pages under fresh resource identities (see cloneDomainInto)
+// and returns the parent→child resource map plus the child's own hypercall
+// handle.
+func (c *DomainConn) CloneInto(child *AddressSpace) (map[cloak.ResourceID]cloak.ResourceID, *DomainConn, error) {
+	c.v.chargeHypercall("clone_domain")
+	if !c.live() {
+		return nil, nil, ErrNoDomain
+	}
+	if child.domain != 0 {
+		return nil, nil, ErrDomainBound
+	}
+	rmap, err := c.v.cloneDomainInto(c.as, child)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rmap, &DomainConn{v: c.v, as: child, domain: child.domain}, nil
+}
+
+// Destroy tears down the domain: every plaintext page is zeroed (so nothing
+// leaks into recycled frames), registrations and metadata records are
+// dropped. Vault (file) domains are separate domains and unaffected. The
+// handle — and every sibling handle of the same domain — is stale afterwards.
+func (c *DomainConn) Destroy() {
+	c.v.chargeHypercall("destroy_domain")
+	if !c.live() {
+		return
+	}
+	c.v.destroyDomain(c.domain)
+}

@@ -1,8 +1,6 @@
 package vmm
 
 import (
-	"fmt"
-
 	"overshadow/internal/cloak"
 	"overshadow/internal/mach"
 	"overshadow/internal/obs"
@@ -12,93 +10,79 @@ import (
 // This file is the hypercall surface: the operations the in-application
 // shim invokes directly on the VMM, bypassing the guest kernel. Each entry
 // point charges the hypercall cost (two world switches plus dispatch).
+//
+// Only domain lifecycle lives on *VMM (HCCreateDomain mints the handle;
+// HCFileResource/HCDropFileResource manage per-file vault domains, which
+// have no calling-domain precondition). Everything that requires a live
+// domain is a method on DomainConn (domainconn.go), which performs the
+// single staleness check; the unexported implementations below assume a
+// validated caller and carry no domain guards.
 
 func (v *VMM) chargeHypercall(name string) {
 	v.world.ChargeCount(v.world.Cost.Hypercall, sim.CtrHypercall)
 	v.world.EmitSpan(obs.KindHypercall, name, 0, v.world.Cost.Hypercall)
 }
 
-// HCCreateDomain establishes a new protection domain and binds it to the
-// calling address space. Called by the shim during cloaked-process startup.
-func (v *VMM) HCCreateDomain(as *AddressSpace) (cloak.DomainID, error) {
+// HCCreateDomain establishes a new protection domain, binds it to the
+// calling address space, and returns the typed hypercall handle every
+// further domain operation goes through. Called by the shim during
+// cloaked-process startup.
+func (v *VMM) HCCreateDomain(as *AddressSpace) (*DomainConn, error) {
 	v.chargeHypercall("create_domain")
 	if as.domain != 0 {
-		return 0, fmt.Errorf("vmm: address space %d already in domain %d", as.id, as.domain)
+		return nil, ErrDomainBound
 	}
 	d := v.nextDomain
 	v.nextDomain++
 	as.domain = d
 	v.domainSpaces[d] = append(v.domainSpaces[d], as)
-	return d, nil
+	return &DomainConn{v: v, as: as, domain: d}, nil
 }
 
-// HCAllocResource hands out a fresh resource identifier within a domain
-// (heap, stack, a cloaked file mapping, ...).
-func (v *VMM) HCAllocResource(as *AddressSpace) (cloak.ResourceID, error) {
-	v.chargeHypercall("alloc_resource")
-	if as.domain == 0 {
-		return 0, fmt.Errorf("vmm: address space %d has no domain", as.id)
-	}
+// allocResource hands out a fresh resource identifier.
+func (v *VMM) allocResource() cloak.ResourceID {
 	r := v.nextResource
 	v.nextResource++
-	return r, nil
+	return r
 }
 
-// HCRegisterRegion declares a virtual range of the calling address space as
-// cloaked (bound to a resource) or explicitly uncloaked (the shim's
-// marshalling scratch area).
-func (v *VMM) HCRegisterRegion(as *AddressSpace, r Region) error {
-	v.chargeHypercall("register_region")
-	if as.domain == 0 {
-		return fmt.Errorf("vmm: address space %d has no domain", as.id)
-	}
+// registerRegion validates and installs a region, then drops any stale
+// shadow entries in its range in one batched pass (they predate the
+// region's semantics).
+func (v *VMM) registerRegion(as *AddressSpace, r Region) error {
 	if r.Cloaked && r.Resource == 0 {
-		return fmt.Errorf("vmm: cloaked region needs a resource id")
+		return &RegionError{Op: "register", Region: r, Err: ErrNoResource}
 	}
 	if err := as.addRegion(r); err != nil {
 		return err
 	}
-	// Any stale shadow entries in the range predate the region's semantics.
-	for vpn := r.BaseVPN; vpn < r.BaseVPN+r.Pages; vpn++ {
-		v.dropShadowsFor(as, vpn, ViewApp, ViewSystem)
-	}
+	v.dropShadowsRange(as, r.BaseVPN, r.Pages)
 	return nil
 }
 
-// HCUnregisterRegion removes a region registration (munmap of a cloaked
-// mapping). Metadata for the resource is retained until HCReleaseResource.
-func (v *VMM) HCUnregisterRegion(as *AddressSpace, baseVPN uint64) error {
-	v.chargeHypercall("unregister_region")
-	for i, r := range as.regions {
-		if r.BaseVPN == baseVPN {
-			for vpn := r.BaseVPN; vpn < r.BaseVPN+r.Pages; vpn++ {
-				v.dropShadowsFor(as, vpn, ViewApp, ViewSystem)
-			}
-			as.regions = append(as.regions[:i], as.regions[i+1:]...)
-			return nil
-		}
+// unregisterRegion removes the registration starting at baseVPN. Metadata
+// for the resource is retained until releaseResource.
+func (v *VMM) unregisterRegion(as *AddressSpace, baseVPN uint64) error {
+	i, ok := as.findRegion(baseVPN)
+	if !ok {
+		return &RegionError{Op: "unregister",
+			Region: Region{BaseVPN: baseVPN}, Err: ErrNoRegion}
 	}
-	return fmt.Errorf("vmm: no region at vpn %#x", baseVPN)
+	r := as.regions[i]
+	v.dropShadowsRange(as, r.BaseVPN, r.Pages)
+	as.regions = append(as.regions[:i], as.regions[i+1:]...)
+	return nil
 }
 
-// HCReleaseResource discards all metadata of a resource (its pages become
-// unrecoverable). Called when a cloaked mapping is torn down for good.
-func (v *VMM) HCReleaseResource(as *AddressSpace, res cloak.ResourceID, pages uint64) error {
-	v.chargeHypercall("release_resource")
-	if as.domain == 0 {
-		return fmt.Errorf("vmm: address space %d has no domain", as.id)
-	}
+// releaseResource discards all metadata records of a resource.
+func (v *VMM) releaseResource(d cloak.DomainID, res cloak.ResourceID, pages uint64) {
 	for i := uint64(0); i < pages; i++ {
-		v.metas.Delete(cloak.PageID{Domain: as.domain, Resource: res, Index: i})
+		v.metas.Delete(cloak.PageID{Domain: d, Resource: res, Index: i})
 	}
-	return nil
 }
 
-// HCDestroyDomain tears down a domain: every plaintext page is zeroed (so
-// nothing leaks into recycled frames), registrations and metadata records
-// are dropped. Vault (file) domains are separate domains and unaffected.
-func (v *VMM) HCDestroyDomain(d cloak.DomainID) {
-	v.chargeHypercall("destroy_domain")
+// destroyDomain tears down a domain; see DomainConn.Destroy.
+func (v *VMM) destroyDomain(d cloak.DomainID) {
 	for gppn, cp := range v.byDomain[d] {
 		if cp.state == statePlain {
 			zeroFrame(v.frame(gppn))
@@ -143,9 +127,9 @@ func (v *VMM) HCDropFileResource(uid uint64) {
 	}
 }
 
-// HCCloneDomainInto supports fork of a cloaked process. The guest kernel
-// has already built the child address space and eagerly copied every
-// present page — necessarily as ciphertext, since the kernel copy forced
+// cloneDomainInto supports fork of a cloaked process. The guest kernel has
+// already built the child address space and eagerly copied every present
+// page — necessarily as ciphertext, since the kernel copy forced
 // encryption. The VMM now walks the child's cloaked regions and re-cloaks
 // each copied page under the child's own fresh resource identities:
 // verify + decrypt under the parent identity, re-encrypt under the child's.
@@ -156,14 +140,7 @@ func (v *VMM) HCDropFileResource(uid uint64) {
 //
 // resourceMap translates parent resource IDs to the child's new ones;
 // regions are duplicated accordingly.
-func (v *VMM) HCCloneDomainInto(parent, child *AddressSpace) (map[cloak.ResourceID]cloak.ResourceID, error) {
-	v.chargeHypercall("clone_domain")
-	if parent.domain == 0 {
-		return nil, fmt.Errorf("vmm: parent space %d has no domain", parent.id)
-	}
-	if child.domain != 0 {
-		return nil, fmt.Errorf("vmm: child space %d already in a domain", child.id)
-	}
+func (v *VMM) cloneDomainInto(parent, child *AddressSpace) (map[cloak.ResourceID]cloak.ResourceID, error) {
 	child.domain = parent.domain
 	v.domainSpaces[parent.domain] = append(v.domainSpaces[parent.domain], child)
 
@@ -174,8 +151,7 @@ func (v *VMM) HCCloneDomainInto(parent, child *AddressSpace) (map[cloak.Resource
 			// Domain-private region: the child gets fresh resources.
 			newRes, ok := resourceMap[r.Resource]
 			if !ok {
-				newRes = v.nextResource
-				v.nextResource++
+				newRes = v.allocResource()
 				resourceMap[r.Resource] = newRes
 			}
 			nr.Resource = newRes
@@ -186,6 +162,14 @@ func (v *VMM) HCCloneDomainInto(parent, child *AddressSpace) (map[cloak.Resource
 		}
 	}
 
+	// Invert the resource map once: the re-cloak loop below looks up the
+	// parent resource per region, and scanning resourceMap there again would
+	// be O(regions²).
+	parentOf := make(map[cloak.ResourceID]cloak.ResourceID, len(resourceMap))
+	for pr, cr := range resourceMap {
+		parentOf[cr] = pr
+	}
+
 	// Re-cloak every resident page of the child's domain-private cloaked
 	// regions. (Vault regions verify under their own stable identity; the
 	// kernel's eager ciphertext copy is already correct for them.)
@@ -193,13 +177,7 @@ func (v *VMM) HCCloneDomainInto(parent, child *AddressSpace) (map[cloak.Resource
 		if !r.Cloaked || r.Domain != 0 {
 			continue
 		}
-		// Find the parent resource this region was cloned from.
-		var parentRes cloak.ResourceID
-		for pr, cr := range resourceMap {
-			if cr == r.Resource {
-				parentRes = pr
-			}
-		}
+		parentRes := parentOf[r.Resource]
 		for vpn := r.BaseVPN; vpn < r.BaseVPN+r.Pages; vpn++ {
 			gpte := child.guestPT.Lookup(vpn)
 			if !gpte.Present() {
@@ -232,20 +210,12 @@ func (v *VMM) HCCloneDomainInto(parent, child *AddressSpace) (map[cloak.Resource
 	return resourceMap, nil
 }
 
-// HCRecordIdentity records the measured identity (e.g. a hash over the
-// program image) of the calling domain, the analogue of the paper's
-// verified application startup: the shim measures what it is about to run
-// and the VMM remembers it, so relying parties can ask the *trusted* layer
-// who is executing in a domain rather than the OS.
-func (v *VMM) HCRecordIdentity(as *AddressSpace, digest [32]byte) error {
-	v.chargeHypercall("record_identity")
-	if as.domain == 0 {
-		return fmt.Errorf("vmm: address space %d has no domain", as.id)
+// recordIdentity records the measured identity of a domain; write-once.
+func (v *VMM) recordIdentity(d cloak.DomainID, digest [32]byte) error {
+	if _, dup := v.identities[d]; dup {
+		return ErrAlreadyMeasured
 	}
-	if _, dup := v.identities[as.domain]; dup {
-		return fmt.Errorf("vmm: domain %d already measured", as.domain)
-	}
-	v.identities[as.domain] = digest
+	v.identities[d] = digest
 	return nil
 }
 
@@ -254,15 +224,4 @@ func (v *VMM) HCRecordIdentity(as *AddressSpace, digest [32]byte) error {
 func (v *VMM) DomainIdentity(d cloak.DomainID) ([32]byte, bool) {
 	id, ok := v.identities[d]
 	return id, ok
-}
-
-// HCAttest returns a fingerprint of a domain's current metadata for a
-// resource page — used by the secure-I/O layer to attest stored state and
-// by tests to observe versions without reaching into internals.
-func (v *VMM) HCAttest(as *AddressSpace, res cloak.ResourceID, index uint64) (cloak.Meta, bool) {
-	v.chargeHypercall("attest")
-	if as.domain == 0 {
-		return cloak.Meta{}, false
-	}
-	return v.metas.Get(cloak.PageID{Domain: as.domain, Resource: res, Index: index})
 }

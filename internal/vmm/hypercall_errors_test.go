@@ -1,0 +1,266 @@
+package vmm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"overshadow/internal/mmu"
+)
+
+// TestStaleConnFailsEveryHypercall drives every DomainConn operation against
+// a handle whose domain was destroyed: each must fail with ErrNoDomain (or
+// report ok=false for Attest), never touch VMM state.
+func TestStaleConnFailsEveryHypercall(t *testing.T) {
+	cases := []struct {
+		name string
+		call func(c *DomainConn, v *VMM) error
+	}{
+		{"AllocResource", func(c *DomainConn, v *VMM) error {
+			_, err := c.AllocResource()
+			return err
+		}},
+		{"RegisterRegion", func(c *DomainConn, v *VMM) error {
+			return c.RegisterRegion(Region{BaseVPN: 40, Pages: 1, Resource: 1, Cloaked: true})
+		}},
+		{"UnregisterRegion", func(c *DomainConn, v *VMM) error {
+			return c.UnregisterRegion(20)
+		}},
+		{"ReleaseResource", func(c *DomainConn, v *VMM) error {
+			return c.ReleaseResource(1, 1)
+		}},
+		{"RecordIdentity", func(c *DomainConn, v *VMM) error {
+			return c.RecordIdentity([32]byte{1})
+		}},
+		{"CloneInto", func(c *DomainConn, v *VMM) error {
+			_, _, err := c.CloneInto(v.CreateAddressSpace(mmu.NewPageTable()))
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newRig(t, Options{})
+			r.cloakSetup(20, 4)
+			r.conn.Destroy()
+			if err := tc.call(r.conn, r.v); !errors.Is(err, ErrNoDomain) {
+				t.Fatalf("stale %s: err = %v, want ErrNoDomain", tc.name, err)
+			}
+		})
+	}
+	t.Run("Attest", func(t *testing.T) {
+		r := newRig(t, Options{})
+		res := r.cloakSetup(20, 4)
+		r.conn.Destroy()
+		if _, ok := r.conn.Attest(res, 0); ok {
+			t.Fatal("stale Attest returned ok")
+		}
+	})
+	t.Run("Destroy", func(t *testing.T) {
+		r := newRig(t, Options{})
+		r.cloakSetup(20, 4)
+		r.conn.Destroy()
+		r.conn.Destroy() // second destroy on a stale handle: silent no-op
+	})
+}
+
+// TestDeprecatedForwardersWithoutDomain pins the raw forwarders' behavior on
+// an unbound space: typed ErrNoDomain across the board.
+func TestDeprecatedForwardersWithoutDomain(t *testing.T) {
+	cases := []struct {
+		name string
+		call func(r *testRig) error
+	}{
+		{"HCAllocResource", func(r *testRig) error {
+			_, err := r.v.HCAllocResource(r.as)
+			return err
+		}},
+		{"HCRegisterRegion", func(r *testRig) error {
+			return r.v.HCRegisterRegion(r.as, Region{BaseVPN: 1, Pages: 1, Resource: 1, Cloaked: true})
+		}},
+		{"HCUnregisterRegion", func(r *testRig) error {
+			return r.v.HCUnregisterRegion(r.as, 1)
+		}},
+		{"HCReleaseResource", func(r *testRig) error {
+			return r.v.HCReleaseResource(r.as, 1, 1)
+		}},
+		{"HCRecordIdentity", func(r *testRig) error {
+			return r.v.HCRecordIdentity(r.as, [32]byte{1})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newRig(t, Options{})
+			if err := tc.call(r); !errors.Is(err, ErrNoDomain) {
+				t.Fatalf("%s without domain: err = %v, want ErrNoDomain", tc.name, err)
+			}
+		})
+	}
+	t.Run("HCAttest", func(t *testing.T) {
+		r := newRig(t, Options{})
+		if _, ok := r.v.HCAttest(r.as, 1, 0); ok {
+			t.Fatal("HCAttest without domain returned ok")
+		}
+	})
+	t.Run("ConnOf", func(t *testing.T) {
+		r := newRig(t, Options{})
+		if _, err := r.v.ConnOf(r.as); !errors.Is(err, ErrNoDomain) {
+			t.Fatal("ConnOf on unbound space did not return ErrNoDomain")
+		}
+	})
+}
+
+// TestTypedHypercallErrors walks the remaining failure modes of the typed
+// surface, matching each with errors.Is / errors.As rather than strings.
+func TestTypedHypercallErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T, r *testRig) error
+		want error
+	}{
+		{
+			name: "double domain bind",
+			run: func(t *testing.T, r *testRig) error {
+				_, err := r.v.HCCreateDomain(r.as)
+				return err
+			},
+			want: ErrDomainBound,
+		},
+		{
+			name: "cloaked region without resource",
+			run: func(t *testing.T, r *testRig) error {
+				return r.conn.RegisterRegion(Region{BaseVPN: 60, Pages: 1, Cloaked: true})
+			},
+			want: ErrNoResource,
+		},
+		{
+			name: "overlapping region",
+			run: func(t *testing.T, r *testRig) error {
+				res, _ := r.conn.AllocResource()
+				return r.conn.RegisterRegion(Region{BaseVPN: 18, Pages: 4, Resource: res, Cloaked: true})
+			},
+			want: ErrRegionOverlap,
+		},
+		{
+			name: "unregister unknown region",
+			run: func(t *testing.T, r *testRig) error {
+				return r.conn.UnregisterRegion(0x5555)
+			},
+			want: ErrNoRegion,
+		},
+		{
+			name: "double identity measurement",
+			run: func(t *testing.T, r *testRig) error {
+				if err := r.conn.RecordIdentity([32]byte{1}); err != nil {
+					t.Fatalf("first identity: %v", err)
+				}
+				return r.conn.RecordIdentity([32]byte{2})
+			},
+			want: ErrAlreadyMeasured,
+		},
+		{
+			name: "clone into bound child",
+			run: func(t *testing.T, r *testRig) error {
+				other := r.v.CreateAddressSpace(r.as.GuestPT())
+				if _, _, err := r.conn.CloneInto(other); err != nil {
+					t.Fatalf("first clone: %v", err)
+				}
+				_, _, err := r.conn.CloneInto(other)
+				return err
+			},
+			want: ErrDomainBound,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newRig(t, Options{})
+			r.cloakSetup(20, 4)
+			err := tc.run(t, r)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRegionErrorDetail checks the structured overlap diagnostics: the
+// conflicting registration is carried on the error, and the message names
+// both ranges.
+func TestRegionErrorDetail(t *testing.T) {
+	r := newRig(t, Options{})
+	res := r.cloakSetup(20, 4)
+	err := r.conn.RegisterRegion(Region{BaseVPN: 22, Pages: 4, Resource: res, Cloaked: true})
+	var re *RegionError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %T, want *RegionError", err)
+	}
+	if re.Op != "register" || re.Region.BaseVPN != 22 {
+		t.Fatalf("wrong op/region: %+v", re)
+	}
+	if re.Conflict == nil || re.Conflict.BaseVPN != 20 || re.Conflict.Pages != 4 {
+		t.Fatalf("wrong conflict: %+v", re.Conflict)
+	}
+	if msg := re.Error(); !strings.Contains(msg, "0x16") || !strings.Contains(msg, "0x14") {
+		t.Fatalf("message does not name both ranges: %q", msg)
+	}
+
+	// Non-overlap RegionError (unregister miss) has no conflict.
+	err = r.conn.UnregisterRegion(0x5555)
+	if !errors.As(err, &re) || re.Conflict != nil || re.Op != "unregister" {
+		t.Fatalf("unregister miss error: %v", err)
+	}
+}
+
+// TestRegionIndexInvariants exercises the sorted-by-VPN region index: inserts
+// out of order, checks neighbor-only overlap detection at both edges, and
+// unregister-by-base lookup.
+func TestRegionIndexInvariants(t *testing.T) {
+	r := newRig(t, Options{})
+	r.cloakSetup(40, 4) // [40,44)
+	reg := func(base, pages uint64) error {
+		res, err := r.conn.AllocResource()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.conn.RegisterRegion(Region{BaseVPN: base, Pages: pages, Resource: res, Cloaked: true})
+	}
+	if err := reg(10, 4); err != nil { // insert before
+		t.Fatal(err)
+	}
+	if err := reg(20, 4); err != nil { // insert between
+		t.Fatal(err)
+	}
+	// Predecessor overlap: new region starts inside [20,24).
+	if err := reg(23, 4); !errors.Is(err, ErrRegionOverlap) {
+		t.Fatalf("predecessor overlap: %v", err)
+	}
+	// Successor overlap: new region runs into [40,44).
+	if err := reg(38, 3); !errors.Is(err, ErrRegionOverlap) {
+		t.Fatalf("successor overlap: %v", err)
+	}
+	// Exact fill of a gap is fine.
+	if err := reg(24, 16); err != nil {
+		t.Fatal(err)
+	}
+	// Sorted invariant holds after out-of-order inserts.
+	for i := 1; i < len(r.as.regions); i++ {
+		if r.as.regions[i-1].BaseVPN >= r.as.regions[i].BaseVPN {
+			t.Fatalf("regions not sorted: %+v", r.as.regions)
+		}
+	}
+	// findRegion hits only exact bases.
+	if _, ok := r.as.findRegion(24); !ok {
+		t.Fatal("findRegion missed an exact base")
+	}
+	if _, ok := r.as.findRegion(25); ok {
+		t.Fatal("findRegion matched a non-base VPN")
+	}
+	if err := r.conn.UnregisterRegion(24); err != nil {
+		t.Fatal(err)
+	}
+	if r.as.regionAt(30) != nil {
+		t.Fatal("unregistered range still resolves")
+	}
+	if r.as.regionAt(41) == nil || r.as.regionAt(21) == nil {
+		t.Fatal("neighbors lost by unregister")
+	}
+}

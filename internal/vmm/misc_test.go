@@ -58,55 +58,6 @@ func TestAccessors(t *testing.T) {
 	r.v.DestroyThread(th)
 }
 
-func TestHypercallErrorPaths(t *testing.T) {
-	r := newRig(t, Options{})
-	// No domain yet: resource/region/identity calls must fail.
-	if _, err := r.v.HCAllocResource(r.as); err == nil {
-		t.Error("HCAllocResource without domain")
-	}
-	if err := r.v.HCRegisterRegion(r.as, Region{BaseVPN: 1, Pages: 1, Resource: 1, Cloaked: true}); err == nil {
-		t.Error("HCRegisterRegion without domain")
-	}
-	if err := r.v.HCReleaseResource(r.as, 1, 1); err == nil {
-		t.Error("HCReleaseResource without domain")
-	}
-	if err := r.v.HCRecordIdentity(r.as, [32]byte{1}); err == nil {
-		t.Error("HCRecordIdentity without domain")
-	}
-	if _, ok := r.v.HCAttest(r.as, 1, 0); ok {
-		t.Error("HCAttest without domain")
-	}
-
-	r.cloakSetup(20, 4)
-	// Cloaked region without a resource id.
-	if err := r.v.HCRegisterRegion(r.as, Region{BaseVPN: 60, Pages: 1, Cloaked: true}); err == nil {
-		t.Error("cloaked region without resource accepted")
-	}
-	// Unregister of an unknown region.
-	if err := r.v.HCUnregisterRegion(r.as, 0x5555); err == nil {
-		t.Error("unregister ghost region")
-	}
-	// Double identity measurement.
-	if err := r.v.HCRecordIdentity(r.as, [32]byte{1}); err != nil {
-		t.Errorf("first identity: %v", err)
-	}
-	if err := r.v.HCRecordIdentity(r.as, [32]byte{2}); err == nil {
-		t.Error("second identity accepted")
-	}
-	// Clone into a space that already has a domain.
-	other := r.v.CreateAddressSpace(r.as.GuestPT())
-	if _, err := r.v.HCCloneDomainInto(r.as, other); err != nil {
-		t.Errorf("clone: %v", err)
-	}
-	if _, err := r.v.HCCloneDomainInto(r.as, other); err == nil {
-		t.Error("clone into domained space accepted")
-	}
-	uncloaked := r.v.CreateAddressSpace(r.as.GuestPT())
-	if _, err := r.v.HCCloneDomainInto(uncloaked, r.v.CreateAddressSpace(r.as.GuestPT())); err == nil {
-		t.Error("clone from undomained parent accepted")
-	}
-}
-
 func TestFileVaultLifecycle(t *testing.T) {
 	r := newRig(t, Options{})
 	d1, res1 := r.v.HCFileResource(42)
@@ -133,7 +84,7 @@ func TestUnregisterRegionDropsShadows(t *testing.T) {
 	if err := r.appWrite(20, []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.v.HCUnregisterRegion(r.as, 20); err != nil {
+	if err := r.conn.UnregisterRegion(20); err != nil {
 		t.Fatal(err)
 	}
 	// The range is uncloaked now: an app access sees the raw frame (which

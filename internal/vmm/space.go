@@ -13,7 +13,6 @@
 package vmm
 
 import (
-	"fmt"
 	"sort"
 
 	"overshadow/internal/cloak"
@@ -105,18 +104,38 @@ func (as *AddressSpace) regionAt(vpn uint64) *Region {
 	return nil
 }
 
-// addRegion inserts a region, rejecting overlaps.
+// findRegion returns the index of the region starting exactly at baseVPN
+// (the unregister key), using the sorted-by-BaseVPN invariant.
+func (as *AddressSpace) findRegion(baseVPN uint64) (int, bool) {
+	i := sort.Search(len(as.regions), func(i int) bool {
+		return as.regions[i].BaseVPN >= baseVPN
+	})
+	if i < len(as.regions) && as.regions[i].BaseVPN == baseVPN {
+		return i, true
+	}
+	return 0, false
+}
+
+// addRegion inserts a region at its sorted position, rejecting overlaps.
+// Because the slice is kept sorted and regions never overlap, only the two
+// neighbors of the insertion point can conflict — no full scan needed.
 func (as *AddressSpace) addRegion(r Region) error {
-	for _, q := range as.regions {
-		if r.BaseVPN < q.BaseVPN+q.Pages && q.BaseVPN < r.BaseVPN+r.Pages {
-			return fmt.Errorf("vmm: region [%#x,+%d) overlaps [%#x,+%d)",
-				r.BaseVPN, r.Pages, q.BaseVPN, q.Pages)
+	i := sort.Search(len(as.regions), func(i int) bool {
+		return as.regions[i].BaseVPN >= r.BaseVPN
+	})
+	if i > 0 {
+		if q := as.regions[i-1]; q.BaseVPN+q.Pages > r.BaseVPN {
+			return &RegionError{Op: "register", Region: r, Conflict: &q, Err: ErrRegionOverlap}
 		}
 	}
-	as.regions = append(as.regions, r)
-	sort.Slice(as.regions, func(i, j int) bool {
-		return as.regions[i].BaseVPN < as.regions[j].BaseVPN
-	})
+	if i < len(as.regions) {
+		if q := as.regions[i]; q.BaseVPN < r.BaseVPN+r.Pages {
+			return &RegionError{Op: "register", Region: r, Conflict: &q, Err: ErrRegionOverlap}
+		}
+	}
+	as.regions = append(as.regions, Region{})
+	copy(as.regions[i+1:], as.regions[i:])
+	as.regions[i] = r
 	return nil
 }
 

@@ -1,6 +1,8 @@
 package vmm
 
 import (
+	"sort"
+
 	"overshadow/internal/cloak"
 	"overshadow/internal/mach"
 	"overshadow/internal/mmu"
@@ -33,15 +35,22 @@ func (v *VMM) SwitchContext(as *AddressSpace, view View) {
 
 // EncryptAllPlaintext forces every plaintext page of a domain into the
 // encrypted state. Used by the E10a ablation and by domain checkpointing.
+// The sweep runs in ascending GPPN order: map iteration order is randomized
+// per process, and letting it pick the order would leak host nondeterminism
+// into span args and IV assignment.
 func (v *VMM) EncryptAllPlaintext(d cloak.DomainID, why string) int {
-	n := 0
-	for gppn, cp := range v.byDomain[d] {
+	pages := v.byDomain[d]
+	gppns := make([]mach.GPPN, 0, len(pages))
+	for gppn, cp := range pages {
 		if cp.state == statePlain {
-			v.encryptPage(gppn, cp, why)
-			n++
+			gppns = append(gppns, gppn)
 		}
 	}
-	return n
+	sort.Slice(gppns, func(i, j int) bool { return gppns[i] < gppns[j] })
+	for _, gppn := range gppns {
+		v.encryptPage(gppn, pages[gppn], why)
+	}
+	return len(gppns)
 }
 
 // Translate resolves (as, view, vpn) to a machine page, applying permission

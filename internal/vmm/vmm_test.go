@@ -14,10 +14,11 @@ import (
 // testRig wires a VMM with one address space whose guest page table the
 // test drives directly, playing the roles of both guest kernel and app.
 type testRig struct {
-	t  *testing.T
-	w  *sim.World
-	v  *VMM
-	as *AddressSpace
+	t    *testing.T
+	w    *sim.World
+	v    *VMM
+	as   *AddressSpace
+	conn *DomainConn // set by cloakSetup
 }
 
 func newRig(t *testing.T, opts Options) *testRig {
@@ -39,15 +40,17 @@ func (r *testRig) mapGuest(as *AddressSpace, vpn uint64, gppn mach.GPPN) {
 func (r *testRig) cloakSetup(baseVPN, n uint64) cloak.ResourceID {
 	r.t.Helper()
 	if r.as.Domain() == 0 {
-		if _, err := r.v.HCCreateDomain(r.as); err != nil {
+		conn, err := r.v.HCCreateDomain(r.as)
+		if err != nil {
 			r.t.Fatal(err)
 		}
+		r.conn = conn
 	}
-	res, err := r.v.HCAllocResource(r.as)
+	res, err := r.conn.AllocResource()
 	if err != nil {
 		r.t.Fatal(err)
 	}
-	if err := r.v.HCRegisterRegion(r.as, Region{BaseVPN: baseVPN, Pages: n, Resource: res, Cloaked: true}); err != nil {
+	if err := r.conn.RegisterRegion(Region{BaseVPN: baseVPN, Pages: n, Resource: res, Cloaked: true}); err != nil {
 		r.t.Fatal(err)
 	}
 	return res
@@ -400,7 +403,7 @@ func TestUncloakedRegionInCloakedProcess(t *testing.T) {
 	// and app must both see plaintext there.
 	r := newRig(t, Options{})
 	r.cloakSetup(20, 4)
-	if err := r.v.HCRegisterRegion(r.as, Region{BaseVPN: 30, Pages: 2}); err != nil {
+	if err := r.conn.RegisterRegion(Region{BaseVPN: 30, Pages: 2}); err != nil {
 		t.Fatal(err)
 	}
 	r.mapGuest(r.as, 30, 9)
@@ -420,13 +423,17 @@ func TestUncloakedRegionInCloakedProcess(t *testing.T) {
 func TestRegionOverlapRejected(t *testing.T) {
 	r := newRig(t, Options{})
 	r.cloakSetup(20, 4)
-	if _, err := r.v.HCCreateDomain(r.as); err == nil {
-		t.Fatal("double domain creation allowed")
+	if _, err := r.v.HCCreateDomain(r.as); !errors.Is(err, ErrDomainBound) {
+		t.Fatalf("double domain creation: err = %v, want ErrDomainBound", err)
 	}
-	res, _ := r.v.HCAllocResource(r.as)
-	err := r.v.HCRegisterRegion(r.as, Region{BaseVPN: 22, Pages: 4, Resource: res, Cloaked: true})
-	if err == nil {
-		t.Fatal("overlapping region accepted")
+	res, _ := r.conn.AllocResource()
+	err := r.conn.RegisterRegion(Region{BaseVPN: 22, Pages: 4, Resource: res, Cloaked: true})
+	if !errors.Is(err, ErrRegionOverlap) {
+		t.Fatalf("overlap: err = %v, want ErrRegionOverlap", err)
+	}
+	var re *RegionError
+	if !errors.As(err, &re) || re.Conflict == nil || re.Conflict.BaseVPN != 20 {
+		t.Fatalf("overlap error missing conflict detail: %v", err)
 	}
 }
 
@@ -437,8 +444,7 @@ func TestHCDestroyDomainZeroesPlaintext(t *testing.T) {
 	if err := r.appWrite(20, []byte("residual secret")); err != nil {
 		t.Fatal(err)
 	}
-	d := r.as.Domain()
-	r.v.HCDestroyDomain(d)
+	r.conn.Destroy()
 	frame := r.v.frame(7)
 	for _, b := range frame[:32] {
 		if b != 0 {
@@ -465,9 +471,12 @@ func TestHCCloneDomainForkFlow(t *testing.T) {
 	childPT := mmu.NewPageTable()
 	child := r.v.CreateAddressSpace(childPT)
 	child.guestPT.Map(20, mmu.PTE{PN: 12, Flags: mmu.FlagPresent | mmu.FlagWritable | mmu.FlagUser})
-	rmap, err := r.v.HCCloneDomainInto(r.as, child)
+	rmap, childConn, err := r.conn.CloneInto(child)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if childConn.Domain() != r.conn.Domain() || childConn.AddressSpace() != child {
+		t.Fatal("child conn not bound to the cloned space")
 	}
 	if rmap[res] == 0 || rmap[res] == res {
 		t.Fatalf("resource map %v not fresh", rmap)
@@ -521,8 +530,8 @@ func TestCTCUncloakedPassThrough(t *testing.T) {
 
 func TestCTCSyscallScrubAndRestore(t *testing.T) {
 	r := newRig(t, Options{})
-	d, _ := r.v.HCCreateDomain(r.as)
-	th := r.v.CreateThread(d)
+	c, _ := r.v.HCCreateDomain(r.as)
+	th := r.v.CreateThread(c.Domain())
 	th.Regs = Regs{PC: 0xCAFE, SP: 0xBEEF, GPR: [6]uint64{1, 2, 3, 4, 5, 0}}
 	th.Regs.GPR[5] = 0x5EC4E7 // private value the kernel must never see
 	kview := th.EnterKernel(TrapSyscall)
@@ -549,8 +558,8 @@ func TestCTCSyscallScrubAndRestore(t *testing.T) {
 
 func TestCTCInterruptScrubsEverything(t *testing.T) {
 	r := newRig(t, Options{})
-	d, _ := r.v.HCCreateDomain(r.as)
-	th := r.v.CreateThread(d)
+	c, _ := r.v.HCCreateDomain(r.as)
+	th := r.v.CreateThread(c.Domain())
 	th.Regs = Regs{PC: 0x1, SP: 0x2, GPR: [6]uint64{9, 8, 7, 6, 5, 4}}
 	kview := th.EnterKernel(TrapInterrupt)
 	if *kview != (Regs{}) {
@@ -566,8 +575,8 @@ func TestCTCInterruptScrubsEverything(t *testing.T) {
 
 func TestCTCTamperDetected(t *testing.T) {
 	r := newRig(t, Options{})
-	d, _ := r.v.HCCreateDomain(r.as)
-	th := r.v.CreateThread(d)
+	c, _ := r.v.HCCreateDomain(r.as)
+	th := r.v.CreateThread(c.Domain())
 	th.Regs = Regs{PC: 0x100, GPR: [6]uint64{1, 2, 3, 0, 0, 0}}
 	kview := th.EnterKernel(TrapSyscall)
 	kview.GPR[2] = 0xBAD // kernel corrupts an argument register
@@ -673,13 +682,13 @@ func TestHCAttestVersions(t *testing.T) {
 	if err := r.appWrite(20, []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := r.v.HCAttest(r.as, res, 0); ok {
+	if _, ok := r.conn.Attest(res, 0); ok {
 		t.Fatal("attestation exists before first encryption")
 	}
 	if _, err := r.sysRead(20, 1); err != nil {
 		t.Fatal(err)
 	}
-	m, ok := r.v.HCAttest(r.as, res, 0)
+	m, ok := r.conn.Attest(res, 0)
 	if !ok || m.Version != 1 {
 		t.Fatalf("attest = %+v,%v; want version 1", m, ok)
 	}

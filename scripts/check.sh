@@ -41,4 +41,20 @@ go test ./...
 echo "== race pass"
 go test -race ./internal/guestos/... ./internal/core/...
 
+echo "== shard determinism"
+# Sharding may change wall time only: the quick suite's JSON must be
+# byte-identical between a serial and a 4-way sharded run, on two seeds.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/overbench" ./cmd/overbench
+for s in 1 42; do
+    "$tmpdir/overbench" -seed "$s" -shards 1 -json > "$tmpdir/serial-$s.json"
+    "$tmpdir/overbench" -seed "$s" -shards 4 -json > "$tmpdir/sharded-$s.json"
+    if ! cmp -s "$tmpdir/serial-$s.json" "$tmpdir/sharded-$s.json"; then
+        echo "shard determinism broken: seed $s output differs between -shards 1 and -shards 4" >&2
+        diff "$tmpdir/serial-$s.json" "$tmpdir/sharded-$s.json" | head -20 >&2
+        exit 1
+    fi
+done
+
 echo "ALL CHECKS PASSED"
