@@ -138,6 +138,27 @@ func (s *MetaStore) DeleteDomain(d DomainID) {
 	}
 }
 
+// DomainRecords reports how many records belong to domain d (cache +
+// backing, deduplicated). The quarantine residue checks use it to assert a
+// contained domain leaks no metadata.
+func (s *MetaStore) DomainRecords(d DomainID) int {
+	n := 0
+	for id := range s.backing {
+		if id.Domain == d {
+			n++
+		}
+	}
+	for id := range s.cache {
+		if id.Domain != d {
+			continue
+		}
+		if _, dup := s.backing[id]; !dup {
+			n++
+		}
+	}
+	return n
+}
+
 // Len reports the total number of records (cache + backing).
 func (s *MetaStore) Len() int {
 	n := len(s.backing)

@@ -19,6 +19,7 @@ package core
 import (
 	"crypto/sha256"
 
+	"overshadow/internal/fault"
 	"overshadow/internal/guestos"
 	"overshadow/internal/mach"
 	"overshadow/internal/shim"
@@ -80,6 +81,10 @@ type Config struct {
 	VMM vmm.Options
 	// Shim configures cloaked-file policy and window size.
 	Shim shim.Options
+	// Fault activates deterministic fault injection (nil = no faults). The
+	// injector is seeded from Seed, so a (Seed, Plan) pair names one exact
+	// fault schedule; see internal/fault and experiment E13.
+	Fault *fault.Plan
 }
 
 // System is one assembled machine: hardware, VMM, guest kernel, shim.
@@ -108,7 +113,15 @@ func NewSystem(cfg Config) *System {
 		cost = *cfg.Cost
 	}
 	world := sim.NewWorld(cost, cfg.Seed)
-	hv := vmm.New(world, vmm.Config{GuestPages: cfg.MemoryPages, Options: cfg.VMM})
+	if cfg.Fault != nil && cfg.Fault.Enabled() {
+		world.Fault = fault.NewInjector(cfg.Seed, *cfg.Fault)
+	}
+	hv, err := vmm.New(world, vmm.Config{GuestPages: cfg.MemoryPages, Options: cfg.VMM})
+	if err != nil {
+		// The config defaults above guarantee a bootable machine; a fault
+		// here means the caller asked for an impossible one.
+		panic(err)
+	}
 	k := guestos.NewKernel(world, hv, guestos.Config{
 		MemoryPages: cfg.MemoryPages,
 		SwapPages:   cfg.SwapPages,

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"overshadow/internal/guestos"
+	"overshadow/internal/vmm"
+)
+
+// These tests pin the E8 adversary page-in/page-out mutation hooks under the
+// quarantine semantics: a kernel that corrupts a cloaked page's swap image
+// must cost the victim its domain (detected, quarantined, fully reclaimed)
+// while a cloaked sibling on the same machine finishes untouched.
+
+// runSwapMutation builds a machine under memory pressure with a swap-heavy
+// cloaked victim and a small cloaked sibling, installs the given adversary
+// hooks, runs it, and returns the system plus the sibling's verdict.
+func runSwapMutation(t *testing.T, install func(*guestos.Adversary)) (*System, *bool) {
+	t.Helper()
+	sys := NewSystem(Config{MemoryPages: 96})
+	install(sys.Adversary())
+
+	const pages = 160
+	sys.Register("victim", func(e Env) {
+		base, err := e.Alloc(pages)
+		if err != nil {
+			e.Exit(1)
+		}
+		for round := uint64(1); round <= 2; round++ {
+			for i := 0; i < pages; i++ {
+				e.Store64(base+Addr(i*PageSize), uint64(i)*round)
+			}
+			for i := 0; i < pages; i++ {
+				if e.Load64(base+Addr(i*PageSize)) != uint64(i)*round {
+					t.Error("victim consumed corrupted data without detection")
+				}
+			}
+		}
+		e.Exit(0)
+	})
+
+	siblingOK := new(bool)
+	sys.Register("sibling", func(e Env) {
+		base, err := e.Sbrk(4)
+		if err != nil {
+			e.Exit(1)
+		}
+		for i := uint64(0); i < 4; i++ {
+			e.Store64(base+Addr(i*PageSize), 0x51B1D00D^i)
+		}
+		for s := 0; s < 30; s++ {
+			e.Compute(4000)
+			for i := uint64(0); i < 4; i++ {
+				if e.Load64(base+Addr(i*PageSize)) != 0x51B1D00D^i {
+					e.Exit(1)
+				}
+			}
+			e.Yield()
+		}
+		*siblingOK = true
+		e.Exit(0)
+	})
+
+	if _, err := sys.Spawn("victim", Cloaked()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Spawn("sibling", Cloaked()); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	return sys, siblingOK
+}
+
+// assertQuarantined checks the post-run quarantine contract.
+func assertQuarantined(t *testing.T, sys *System, siblingOK *bool) {
+	t.Helper()
+	quarantined := 0
+	for _, ev := range sys.SecurityEvents() {
+		if ev.Kind == vmm.EventQuarantine && strings.HasPrefix(ev.Detail, "contained") {
+			quarantined++
+			pages, metas, ctcs := sys.VMM.QuarantineResidue(ev.Domain)
+			if pages != 0 || metas != 0 || ctcs != 0 {
+				t.Errorf("domain %d residue after quarantine: pages=%d metas=%d ctcs=%d",
+					ev.Domain, pages, metas, ctcs)
+			}
+			if !sys.VMM.Quarantined(ev.Domain) {
+				t.Errorf("domain %d logged containment but is not quarantined", ev.Domain)
+			}
+		}
+	}
+	if quarantined != 1 {
+		t.Fatalf("containment events = %d, want exactly 1 (the victim)", quarantined)
+	}
+	if !*siblingOK {
+		t.Fatal("sibling did not finish intact on the same machine")
+	}
+}
+
+// TestAdversaryPageInMutationQuarantines: the kernel flips bits in a cloaked
+// page arriving from swap. Verification must catch it at decrypt time and
+// quarantine exactly the victim's domain.
+func TestAdversaryPageInMutationQuarantines(t *testing.T) {
+	tampered := false
+	sys, siblingOK := runSwapMutation(t, func(a *guestos.Adversary) {
+		a.OnPageIn = func(_ *guestos.Kernel, p *guestos.Proc, _ uint64, frame []byte) {
+			if p.Cloaked() && p.Name() == "victim" && !tampered {
+				frame[200] ^= 0x40
+				tampered = true
+			}
+		}
+	})
+	if !tampered {
+		t.Skip("workload produced no victim page-in to tamper")
+	}
+	assertQuarantined(t, sys, siblingOK)
+}
+
+// TestAdversaryPageOutMutationQuarantines: the kernel corrupts the outbound
+// swap image instead. The damage sits on disk until the page returns; the
+// result must be the same containment.
+func TestAdversaryPageOutMutationQuarantines(t *testing.T) {
+	tampered := false
+	sys, siblingOK := runSwapMutation(t, func(a *guestos.Adversary) {
+		a.OnPageOut = func(_ *guestos.Kernel, p *guestos.Proc, _ uint64, frame []byte) {
+			if p.Cloaked() && p.Name() == "victim" && !tampered {
+				frame[64] ^= 0x01
+				tampered = true
+			}
+		}
+	})
+	if !tampered {
+		t.Skip("workload produced no victim page-out to tamper")
+	}
+	assertQuarantined(t, sys, siblingOK)
+}

@@ -14,7 +14,7 @@ import (
 func benchRun(b *testing.B, body Program) {
 	b.Helper()
 	w := sim.NewWorld(sim.DefaultCostModel(), 1)
-	hv := vmm.New(w, vmm.Config{GuestPages: 2048})
+	hv := mustVMM(b, w, vmm.Config{GuestPages: 2048})
 	k := NewKernel(w, hv, Config{MemoryPages: 2048})
 	k.RegisterProgram("bench", body)
 	if _, err := k.Spawn("bench", SpawnOpts{}); err != nil {

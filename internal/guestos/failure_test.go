@@ -13,7 +13,7 @@ import (
 
 func TestOOMWhenRAMAndSwapExhausted(t *testing.T) {
 	w := sim.NewWorld(sim.DefaultCostModel(), 4)
-	hv := vmm.New(w, vmm.Config{GuestPages: 64})
+	hv := mustVMM(t, w, vmm.Config{GuestPages: 64})
 	k := NewKernel(w, hv, Config{MemoryPages: 64, SwapPages: 16})
 	killed := false
 	k.RegisterProgram("hog", func(e Env) {
@@ -49,7 +49,7 @@ func TestOOMWhenRAMAndSwapExhausted(t *testing.T) {
 
 func TestFDTableExhaustion(t *testing.T) {
 	w := sim.NewWorld(sim.DefaultCostModel(), 4)
-	hv := vmm.New(w, vmm.Config{GuestPages: 256})
+	hv := mustVMM(t, w, vmm.Config{GuestPages: 256})
 	k := NewKernel(w, hv, Config{MemoryPages: 256, MaxFDs: 8})
 	runOne(t, k, func(e Env) {
 		var fds []int
@@ -81,7 +81,7 @@ func TestFDTableExhaustion(t *testing.T) {
 
 func TestGuestDiskFullSurfacesENOSPC(t *testing.T) {
 	w := sim.NewWorld(sim.DefaultCostModel(), 4)
-	hv := vmm.New(w, vmm.Config{GuestPages: 256})
+	hv := mustVMM(t, w, vmm.Config{GuestPages: 256})
 	k := NewKernel(w, hv, Config{MemoryPages: 256, FSDiskPages: 8})
 	runOne(t, k, func(e Env) {
 		fd, _ := e.Open("/big", OCreate|OWrOnly)
@@ -212,7 +212,7 @@ func TestSwapExhaustionUnderCloaking(t *testing.T) {
 	// Tiny swap + cloaked overcommit: the process must die cleanly, the
 	// kernel must keep running, and no plaintext may linger anywhere.
 	w := sim.NewWorld(sim.DefaultCostModel(), 4)
-	hv := vmm.New(w, vmm.Config{GuestPages: 64})
+	hv := mustVMM(t, w, vmm.Config{GuestPages: 64})
 	k := NewKernel(w, hv, Config{MemoryPages: 64, SwapPages: 8})
 	ranAfter := false
 	k.RegisterProgram("parent", func(e Env) {

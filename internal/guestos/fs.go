@@ -70,6 +70,10 @@ func NewFS(world *sim.World, diskPages uint64) *FS {
 	return fs
 }
 
+// Disk exposes the filesystem's block device (read-only use: adversarial
+// tests and the E13 leak scan sweep it for plaintext residue).
+func (fs *FS) Disk() *mach.Disk { return fs.disk }
+
 func (fs *FS) allocBlock() (uint64, Errno) {
 	if len(fs.freeBlk) == 0 {
 		return 0, ENOSPC

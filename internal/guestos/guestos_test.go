@@ -9,11 +9,21 @@ import (
 	"overshadow/internal/vmm"
 )
 
+// mustVMM boots a VMM or fails the test (the sizes used here always boot).
+func mustVMM(tb testing.TB, w *sim.World, cfg vmm.Config) *vmm.VMM {
+	tb.Helper()
+	hv, err := vmm.New(w, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return hv
+}
+
 // newTestKernel builds a small machine: memPages of guest RAM.
 func newTestKernel(t *testing.T, memPages int) (*Kernel, *sim.World) {
 	t.Helper()
 	w := sim.NewWorld(sim.DefaultCostModel(), 99)
-	hv := vmm.New(w, vmm.Config{GuestPages: memPages})
+	hv := mustVMM(t, w, vmm.Config{GuestPages: memPages})
 	k := NewKernel(w, hv, Config{MemoryPages: memPages})
 	return k, w
 }

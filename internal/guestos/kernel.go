@@ -3,6 +3,7 @@ package guestos
 import (
 	"fmt"
 
+	"overshadow/internal/mach"
 	"overshadow/internal/obs"
 	"overshadow/internal/sim"
 	"overshadow/internal/vmm"
@@ -101,6 +102,10 @@ func (k *Kernel) VMM() *vmm.VMM { return k.vmm }
 
 // FS returns the filesystem, usable before Run to populate files.
 func (k *Kernel) FS() *FS { return k.fs }
+
+// SwapDisk exposes the swap block device (read-only use: adversarial tests
+// and the E13 leak scan sweep it for plaintext residue).
+func (k *Kernel) SwapDisk() *mach.Disk { return k.swap.disk }
 
 // Lookup finds a live (non-reaped) task by pid.
 func (k *Kernel) Lookup(pid Pid) (*Proc, bool) {

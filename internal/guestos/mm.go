@@ -1,6 +1,7 @@
 package guestos
 
 import (
+	"overshadow/internal/fault"
 	"overshadow/internal/mach"
 	"overshadow/internal/mmu"
 	"overshadow/internal/obs"
@@ -114,6 +115,10 @@ func (a *gppnAllocator) refCount(g mach.GPPN) int { return a.refs[g] }
 func (a *gppnAllocator) freePages() int { return len(a.freeList) }
 
 // --- Swap ------------------------------------------------------------------
+
+// swapReadAttempts bounds the kernel-side retry of a failed swap read before
+// the page-in gives up with EIO.
+const swapReadAttempts = 3
 
 // swapSpace is the swap device plus its slot allocator.
 type swapSpace struct {
@@ -272,7 +277,21 @@ func (k *Kernel) pageOut(p *Proc, vpn uint64, pte mmu.PTE) bool {
 			return false
 		}
 		buf := make([]byte, mach.PageSize)
-		k.vmm.PhysRead(g, 0, buf) // forces encryption of cloaked plaintext
+		// Forces encryption of cloaked plaintext before the kernel sees it.
+		if err := k.vmm.PhysRead(g, 0, buf); err != nil {
+			k.swap.freeSlot(blk)
+			return false
+		}
+		if kind, _ := k.world.InjectAt(fault.SiteSwapOut); kind != fault.None {
+			if kind == fault.Fail {
+				// Page-out aborted mid-flight: the page simply stays resident.
+				k.swap.freeSlot(blk)
+				return false
+			}
+			// Kernel-side corruption of the outbound page. For a cloaked page
+			// this damages ciphertext, which verification catches at page-in.
+			k.world.Fault.Corrupt(buf)
+		}
 		if k.Adversary.OnPageOut != nil {
 			k.Adversary.OnPageOut(k, p, vpn, buf)
 		}
@@ -337,7 +356,11 @@ func (k *Kernel) pageInZero(p *Proc, vpn uint64, v *VMA) Errno {
 	if errno != OK {
 		return errno
 	}
-	k.vmm.PhysZero(g)
+	if err := k.vmm.PhysZero(g); err != nil {
+		k.mem.release(g)
+		k.mem.free(g)
+		return EIO
+	}
 	p.mapUserPage(vpn, g, v.Writable)
 	k.world.ChargeAdd(0, sim.CtrPageFaultDemand, 1)
 	return OK
@@ -349,15 +372,37 @@ func (k *Kernel) pageInSwap(p *Proc, vpn uint64, v *VMA, blk uint64) Errno {
 		return errno
 	}
 	buf := make([]byte, mach.PageSize)
-	if err := k.swap.disk.Read(blk, buf); err != nil {
+	// Transient read errors get a bounded retry before the fault is
+	// surfaced: a real kernel's block layer does the same, and the E13
+	// degradation scenarios rely on the distinction between one bad read
+	// and a persistently failing device.
+	var readErr error
+	for attempt := 0; attempt < swapReadAttempts; attempt++ {
+		if readErr = k.swap.disk.Read(blk, buf); readErr == nil {
+			break
+		}
+	}
+	if readErr != nil {
 		k.mem.release(g)
 		k.mem.free(g)
 		return EIO
 	}
+	if kind, _ := k.world.InjectAt(fault.SiteSwapIn); kind != fault.None {
+		if kind == fault.Fail {
+			k.mem.release(g)
+			k.mem.free(g)
+			return EIO
+		}
+		k.world.Fault.Corrupt(buf)
+	}
 	if k.Adversary.OnPageIn != nil {
 		k.Adversary.OnPageIn(k, p, vpn, buf)
 	}
-	k.vmm.PhysWrite(g, 0, buf)
+	if err := k.vmm.PhysWrite(g, 0, buf); err != nil {
+		k.mem.release(g)
+		k.mem.free(g)
+		return EIO
+	}
 	p.mapUserPage(vpn, g, v.Writable)
 	delete(p.swapped, vpn)
 	k.swap.freeSlot(blk)
@@ -378,7 +423,11 @@ func (k *Kernel) pageInFile(p *Proc, vpn uint64, v *VMA) Errno {
 		k.mem.free(g)
 		return err
 	}
-	k.vmm.PhysWrite(g, 0, buf)
+	if err := k.vmm.PhysWrite(g, 0, buf); err != nil {
+		k.mem.release(g)
+		k.mem.free(g)
+		return EIO
+	}
 	p.mapUserPage(vpn, g, v.Writable)
 	k.world.ChargeAdd(0, sim.CtrPageFaultDemand, 1)
 	return OK
@@ -399,8 +448,16 @@ func (k *Kernel) cowBreak(p *Proc, vpn uint64, pte mmu.PTE) Errno {
 		return errno
 	}
 	buf := make([]byte, mach.PageSize)
-	k.vmm.PhysRead(g, 0, buf)
-	k.vmm.PhysWrite(ng, 0, buf)
+	if err := k.vmm.PhysRead(g, 0, buf); err != nil {
+		k.mem.release(ng)
+		k.mem.free(ng)
+		return EIO
+	}
+	if err := k.vmm.PhysWrite(ng, 0, buf); err != nil {
+		k.mem.release(ng)
+		k.mem.free(ng)
+		return EIO
+	}
 	k.world.ChargeAdd(k.world.Cost.PageCopy, sim.CtrPageCopy, 1)
 	k.mem.release(g)
 	p.gpt.Map(vpn, mmu.PTE{PN: uint64(ng),
@@ -506,7 +563,9 @@ func (k *Kernel) msync(p *Proc, base uint64) Errno {
 			continue
 		}
 		g := mach.GPPN(pte.PN)
-		k.vmm.PhysRead(g, 0, buf)
+		if err := k.vmm.PhysRead(g, 0, buf); err != nil {
+			return EIO
+		}
 		if err := k.fs.WriteFilePage(v.Ino, v.FileOff+(vpn-v.Base), buf); err != OK {
 			return err
 		}

@@ -442,8 +442,14 @@ func (k *Kernel) copyAddressSpace(p, child *Proc) Errno {
 				failed = errno
 				return false
 			}
-			k.vmm.PhysRead(gppn, 0, buf)
-			k.vmm.PhysWrite(newG, 0, buf)
+			if err := k.vmm.PhysRead(gppn, 0, buf); err != nil {
+				failed = EIO
+				return false
+			}
+			if err := k.vmm.PhysWrite(newG, 0, buf); err != nil {
+				failed = EIO
+				return false
+			}
 			child.mapUserPage(vpn, newG, pte.Flags.Has(mmu.FlagWritable))
 			return true
 		})

@@ -90,7 +90,11 @@ func (k *Kernel) pageInShm(p *Proc, vpn uint64, v *VMA) Errno {
 		}
 		// The object itself holds the allocation reference, so contents
 		// survive even when every process detaches.
-		k.vmm.PhysZero(ng)
+		if err := k.vmm.PhysZero(ng); err != nil {
+			k.mem.release(ng)
+			k.mem.free(ng)
+			return EIO
+		}
 		v.Shm.pages[idx] = ng
 		g = ng
 	}

@@ -113,8 +113,16 @@ func (c *UserCtx) access(va mach.Addr, buf []byte, write bool) {
 		var sv *vmm.SecViolation
 		if errors.As(err, &sv) {
 			// The VMM refused the access: the OS corrupted this process's
-			// protected memory. Terminate; the event is in the audit log.
+			// protected memory (or the domain is already quarantined).
+			// Terminate; the event is in the audit log.
 			k.exitCurrent(p, 128+int(SIGKILL))
+		}
+		var rf *vmm.ResourceFault
+		if errors.As(err, &rf) {
+			// Unservable resource fault (e.g. a guest PTE pointing beyond
+			// guest memory): the bus-error analogue. Kill the process;
+			// the machine keeps running.
+			k.exitCurrent(p, 128+11)
 		}
 		panic(fmt.Sprintf("guestos: unexpected access error: %v", err))
 	}
@@ -167,12 +175,17 @@ func (c *UserCtx) trap(no Sysno, args [5]uint64, handler func(kregs *vmm.Regs) u
 	ret := handler(kregs)
 	kregs.GPR[0] = ret
 	if err := p.thread.ExitKernel(); err != nil {
-		// CTC tamper: logged by the VMM; the thread resumed with genuine
-		// state, so execution continues safely.
 		var sv *vmm.SecViolation
 		if !errors.As(err, &sv) {
 			panic(err)
 		}
+		if sv.Event.Kind == vmm.EventQuarantine {
+			// The domain was quarantined mid-syscall; the CTC is revoked
+			// and the thread may never resume. Fatal for the process only.
+			k.exitCurrent(p, 128+int(SIGKILL))
+		}
+		// CTC tamper: logged by the VMM; the thread resumed with genuine
+		// state, so execution continues safely.
 	}
 	k.vmm.SwitchContext(p.as, vmm.ViewApp)
 	sp.End()
@@ -218,6 +231,12 @@ func (k *Kernel) sysAccess(p *Proc, va mach.Addr, buf []byte, write bool) Errno 
 				return EFAULT
 			}
 			continue
+		}
+		var rf *vmm.ResourceFault
+		if errors.As(err, &rf) {
+			// Corrupt guest PTE behind this buffer: the kernel treats the
+			// access like a wild pointer.
+			return EFAULT
 		}
 		// Security violations cannot happen in the system view (the kernel
 		// always gets *some* view); anything else is a simulator bug.

@@ -312,7 +312,7 @@ func e2Primitives(opts Options) []Row {
 	if met == nil {
 		met = w.EnableMetrics(nil) // breakdown columns need attribution even unobserved
 	}
-	hv := vmm.New(w, vmm.Config{GuestPages: 64})
+	hv := must1(vmm.New(w, vmm.Config{GuestPages: 64}))
 	as := hv.CreateAddressSpace(mmu.NewPageTable())
 	conn := must1(hv.HCCreateDomain(as))
 	res := must1(conn.AllocResource())

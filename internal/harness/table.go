@@ -180,6 +180,7 @@ func Registry() []Experiment {
 		{"E10", "Ablations: multi-shadowing, TLB tagging, metadata cache", RunE10},
 		{"E11", "Extension: protected IPC (pipe vs protected shared memory)", RunE11},
 		{"E12", "Key-value service (memcached-class), native vs cloaked", RunE12},
+		{"E13", "Fault sweep: injection, quarantine containment, graceful degradation", RunE13},
 	}
 }
 

@@ -19,14 +19,23 @@ func TestDeterminismAnalyzerCoversObs(t *testing.T) {
 		"overshadow/internal/obs", "testdata/src/obsdeterminism")
 }
 
+// TestDeterminismInjectorSeedRule loads a core-shaped package (NOT in the
+// gated set): host-randomness expressions feeding fault.NewInjector's seed
+// must be findings even where general host-time use is allowed.
+func TestDeterminismInjectorSeedRule(t *testing.T) {
+	runWantTest(t, DeterminismAnalyzer,
+		"overshadow/internal/core", "testdata/src/faultseed")
+}
+
 func TestCloakBoundaryAnalyzer(t *testing.T) {
 	runWantTest(t, CloakBoundaryAnalyzer,
 		"overshadow/internal/guestos", "testdata/src/cloakboundary")
 }
 
-// TestCloakBoundaryConnRule loads a shim-shaped package: raw VMM.HC*
-// hypercalls outside internal/vmm must route through the typed DomainConn
-// handle; only HCCreateDomain and the vault calls pass.
+// TestCloakBoundaryConnRule loads a shim-shaped package exercising the
+// sanctioned hypercall surface: the typed DomainConn handle, ConnOf,
+// HCCreateDomain, and the vault calls must all pass with zero findings.
+// (The raw HC* forwarders were removed, so the rule is a backstop.)
 func TestCloakBoundaryConnRule(t *testing.T) {
 	runWantTest(t, CloakBoundaryAnalyzer,
 		"overshadow/internal/shim", "testdata/src/conncall")

@@ -21,8 +21,9 @@ import (
 //     through untrusted code.
 //
 // A second rule applies everywhere outside internal/vmm: domain hypercalls
-// must go through the typed vmm.DomainConn handle. The raw VMM.HC* methods
-// (deprecated forwarders kept for one release) are findings; only the
+// must go through the typed vmm.DomainConn handle. The raw VMM.HC*
+// forwarders have been removed; this rule is the backstop that keeps any
+// reintroduced non-exempt HC* method from being called directly. Only the
 // handle-free entry points — HCCreateDomain, which mints the handle, and
 // the vault calls HCFileResource/HCDropFileResource, which have no domain
 // precondition — may be called on the VMM directly.

@@ -18,6 +18,12 @@ import (
 //   - bare go statements — concurrency must be routed through the guest
 //     kernel's baton scheduler, which admits exactly one runnable goroutine.
 //
+// One rule is ungated and applies to every package: the seed argument of
+// fault.NewInjector must be a pure function of the simulation seed. A fault
+// schedule seeded from host randomness (wall clock, math/rand, os state)
+// would make failure runs unreproducible — the exact property the fault
+// layer exists to provide (see internal/fault and experiment E13).
+//
 // cmd/overbench's host wall-clock reporting is outside the checked set.
 var DeterminismAnalyzer = &Analyzer{
 	Name: "determinism",
@@ -34,9 +40,23 @@ var deterministicPkgs = map[string]bool{
 	"overshadow/internal/vmm":     true,
 	"overshadow/internal/guestos": true,
 	"overshadow/internal/cloak":   true,
+	// fault schedules are part of the reproducible machine: the injector
+	// must never consult host state.
+	"overshadow/internal/fault": true,
 	// obs timestamps spans and buckets cycles: a host-clock read there
 	// would silently break the bit-identical trace/metrics exports.
 	"overshadow/internal/obs": true,
+}
+
+// faultPkgPath is the fault-injection package whose injector seeding is
+// checked in every package, gated or not.
+const faultPkgPath = "overshadow/internal/fault"
+
+// hostRandomPkgs are packages whose function results must never feed an
+// injector seed.
+var hostRandomPkgs = map[string]bool{
+	"time": true, "math/rand": true, "math/rand/v2": true,
+	"crypto/rand": true, "os": true,
 }
 
 // forbiddenTimeFuncs are the package time functions that read the host
@@ -49,11 +69,15 @@ var forbiddenTimeFuncs = map[string]bool{
 }
 
 func runDeterminism(pass *Pass) {
-	if !deterministicPkgs[pass.Pkg.Path] {
-		return
-	}
+	gated := deterministicPkgs[pass.Pkg.Path]
 	info := pass.Pkg.Info
 	inspect(pass.Pkg, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			checkInjectorSeed(pass, call)
+		}
+		if !gated {
+			return true
+		}
 		switch n := n.(type) {
 		case *ast.ImportSpec:
 			path := strings.Trim(n.Path.Value, `"`)
@@ -86,5 +110,36 @@ func runDeterminism(pass *Pass) {
 			pass.Report(n.Pos(), "bare go statement: goroutines must be baton-scheduled by the guest kernel")
 		}
 		return true
+	})
+}
+
+// checkInjectorSeed flags fault.NewInjector calls whose seed argument calls
+// into a host-randomness package. The rule is syntactic over the seed
+// expression: anything reaching time/math-rand/crypto-rand/os inside the
+// first argument is a finding.
+func checkInjectorSeed(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	info := pass.Pkg.Info
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "NewInjector" || fn.Pkg() == nil || fn.Pkg().Path() != faultPkgPath {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	ast.Inspect(call.Args[0], func(n ast.Node) bool {
+		s, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[s.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil || !hostRandomPkgs[obj.Pkg().Path()] {
+			return true
+		}
+		pass.Report(s.Pos(), "fault.NewInjector seed calls %s.%s: injector seeds must derive from the simulation seed, never host randomness", obj.Pkg().Name(), obj.Name())
+		return false
 	})
 }

@@ -3,9 +3,14 @@ package mach
 import (
 	"fmt"
 
+	"overshadow/internal/fault"
 	"overshadow/internal/obs"
 	"overshadow/internal/sim"
 )
+
+// ErrIO is the sentinel for injected device failures; callers distinguish it
+// from programming errors (bounds, short buffers) to drive retry logic.
+var ErrIO = fmt.Errorf("disk: I/O error")
 
 // BlockSize is the disk sector size; one page per block keeps swap simple.
 const BlockSize = PageSize
@@ -39,12 +44,21 @@ func (d *Disk) Read(blk uint64, dst []byte) error {
 	cost := d.world.Cost.DiskSeek + sim.Cycles(BlockSize)*d.world.Cost.DiskPerByte
 	d.world.ChargeCount(cost, sim.CtrDiskRead)
 	d.world.EmitSpan(obs.KindDisk, "read", blk, cost)
+	kind, _ := d.world.InjectAt(fault.SiteDiskRead)
+	if kind == fault.Fail {
+		return fmt.Errorf("%w: read of block %d", ErrIO, blk)
+	}
 	if b, ok := d.blocks[blk]; ok {
 		copy(dst[:BlockSize], b)
 	} else {
 		for i := 0; i < BlockSize; i++ {
 			dst[i] = 0
 		}
+	}
+	// A corrupted sector "succeeds": the damage surfaces only when a
+	// higher layer verifies the payload.
+	if kind == fault.Corrupt {
+		d.world.Fault.Corrupt(dst[:BlockSize])
 	}
 	return nil
 }
@@ -60,12 +74,28 @@ func (d *Disk) Write(blk uint64, src []byte) error {
 	cost := d.world.Cost.DiskSeek + sim.Cycles(BlockSize)*d.world.Cost.DiskPerByte
 	d.world.ChargeCount(cost, sim.CtrDiskWrite)
 	d.world.EmitSpan(obs.KindDisk, "write", blk, cost)
+	kind, _ := d.world.InjectAt(fault.SiteDiskWrite)
+	if kind == fault.Fail {
+		return fmt.Errorf("%w: write of block %d", ErrIO, blk)
+	}
 	b, ok := d.blocks[blk]
 	if !ok {
 		b = make([]byte, BlockSize)
 		d.blocks[blk] = b
 	}
-	copy(b, src[:BlockSize])
+	switch kind {
+	case fault.Torn:
+		// Torn write: a prefix lands on the medium, then the operation
+		// fails. The stale suffix is whatever the block held before.
+		n := d.world.Fault.TornLen(BlockSize)
+		copy(b[:n], src[:n])
+		return fmt.Errorf("%w: torn write of block %d (%d/%d bytes)", ErrIO, blk, n, BlockSize)
+	case fault.Corrupt:
+		copy(b, src[:BlockSize])
+		d.world.Fault.Corrupt(b)
+	default:
+		copy(b, src[:BlockSize])
+	}
 	return nil
 }
 

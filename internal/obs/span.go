@@ -21,11 +21,14 @@ const (
 	KindSwap             // page-out / page-in decision in the guest mm
 	KindProc             // process lifecycle event (fork, exit)
 	KindSecurity         // VMM security event (integrity, tamper, ...)
+	KindFault            // injected fault firing at a fault site
+	KindQuarantine       // domain quarantine: scrub, revoke, reclaim
 )
 
 var kindNames = [...]string{
 	"none", "syscall", "hypercall", "worldswitch", "pagefault", "disk",
 	"cloak", "ctc", "ctxswitch", "swap", "proc", "security",
+	"fault", "quarantine",
 }
 
 // String implements fmt.Stringer.

@@ -83,15 +83,17 @@ func (s *Ctx) ensureWindow(cf *cloakedFile, idx uint64) error {
 	return nil
 }
 
-// dropWindow flushes and unmaps the current window, if any.
+// dropWindow flushes and unmaps the current window, if any. The flush
+// retries transient I/O failures (injected disk faults surface as EIO)
+// with sim-clock backoff before giving up.
 func (s *Ctx) dropWindow(cf *cloakedFile) error {
 	if cf.winBase == 0 {
 		return nil
 	}
-	if err := s.uc.Msync(cf.winBase); err != nil {
+	if err := s.retryTransient(func() error { return s.uc.Msync(cf.winBase) }); err != nil {
 		return err
 	}
-	if err := s.conn.UnregisterRegion(mach.PageOf(cf.winBase)); err != nil {
+	if err := s.retryTransient(func() error { return s.conn.UnregisterRegion(mach.PageOf(cf.winBase)) }); err != nil {
 		return err
 	}
 	if err := s.uc.Free(cf.winBase); err != nil {
@@ -192,7 +194,7 @@ func (s *Ctx) flushCloaked(fd int) error {
 		return guestos.EBADF
 	}
 	if cf.winBase != 0 {
-		if err := s.uc.Msync(cf.winBase); err != nil {
+		if err := s.retryTransient(func() error { return s.uc.Msync(cf.winBase) }); err != nil {
 			return err
 		}
 	}

@@ -128,9 +128,7 @@ func attach(uc *guestos.UserCtx, opts Options) *Ctx {
 	// verified-startup step: relying parties ask the VMM, not the OS, what
 	// runs in this domain.
 	digest := sha256.Sum256([]byte("overshadow-program:" + uc.Proc().Name()))
-	if err := s.conn.RecordIdentity(digest); err != nil {
-		panic(fmt.Sprintf("shim: identity measurement failed: %v", err))
-	}
+	s.mustSetup(func() error { return s.conn.RecordIdentity(digest) })
 
 	s.heapRes = s.mustResource()
 	s.stackRes = s.mustResource()
@@ -153,18 +151,22 @@ func attach(uc *guestos.UserCtx, opts Options) *Ctx {
 	return s
 }
 
+// mustResource allocates a cloaked resource, retrying transient hypervisor
+// faults; persistent failure exits the process gracefully.
 func (s *Ctx) mustResource() cloak.ResourceID {
-	r, err := s.conn.AllocResource()
-	if err != nil {
-		panic(fmt.Sprintf("shim: resource allocation failed: %v", err))
-	}
+	var r cloak.ResourceID
+	s.mustSetup(func() error {
+		var err error
+		r, err = s.conn.AllocResource()
+		return err
+	})
 	return r
 }
 
+// mustRegister registers a region, retrying transient hypervisor faults;
+// persistent failure exits the process gracefully.
 func (s *Ctx) mustRegister(r vmm.Region) {
-	if err := s.conn.RegisterRegion(r); err != nil {
-		panic(fmt.Sprintf("shim: region registration failed: %v", err))
-	}
+	s.mustSetup(func() error { return s.conn.RegisterRegion(r) })
 }
 
 // onExit tears down the shim's cloaking state when the process dies. It
@@ -262,7 +264,7 @@ func (s *Ctx) Free(base mach.Addr) error {
 		// Shared-memory detach: unregister our view; the vault (and the
 		// object's pages) outlive us for the other attachments.
 		_ = sr
-		if err := s.conn.UnregisterRegion(vpn); err != nil {
+		if err := s.retryTransient(func() error { return s.conn.UnregisterRegion(vpn) }); err != nil {
 			return err
 		}
 		delete(s.shmRegions, vpn)
@@ -272,10 +274,10 @@ func (s *Ctx) Free(base mach.Addr) error {
 	if !ok {
 		return guestos.EINVAL
 	}
-	if err := s.conn.UnregisterRegion(vpn); err != nil {
+	if err := s.retryTransient(func() error { return s.conn.UnregisterRegion(vpn) }); err != nil {
 		return err
 	}
-	if err := s.conn.ReleaseResource(ar.res, ar.pages); err != nil {
+	if err := s.retryTransient(func() error { return s.conn.ReleaseResource(ar.res, ar.pages) }); err != nil {
 		return err
 	}
 	delete(s.anonRegions, vpn)

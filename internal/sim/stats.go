@@ -50,6 +50,9 @@ const (
 	CtrAttackSnoop      Counter = "attack.snoop"
 	CtrAttackTamper     Counter = "attack.tamper"
 	CtrAttackDetected   Counter = "attack.detected"
+	CtrFaultInjected    Counter = "fault.injected"
+	CtrShimRetry        Counter = "shim.retry"
+	CtrQuarantine       Counter = "vmm.quarantine"
 
 	// Cycle-attribution counters: these name cycle sinks that previously
 	// charged the clock anonymously, so attributed profiles can decompose

@@ -1,6 +1,9 @@
 package sim
 
-import "overshadow/internal/obs"
+import (
+	"overshadow/internal/fault"
+	"overshadow/internal/obs"
+)
 
 // World bundles the shared simulation services — clock, cost model, counters,
 // and PRNG — into a single handle threaded through every component of the
@@ -15,6 +18,11 @@ type World struct {
 	// Metrics is nil until EnableMetrics: with it off every charge pays
 	// exactly one extra nil check, preserving the uninstrumented fast path.
 	Metrics *obs.Metrics
+	// Fault is nil unless a fault-injection plan is active; components
+	// consult it through InjectAt, which costs one nil check when off. The
+	// injector carries its own seeded PRNG stream, so the fault-free
+	// execution is bit-identical with Fault nil or an all-zero plan.
+	Fault *fault.Injector
 
 	// attr identifies the simulated CPU context charges are attributed to;
 	// the guest scheduler and the shim keep it current (see SetTask).
@@ -74,6 +82,22 @@ func (w *World) ChargeAdd(n Cycles, c Counter, events uint64) {
 	if w.Metrics != nil {
 		w.Metrics.Charge(w.attr, string(c), uint64(n), events)
 	}
+}
+
+// InjectAt consumes one fault opportunity at site. When a fault fires it is
+// counted and traced (an instant span named "<site>/<kind>") so every export
+// can correlate injected faults with their downstream effects.
+func (w *World) InjectAt(site fault.Site) (fault.Kind, bool) {
+	if w.Fault == nil {
+		return fault.None, false
+	}
+	kind, ok := w.Fault.At(site)
+	if !ok {
+		return fault.None, false
+	}
+	w.Stats.Inc(CtrFaultInjected)
+	w.Emit(obs.KindFault, site.String()+"/"+kind.String(), uint64(site))
+	return kind, true
 }
 
 // Now is shorthand for w.Clock.Now().

@@ -139,6 +139,15 @@ func (t *Thread) ExitKernel() error {
 	}
 	v.world.ChargeCount(v.world.Cost.WorldSwitch, sim.CtrWorldSwitch)
 	v.world.EmitSpan(obs.KindWorldSwitch, "guest->vmm", uint64(t.ID), v.world.Cost.WorldSwitch)
+	if v.quarantined[t.Domain] {
+		// The domain was quarantined while this thread was trapped; its CTC
+		// is revoked and the thread must never resume with live state. The
+		// kernel delivers this as a fatal fault to the victim process.
+		ev := Event{Kind: EventQuarantine, Domain: t.Domain,
+			Detail: "resume denied: domain is quarantined"}
+		v.logEvent(ev)
+		return &SecViolation{Event: ev}
+	}
 	if !t.pending {
 		ev := Event{Kind: EventCTCTamper, Domain: t.Domain,
 			Detail: "resume with no saved context"}

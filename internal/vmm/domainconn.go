@@ -24,12 +24,16 @@ func (c *DomainConn) Domain() cloak.DomainID { return c.domain }
 func (c *DomainConn) AddressSpace() *AddressSpace { return c.as }
 
 // live reports whether the handle still names the space's current domain.
-func (c *DomainConn) live() bool { return c.as.domain == c.domain }
+// A quarantined domain is dead for hypercall purposes: its handles go stale
+// the instant the violation is contained.
+func (c *DomainConn) live() bool {
+	return c.as.domain == c.domain && !c.v.quarantined[c.domain]
+}
 
 // ConnOf rebuilds the hypercall handle for an address space that is already
-// bound to a domain (the deprecated raw-surface forwarders use it; new code
-// should hold on to the handle HCCreateDomain returned). Returns ErrNoDomain
-// for unbound spaces.
+// bound to a domain (primarily for tests and tooling; production code holds
+// on to the handle HCCreateDomain returned). Returns ErrNoDomain for unbound
+// spaces.
 func (v *VMM) ConnOf(as *AddressSpace) (*DomainConn, error) {
 	if as.domain == 0 {
 		return nil, ErrNoDomain
@@ -44,6 +48,9 @@ func (c *DomainConn) AllocResource() (cloak.ResourceID, error) {
 	if !c.live() {
 		return 0, ErrNoDomain
 	}
+	if err := c.v.hypercallFault("alloc_resource"); err != nil {
+		return 0, err
+	}
 	return c.v.allocResource(), nil
 }
 
@@ -55,6 +62,9 @@ func (c *DomainConn) RegisterRegion(r Region) error {
 	if !c.live() {
 		return ErrNoDomain
 	}
+	if err := c.v.hypercallFault("register_region"); err != nil {
+		return err
+	}
 	return c.v.registerRegion(c.as, r)
 }
 
@@ -65,6 +75,9 @@ func (c *DomainConn) UnregisterRegion(baseVPN uint64) error {
 	if !c.live() {
 		return ErrNoDomain
 	}
+	if err := c.v.hypercallFault("unregister_region"); err != nil {
+		return err
+	}
 	return c.v.unregisterRegion(c.as, baseVPN)
 }
 
@@ -74,6 +87,9 @@ func (c *DomainConn) ReleaseResource(res cloak.ResourceID, pages uint64) error {
 	c.v.chargeHypercall("release_resource")
 	if !c.live() {
 		return ErrNoDomain
+	}
+	if err := c.v.hypercallFault("release_resource"); err != nil {
+		return err
 	}
 	c.v.releaseResource(c.domain, res, pages)
 	return nil
@@ -87,6 +103,9 @@ func (c *DomainConn) RecordIdentity(digest [32]byte) error {
 	c.v.chargeHypercall("record_identity")
 	if !c.live() {
 		return ErrNoDomain
+	}
+	if err := c.v.hypercallFault("record_identity"); err != nil {
+		return err
 	}
 	return c.v.recordIdentity(c.domain, digest)
 }

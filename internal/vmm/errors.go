@@ -50,3 +50,24 @@ func (e *RegionError) Error() string {
 
 // Unwrap exposes the sentinel cause to errors.Is/errors.As.
 func (e *RegionError) Unwrap() error { return e.Err }
+
+// ResourceFault reports a resource-layer failure that is NOT a security
+// violation: machine memory misconfiguration, a guest PTE pointing beyond
+// guest-physical memory, or an injected transient hypercall failure. Callers
+// match it with errors.As; Transient faults are safe to retry (the shim's
+// secure-I/O path does, with bounded sim-clock backoff), permanent ones must
+// abort the operation.
+type ResourceFault struct {
+	Op        string // the operation that faulted ("translate", "alloc_resource", ...)
+	Detail    string
+	Transient bool
+}
+
+// Error implements error.
+func (e *ResourceFault) Error() string {
+	kind := "permanent"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("vmm: %s resource fault in %s: %s", kind, e.Op, e.Detail)
+}

@@ -26,6 +26,12 @@ const (
 	// EventCTCTamper: the kernel attempted to resume a cloaked thread with
 	// a corrupted context.
 	EventCTCTamper
+	// EventResourceFault: a non-security resource failure (bad guest PTE
+	// target, transient hypercall fault) was reported instead of panicking.
+	EventResourceFault
+	// EventQuarantine: a domain was quarantined — its frames scrubbed, CTC
+	// entries revoked, and metadata reclaimed — after a security violation.
+	EventQuarantine
 )
 
 // String implements fmt.Stringer.
@@ -39,6 +45,10 @@ func (k EventKind) String() string {
 		return "cloak-on-kernel-access"
 	case EventCTCTamper:
 		return "ctc-tamper"
+	case EventResourceFault:
+		return "resource-fault"
+	case EventQuarantine:
+		return "quarantine"
 	}
 	return "unknown"
 }

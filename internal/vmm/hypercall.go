@@ -2,6 +2,7 @@ package vmm
 
 import (
 	"overshadow/internal/cloak"
+	"overshadow/internal/fault"
 	"overshadow/internal/mach"
 	"overshadow/internal/obs"
 	"overshadow/internal/sim"
@@ -21,6 +22,21 @@ import (
 func (v *VMM) chargeHypercall(name string) {
 	v.world.ChargeCount(v.world.Cost.Hypercall, sim.CtrHypercall)
 	v.world.EmitSpan(obs.KindHypercall, name, 0, v.world.Cost.Hypercall)
+}
+
+// hypercallFault consults the fault injector for a transient resource
+// failure of the named hypercall (any injected kind at the hypercall site
+// means "fail transiently, retry may succeed"). Only the idempotent resource
+// hypercalls take this path — lifecycle calls (create, clone, destroy) must
+// stay fault-free or half-built domains would need their own recovery story.
+func (v *VMM) hypercallFault(name string) error {
+	if _, ok := v.world.InjectAt(fault.SiteHypercall); ok {
+		v.logEvent(Event{Kind: EventResourceFault,
+			Detail: name + ": injected transient failure"})
+		return &ResourceFault{Op: name, Detail: "injected transient failure",
+			Transient: true}
+	}
+	return nil
 }
 
 // HCCreateDomain establishes a new protection domain, binds it to the
@@ -184,6 +200,10 @@ func (v *VMM) cloneDomainInto(parent, child *AddressSpace) (map[cloak.ResourceID
 				continue
 			}
 			gppn := mach.GPPN(gpte.PN)
+			if _, inRange := v.machineOf(gppn); !inRange {
+				v.unwindClone(child, resourceMap)
+				return nil, v.badGPPN("clone_domain", gppn)
+			}
 			idx := r.IndexOff + (vpn - r.BaseVPN)
 			parentID := cloak.PageID{Domain: child.domain, Resource: parentRes, Index: idx}
 			childID := cloak.PageID{Domain: child.domain, Resource: r.Resource, Index: idx}
@@ -196,10 +216,15 @@ func (v *VMM) cloneDomainInto(parent, child *AddressSpace) (map[cloak.ResourceID
 			}
 			frame := v.frame(gppn)
 			if err := v.engine.DecryptPage(parentID, meta, frame); err != nil {
+				// The kernel corrupted the copy in flight. The parent's own
+				// pages are untouched, so the containment unit is the fork
+				// itself: unwind the half-built child binding and fail the
+				// clone; the kernel aborts the fork and the parent lives.
 				ev := Event{Kind: EventIntegrityViolation, Domain: child.domain,
 					Page: parentID, GPPN: gppn,
 					Detail: "fork copy failed verification: " + err.Error()}
 				v.logEvent(ev)
+				v.unwindClone(child, resourceMap)
 				return nil, &SecViolation{Event: ev}
 			}
 			newMeta := v.engine.EncryptPage(childID, 0, frame)
@@ -208,6 +233,40 @@ func (v *VMM) cloneDomainInto(parent, child *AddressSpace) (map[cloak.ResourceID
 		}
 	}
 	return resourceMap, nil
+}
+
+// unwindClone reverses the partial effects of a failed cloneDomainInto: the
+// pages already re-cloaked under the child's fresh resources are unregistered
+// and their metadata dropped, and the child address space is detached from
+// the domain. The child's frames themselves belong to the guest kernel,
+// which tears the aborted fork down. No charges or spans: the cleanup is
+// pure map surgery, so iteration order cannot leak into observable state.
+func (v *VMM) unwindClone(child *AddressSpace, resourceMap map[cloak.ResourceID]cloak.ResourceID) {
+	d := child.domain
+	childRes := make(map[cloak.ResourceID]bool, len(resourceMap))
+	for _, cr := range resourceMap {
+		childRes[cr] = true
+	}
+	var victims []mach.GPPN
+	for gppn, cp := range v.byDomain[d] {
+		if childRes[cp.id.Resource] {
+			victims = append(victims, gppn)
+		}
+	}
+	for _, gppn := range victims {
+		cp := v.pages[gppn]
+		v.metas.Delete(cp.id)
+		v.unregisterPage(gppn, cp)
+	}
+	list := v.domainSpaces[d]
+	for i, q := range list {
+		if q == child {
+			v.domainSpaces[d] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	child.domain = 0
+	child.regions = nil
 }
 
 // recordIdentity records the measured identity of a domain; write-once.

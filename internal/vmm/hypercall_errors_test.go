@@ -63,50 +63,20 @@ func TestStaleConnFailsEveryHypercall(t *testing.T) {
 	})
 }
 
-// TestDeprecatedForwardersWithoutDomain pins the raw forwarders' behavior on
-// an unbound space: typed ErrNoDomain across the board.
-func TestDeprecatedForwardersWithoutDomain(t *testing.T) {
-	cases := []struct {
-		name string
-		call func(r *testRig) error
-	}{
-		{"HCAllocResource", func(r *testRig) error {
-			_, err := r.v.HCAllocResource(r.as)
-			return err
-		}},
-		{"HCRegisterRegion", func(r *testRig) error {
-			return r.v.HCRegisterRegion(r.as, Region{BaseVPN: 1, Pages: 1, Resource: 1, Cloaked: true})
-		}},
-		{"HCUnregisterRegion", func(r *testRig) error {
-			return r.v.HCUnregisterRegion(r.as, 1)
-		}},
-		{"HCReleaseResource", func(r *testRig) error {
-			return r.v.HCReleaseResource(r.as, 1, 1)
-		}},
-		{"HCRecordIdentity", func(r *testRig) error {
-			return r.v.HCRecordIdentity(r.as, [32]byte{1})
-		}},
+// TestConnOfWithoutDomain pins the only entry point to the typed surface:
+// an unbound space yields no handle, just typed ErrNoDomain.
+func TestConnOfWithoutDomain(t *testing.T) {
+	r := newRig(t, Options{})
+	if _, err := r.v.ConnOf(r.as); !errors.Is(err, ErrNoDomain) {
+		t.Fatal("ConnOf on unbound space did not return ErrNoDomain")
 	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			r := newRig(t, Options{})
-			if err := tc.call(r); !errors.Is(err, ErrNoDomain) {
-				t.Fatalf("%s without domain: err = %v, want ErrNoDomain", tc.name, err)
-			}
-		})
+	// Destroying the domain invalidates future ConnOf calls too.
+	r2 := newRig(t, Options{})
+	r2.cloakSetup(20, 4)
+	r2.conn.Destroy()
+	if _, err := r2.v.ConnOf(r2.as); !errors.Is(err, ErrNoDomain) {
+		t.Fatal("ConnOf after destroy did not return ErrNoDomain")
 	}
-	t.Run("HCAttest", func(t *testing.T) {
-		r := newRig(t, Options{})
-		if _, ok := r.v.HCAttest(r.as, 1, 0); ok {
-			t.Fatal("HCAttest without domain returned ok")
-		}
-	})
-	t.Run("ConnOf", func(t *testing.T) {
-		r := newRig(t, Options{})
-		if _, err := r.v.ConnOf(r.as); !errors.Is(err, ErrNoDomain) {
-			t.Fatal("ConnOf on unbound space did not return ErrNoDomain")
-		}
-	})
 }
 
 // TestTypedHypercallErrors walks the remaining failure modes of the typed

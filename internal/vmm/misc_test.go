@@ -1,6 +1,7 @@
 package vmm
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -97,13 +98,14 @@ func TestUnregisterRegionDropsShadows(t *testing.T) {
 
 func TestPhysAccessBounds(t *testing.T) {
 	r := newRig(t, Options{})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("cross-page phys access did not panic")
-		}
-	}()
 	buf := make([]byte, 100)
-	r.v.PhysRead(1, mach.PageSize-10, buf)
+	var rf *ResourceFault
+	if err := r.v.PhysRead(1, mach.PageSize-10, buf); !errors.As(err, &rf) {
+		t.Fatalf("cross-page phys access: err = %v, want *ResourceFault", err)
+	}
+	if err := r.v.PhysWrite(mach.GPPN(1<<30), 0, buf); !errors.As(err, &rf) {
+		t.Fatalf("out-of-range phys access: err = %v, want *ResourceFault", err)
+	}
 }
 
 func TestRegionContains(t *testing.T) {

@@ -1,0 +1,177 @@
+package vmm
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"overshadow/internal/mach"
+	"overshadow/internal/mmu"
+)
+
+// TestQuarantinePropertyContainment is the quarantine contract in one test:
+// after an injected/forced violation the offending domain loses everything —
+// plaintext frames scrubbed, metadata purged, CTCs revoked, app view denied —
+// while a sibling domain and the machine itself keep working untouched.
+func TestQuarantinePropertyContainment(t *testing.T) {
+	r := newRig(t, Options{})
+	r.cloakSetup(20, 4)
+	victim := r.as.Domain()
+	r.mapGuest(r.as, 20, 7)
+	r.mapGuest(r.as, 21, 8)
+
+	// Sibling domain in its own address space on the same machine.
+	sas := r.v.CreateAddressSpace(mmu.NewPageTable())
+	sconn, err := r.v.HCCreateDomain(sas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sibling := sconn.Domain()
+	sres, err := sconn.AllocResource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sconn.RegisterRegion(Region{BaseVPN: 40, Pages: 2, Resource: sres, Cloaked: true}); err != nil {
+		t.Fatal(err)
+	}
+	r.mapGuest(sas, 40, 30)
+	sibSecret := []byte("sibling data must survive intact")
+	if err := r.v.WriteVirt(sas, ViewApp, mach.Addr(40*mach.PageSize), sibSecret, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// A victim thread parked inside the kernel: its pending CTC must be
+	// revoked by the quarantine.
+	th := r.v.CreateThread(victim)
+	th.EnterKernel(TrapSyscall)
+
+	secret := []byte("victim plaintext that must be scrubbed on quarantine")
+	if err := r.appWrite(20, secret); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.appWrite(21, secret); err != nil {
+		t.Fatal(err)
+	}
+	// Force encryption of page 20, then tamper its ciphertext; page 21
+	// stays plaintext in its frame.
+	if _, err := r.sysRead(20, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.v.WriteVirt(r.as, ViewSystem, mach.Addr(20*mach.PageSize+3), []byte{0xFF}, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Trigger: the app consumes the tampered page.
+	_, err = r.appRead(20, 8)
+	var sv *SecViolation
+	if !errors.As(err, &sv) || sv.Event.Kind != EventIntegrityViolation {
+		t.Fatalf("tampered read: err = %v, want integrity SecViolation", err)
+	}
+
+	// 1. The domain is quarantined and the VMM holds nothing for it.
+	if !r.v.Quarantined(victim) {
+		t.Fatal("victim domain not quarantined after integrity violation")
+	}
+	pages, metas, ctcs := r.v.QuarantineResidue(victim)
+	if pages != 0 || metas != 0 || ctcs != 0 {
+		t.Fatalf("residue after quarantine: pages=%d metas=%d ctcs=%d, want all 0", pages, metas, ctcs)
+	}
+
+	// 2. The plaintext frame (gppn 8 backed page 21) is scrubbed.
+	frame := make([]byte, len(secret))
+	if err := r.v.PhysRead(8, 0, frame); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame, make([]byte, len(secret))) {
+		t.Fatal("plaintext frame not zeroed by quarantine")
+	}
+
+	// 3. Further app-view access is denied with a quarantine event; the
+	// system view stays usable so the kernel can tear the process down.
+	if _, err := r.appRead(21, 8); !violationKind(err, EventQuarantine) {
+		t.Fatalf("post-quarantine app access: err = %v, want quarantine SecViolation", err)
+	}
+	if _, err := r.sysRead(21, 8); err != nil {
+		t.Fatalf("post-quarantine system view read failed: %v", err)
+	}
+
+	// 4. The pending CTC is revoked: the kernel cannot resume the thread.
+	if err := th.ExitKernel(); !violationKind(err, EventQuarantine) {
+		t.Fatalf("resume after quarantine: err = %v, want quarantine SecViolation", err)
+	}
+
+	// 5. The sibling domain is untouched: not quarantined, data intact.
+	if r.v.Quarantined(sibling) {
+		t.Fatal("sibling domain was quarantined")
+	}
+	back := make([]byte, len(sibSecret))
+	if err := r.v.ReadVirt(sas, ViewApp, mach.Addr(40*mach.PageSize), back, true); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, sibSecret) {
+		t.Fatal("sibling plaintext changed across the quarantine")
+	}
+	if sp, _, _ := r.v.QuarantineResidue(sibling); sp == 0 {
+		t.Fatal("sibling lost its cloaked pages to the quarantine sweep")
+	}
+
+	// 6. Exactly one containment event in the audit log.
+	contained := 0
+	for _, ev := range r.v.Events() {
+		if ev.Kind == EventQuarantine && strings.HasPrefix(ev.Detail, "contained") {
+			contained++
+			if ev.Domain != victim {
+				t.Fatalf("containment event names domain %d, want %d", ev.Domain, victim)
+			}
+		}
+	}
+	if contained != 1 {
+		t.Fatalf("containment events = %d, want exactly 1", contained)
+	}
+
+	// 7. The machine still mints fresh domains after the quarantine.
+	nas := r.v.CreateAddressSpace(mmu.NewPageTable())
+	nconn, err := r.v.HCCreateDomain(nas)
+	if err != nil {
+		t.Fatalf("new domain after quarantine: %v", err)
+	}
+	if nconn.Domain() == victim {
+		t.Fatal("quarantined domain ID was reused")
+	}
+}
+
+// violationKind reports whether err is a SecViolation of the given kind.
+func violationKind(err error, kind EventKind) bool {
+	var sv *SecViolation
+	return errors.As(err, &sv) && sv.Event.Kind == kind
+}
+
+// TestQuarantineIdempotentAndScoped pins two edge behaviors: quarantining
+// twice is a no-op, and domain 0 (uncloaked) can never be quarantined.
+func TestQuarantineIdempotentAndScoped(t *testing.T) {
+	r := newRig(t, Options{})
+	r.cloakSetup(20, 2)
+	d := r.as.Domain()
+	r.mapGuest(r.as, 20, 5)
+	if err := r.appWrite(20, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	r.v.quarantine(d, Event{Kind: EventIntegrityViolation, Domain: d})
+	r.v.quarantine(d, Event{Kind: EventIntegrityViolation, Domain: d})
+	contained := 0
+	for _, ev := range r.v.Events() {
+		if ev.Kind == EventQuarantine && strings.HasPrefix(ev.Detail, "contained") {
+			contained++
+		}
+	}
+	if contained != 1 {
+		t.Fatalf("double quarantine logged %d containments, want 1", contained)
+	}
+
+	r.v.quarantine(0, Event{Kind: EventIntegrityViolation})
+	if r.v.Quarantined(0) {
+		t.Fatal("domain 0 must never be quarantined")
+	}
+}

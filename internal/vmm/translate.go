@@ -1,6 +1,7 @@
 package vmm
 
 import (
+	"fmt"
 	"sort"
 
 	"overshadow/internal/cloak"
@@ -58,6 +59,14 @@ func (v *VMM) EncryptAllPlaintext(d cloak.DomainID, why string) int {
 // the guest kernel must handle the miss (demand paging, COW), or a
 // *SecViolation error when the access is denied for security reasons.
 func (v *VMM) Translate(as *AddressSpace, view View, vpn uint64, access mmu.AccessType, user bool) (mach.MPN, error) {
+	if len(v.quarantined) != 0 && view == ViewApp && v.quarantined[as.domain] {
+		// A quarantined domain's app view is dead: every access is denied so
+		// the guest kernel delivers a fatal fault to the victim process. The
+		// system view stays usable — the kernel must still be able to tear
+		// the process down.
+		return 0, &SecViolation{Event: Event{Kind: EventQuarantine,
+			Domain: as.domain, Detail: "access denied: domain is quarantined"}}
+	}
 	ctx := as.ctxIDs[view]
 	if pte, ok := v.tlb.Lookup(ctx, vpn); ok {
 		if f := mmu.CheckPerms(vpn, pte, access, user); f == nil {
@@ -107,7 +116,12 @@ func (v *VMM) resolveShadowFault(as *AddressSpace, view View, vpn uint64, access
 		return 0, f
 	}
 	gppn := mach.GPPN(gpte.PN)
-	mpn := v.machineOf(gppn)
+	mpn, ok := v.machineOf(gppn)
+	if !ok {
+		// The guest PTE points beyond guest-physical memory: a corrupt or
+		// malicious page table. Reported as a resource fault, not a crash.
+		return 0, v.badGPPN("translate", gppn)
+	}
 	region := as.regionAt(vpn)
 
 	if region != nil && region.Cloaked && as.domain != 0 {
@@ -176,6 +190,7 @@ func (v *VMM) resolveCloaked(as *AddressSpace, view View, vpn uint64, gppn mach.
 					Page: id, GPPN: gppn,
 					Detail: "plaintext frame belongs to " + cp.id.String()}
 				v.logEvent(ev)
+				v.quarantine(id.Domain, ev)
 				return &SecViolation{Event: ev}
 			}
 		case cp.state == stateEncrypted:
@@ -255,41 +270,55 @@ func (v *VMM) accessVirt(as *AddressSpace, view View, va mach.Addr, buf []byte, 
 // PhysRead lets the guest kernel read guest-physical memory directly (its
 // "direct map"). Cloaked plaintext pages are encrypted before the kernel
 // sees them, exactly as for virtual accesses through the system view.
-func (v *VMM) PhysRead(gppn mach.GPPN, off int, buf []byte) {
-	v.physCheck(gppn, off, len(buf))
+func (v *VMM) PhysRead(gppn mach.GPPN, off int, buf []byte) error {
+	if err := v.physCheck(gppn, off, len(buf)); err != nil {
+		return err
+	}
 	if cp, ok := v.pages[gppn]; ok && cp.state == statePlain {
 		v.encryptPage(gppn, cp, "kernel physical read")
 	}
 	copy(buf, v.frame(gppn)[off:off+len(buf)])
 	v.chargeCopy(len(buf))
+	return nil
 }
 
 // PhysWrite lets the guest kernel write guest-physical memory directly.
 // Writing over cloaked plaintext forces encryption first (the write then
 // corrupts ciphertext, which verification will catch — the kernel is free
 // to destroy data, never to read or forge it).
-func (v *VMM) PhysWrite(gppn mach.GPPN, off int, buf []byte) {
-	v.physCheck(gppn, off, len(buf))
+func (v *VMM) PhysWrite(gppn mach.GPPN, off int, buf []byte) error {
+	if err := v.physCheck(gppn, off, len(buf)); err != nil {
+		return err
+	}
 	if cp, ok := v.pages[gppn]; ok && cp.state == statePlain {
 		v.encryptPage(gppn, cp, "kernel physical write")
 	}
 	copy(v.frame(gppn)[off:off+len(buf)], buf)
 	v.chargeCopy(len(buf))
+	return nil
 }
 
-func (v *VMM) physCheck(gppn mach.GPPN, off, n int) {
+func (v *VMM) physCheck(gppn mach.GPPN, off, n int) error {
 	if off < 0 || n < 0 || off+n > mach.PageSize {
-		panic("vmm: physical access crosses page boundary")
+		return &ResourceFault{Op: "phys",
+			Detail: fmt.Sprintf("access [%d,+%d) crosses the page boundary", off, n)}
 	}
-	v.machineOf(gppn) // bounds-check gppn
+	if _, ok := v.machineOf(gppn); !ok {
+		return v.badGPPN("phys", gppn)
+	}
+	return nil
 }
 
 // PhysZero zeroes a guest-physical page on behalf of the kernel (fresh
 // anonymous pages). Recycling registration must already have happened.
-func (v *VMM) PhysZero(gppn mach.GPPN) {
+func (v *VMM) PhysZero(gppn mach.GPPN) error {
+	if err := v.physCheck(gppn, 0, 0); err != nil {
+		return err
+	}
 	if cp, ok := v.pages[gppn]; ok && cp.state == statePlain {
 		v.encryptPage(gppn, cp, "kernel zeroing cloaked page")
 	}
 	zeroFrame(v.frame(gppn))
 	v.world.ChargeAdd(v.world.Cost.PageZero, sim.CtrPageZero, 1)
+	return nil
 }

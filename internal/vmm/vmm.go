@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"overshadow/internal/cloak"
+	"overshadow/internal/fault"
 	"overshadow/internal/mach"
 	"overshadow/internal/mmu"
 	"overshadow/internal/obs"
@@ -87,6 +88,13 @@ type VMM struct {
 	threads    map[ThreadID]*Thread
 	nextThread ThreadID
 
+	// quarantined marks domains whose security violation has been contained:
+	// their frames are scrubbed, CTCs revoked, metadata reclaimed, and every
+	// further app-view access or hypercall is denied. The machine and all
+	// other domains keep running. Lazily allocated: nil until the first
+	// quarantine, so the fast-path emptiness check is one len().
+	quarantined map[cloak.DomainID]bool
+
 	activeCtx uint32 // currently loaded shadow context (for switch costs)
 
 	events []Event
@@ -101,12 +109,16 @@ type Config struct {
 }
 
 // New boots a VMM over freshly allocated machine memory. Machine memory is
-// sized to back all guest-physical pages plus one reserved frame.
+// sized to back all guest-physical pages plus one reserved frame. A
+// misconfigured machine (non-positive size, or machine memory that cannot
+// back the requested guest) is a *ResourceFault, not a panic: the embedding
+// host decides whether boot failure is fatal.
 //
 //overlint:allow cyclecharge -- boot-time construction: frames are touched once before any measured run starts
-func New(world *sim.World, cfg Config) *VMM {
+func New(world *sim.World, cfg Config) (*VMM, error) {
 	if cfg.GuestPages <= 0 {
-		panic("vmm: GuestPages must be positive")
+		return nil, &ResourceFault{Op: "boot",
+			Detail: "GuestPages must be positive"}
 	}
 	secret := cfg.MasterSecret
 	if secret == nil {
@@ -146,11 +158,12 @@ func New(world *sim.World, cfg Config) *VMM {
 	for g := 0; g < cfg.GuestPages; g++ {
 		mpn, ok := alloc.Alloc()
 		if !ok {
-			panic("vmm: machine memory exhausted at boot")
+			return nil, &ResourceFault{Op: "boot",
+				Detail: "machine memory exhausted populating the pmap"}
 		}
 		v.pmap[g] = mpn
 	}
-	return v
+	return v, nil
 }
 
 // World exposes the simulation services (clock, stats) for read-mostly use
@@ -186,15 +199,37 @@ func (v *VMM) logEvent(e Event) {
 	}
 }
 
-func (v *VMM) machineOf(gppn mach.GPPN) mach.MPN {
+// machineOf resolves a guest-physical page to its machine frame. ok is false
+// when gppn lies beyond guest memory — the guest kernel handed the VMM a
+// corrupt PTE or physical address, which is a reportable fault, not a
+// simulator bug.
+func (v *VMM) machineOf(gppn mach.GPPN) (mach.MPN, bool) {
 	if int(gppn) >= len(v.pmap) {
-		panic(fmt.Sprintf("vmm: GPPN %d beyond guest memory (%d pages)", gppn, len(v.pmap)))
+		return 0, false
 	}
-	return v.pmap[gppn]
+	return v.pmap[gppn], true
 }
 
-// frame returns the machine bytes backing a guest-physical page.
-func (v *VMM) frame(gppn mach.GPPN) []byte { return v.mem.Page(v.machineOf(gppn)) }
+// badGPPN builds the fault for an out-of-range guest-physical page and logs
+// it to the audit trail.
+func (v *VMM) badGPPN(op string, gppn mach.GPPN) error {
+	v.logEvent(Event{Kind: EventResourceFault, GPPN: gppn,
+		Detail: fmt.Sprintf("%s: GPPN %d beyond guest memory (%d pages)", op, gppn, len(v.pmap))})
+	return &ResourceFault{Op: op,
+		Detail: fmt.Sprintf("GPPN %d beyond guest memory (%d pages)", gppn, len(v.pmap))}
+}
+
+// frame returns the machine bytes backing a guest-physical page. Callers
+// must have bounds-checked gppn (registration and translation both do); a
+// stale registration past the pmap returns nil, which downstream copies and
+// zeroing treat as a no-op.
+func (v *VMM) frame(gppn mach.GPPN) []byte {
+	mpn, ok := v.machineOf(gppn)
+	if !ok {
+		return nil
+	}
+	return v.mem.Page(mpn)
+}
 
 // --- Address-space lifecycle -------------------------------------------
 
@@ -227,6 +262,11 @@ func (v *VMM) DestroyAddressSpace(as *AddressSpace) {
 				v.domainSpaces[as.domain] = append(list[:i], list[i+1:]...)
 				break
 			}
+		}
+		if len(v.domainSpaces[as.domain]) == 0 {
+			// Drop the empty key: a quarantined domain's last space leaving
+			// must not leave a residue entry behind.
+			delete(v.domainSpaces, as.domain)
 		}
 	}
 	delete(v.spaces, as.id)
@@ -268,7 +308,11 @@ func (v *VMM) dropShadowsRange(as *AddressSpace, base, pages uint64) {
 // that points at gppn. Needed when a page changes cloak state: stale
 // mappings in other views/spaces would bypass the state machine.
 func (v *VMM) dropAllShadowsOfGPPN(gppn mach.GPPN) {
-	mpn := uint64(v.machineOf(gppn))
+	m, ok := v.machineOf(gppn)
+	if !ok {
+		return
+	}
+	mpn := uint64(m)
 	for _, as := range v.spaces {
 		for view := View(0); view < numViews; view++ {
 			sh := as.shadows[view]
@@ -346,8 +390,19 @@ func (v *VMM) encryptPage(gppn mach.GPPN, cp *cloakPage, why string) {
 
 // decryptPage transitions an encrypted frame to plaintext for identity id,
 // verifying integrity and freshness. The caller supplies the identity
-// derived from the faulting virtual address.
+// derived from the faulting virtual address. Any verification failure —
+// genuine tampering, an injected metadata corruption, or a forced mismatch —
+// quarantines the page's domain before the violation is returned.
 func (v *VMM) decryptPage(gppn mach.GPPN, id cloak.PageID) error {
+	if _, ok := v.world.InjectAt(fault.SiteIntegrity); ok {
+		// Forced integrity mismatch: the check itself is made to fail, as if
+		// the stored hash and the frame could never agree.
+		ev := Event{Kind: EventIntegrityViolation, Domain: id.Domain, Page: id,
+			GPPN: gppn, Detail: "injected: forced integrity-check mismatch"}
+		v.logEvent(ev)
+		v.quarantine(id.Domain, ev)
+		return &SecViolation{Event: ev}
+	}
 	meta, ok := v.metas.Get(id)
 	if !ok {
 		// No record: this identity was never encrypted, yet the frame is
@@ -355,7 +410,14 @@ func (v *VMM) decryptPage(gppn mach.GPPN, id cloak.PageID) error {
 		ev := Event{Kind: EventIntegrityViolation, Domain: id.Domain, Page: id,
 			GPPN: gppn, Detail: "no metadata record for identity"}
 		v.logEvent(ev)
+		v.quarantine(id.Domain, ev)
 		return &SecViolation{Event: ev}
+	}
+	if kind, ok := v.world.InjectAt(fault.SiteMetaTamper); ok && kind != fault.None {
+		// Metadata tampering: the record consulted for this decrypt is
+		// damaged in flight. The store's copy is untouched — only this
+		// lookup sees the corruption, and verification below catches it.
+		v.world.Fault.Corrupt(meta.Hash[:])
 	}
 	frame := v.frame(gppn)
 	sp := v.world.Begin(obs.KindCloak, "decrypt", uint64(gppn))
@@ -364,6 +426,7 @@ func (v *VMM) decryptPage(gppn mach.GPPN, id cloak.PageID) error {
 		ev := Event{Kind: EventIntegrityViolation, Domain: id.Domain, Page: id,
 			GPPN: gppn, Detail: err.Error()}
 		v.logEvent(ev)
+		v.quarantine(id.Domain, ev)
 		return &SecViolation{Event: ev}
 	}
 	return nil

@@ -24,7 +24,10 @@ type testRig struct {
 func newRig(t *testing.T, opts Options) *testRig {
 	t.Helper()
 	w := sim.NewWorld(sim.DefaultCostModel(), 7)
-	v := New(w, Config{GuestPages: 64, Options: opts})
+	v, err := New(w, Config{GuestPages: 64, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
 	as := v.CreateAddressSpace(mmu.NewPageTable())
 	return &testRig{t: t, w: w, v: v, as: as}
 }
@@ -80,11 +83,14 @@ func TestBootPmap(t *testing.T) {
 	// Distinct guest pages must be backed by distinct machine frames.
 	seen := map[mach.MPN]bool{}
 	for g := 0; g < 64; g++ {
-		mpn := r.v.machineOf(mach.GPPN(g))
-		if mpn == 0 || seen[mpn] {
+		mpn, ok := r.v.machineOf(mach.GPPN(g))
+		if !ok || mpn == 0 || seen[mpn] {
 			t.Fatalf("gppn %d maps to bad mpn %d", g, mpn)
 		}
 		seen[mpn] = true
+	}
+	if _, ok := r.v.machineOf(64); ok {
+		t.Fatal("machineOf accepted a GPPN beyond guest memory")
 	}
 }
 
@@ -95,7 +101,7 @@ func TestUncloakedTranslateAndFault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mpn != r.v.machineOf(3) {
+	if want, _ := r.v.machineOf(3); mpn != want {
 		t.Fatalf("wrong frame: %d", mpn)
 	}
 	// Second access must be a TLB hit.

@@ -57,4 +57,18 @@ for s in 1 42; do
     fi
 done
 
+echo "== fault-sweep smoke"
+# E13 drives the fault-injection layer end to end. The injected fault
+# schedule is part of the deterministic machine: the sweep's JSON must be
+# byte-identical between a serial and a 4-way sharded run, on two seeds.
+for s in 3 11; do
+    "$tmpdir/overbench" -e E13 -seed "$s" -shards 1 -json > "$tmpdir/fault-serial-$s.json"
+    "$tmpdir/overbench" -e E13 -seed "$s" -shards 4 -json > "$tmpdir/fault-sharded-$s.json"
+    if ! cmp -s "$tmpdir/fault-serial-$s.json" "$tmpdir/fault-sharded-$s.json"; then
+        echo "fault sweep determinism broken: seed $s output differs between -shards 1 and -shards 4" >&2
+        diff "$tmpdir/fault-serial-$s.json" "$tmpdir/fault-sharded-$s.json" | head -20 >&2
+        exit 1
+    fi
+done
+
 echo "ALL CHECKS PASSED"
