@@ -15,8 +15,14 @@ type MetaStore struct {
 	world   *sim.World
 	cap     int
 	cache   map[PageID]Meta
-	order   []PageID // FIFO eviction order
 	backing map[PageID]Meta
+
+	// FIFO eviction order, consumed from head. Advancing head instead of
+	// re-slicing keeps the backing array reclaimable: a long page-out sweep
+	// used to pin every PageID ever enqueued (order = order[1:] retains the
+	// full array), so the queue is compacted once the dead prefix dominates.
+	order []PageID
+	head  int
 
 	// One-entry MRU cache in front of the map: sequential touch patterns
 	// (streaming reads/writes, fork re-cloak, eager encryption sweeps) hit
@@ -58,9 +64,9 @@ func (s *MetaStore) Put(id PageID, meta Meta) {
 }
 
 func (s *MetaStore) evictOne() {
-	for len(s.order) > 0 {
-		victim := s.order[0]
-		s.order = s.order[1:]
+	for s.head < len(s.order) {
+		victim := s.order[s.head]
+		s.head++
 		if m, ok := s.cache[victim]; ok {
 			// Spill to the hash-tree-protected backing area.
 			s.backing[victim] = m
@@ -69,9 +75,29 @@ func (s *MetaStore) evictOne() {
 				s.lastOK = false
 			}
 			s.world.ChargeAdd(s.world.Cost.MetaCacheMiss, sim.CtrMetaCacheMiss, 0)
+			s.compactOrder()
 			return
 		}
 	}
+	s.compactOrder()
+}
+
+// compactOrder drops the consumed prefix once it dominates the queue, so
+// the FIFO's memory stays proportional to the live cache instead of the
+// total eviction history. The threshold keeps amortized cost O(1) per
+// eviction without changing eviction order at all.
+func (s *MetaStore) compactOrder() {
+	if s.head < 64 || s.head*2 < len(s.order) {
+		return
+	}
+	n := copy(s.order, s.order[s.head:])
+	// Zero the tail so the shrunk slice doesn't pin stale PageIDs.
+	tail := s.order[n:]
+	for i := range tail {
+		tail[i] = PageID{}
+	}
+	s.order = s.order[:n]
+	s.head = 0
 }
 
 // Get returns the current record for id, charging the cache hit or miss

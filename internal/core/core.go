@@ -22,6 +22,7 @@ import (
 	"overshadow/internal/fault"
 	"overshadow/internal/guestos"
 	"overshadow/internal/mach"
+	"overshadow/internal/persist"
 	"overshadow/internal/shim"
 	"overshadow/internal/sim"
 	"overshadow/internal/vmm"
@@ -85,6 +86,19 @@ type Config struct {
 	// injector is seeded from Seed, so a (Seed, Plan) pair names one exact
 	// fault schedule; see internal/fault and experiment E13.
 	Fault *fault.Plan
+	// Persist enables the VMM's sealed metadata journal (nil = off). The
+	// journal lives on a reserved tail range of the swap device, sealed
+	// with a key derived from Seed, and makes cloaked-page metadata
+	// recoverable across a whole-machine crash; see internal/persist and
+	// experiment E14. Journal-free configurations are bit-for-bit identical
+	// to builds before this feature existed.
+	Persist *persist.Options
+	// CrashAt stops the whole machine at exactly this simulated cycle
+	// (0 = never): the first cycle charge reaching the deadline freezes the
+	// clock and unwinds the machine, leaving both disks exactly as written
+	// so far — including torn in-flight journal blocks. Pair with Reboot to
+	// exercise the recovery path.
+	CrashAt sim.Cycles
 }
 
 // System is one assembled machine: hardware, VMM, guest kernel, shim.
@@ -92,10 +106,17 @@ type System struct {
 	World  *sim.World
 	VMM    *vmm.VMM
 	Kernel *guestos.Kernel
+	// Journal is the VMM metadata journal (nil unless Config.Persist set).
+	Journal *persist.Journal
+	// Recovery is the crash-recovery report (nil unless this system was
+	// built by Reboot).
+	Recovery *RecoveryReport
+
+	cfg Config // resolved configuration, kept for Run and Reboot
 }
 
-// NewSystem boots a machine per cfg.
-func NewSystem(cfg Config) *System {
+// resolve fills in config defaults, including the journal geometry.
+func (cfg Config) resolve() Config {
 	if cfg.MemoryPages == 0 {
 		cfg.MemoryPages = 16384
 	}
@@ -108,6 +129,18 @@ func NewSystem(cfg Config) *System {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.Persist != nil {
+		p := *cfg.Persist // private copy: callers may share an Options
+		if p.Blocks == 0 {
+			p.Blocks = 256
+		}
+		cfg.Persist = &p
+	}
+	return cfg
+}
+
+// newWorld builds the simulation substrate for a resolved config.
+func newWorld(cfg Config) *sim.World {
 	cost := sim.DefaultCostModel()
 	if cfg.Cost != nil {
 		cost = *cfg.Cost
@@ -116,20 +149,44 @@ func NewSystem(cfg Config) *System {
 	if cfg.Fault != nil && cfg.Fault.Enabled() {
 		world.Fault = fault.NewInjector(cfg.Seed, *cfg.Fault)
 	}
+	return world
+}
+
+// NewSystem boots a machine per cfg.
+func NewSystem(cfg Config) *System {
+	cfg = cfg.resolve()
+	world := newWorld(cfg)
 	hv, err := vmm.New(world, vmm.Config{GuestPages: cfg.MemoryPages, Options: cfg.VMM})
 	if err != nil {
 		// The config defaults above guarantee a bootable machine; a fault
 		// here means the caller asked for an impossible one.
 		panic(err)
 	}
+	var swapDisk *mach.Disk
+	var journal *persist.Journal
+	if cfg.Persist != nil {
+		// The journal shares the swap device: the pager allocates slots in
+		// [0, SwapPages) and the journal owns the reserved tail range. One
+		// surviving medium then carries both the sealed metadata and the
+		// ciphertext it locates.
+		swapDisk = mach.NewDisk(world, cfg.SwapPages+cfg.Persist.Blocks)
+		j, jerr := persist.NewJournal(world, swapDisk, cfg.SwapPages,
+			cfg.Persist.Blocks, persist.SealKey(cfg.Seed), *cfg.Persist)
+		if jerr != nil {
+			panic(jerr)
+		}
+		hv.AttachJournal(j)
+		journal = j
+	}
 	k := guestos.NewKernel(world, hv, guestos.Config{
 		MemoryPages: cfg.MemoryPages,
 		SwapPages:   cfg.SwapPages,
 		FSDiskPages: cfg.FSDiskPages,
 		Quantum:     cfg.Quantum,
+		SwapDisk:    swapDisk,
 	})
 	k.SetCloakRuntime(shim.Runtime(cfg.Shim))
-	return &System{World: world, VMM: hv, Kernel: k}
+	return &System{World: world, VMM: hv, Kernel: k, Journal: journal, cfg: cfg}
 }
 
 // Register makes a program spawnable by name.
@@ -159,8 +216,40 @@ func (s *System) Spawn(name string, opts ...SpawnOpt) (Pid, error) {
 	return s.Kernel.Spawn(name, so)
 }
 
-// Run executes the machine until every process has exited.
-func (s *System) Run() { s.Kernel.Run() }
+// Run executes the machine until every process has exited — or, when
+// Config.CrashAt is set, until the clock reaches the crash deadline, at
+// which point the machine stops dead with its disks frozen as written. A
+// clean (non-crashed) shutdown quiesces the journal with a final
+// checkpoint, so post-quiesce crashes lose nothing.
+func (s *System) Run() {
+	if s.cfg.CrashAt != 0 {
+		// Armed only now: boot-time construction must never crash — every
+		// deadline lands inside the measured run.
+		s.World.Clock.SetCrashAt(s.cfg.CrashAt)
+	}
+	s.Kernel.Run()
+	if s.Journal != nil && !s.Kernel.Crashed() {
+		s.quiesce()
+	}
+}
+
+// quiesce writes the shutdown checkpoint. The crash deadline can land here
+// too — after the kernel stopped but before the journal quiesced — so the
+// Crash unwind is contained exactly like the kernel contains it, leaving the
+// disk frozen mid-checkpoint (the A/B superblock keeps the old anchor valid).
+func (s *System) quiesce() {
+	defer func() {
+		if r := recover(); r != nil && !sim.IsCrash(r) {
+			panic(r)
+		}
+	}()
+	s.Journal.Checkpoint()
+}
+
+// Crashed reports whether the machine stopped via the CrashAt deadline —
+// whether the deadline fired inside the guest kernel or during the shutdown
+// quiesce.
+func (s *System) Crashed() bool { return s.Kernel.Crashed() || s.World.Clock.Crashed() }
 
 // Now reports the simulated clock.
 func (s *System) Now() sim.Cycles { return s.World.Now() }

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+
+	"overshadow/internal/cloak"
+	"overshadow/internal/guestos"
+	"overshadow/internal/mach"
+	"overshadow/internal/persist"
+	"overshadow/internal/shim"
+	"overshadow/internal/sim"
+	"overshadow/internal/vmm"
+)
+
+// ErrNoJournal is returned by Reboot when the crashed system never had a
+// metadata journal: with no sealed persisted state there is nothing to
+// recover from — by design, not by accident.
+var ErrNoJournal = fmt.Errorf("core: reboot without a metadata journal: nothing to recover")
+
+// RecoveryState classifies one page's post-reboot fate. Exactly one page
+// state is ever "plaintext reachable": Recovered, and only after the
+// ciphertext decrypted under the sealed metadata and verified against the
+// sealed hash. Every other state is a typed unavailability.
+type RecoveryState uint8
+
+// Recovery states.
+const (
+	// Recovered: ciphertext found, decrypted, and verified against the
+	// journaled (IV, hash, version) record.
+	Recovered RecoveryState = iota + 1
+	// NoLocation: valid metadata but no journaled ciphertext location —
+	// the page only ever lived in RAM, which the crash destroyed.
+	NoLocation
+	// StaleLocation: the journaled location holds an older version than
+	// the current metadata (the page was re-encrypted after its last
+	// page-out and the fresh ciphertext never reached stable storage).
+	StaleLocation
+	// ReadError: the device refused to return the located sector.
+	ReadError
+	// IntegrityMismatch: the located sector exists but fails verification
+	// (torn, corrupted, or substituted ciphertext).
+	IntegrityMismatch
+)
+
+var recoveryStateNames = [...]string{
+	"", "recovered", "no-location", "stale-location", "read-error", "integrity-mismatch",
+}
+
+// String implements fmt.Stringer.
+func (s RecoveryState) String() string {
+	if int(s) < len(recoveryStateNames) && s != 0 {
+		return recoveryStateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// PageOutcome is one previously-cloaked page's recovery result.
+type PageOutcome struct {
+	ID    cloak.PageID
+	State RecoveryState
+	// Data is the verified plaintext, only when State == Recovered.
+	Data []byte
+	// Err is the typed cause for unavailable states (nil for Recovered and
+	// NoLocation/StaleLocation, which are states rather than failures).
+	Err error
+}
+
+// RecoveryReport accounts for everything the reboot found — and everything
+// it refused.
+type RecoveryReport struct {
+	// CrashCycle is the simulated cycle at which the old machine stopped.
+	CrashCycle sim.Cycles
+	// Anchored reports whether a committed superblock verified.
+	Anchored bool
+	// Epoch is the recovered journal epoch.
+	Epoch uint32
+	// Replay is the raw journal replay result, including every typed
+	// Rejection (bad MAC, stale epoch, sequence gap, rollback).
+	Replay *persist.Result
+	// Pages lists per-page outcomes in deterministic PageID order.
+	Pages []PageOutcome
+	// Recovered / Unavailable tally the page outcomes.
+	Recovered   int
+	Unavailable int
+	// ReplayCycles is the simulated time the new machine spent replaying
+	// and verifying (its clock started at zero on power-on).
+	ReplayCycles sim.Cycles
+}
+
+// RollbackRejections counts replayed records refused by the freshness
+// (anti-rollback) rule; any nonzero value means someone tried to feed the
+// VMM old state.
+func (r *RecoveryReport) RollbackRejections() int {
+	return r.Replay.RejectedBy(persist.RejectRollback)
+}
+
+// swapReadAttempts mirrors the guest pager's bounded-retry policy for
+// recovery-time ciphertext reads.
+const swapReadAttempts = 3
+
+// Reboot powers on a fresh machine over the disk that survived prev's
+// crash. It replays the sealed metadata journal (refusing torn, corrupt,
+// stale, and rolled-back records with typed errors — never a panic),
+// classifies every previously-cloaked page as recovered-and-verified or
+// typed-unavailable, re-seals the surviving state under a fresh journal
+// epoch, and returns the new system ready to run new workloads. Plaintext
+// appears in exactly one place: PageOutcome.Data of pages whose ciphertext
+// decrypted and verified against the sealed hash.
+//
+// The new machine reuses prev's configuration (and therefore its seed: the
+// journal sealing key and domain key hierarchy must match for recovery to
+// verify anything) with the crash deadline cleared.
+func Reboot(prev *System) (*System, *RecoveryReport, error) {
+	if prev.Journal == nil {
+		return nil, nil, ErrNoJournal
+	}
+	cfg := prev.cfg
+	cfg.CrashAt = 0
+	world := newWorld(cfg)
+
+	// The swap device (pager slots + journal tail) is the surviving
+	// medium; it re-homes to the new world so recovery I/O charges the new
+	// machine's clock. Guest RAM and the old FS device did not survive.
+	disk := prev.Kernel.SwapDisk()
+	disk.Rehome(world)
+
+	hv, err := vmm.New(world, vmm.Config{GuestPages: cfg.MemoryPages, Options: cfg.VMM})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	key := persist.SealKey(cfg.Seed)
+	base, blocks := prev.Journal.Range()
+	rep := persist.Replay(world, disk, base, blocks, key)
+
+	report := &RecoveryReport{
+		CrashCycle: prev.World.Now(),
+		Anchored:   rep.Anchored,
+		Epoch:      rep.Epoch,
+		Replay:     rep,
+	}
+	buf := make([]byte, mach.BlockSize)
+	for _, id := range rep.PageIDs() {
+		e := rep.Table[id]
+		out := PageOutcome{ID: id}
+		switch {
+		case !e.HasMeta || !e.HasLoc || e.Dev != persist.DevSwap:
+			out.State = NoLocation
+		case e.LocVersion != e.Meta.Version:
+			out.State = StaleLocation
+		default:
+			var rerr error
+			for try := 0; try < swapReadAttempts; try++ {
+				if rerr = disk.Read(e.Block, buf); rerr == nil {
+					break
+				}
+			}
+			if rerr != nil {
+				out.State = ReadError
+				out.Err = rerr
+				break
+			}
+			data, derr := hv.RecoverPage(id, e.Meta, buf)
+			if derr != nil {
+				out.State = IntegrityMismatch
+				out.Err = derr
+				break
+			}
+			out.State = Recovered
+			out.Data = data
+		}
+		if out.State == Recovered {
+			report.Recovered++
+		} else {
+			report.Unavailable++
+		}
+		report.Pages = append(report.Pages, out)
+	}
+	report.ReplayCycles = world.Now()
+
+	// Re-seal: the surviving table is committed under a strictly fresher
+	// epoch, so a second crash recovers from here — and a rollback to the
+	// pre-crash superblock is detectably stale.
+	j, jerr := persist.Resume(world, disk, base, blocks, key, *cfg.Persist, rep)
+	if jerr != nil {
+		return nil, nil, jerr
+	}
+	hv.AttachJournal(j)
+
+	k := guestos.NewKernel(world, hv, guestos.Config{
+		MemoryPages: cfg.MemoryPages,
+		SwapPages:   cfg.SwapPages,
+		FSDiskPages: cfg.FSDiskPages,
+		Quantum:     cfg.Quantum,
+		SwapDisk:    disk,
+	})
+	k.SetCloakRuntime(shim.Runtime(cfg.Shim))
+	sys := &System{World: world, VMM: hv, Kernel: k, Journal: j, Recovery: report, cfg: cfg}
+	return sys, report, nil
+}

@@ -29,6 +29,12 @@ type Config struct {
 	FSDiskPages uint64     // filesystem device capacity
 	Quantum     sim.Cycles // scheduler time slice (0 = default 400k cycles)
 	MaxFDs      int        // per-process fd table size (0 = 64)
+	// SwapDisk, when non-nil, is a pre-built swap device (possibly larger
+	// than SwapPages; the pager uses only the first SwapPages blocks). The
+	// embedding host uses this to co-locate the VMM's metadata journal on
+	// the swap device and to hand a crash-surviving disk to a rebooted
+	// machine.
+	SwapDisk *mach.Disk
 }
 
 // Kernel is the guest operating system instance.
@@ -57,6 +63,7 @@ type Kernel struct {
 
 	liveProcs int
 	running   bool
+	crashed   bool // a sim.Crash deadline fired; machine stopped mid-flight
 	done      chan struct{}
 	panicked  any // first panic escaping a process goroutine, re-raised in Run
 }
@@ -88,7 +95,7 @@ func NewKernel(world *sim.World, hv *vmm.VMM, cfg Config) *Kernel {
 		done:     make(chan struct{}),
 	}
 	k.mem = newGPPNAllocator(cfg.MemoryPages)
-	k.swap = newSwapSpace(world, cfg.SwapPages)
+	k.swap = newSwapSpace(world, cfg.SwapPages, cfg.SwapDisk)
 	k.fs = NewFS(world, cfg.FSDiskPages)
 	return k
 }
@@ -175,9 +182,23 @@ func (k *Kernel) Run() {
 	first.baton <- struct{}{}
 	<-k.done
 	if k.panicked != nil {
+		if sim.IsCrash(k.panicked) {
+			// Whole-machine crash: the world stopped at an exact cycle. This
+			// is a deliberate simulation event, not a bug — the machine
+			// simply ends with its disks frozen as-is. Parked process
+			// goroutines stay blocked on their batons until the Kernel is
+			// garbage collected; nothing ever sends to them again.
+			k.crashed = true
+			k.panicked = nil
+			return
+		}
 		panic(k.panicked)
 	}
 }
+
+// Crashed reports whether the machine stopped via a crash deadline
+// (sim.Clock.SetCrashAt) rather than by all processes exiting.
+func (k *Kernel) Crashed() bool { return k.crashed }
 
 // --- Scheduler -----------------------------------------------------------
 

@@ -127,8 +127,15 @@ type swapSpace struct {
 	// contents of duplicated slots are shared copy-on-nothing: dup copies.
 }
 
-func newSwapSpace(world *sim.World, pages uint64) *swapSpace {
-	s := &swapSpace{disk: mach.NewDisk(world, pages)}
+// newSwapSpace builds the pager's backing store. disk may be a pre-built
+// device larger than pages (the embedding host reserves the tail — e.g. for
+// the VMM's metadata journal); the pager only ever allocates slots in
+// [0, pages). nil means a private device of exactly pages blocks.
+func newSwapSpace(world *sim.World, pages uint64, disk *mach.Disk) *swapSpace {
+	if disk == nil {
+		disk = mach.NewDisk(world, pages)
+	}
+	s := &swapSpace{disk: disk}
 	for i := int64(pages) - 1; i >= 0; i-- {
 		s.freeList = append(s.freeList, uint64(i))
 	}
@@ -299,6 +306,10 @@ func (k *Kernel) pageOut(p *Proc, vpn uint64, pte mmu.PTE) bool {
 			k.swap.freeSlot(blk)
 			return false
 		}
+		// Tell the VMM where this page's ciphertext now lives. A no-op
+		// unless a metadata journal is attached; the VMM treats the
+		// location as an untrusted hint for crash recovery.
+		k.vmm.NoteSwapSlot(g, blk)
 		if old, had := p.swapped[vpn]; had {
 			k.swap.freeSlot(old)
 		}

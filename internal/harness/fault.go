@@ -261,10 +261,12 @@ func runFaultScenario(opts Options, sc faultScenario) faultOutcome {
 	return o
 }
 
-// scanDisk sweeps every block for pat.
+// scanDisk sweeps every block for pat. It reads through PokeRaw (the
+// aliasing view) strictly read-only: Peek now copies each block, and a
+// whole-device sweep would churn one allocation per block for nothing.
 func scanDisk(d *mach.Disk, pat []byte) bool {
 	for b := uint64(0); b < d.NumBlocks(); b++ {
-		if bytes.Contains(d.Peek(b), pat) {
+		if bytes.Contains(d.PokeRaw(b), pat) {
 			return true
 		}
 	}

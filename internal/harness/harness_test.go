@@ -9,8 +9,8 @@ func quick() Options { return Options{Quick: true, Seed: 7} }
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 13 {
-		t.Fatalf("registry has %d experiments, want 13", len(reg))
+	if len(reg) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(reg))
 	}
 	for _, e := range reg {
 		if e.Run == nil || e.ID == "" || e.Title == "" {
@@ -219,6 +219,58 @@ func TestE13FaultSweepContained(t *testing.T) {
 		}
 		if residue != 1 {
 			t.Errorf("%s: quarantine left VMM residue", r.Name)
+		}
+	}
+}
+
+// TestE14CrashSweepRecovers asserts the recovery contract at every crash
+// point: the sweep derives all eight points, every deadline inside the run
+// actually crashes the machine, mid-run crashes recover real pages, and
+// secrecy/integrity/freshness hold everywhere.
+func TestE14CrashSweepRecovers(t *testing.T) {
+	tab := RunE14(quick())
+	if len(tab.Rows) != 8 {
+		t.Fatalf("E14 rows = %d, want 8 crash points", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		crashed, recovered, unavailable := r.Values[0], r.Values[1], r.Values[2]
+		replayKcyc := r.Values[4]
+		secrecy, integrity, freshness := r.Values[5], r.Values[6], r.Values[7]
+		switch r.Name {
+		case "post-quiesce":
+			// The deadline lies past the clean shutdown: no crash, and the
+			// quiesced journal holds an empty table (domains exited).
+			if crashed != 0 {
+				t.Errorf("%s: crashed past the end of the run", r.Name)
+			}
+			if recovered != 0 || unavailable != 0 {
+				t.Errorf("%s: %v/%v pages survive clean domain teardown, want 0/0",
+					r.Name, recovered, unavailable)
+			}
+		case "mid-first-append":
+			// Almost nothing journaled yet; just require the crash happened.
+			if crashed != 1 {
+				t.Errorf("%s: machine did not crash", r.Name)
+			}
+		default:
+			if crashed != 1 {
+				t.Errorf("%s: machine did not crash", r.Name)
+			}
+			if recovered == 0 {
+				t.Errorf("%s: mid-run crash of a swap-heavy workload recovered nothing", r.Name)
+			}
+		}
+		if replayKcyc <= 0 {
+			t.Errorf("%s: replay charged no cycles", r.Name)
+		}
+		if secrecy != 1 {
+			t.Errorf("%s: plaintext marker found on the surviving disk", r.Name)
+		}
+		if integrity != 1 {
+			t.Errorf("%s: a recovered page failed verification or an unavailable page carried data", r.Name)
+		}
+		if freshness != 1 {
+			t.Errorf("%s: replay accepted or mis-flagged rollback records", r.Name)
 		}
 	}
 }

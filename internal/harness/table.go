@@ -181,6 +181,7 @@ func Registry() []Experiment {
 		{"E11", "Extension: protected IPC (pipe vs protected shared memory)", RunE11},
 		{"E12", "Key-value service (memcached-class), native vs cloaked", RunE12},
 		{"E13", "Fault sweep: injection, quarantine containment, graceful degradation", RunE13},
+		{"E14", "Crash sweep: sealed-journal recovery across deterministic crash points", RunE14},
 	}
 }
 

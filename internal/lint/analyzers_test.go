@@ -19,6 +19,15 @@ func TestDeterminismAnalyzerCoversObs(t *testing.T) {
 		"overshadow/internal/obs", "testdata/src/obsdeterminism")
 }
 
+// TestDeterminismAnalyzerCoversPersist loads a journal-shaped package under
+// the internal/persist import path: ranging over a map in a package that
+// serializes to stable storage must be a finding unless a reviewed allow
+// comment records why the order cannot reach the bytes.
+func TestDeterminismAnalyzerCoversPersist(t *testing.T) {
+	runWantTest(t, DeterminismAnalyzer,
+		"overshadow/internal/persist", "testdata/src/persistenc")
+}
+
 // TestDeterminismInjectorSeedRule loads a core-shaped package (NOT in the
 // gated set): host-randomness expressions feeding fault.NewInjector's seed
 // must be findings even where general host-time use is allowed.

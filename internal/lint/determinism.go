@@ -18,6 +18,12 @@ import (
 //   - bare go statements — concurrency must be routed through the guest
 //     kernel's baton scheduler, which admits exactly one runnable goroutine.
 //
+// Packages that serialize bytes onto simulated stable storage
+// (internal/persist) carry one extra rule: no ranging over maps — Go
+// randomizes iteration order, and serialized journal bytes must be a pure
+// function of the simulation history. Order-independent loops are
+// whitelisted with reviewed //overlint:allow comments.
+//
 // One rule is ungated and applies to every package: the seed argument of
 // fault.NewInjector must be a pure function of the simulation seed. A fault
 // schedule seeded from host randomness (wall clock, math/rand, os state)
@@ -46,6 +52,19 @@ var deterministicPkgs = map[string]bool{
 	// obs timestamps spans and buckets cycles: a host-clock read there
 	// would silently break the bit-identical trace/metrics exports.
 	"overshadow/internal/obs": true,
+	// persist serializes VMM metadata onto the simulated disk; its bytes
+	// must be a pure function of the simulation history (see the map-range
+	// rule below).
+	"overshadow/internal/persist": true,
+}
+
+// serializingPkgs write bytes to simulated stable storage. Inside them a
+// range over a map is a finding: Go randomizes map iteration order, so any
+// serialization (or cycle charge) reached from the loop body would differ
+// run to run. Loops whose bodies are provably order-independent (commutative
+// deletion, collect-then-sort) carry reviewed //overlint:allow comments.
+var serializingPkgs = map[string]bool{
+	"overshadow/internal/persist": true,
 }
 
 // faultPkgPath is the fault-injection package whose injector seeding is
@@ -108,6 +127,15 @@ func runDeterminism(pass *Pass) {
 			}
 		case *ast.GoStmt:
 			pass.Report(n.Pos(), "bare go statement: goroutines must be baton-scheduled by the guest kernel")
+		case *ast.RangeStmt:
+			if !serializingPkgs[pass.Pkg.Path] {
+				return true
+			}
+			if tv := info.TypeOf(n.X); tv != nil {
+				if _, isMap := tv.Underlying().(*types.Map); isMap {
+					pass.Report(n.Pos(), "map iteration order is nondeterministic: sort keys before serializing")
+				}
+			}
 		}
 		return true
 	})

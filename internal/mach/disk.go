@@ -99,10 +99,33 @@ func (d *Disk) Write(blk uint64, src []byte) error {
 	return nil
 }
 
-// Peek returns the raw stored content of a block without charging latency
-// and without allocating. It exists for adversary hooks (a malicious OS
-// inspecting swapped pages) and for tests; nil means never written.
-func (d *Disk) Peek(blk uint64) []byte { return d.blocks[blk] }
+// Peek returns a copy of the stored content of a block without charging
+// latency. It exists for adversary hooks (a malicious OS inspecting swapped
+// pages) and for tests; nil means never written. Returning a copy keeps
+// callers from mutating device state behind Write's back — tampering must go
+// through Poke/PokeRaw so it cannot accidentally bypass fault injection
+// semantics.
+func (d *Disk) Peek(blk uint64) []byte {
+	b, ok := d.blocks[blk]
+	if !ok {
+		return nil
+	}
+	out := make([]byte, BlockSize)
+	copy(out, b)
+	return out
+}
+
+// PokeRaw returns the live internal block slice (nil if never written) for
+// adversary code that genuinely needs in-place aliasing — e.g. tampering
+// with a sector during a simulated DMA window. Mutations bypass Write's
+// latency accounting and fault injection by design; all other callers must
+// use Peek/Poke.
+func (d *Disk) PokeRaw(blk uint64) []byte { return d.blocks[blk] }
+
+// Rehome reattaches the device to a new simulation world, preserving every
+// stored block. This models the disk surviving a whole-machine crash: the
+// rebooted machine charges its own clock for I/O against the old medium.
+func (d *Disk) Rehome(w *sim.World) { d.world = w }
 
 // Poke overwrites a block without charging latency; used by adversarial
 // tests to model offline tampering with the swap device.

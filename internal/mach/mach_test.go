@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"overshadow/internal/fault"
 	"overshadow/internal/sim"
 )
 
@@ -196,5 +197,70 @@ func TestDiskPeekPoke(t *testing.T) {
 	}
 	if w.Now() != before {
 		t.Fatal("Peek charged latency")
+	}
+}
+
+// TestDiskPeekReturnsCopy pins the aliasing fix: mutating a Peek result
+// must not change device state (tampering goes through Poke/PokeRaw so it
+// can never silently bypass Write's accounting and fault injection).
+func TestDiskPeekReturnsCopy(t *testing.T) {
+	w := testWorld()
+	d := NewDisk(w, 2)
+	src := make([]byte, BlockSize)
+	src[0] = 0x11
+	d.Poke(0, src)
+	snap := d.Peek(0)
+	snap[0] = 0x99
+	if got := d.Peek(0); got[0] != 0x11 {
+		t.Fatal("mutating a Peek result changed device state")
+	}
+	// PokeRaw is the explicit aliasing escape hatch.
+	raw := d.PokeRaw(0)
+	raw[0] = 0x77
+	if got := d.Peek(0); got[0] != 0x77 {
+		t.Fatal("PokeRaw did not alias device state")
+	}
+	if d.PokeRaw(1) != nil {
+		t.Fatal("PokeRaw of unwritten block not nil")
+	}
+}
+
+// TestTornWriteSemantics is the satellite property test: after an injected
+// fault.Torn write, a re-read observes exactly prefix-of-new content with
+// the stale suffix intact — for some tear point 1 <= n < BlockSize.
+func TestTornWriteSemantics(t *testing.T) {
+	w := testWorld()
+	d := NewDisk(w, 2)
+	oldC := make([]byte, BlockSize)
+	newC := make([]byte, BlockSize)
+	for i := range oldC {
+		oldC[i] = 0xAA
+		newC[i] = 0x55
+	}
+	if err := d.Write(0, oldC); err != nil {
+		t.Fatal(err)
+	}
+	// Arm a certain torn fault for the next write only.
+	var plan fault.Plan
+	plan.Rates[fault.SiteDiskWrite] = fault.Rate{TornPerMille: 1000, Max: 1}
+	w.Fault = fault.NewInjector(9, plan)
+	if err := d.Write(0, newC); err == nil {
+		t.Fatal("torn write reported success")
+	}
+	got := make([]byte, BlockSize)
+	if err := d.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for n < BlockSize && got[n] == 0x55 {
+		n++
+	}
+	if n < 1 || n >= BlockSize {
+		t.Fatalf("tear point %d outside [1, %d)", n, BlockSize)
+	}
+	for i := n; i < BlockSize; i++ {
+		if got[i] != 0xAA {
+			t.Fatalf("byte %d = %#x after tear at %d: not prefix-of-new + stale-suffix", i, got[i], n)
+		}
 	}
 }

@@ -23,12 +23,13 @@ const (
 	KindSecurity         // VMM security event (integrity, tamper, ...)
 	KindFault            // injected fault firing at a fault site
 	KindQuarantine       // domain quarantine: scrub, revoke, reclaim
+	KindPersist          // metadata journal append/checkpoint/replay
 )
 
 var kindNames = [...]string{
 	"none", "syscall", "hypercall", "worldswitch", "pagefault", "disk",
 	"cloak", "ctc", "ctxswitch", "swap", "proc", "security",
-	"fault", "quarantine",
+	"fault", "quarantine", "persist",
 }
 
 // String implements fmt.Stringer.

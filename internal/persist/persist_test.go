@@ -1,0 +1,393 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+
+	"overshadow/internal/cloak"
+	"overshadow/internal/fault"
+	"overshadow/internal/mach"
+	"overshadow/internal/sim"
+)
+
+func testWorld(seed uint64) *sim.World {
+	return sim.NewWorld(sim.DefaultCostModel(), seed)
+}
+
+func pid(d, r, i uint64) cloak.PageID {
+	return cloak.PageID{Domain: cloak.DomainID(d), Resource: cloak.ResourceID(r), Index: i}
+}
+
+func meta(v uint64) cloak.Meta {
+	var m cloak.Meta
+	m.Version = v
+	for i := range m.IV {
+		m.IV[i] = byte(v + uint64(i))
+	}
+	for i := range m.Hash {
+		m.Hash[i] = byte(v*7 + uint64(i))
+	}
+	return m
+}
+
+const testBlocks = 64
+
+func newTestJournal(t *testing.T, world *sim.World, opts Options) (*Journal, *mach.Disk, [32]byte) {
+	t.Helper()
+	disk := mach.NewDisk(world, 128+testBlocks)
+	key := SealKey(7)
+	j, err := NewJournal(world, disk, 128, testBlocks, key, opts)
+	if err != nil {
+		t.Fatalf("NewJournal: %v", err)
+	}
+	return j, disk, key
+}
+
+func TestRecordCodecRoundtrip(t *testing.T) {
+	key := SealKey(42)
+	r := Record{
+		Kind: KindPut, Epoch: 9, Seq: 1234, ID: pid(3, 17, 88),
+		Version: 5, Dev: DevSwap, Block: 4096,
+	}
+	copy(r.IV[:], bytes.Repeat([]byte{0xAB}, len(r.IV)))
+	copy(r.Hash[:], bytes.Repeat([]byte{0xCD}, len(r.Hash)))
+	var buf [RecordSize]byte
+	encode(buf[:], r, &key)
+	got, ok := decode(buf[:], &key)
+	if !ok {
+		t.Fatal("decode rejected a freshly sealed record")
+	}
+	if got != r {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, r)
+	}
+	// Any flipped byte must invalidate the seal.
+	for _, off := range []int{0, offEpoch, offVersion, offIV, offHash, offMAC} {
+		tam := buf
+		tam[off] ^= 0x01
+		if _, ok := decode(tam[:], &key); ok {
+			t.Fatalf("decode accepted record with byte %d flipped", off)
+		}
+	}
+	// The wrong key must reject everything.
+	other := SealKey(43)
+	if _, ok := decode(buf[:], &other); ok {
+		t.Fatal("decode accepted a record under the wrong sealing key")
+	}
+}
+
+func TestJournalReplayRoundtrip(t *testing.T) {
+	world := testWorld(1)
+	j, disk, key := newTestJournal(t, world, Options{})
+	j.Put(pid(1, 1, 0), meta(1))
+	j.Put(pid(1, 1, 1), meta(1))
+	j.Locate(pid(1, 1, 0), DevSwap, 40, 1)
+	j.Put(pid(1, 1, 0), meta(2)) // supersedes; location now stale
+	j.Put(pid(2, 5, 9), meta(3))
+	j.Delete(pid(1, 1, 1))
+
+	rep := Replay(testWorld(2), disk, 128, testBlocks, key)
+	if !rep.Anchored {
+		t.Fatalf("replay not anchored: %v", rep.Rejections)
+	}
+	if len(rep.Rejections) != 0 {
+		t.Fatalf("unexpected rejections: %v", rep.Rejections)
+	}
+	if len(rep.Table) != 2 {
+		t.Fatalf("table size = %d, want 2", len(rep.Table))
+	}
+	e := rep.Table[pid(1, 1, 0)]
+	if !e.HasMeta || e.Meta != meta(2) {
+		t.Fatalf("page (1,1,0) meta = %+v, want version 2", e)
+	}
+	if !e.HasLoc || e.Block != 40 || e.LocVersion != 1 {
+		t.Fatalf("page (1,1,0) location = %+v, want block 40 @v1", e)
+	}
+	if _, ok := rep.Table[pid(1, 1, 1)]; ok {
+		t.Fatal("deleted page survived replay")
+	}
+	if e := rep.Table[pid(2, 5, 9)]; !e.HasMeta || e.Meta.Version != 3 {
+		t.Fatalf("page (2,5,9) = %+v, want version 3", e)
+	}
+}
+
+func TestJournalCheckpointRollover(t *testing.T) {
+	world := testWorld(3)
+	j, disk, key := newTestJournal(t, world, Options{CheckpointEvery: 8})
+	// Enough appends to roll several checkpoints (and epochs).
+	for v := uint64(1); v <= 5; v++ {
+		for i := uint64(0); i < 10; i++ {
+			j.Put(pid(1, 2, i), meta(v))
+		}
+	}
+	j.DropDomain(cloak.DomainID(99)) // no-op: unknown domain appends nothing
+	if j.Epoch() < 3 {
+		t.Fatalf("epoch = %d, want several checkpoints", j.Epoch())
+	}
+	rep := Replay(testWorld(4), disk, 128, testBlocks, key)
+	if !rep.Anchored || len(rep.Rejections) != 0 {
+		t.Fatalf("replay: anchored=%v rejections=%v", rep.Anchored, rep.Rejections)
+	}
+	if len(rep.Table) != 10 {
+		t.Fatalf("table size = %d, want 10", len(rep.Table))
+	}
+	for i := uint64(0); i < 10; i++ {
+		if e := rep.Table[pid(1, 2, i)]; e.Meta.Version != 5 {
+			t.Fatalf("page %d version = %d, want 5", i, e.Meta.Version)
+		}
+	}
+	if rep.Epoch != j.Epoch() {
+		t.Fatalf("replayed epoch %d != writer epoch %d", rep.Epoch, j.Epoch())
+	}
+}
+
+func TestJournalDropDomain(t *testing.T) {
+	world := testWorld(5)
+	j, disk, key := newTestJournal(t, world, Options{})
+	j.Put(pid(1, 1, 0), meta(1))
+	j.Put(pid(2, 1, 0), meta(1))
+	j.Put(pid(2, 1, 1), meta(1))
+	j.DropDomain(cloak.DomainID(2))
+	rep := Replay(testWorld(6), disk, 128, testBlocks, key)
+	if len(rep.Table) != 1 {
+		t.Fatalf("table size = %d, want 1", len(rep.Table))
+	}
+	if _, ok := rep.Table[pid(1, 1, 0)]; !ok {
+		t.Fatal("surviving domain's page missing")
+	}
+}
+
+// tornTail simulates a crash that left the final log record half-written.
+func TestReplayRejectsTornTail(t *testing.T) {
+	world := testWorld(7)
+	j, disk, key := newTestJournal(t, world, Options{})
+	for i := uint64(0); i < 5; i++ {
+		j.Put(pid(1, 1, i), meta(1))
+	}
+	// Tear the most recent record: keep a prefix, trash the rest.
+	blk := j.logStart + (j.seq-1)/RecordsPerBlock
+	off := ((j.seq - 1) % RecordsPerBlock) * RecordSize
+	img := disk.Peek(blk)
+	for i := off + 40; i < off+RecordSize; i++ {
+		img[i] ^= 0x5A
+	}
+	disk.Poke(blk, img)
+
+	rep := Replay(testWorld(8), disk, 128, testBlocks, key)
+	if !rep.Anchored {
+		t.Fatal("torn tail must not unanchor the journal")
+	}
+	if rep.RejectedBy(RejectBadMAC) != 1 {
+		t.Fatalf("rejections = %v, want one bad-mac", rep.Rejections)
+	}
+	// The intact prefix (4 of 5 puts) must survive.
+	if rep.LogRecords != 4 {
+		t.Fatalf("log records = %d, want 4", rep.LogRecords)
+	}
+	if len(rep.Table) != 4 {
+		t.Fatalf("table size = %d, want 4", len(rep.Table))
+	}
+}
+
+func TestReplayRejectsRollback(t *testing.T) {
+	world := testWorld(9)
+	j, disk, key := newTestJournal(t, world, Options{})
+	j.Put(pid(1, 1, 0), meta(3))
+	// Forge a validly sealed record that rolls the version back — what an
+	// attacker with a stolen sealing key (or a replayed backup of a single
+	// sector at the right position) would need to produce.
+	old := meta(2)
+	var buf [mach.BlockSize]byte
+	copy(buf[:], disk.Peek(j.logStart))
+	encode(buf[j.seq*RecordSize:(j.seq+1)*RecordSize], Record{
+		Kind: KindPut, Epoch: j.epoch, Seq: j.seq, ID: pid(1, 1, 0),
+		Version: old.Version, IV: old.IV, Hash: old.Hash,
+	}, &key)
+	disk.Poke(j.logStart, buf[:])
+
+	rep := Replay(testWorld(10), disk, 128, testBlocks, key)
+	if rep.RejectedBy(RejectRollback) != 1 {
+		t.Fatalf("rejections = %v, want one rollback", rep.Rejections)
+	}
+	if e := rep.Table[pid(1, 1, 0)]; e.Meta.Version != 3 {
+		t.Fatalf("version = %d after rollback attempt, want 3 (fresh)", e.Meta.Version)
+	}
+}
+
+func TestReplayWrongKeyRecoversNothing(t *testing.T) {
+	world := testWorld(11)
+	j, disk, _ := newTestJournal(t, world, Options{})
+	j.Put(pid(1, 1, 0), meta(1))
+	rep := Replay(testWorld(12), disk, 128, testBlocks, SealKey(999))
+	if rep.Anchored {
+		t.Fatal("replay anchored under the wrong sealing key")
+	}
+	if len(rep.Table) != 0 {
+		t.Fatal("entries recovered under the wrong sealing key")
+	}
+	if rep.RejectedBy(RejectNoAnchor) == 0 {
+		t.Fatalf("rejections = %v, want a no-anchor", rep.Rejections)
+	}
+}
+
+func TestReplayRejectsStaleEpochLog(t *testing.T) {
+	world := testWorld(13)
+	j, disk, key := newTestJournal(t, world, Options{CheckpointEvery: 4})
+	// Three old-epoch records at the log head...
+	for i := uint64(0); i < 3; i++ {
+		j.Put(pid(1, 1, i), meta(1))
+	}
+	stale := disk.Peek(j.logStart)
+	// ...the fourth append rolls a checkpoint (new epoch, log reset), and a
+	// fifth lands at the new log head...
+	j.Put(pid(1, 1, 3), meta(1))
+	j.Put(pid(1, 1, 9), meta(1))
+	// ...then an adversary re-serves the pre-checkpoint head sector.
+	disk.Poke(j.logStart, stale)
+
+	rep := Replay(testWorld(14), disk, 128, testBlocks, key)
+	if !rep.Anchored {
+		t.Fatal("stale log must not unanchor")
+	}
+	if rep.RejectedBy(RejectStaleEpoch) != 1 {
+		t.Fatalf("rejections = %v, want one stale-epoch", rep.Rejections)
+	}
+	// The checkpointed state (pages 0..3) still recovers in full; only the
+	// page behind the re-served sector is lost.
+	if len(rep.Table) != 4 {
+		t.Fatalf("table size = %d, want 4 checkpointed pages", len(rep.Table))
+	}
+}
+
+func TestResumeCommitsFresherEpoch(t *testing.T) {
+	world := testWorld(15)
+	j, disk, key := newTestJournal(t, world, Options{})
+	j.Put(pid(1, 1, 0), meta(4))
+	was := j.Epoch()
+
+	rep := Replay(testWorld(16), disk, 128, testBlocks, key)
+	w2 := testWorld(17)
+	j2, err := Resume(w2, disk, 128, testBlocks, key, Options{}, rep)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if j2.Epoch() <= was {
+		t.Fatalf("resumed epoch %d not fresher than %d", j2.Epoch(), was)
+	}
+	rep2 := Replay(testWorld(18), disk, 128, testBlocks, key)
+	if rep2.Epoch != j2.Epoch() || len(rep2.Table) != 1 {
+		t.Fatalf("post-resume replay: epoch=%d table=%d", rep2.Epoch, len(rep2.Table))
+	}
+	if e := rep2.Table[pid(1, 1, 0)]; e.Meta.Version != 4 {
+		t.Fatalf("post-resume version = %d, want 4", e.Meta.Version)
+	}
+}
+
+// TestJournalImageDeterministic pins the core reproducibility property: the
+// same (seed, operation sequence) writes bit-identical bytes to the disk.
+func TestJournalImageDeterministic(t *testing.T) {
+	image := func() [][]byte {
+		world := testWorld(21)
+		j, disk, _ := newTestJournal(t, world, Options{CheckpointEvery: 6})
+		for v := uint64(1); v <= 3; v++ {
+			for i := uint64(0); i < 7; i++ {
+				j.Put(pid(1, 3, i), meta(v))
+				if i%2 == 0 {
+					j.Locate(pid(1, 3, i), DevSwap, 10+i, v)
+				}
+			}
+		}
+		j.DropDomain(cloak.DomainID(1))
+		var blocks [][]byte
+		for b := uint64(128); b < 128+testBlocks; b++ {
+			blocks = append(blocks, disk.Peek(b))
+		}
+		return blocks
+	}
+	a, b := image(), image()
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("journal block %d differs between identical runs", i)
+		}
+	}
+}
+
+// TestJournalSelfHealsFailedWrite: an injected write failure leaves a stale
+// tail block, but the next append rewrites the whole block, so nothing is
+// lost unless the machine dies inside the window.
+func TestJournalSelfHealsFailedWrite(t *testing.T) {
+	world := testWorld(22)
+	j, disk, key := newTestJournal(t, world, Options{})
+	// Fail exactly one disk write, deterministically — armed after the
+	// format so the failure lands on a log append, not the anchor commit.
+	var plan fault.Plan
+	plan.Rates[fault.SiteDiskWrite] = fault.Rate{FailPerMille: 1000, Max: 1}
+	world.Fault = fault.NewInjector(22, plan)
+	j.Put(pid(1, 1, 0), meta(1)) // this block write fails
+	j.Put(pid(1, 1, 1), meta(1))
+	j.Put(pid(1, 1, 2), meta(1))
+	if j.WriteErrs() != 1 {
+		t.Fatalf("write errors = %d, want exactly 1", j.WriteErrs())
+	}
+	rep := Replay(testWorld(23), disk, 128, testBlocks, key)
+	if !rep.Anchored || len(rep.Table) != 3 {
+		t.Fatalf("after self-heal: anchored=%v table=%d rejections=%v",
+			rep.Anchored, len(rep.Table), rep.Rejections)
+	}
+}
+
+func TestJournalWedgesWhenFull(t *testing.T) {
+	world := testWorld(24)
+	disk := mach.NewDisk(world, 64)
+	key := SealKey(7)
+	j, err := NewJournal(world, disk, 0, MinBlocks, key, Options{CheckpointEvery: 1 << 30})
+	if err != nil {
+		t.Fatalf("NewJournal: %v", err)
+	}
+	// MinBlocks geometry: 1-block checkpoint slots hold RecordsPerBlock
+	// entries; exceed that and the journal must wedge, not panic or lie.
+	for i := uint64(0); i < RecordsPerBlock*3; i++ {
+		j.Put(pid(1, 1, i), meta(1))
+	}
+	if !j.Wedged() {
+		t.Fatal("overfull journal did not wedge")
+	}
+}
+
+// TestJournalZeroRateSitesConsumeNoPRNG: the journal adds many disk-site
+// fault opportunities (every append and checkpoint block write). When those
+// sites are zero-rate, they must consume no injector PRNG state, so an
+// active site's schedule is identical with and without a journal running —
+// the property that keeps existing fault-sweep goldens stable.
+func TestJournalZeroRateSitesConsumeNoPRNG(t *testing.T) {
+	var p fault.Plan
+	p.Rates[fault.SiteSwapIn] = fault.Rate{FailPerMille: 500}
+	run := func(withJournal bool) []fault.Injection {
+		world := testWorld(31)
+		world.Fault = fault.NewInjector(31, p)
+		var j *Journal
+		if withJournal {
+			disk := mach.NewDisk(world, 64)
+			var err error
+			j, err = NewJournal(world, disk, 0, 32, SealKey(1), Options{CheckpointEvery: 16})
+			if err != nil {
+				t.Fatalf("NewJournal: %v", err)
+			}
+		}
+		for n := uint64(0); n < 200; n++ {
+			if j != nil {
+				j.Put(pid(1, 1, n%8), meta(n+1))
+			}
+			world.InjectAt(fault.SiteSwapIn)
+		}
+		return world.Fault.Log()
+	}
+	plain, journaled := run(false), run(true)
+	if len(plain) != len(journaled) {
+		t.Fatalf("journal writes perturbed the schedule: %d vs %d injections", len(plain), len(journaled))
+	}
+	for i := range plain {
+		if plain[i] != journaled[i] {
+			t.Fatalf("injection %d diverged: %+v vs %+v", i, plain[i], journaled[i])
+		}
+	}
+}

@@ -31,8 +31,13 @@ func (c Cycles) String() string {
 
 // Clock is the global simulated-time source. Components charge costs to the
 // clock as they perform work; the guest OS uses it for preemption and timers.
+// A clock may carry a crash deadline: the first charge that reaches it stops
+// the whole machine at exactly that cycle (see SetCrashAt).
 type Clock struct {
-	now Cycles
+	now     Cycles
+	crashAt Cycles
+	armed   bool
+	crashed bool
 }
 
 // NewClock returns a clock at cycle zero.
@@ -41,8 +46,52 @@ func NewClock() *Clock { return &Clock{} }
 // Now reports the current simulated time.
 func (c *Clock) Now() Cycles { return c.now }
 
-// Advance moves simulated time forward by n cycles.
-func (c *Clock) Advance(n Cycles) { c.now += n }
+// Advance moves simulated time forward by n cycles. If an armed crash
+// deadline falls inside the advance, time is clamped to the deadline and a
+// Crash panic unwinds the running context — the whole-machine power cut.
+// Charges always execute on the baton-holding goroutine, so the guest
+// kernel's scheduler recover is the single catch point.
+func (c *Clock) Advance(n Cycles) {
+	if c.armed && c.now+n >= c.crashAt {
+		c.now = c.crashAt
+		c.armed = false
+		c.crashed = true
+		panic(Crash{At: c.crashAt})
+	}
+	c.now += n
+}
+
+// SetCrashAt arms a whole-machine crash at simulated cycle at. A deadline
+// already in the past fires on the next charge (time still clamps forward,
+// never backward). Passing 0 disarms.
+func (c *Clock) SetCrashAt(at Cycles) {
+	if at == 0 {
+		c.armed = false
+		return
+	}
+	if at < c.now {
+		at = c.now
+	}
+	c.crashAt = at
+	c.armed = true
+}
+
+// Crashed reports whether an armed deadline fired.
+func (c *Clock) Crashed() bool { return c.crashed }
+
+// Crash is the panic value carrying a fired crash deadline. It exists so
+// the kernel scheduler can distinguish a deliberate whole-machine stop from
+// a genuine bug (which must keep propagating).
+type Crash struct {
+	// At is the exact simulated cycle the machine stopped.
+	At Cycles
+}
+
+// IsCrash reports whether a recovered panic value is a machine crash.
+func IsCrash(r any) bool {
+	_, ok := r.(Crash)
+	return ok
+}
 
 // Since reports the cycles elapsed since an earlier reading.
 func (c *Clock) Since(t Cycles) Cycles {

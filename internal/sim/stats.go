@@ -54,6 +54,16 @@ const (
 	CtrShimRetry        Counter = "shim.retry"
 	CtrQuarantine       Counter = "vmm.quarantine"
 
+	// Persistence counters (zero unless a metadata journal is attached, so
+	// journal-free runs keep their exports byte-identical).
+	CtrJournalAppend     Counter = "persist.append"
+	CtrJournalCheckpoint Counter = "persist.checkpoint"
+	CtrJournalWriteErr   Counter = "persist.write.err"
+	CtrJournalWedged     Counter = "persist.wedged"
+	CtrReplayAccepted    Counter = "persist.replay.accepted"
+	CtrReplayRejected    Counter = "persist.replay.rejected"
+	CtrRecoverPage       Counter = "persist.recover.page"
+
 	// Cycle-attribution counters: these name cycle sinks that previously
 	// charged the clock anonymously, so attributed profiles can decompose
 	// every simulated cycle. CtrOther is the catch-all that keeps the

@@ -93,7 +93,9 @@ func (v *VMM) unregisterRegion(as *AddressSpace, baseVPN uint64) error {
 // releaseResource discards all metadata records of a resource.
 func (v *VMM) releaseResource(d cloak.DomainID, res cloak.ResourceID, pages uint64) {
 	for i := uint64(0); i < pages; i++ {
-		v.metas.Delete(cloak.PageID{Domain: d, Resource: res, Index: i})
+		id := cloak.PageID{Domain: d, Resource: res, Index: i}
+		v.metas.Delete(id)
+		v.jDelete(id)
 	}
 }
 
@@ -110,6 +112,7 @@ func (v *VMM) destroyDomain(d cloak.DomainID) {
 	delete(v.byDomain, d)
 	delete(v.identities, d)
 	v.metas.DeleteDomain(d)
+	v.jDropDomain(d)
 	for _, as := range v.domainSpaces[d] {
 		as.domain = 0
 		as.regions = nil
@@ -139,6 +142,7 @@ func (v *VMM) HCDropFileResource(uid uint64) {
 	v.chargeHypercall("drop_file_resource")
 	if b, ok := v.fileVaults[uid]; ok {
 		v.metas.DeleteDomain(b.domain)
+		v.jDropDomain(b.domain)
 		delete(v.fileVaults, uid)
 	}
 }
@@ -229,6 +233,7 @@ func (v *VMM) cloneDomainInto(parent, child *AddressSpace) (map[cloak.ResourceID
 			}
 			newMeta := v.engine.EncryptPage(childID, 0, frame)
 			v.metas.Put(childID, newMeta)
+			v.jPut(childID, newMeta)
 			v.registerPage(gppn, &cloakPage{state: stateEncrypted, id: childID})
 		}
 	}
@@ -256,6 +261,7 @@ func (v *VMM) unwindClone(child *AddressSpace, resourceMap map[cloak.ResourceID]
 	for _, gppn := range victims {
 		cp := v.pages[gppn]
 		v.metas.Delete(cp.id)
+		v.jDelete(cp.id)
 		v.unregisterPage(gppn, cp)
 	}
 	list := v.domainSpaces[d]

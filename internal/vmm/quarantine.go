@@ -102,6 +102,7 @@ func (v *VMM) quarantine(d cloak.DomainID, cause Event) {
 	// address spaces stay bound to the dead domain so further access is
 	// denied rather than reinterpreted as uncloaked.
 	v.metas.DeleteDomain(d)
+	v.jDropDomain(d)
 	delete(v.identities, d)
 
 	v.world.ChargeAdd(0, sim.CtrQuarantine, 1)

@@ -8,6 +8,7 @@ import (
 	"overshadow/internal/mach"
 	"overshadow/internal/mmu"
 	"overshadow/internal/obs"
+	"overshadow/internal/persist"
 	"overshadow/internal/sim"
 )
 
@@ -96,6 +97,10 @@ type VMM struct {
 	quarantined map[cloak.DomainID]bool
 
 	activeCtx uint32 // currently loaded shadow context (for switch costs)
+
+	// journal, when attached, mirrors every metadata mutation to stable
+	// storage for crash recovery (see persistence.go). nil = no journaling.
+	journal *persist.Journal
 
 	events []Event
 }
@@ -379,6 +384,7 @@ func (v *VMM) encryptPage(gppn mach.GPPN, cp *cloakPage, why string) {
 	frame := v.frame(gppn)
 	meta := v.engine.EncryptPage(cp.id, v.metas.Version(cp.id), frame)
 	v.metas.Put(cp.id, meta)
+	v.jPut(cp.id, meta)
 	cp.state = stateEncrypted
 	v.dropAllShadowsOfGPPN(gppn)
 	sp.End()

@@ -71,4 +71,19 @@ for s in 3 11; do
     fi
 done
 
+echo "== crash-sweep smoke"
+# E14 crashes whole machines at derived cycle deadlines and reboots each one
+# through journal replay and page recovery. A (seed, crash point) pair names
+# one exact crashed world, so the sweep's JSON must be byte-identical between
+# a serial and a 4-way sharded run, on two seeds.
+for s in 5 9; do
+    "$tmpdir/overbench" -e E14 -seed "$s" -shards 1 -json > "$tmpdir/crash-serial-$s.json"
+    "$tmpdir/overbench" -e E14 -seed "$s" -shards 4 -json > "$tmpdir/crash-sharded-$s.json"
+    if ! cmp -s "$tmpdir/crash-serial-$s.json" "$tmpdir/crash-sharded-$s.json"; then
+        echo "crash sweep determinism broken: seed $s output differs between -shards 1 and -shards 4" >&2
+        diff "$tmpdir/crash-serial-$s.json" "$tmpdir/crash-sharded-$s.json" | head -20 >&2
+        exit 1
+    fi
+done
+
 echo "ALL CHECKS PASSED"
