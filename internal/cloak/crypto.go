@@ -16,6 +16,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"hash"
 
 	"overshadow/internal/sim"
 )
@@ -47,6 +48,7 @@ type PageID struct {
 
 // String implements fmt.Stringer.
 func (p PageID) String() string {
+	//overlint:allow hotpathalloc -- Stringer output; hot paths format identities only on trace/error branches
 	return fmt.Sprintf("d%d/r%d/p%d", p.Domain, p.Resource, p.Index)
 }
 
@@ -94,11 +96,25 @@ type Engine struct {
 	world *sim.World
 	keys  Keyer
 	ivSeq uint64 // distinct-IV source, mixed with the world RNG
+	// blocks caches the expanded AES key schedule per domain: domain keys
+	// are derived deterministically and never rotate within a run, so the
+	// expansion (the dominant host cost of aes.NewCipher) pays once per
+	// domain instead of once per page operation.
+	blocks map[DomainID]cipher.Block
+	// hasher is the reused page-integrity hash state; hashPage resets it
+	// per use. The engine is VMM-owned and single-threaded by the baton
+	// scheduler, so one instance suffices.
+	hasher hash.Hash
 }
 
 // NewEngine builds a crypto engine.
 func NewEngine(world *sim.World, keys Keyer) *Engine {
-	return &Engine{world: world, keys: keys}
+	return &Engine{
+		world:  world,
+		keys:   keys,
+		blocks: make(map[DomainID]cipher.Block),
+		hasher: sha256.New(),
+	}
 }
 
 // freshIV returns an IV that never repeats within a run.
@@ -111,19 +127,28 @@ func (e *Engine) freshIV() [IVSize]byte {
 }
 
 func (e *Engine) stream(d DomainID, iv [IVSize]byte) cipher.Stream {
-	key := e.keys.DomainKey(d)
-	block, err := aes.NewCipher(key[:])
-	if err != nil {
-		// Key size is fixed; failure is impossible and therefore fatal.
-		panic("cloak: aes.NewCipher: " + err.Error())
+	block, ok := e.blocks[d]
+	if !ok {
+		key := e.keys.DomainKey(d)
+		var err error
+		//overlint:allow hotpathalloc -- key-schedule expansion runs once per domain, then served from the cache
+		block, err = aes.NewCipher(key[:])
+		if err != nil {
+			// Key size is fixed; failure is impossible and therefore fatal.
+			panic("cloak: aes.NewCipher: " + err.Error())
+		}
+		e.blocks[d] = block
 	}
+	//overlint:allow hotpathalloc -- a CTR stream is inherently per-IV; the key schedule above is the cached part
 	return cipher.NewCTR(block, iv[:])
 }
 
 // hashPage computes the integrity hash binding ciphertext to identity and
-// version.
-func hashPage(id PageID, version uint64, iv [IVSize]byte, ciphertext []byte) [HashSize]byte {
-	h := sha256.New()
+// version, reusing the engine's hash state (Reset + identical writes yield
+// byte-identical digests).
+func (e *Engine) hashPage(id PageID, version uint64, iv [IVSize]byte, ciphertext []byte) [HashSize]byte {
+	h := e.hasher
+	h.Reset()
 	var hdr [8 + 4 + 8 + 8 + IVSize]byte
 	binary.LittleEndian.PutUint64(hdr[0:], uint64(id.Resource))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(id.Domain))
@@ -145,7 +170,7 @@ func (e *Engine) EncryptPage(id PageID, prevVersion uint64, page []byte) Meta {
 	iv := e.freshIV()
 	e.stream(id.Domain, iv).XORKeyStream(page, page)
 	version := prevVersion + 1
-	hash := hashPage(id, version, iv, page)
+	hash := e.hashPage(id, version, iv, page)
 	e.world.ChargeCount(e.world.Cost.PageCryptCost(len(page)), sim.CtrPageEncrypt)
 	e.world.ChargeCount(e.world.Cost.PageHashCost(len(page)), sim.CtrHashCompute)
 	return Meta{IV: iv, Hash: hash, Version: version}
@@ -168,7 +193,7 @@ func (e *ErrIntegrity) Error() string {
 // *ErrIntegrity is returned.
 func (e *Engine) DecryptPage(id PageID, meta Meta, page []byte) error {
 	e.world.ChargeAdd(e.world.Cost.PageHashCost(len(page)), sim.CtrHashCompute, 0)
-	want := hashPage(id, meta.Version, meta.IV, page)
+	want := e.hashPage(id, meta.Version, meta.IV, page)
 	if want != meta.Hash {
 		e.world.ChargeAdd(0, sim.CtrHashVerifyFail, 1)
 		return &ErrIntegrity{Page: id}

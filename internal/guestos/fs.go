@@ -49,6 +49,12 @@ type FS struct {
 	cache     map[uint64][]byte
 	cacheCap  int
 	cacheKeys []uint64
+	// scratch is the page-sized staging buffer for byte-granular ReadAt/
+	// WriteAt; every loop iteration fully refills it (ReadFilePage reads a
+	// whole block or zero-fills past EOF, and the full-page write path
+	// overwrites all of it), and the baton scheduler admits one goroutine,
+	// so reuse cannot leak stale bytes between calls.
+	scratch []byte
 }
 
 // NewFS formats a filesystem over a fresh disk with the given capacity.
@@ -60,6 +66,7 @@ func NewFS(world *sim.World, diskPages uint64) *FS {
 		nextIno:  1,
 		cache:    make(map[uint64][]byte),
 		cacheCap: 128,
+		scratch:  make([]byte, mach.PageSize),
 	}
 	for i := int64(diskPages) - 1; i >= 0; i-- {
 		fs.freeBlk = append(fs.freeBlk, uint64(i))
@@ -268,15 +275,23 @@ func (fs *FS) blockWrite(blk uint64, src []byte) Errno {
 }
 
 func (fs *FS) cacheInsert(blk uint64, data []byte) {
-	if _, ok := fs.cache[blk]; !ok {
+	// Updating a resident block reuses its buffer; inserting at capacity
+	// recycles the evicted victim's. Only a cold insert below capacity
+	// allocates, so the cache stops allocating once warm.
+	b, ok := fs.cache[blk]
+	if !ok {
 		if len(fs.cache) >= fs.cacheCap {
 			victim := fs.cacheKeys[0]
 			fs.cacheKeys = fs.cacheKeys[1:]
+			b = fs.cache[victim]
 			delete(fs.cache, victim)
 		}
 		fs.cacheKeys = append(fs.cacheKeys, blk)
 	}
-	b := make([]byte, mach.PageSize)
+	if b == nil {
+		//overlint:allow hotpathalloc -- cold cache fill, bounded by cacheCap
+		b = make([]byte, mach.PageSize)
+	}
 	copy(b, data)
 	fs.cache[blk] = b
 }
@@ -350,7 +365,7 @@ func (fs *FS) ReadAt(i Ino, off uint64, dst []byte) (int, Errno) {
 		n = int(rem)
 	}
 	done := 0
-	page := make([]byte, mach.PageSize)
+	page := fs.scratch
 	for done < n {
 		idx := (off + uint64(done)) / mach.PageSize
 		pgOff := int((off + uint64(done)) % mach.PageSize)
@@ -378,7 +393,7 @@ func (fs *FS) WriteAt(i Ino, off uint64, src []byte) (int, Errno) {
 		return 0, EISDIR
 	}
 	done := 0
-	page := make([]byte, mach.PageSize)
+	page := fs.scratch
 	for done < len(src) {
 		idx := (off + uint64(done)) / mach.PageSize
 		pgOff := int((off + uint64(done)) % mach.PageSize)

@@ -47,6 +47,10 @@ type Kernel struct {
 	swap *swapSpace
 	mem  *gppnAllocator
 
+	// pageBuf is the kernel's page-sized scratch buffer for swap/file/COW
+	// transfers; see scratchPage for the reuse argument.
+	pageBuf []byte
+
 	procs    map[Pid]*Proc
 	nextPid  Pid
 	runq     []*Proc
@@ -89,6 +93,7 @@ func NewKernel(world *sim.World, hv *vmm.VMM, cfg Config) *Kernel {
 		world:    world,
 		vmm:      hv,
 		cfg:      cfg,
+		pageBuf:  make([]byte, mach.PageSize),
 		procs:    make(map[Pid]*Proc),
 		shm:      make(map[string]*ShmObj),
 		programs: make(map[string]Program),
@@ -256,6 +261,7 @@ func (k *Kernel) pickNext() *Proc {
 			}
 		}
 		s := k.sleepers[earliest]
+		//overlint:allow hotpathalloc -- removal by append into the same backing array; never grows
 		k.sleepers = append(k.sleepers[:earliest], k.sleepers[earliest+1:]...)
 		if s.wake > k.world.Now() {
 			// Idle: no task holds the CPU while the clock advances.

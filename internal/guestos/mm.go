@@ -184,6 +184,18 @@ func (k *Kernel) noteResident(p *Proc, vpn uint64) {
 	k.resident = append(k.resident, residentPage{p: p, vpn: vpn, seq: k.handSeq})
 }
 
+// scratchPage returns the kernel's page-sized scratch buffer, zeroed to
+// reproduce the fresh-allocation semantics the transfer paths were written
+// against. Reuse is safe because the baton scheduler admits exactly one
+// runnable goroutine, and every user (page-out, page-in, COW break, msync)
+// is done with the buffer before any path that could re-enter page
+// allocation: allocUserPage's eviction (the only nested user) completes
+// before its caller touches the buffer it acquired.
+func (k *Kernel) scratchPage() []byte {
+	clear(k.pageBuf)
+	return k.pageBuf
+}
+
 // --- Page allocation with replacement --------------------------------------
 
 // allocUserPage gets a guest-physical page for (p, vpn), evicting other
@@ -283,7 +295,7 @@ func (k *Kernel) pageOut(p *Proc, vpn uint64, pte mmu.PTE) bool {
 		if !ok {
 			return false
 		}
-		buf := make([]byte, mach.PageSize)
+		buf := k.scratchPage()
 		// Forces encryption of cloaked plaintext before the kernel sees it.
 		if err := k.vmm.PhysRead(g, 0, buf); err != nil {
 			k.swap.freeSlot(blk)
@@ -382,7 +394,7 @@ func (k *Kernel) pageInSwap(p *Proc, vpn uint64, v *VMA, blk uint64) Errno {
 	if errno != OK {
 		return errno
 	}
-	buf := make([]byte, mach.PageSize)
+	buf := k.scratchPage()
 	// Transient read errors get a bounded retry before the fault is
 	// surfaced: a real kernel's block layer does the same, and the E13
 	// degradation scenarios rely on the distinction between one bad read
@@ -428,7 +440,7 @@ func (k *Kernel) pageInFile(p *Proc, vpn uint64, v *VMA) Errno {
 		return errno
 	}
 	pageIdx := v.FileOff + (vpn - v.Base)
-	buf := make([]byte, mach.PageSize)
+	buf := k.scratchPage()
 	if err := k.fs.ReadFilePage(v.Ino, pageIdx, buf); err != OK {
 		k.mem.release(g)
 		k.mem.free(g)
@@ -458,7 +470,7 @@ func (k *Kernel) cowBreak(p *Proc, vpn uint64, pte mmu.PTE) Errno {
 	if errno != OK {
 		return errno
 	}
-	buf := make([]byte, mach.PageSize)
+	buf := k.scratchPage()
 	if err := k.vmm.PhysRead(g, 0, buf); err != nil {
 		k.mem.release(ng)
 		k.mem.free(ng)
@@ -556,7 +568,7 @@ func (k *Kernel) msync(p *Proc, base uint64) Errno {
 	if v == nil {
 		return EINVAL
 	}
-	buf := make([]byte, mach.PageSize)
+	buf := k.scratchPage()
 	for vpn := v.Base; vpn < v.Base+v.Pages; vpn++ {
 		if blk, out := p.swapped[vpn]; out {
 			// A dirty page of this mapping was paged out: its newest

@@ -55,6 +55,26 @@ func TestErrnoDisciplineAnalyzer(t *testing.T) {
 		"overshadow/internal/guestos", "testdata/src/errnodiscipline")
 }
 
+func TestPlaintextFlowAnalyzer(t *testing.T) {
+	runWantTest(t, PlaintextFlowAnalyzer,
+		"overshadow/internal/guestos", "testdata/src/plaintextflow")
+}
+
+// TestHotPathAllocAnalyzer declares Kernel.switchTo (a hot root by name) in
+// a guestos-shaped package: everything it reaches is hot, structurally
+// identical unreachable code must stay silent.
+func TestHotPathAllocAnalyzer(t *testing.T) {
+	runWantTest(t, HotPathAllocAnalyzer,
+		"overshadow/internal/guestos", "testdata/src/hotpathalloc")
+}
+
+// TestSMPReadyAnalyzer loads a vmm-shaped package with entry-group roots by
+// name; the mutex-bearing struct and the single-group struct must pass.
+func TestSMPReadyAnalyzer(t *testing.T) {
+	runWantTest(t, SMPReadyAnalyzer,
+		"overshadow/internal/vmm", "testdata/src/smpready")
+}
+
 func TestCycleChargeAnalyzer(t *testing.T) {
 	runWantTest(t, CycleChargeAnalyzer,
 		"overshadow/internal/vmm", "testdata/src/cyclecharge")

@@ -27,6 +27,13 @@ import (
 // handle-free entry points — HCCreateDomain, which mints the handle, and
 // the vault calls HCFileResource/HCDropFileResource, which have no domain
 // precondition — may be called on the VMM directly.
+//
+// A third rule closes the converse hole: the DomainConn handle itself must
+// never appear inside internal/guestos — not as a struct field, not as a
+// parameter, not as a method call on a value smuggled through another
+// package. The handle is the cloaked process's capability to its own
+// domain; the untrusted kernel holding one could issue domain hypercalls on
+// the process's behalf.
 var CloakBoundaryAnalyzer = &Analyzer{
 	Name: "cloakboundary",
 	Doc:  "forbid untrusted guestos code from touching machine memory or cloaking secrets directly",
@@ -79,6 +86,16 @@ func runCloakBoundary(pass *Pass) {
 		case vmmPath:
 			if isRawHypercall(obj) {
 				pass.Report(ident.Pos(), "raw hypercall vmm.VMM.%s outside internal/vmm: go through the vmm.DomainConn handle from HCCreateDomain", obj.Name())
+			} else if inGuestOS {
+				// The DomainConn handle is the cloaked process's capability:
+				// the untrusted kernel holding one (a local, a struct field, a
+				// method call on a smuggled value) could issue domain
+				// hypercalls on the process's behalf.
+				if obj.Name() == "DomainConn" {
+					pass.Report(ident.Pos(), "untrusted guestos code references vmm.DomainConn: the domain handle is the cloaked process's capability and must stay in the shim")
+				} else if recvNamed(obj) == "DomainConn" {
+					pass.Report(ident.Pos(), "untrusted guestos code calls vmm.DomainConn.%s: the domain handle is the cloaked process's capability and must stay in the shim", obj.Name())
+				}
 			}
 		case machPath:
 			if !inGuestOS {

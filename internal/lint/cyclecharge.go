@@ -37,7 +37,7 @@ func runCycleCharge(pass *Pass) {
 	if !chargedPkgs[pass.Pkg.Path] {
 		return
 	}
-	graph := buildCallGraph(pass.All)
+	graph := newChargeFacts(moduleGraphOf(pass.All))
 	for _, file := range pass.Pkg.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -73,61 +73,68 @@ func receiverTypeName(fd *ast.FuncDecl) string {
 	return ""
 }
 
-// callGraph records, per declared function, which functions it statically
-// calls plus whether it directly hits a memory or charging primitive.
-type callGraph struct {
-	edges         map[types.Object][]types.Object
-	touchesDirect map[types.Object]bool
-	chargesDirect map[types.Object]bool
-	touchesAll    map[types.Object]bool
-	chargesAll    map[types.Object]bool
+// chargeFacts holds the cyclecharge fact sets computed over the shared
+// module graph. Calls into the observability surface are excluded from both
+// the direct facts and the propagation (see isObserverPrimitive), which is
+// how "tracing an operation is never evidence of charging for it" survives
+// the move onto the shared graph: edges into observers exist there, but this
+// analyzer refuses to walk them.
+type chargeFacts struct {
+	touchesAll map[types.Object]bool
+	chargesAll map[types.Object]bool
 }
 
-// buildCallGraph scans every function declaration in the loaded module.
-// Calls inside function literals are attributed to the enclosing
-// declaration, which is how callback-style iteration (PageTable.Range)
-// stays visible.
-func buildCallGraph(pkgs []*Package) *callGraph {
-	g := &callGraph{
-		edges:         make(map[types.Object][]types.Object),
-		touchesDirect: make(map[types.Object]bool),
-		chargesDirect: make(map[types.Object]bool),
-	}
-	for _, pkg := range pkgs {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				caller := pkg.Info.Defs[fd.Name]
-				if caller == nil {
-					continue
-				}
-				ast.Inspect(fd.Body, func(n ast.Node) bool {
-					call, ok := n.(*ast.CallExpr)
-					if !ok {
-						return true
-					}
-					callee := calleeObject(pkg.Info, call)
-					if callee == nil || isObserverPrimitive(callee) {
-						return true
-					}
-					g.edges[caller] = append(g.edges[caller], callee)
-					if isMemoryPrimitive(callee) {
-						g.touchesDirect[caller] = true
-					}
-					if isChargePrimitive(callee) {
-						g.chargesDirect[caller] = true
-					}
-					return true
-				})
+// newChargeFacts derives the direct memory/charge facts from the shared
+// graph's edge lists, then closes them backward over non-observer edges.
+// Closures are attributed to the enclosing declaration by the graph builder,
+// which is how callback-style iteration (PageTable.Range) stays visible.
+func newChargeFacts(g *ModuleGraph) *chargeFacts {
+	touchesDirect := make(map[types.Object]bool)
+	chargesDirect := make(map[types.Object]bool)
+	for caller, callees := range g.Calls {
+		for _, callee := range callees {
+			if isObserverPrimitive(callee) {
+				continue
+			}
+			if isMemoryPrimitive(callee) {
+				touchesDirect[caller] = true
+			}
+			if isChargePrimitive(callee) {
+				chargesDirect[caller] = true
 			}
 		}
 	}
-	g.touchesAll = g.closure(g.touchesDirect)
-	g.chargesAll = g.closure(g.chargesDirect)
-	return g
+	return &chargeFacts{
+		touchesAll: closureSkippingObservers(g, touchesDirect),
+		chargesAll: closureSkippingObservers(g, chargesDirect),
+	}
+}
+
+// closureSkippingObservers propagates a direct fact set backward over call
+// edges to a fixpoint, refusing to propagate through edges whose callee is
+// an observer primitive. The graph is small (one module), so the quadratic
+// worst case is irrelevant.
+func closureSkippingObservers(g *ModuleGraph, direct map[types.Object]bool) map[types.Object]bool {
+	reach := make(map[types.Object]bool, len(direct))
+	for o := range direct {
+		reach[o] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for caller, callees := range g.Calls {
+			if reach[caller] {
+				continue
+			}
+			for _, callee := range callees {
+				if reach[callee] && !isObserverPrimitive(callee) {
+					reach[caller] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return reach
 }
 
 // calleeObject resolves the statically-known target of a call, if any.
@@ -201,33 +208,7 @@ func objIs(obj types.Object, pkgPath, recv, name string) bool {
 }
 
 // touches reports whether obj can reach a memory primitive.
-func (g *callGraph) touches(obj types.Object) bool { return g.touchesAll[obj] }
+func (g *chargeFacts) touches(obj types.Object) bool { return g.touchesAll[obj] }
 
 // charges reports whether obj can reach a charging primitive.
-func (g *callGraph) charges(obj types.Object) bool { return g.chargesAll[obj] }
-
-// closure propagates the direct fact set backward over call edges to a
-// fixpoint, yielding "can reach" for every declared function. The graph is
-// small (one module), so the quadratic worst case is irrelevant.
-func (g *callGraph) closure(direct map[types.Object]bool) map[types.Object]bool {
-	reach := make(map[types.Object]bool, len(direct))
-	for o := range direct {
-		reach[o] = true
-	}
-	for changed := true; changed; {
-		changed = false
-		for caller, callees := range g.edges {
-			if reach[caller] {
-				continue
-			}
-			for _, callee := range callees {
-				if reach[callee] {
-					reach[caller] = true
-					changed = true
-					break
-				}
-			}
-		}
-	}
-	return reach
-}
+func (g *chargeFacts) charges(obj types.Object) bool { return g.chargesAll[obj] }

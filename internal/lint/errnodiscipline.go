@@ -185,12 +185,46 @@ func checkDiscardedCall(pass *Pass, call *ast.CallExpr, how string) {
 	if exemptCall(pass, call) {
 		return
 	}
-	for _, t := range resultTypes(pass, call) {
-		if isErrorLike(t) {
+	for i, t := range resultTypes(pass, call) {
+		if isErrorLike(t) && !typeParamResult(pass, call, i) {
 			pass.Report(call.Pos(), "%scall to %s discards its %s result", how, calleeName(call), typeLabel(t))
 			return
 		}
 	}
+}
+
+// typeParamResult reports whether the callee's declared result i is a bare
+// type parameter. A must-style helper — must1[T any](v T, err error) T —
+// consumes the error inside and returns the already-checked value; when T
+// happens to instantiate to Errno or another error-like type, discarding that
+// value is not a discipline violation. Results declared with the literal
+// error type stay flagged.
+func typeParamResult(pass *Pass, call *ast.CallExpr, i int) bool {
+	fun := ast.Unparen(call.Fun)
+	// Explicit instantiations parse as index expressions over the function.
+	switch f := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(f.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(f.X)
+	}
+	var obj types.Object
+	switch f := fun.(type) {
+	case *ast.Ident:
+		obj = pass.Pkg.Info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = pass.Pkg.Info.Uses[f.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.TypeParams().Len() == 0 || i >= sig.Results().Len() {
+		return false
+	}
+	_, isTP := sig.Results().At(i).Type().(*types.TypeParam)
+	return isTP
 }
 
 // checkBlankedErrors flags assignments that send an error/Errno result to _.

@@ -85,6 +85,9 @@ func Analyzers() []*Analyzer {
 		CloakBoundaryAnalyzer,
 		ErrnoDisciplineAnalyzer,
 		CycleChargeAnalyzer,
+		PlaintextFlowAnalyzer,
+		HotPathAllocAnalyzer,
+		SMPReadyAnalyzer,
 	}
 }
 

@@ -1,0 +1,38 @@
+package lint
+
+// PlaintextFlowAnalyzer enforces the paper's core invariant interprocedurally:
+// bytes derived from cloak decryption or the sealing-key hierarchy must never
+// reach an untrusted sink — raw block-device writes, trace/span emission, or
+// host log output. PR 1's cloakboundary rule polices which package may *name*
+// the crypto primitives; this rule follows the *values*: a plaintext page
+// handed to a helper, stashed in a struct field, and later written to disk by
+// a third function is flagged at the first call that lets it escape.
+//
+// Sources: persist.SealKey results and the page buffer passed to
+// (*cloak.Engine).DecryptPage (decrypted in place). Sanitizers: the crypto
+// and hash standard-library packages — ciphertexts, MACs, and digests are the
+// intended public face of the secrets that went in, so their results drop
+// taint. Sinks: (*mach.Disk).Write/Poke/PokeRaw, (*sim.World).Emit/EmitSpan/
+// Begin, and fmt print functions.
+//
+// Soundness caveats (see DESIGN.md): the engine is flow-insensitive, so a
+// buffer that is encrypted in place *after* decryption still carries taint —
+// which is why (*vmm.VMM).frame and (*mach.Memory).Page are deliberately not
+// sources (pageOut reads post-encryption ciphertext through the same
+// expressions that pageIn uses for plaintext; modeling them as sources would
+// flag correct code). Dynamic calls propagate no taint (may miss, never
+// spurious), and parameter tracking caps at 32 parameters per function.
+var PlaintextFlowAnalyzer = &Analyzer{
+	Name: "plaintextflow",
+	Doc:  "values derived from cloak decryption or sealing keys must not reach untrusted sinks",
+	Run:  runPlaintextFlow,
+}
+
+func runPlaintextFlow(pass *Pass) {
+	eng := taintResultsOf(pass.All)
+	for _, f := range eng.findings {
+		if f.pkg == pass.Pkg {
+			pass.Report(f.pos, "%s", f.msg)
+		}
+	}
+}

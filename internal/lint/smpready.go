@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SMPReadyAnalyzer pre-clears ROADMAP item 1 (multi-vCPU support) by keeping
+// an inventory of the state that would race the moment a second vCPU runs.
+// Two rules, both scoped to the machine-model packages (internal/mach,
+// internal/sim, internal/vmm):
+//
+// Rule A: a package-level variable that any module function writes is shared
+// mutable state with no owner; sentinel errors and other never-written vars
+// are fine.
+//
+// Rule B: a struct type whose fields are written by functions reachable from
+// two or more distinct future-vCPU entry groups — translate, trap, hypercall,
+// charge, dispatch, physio — and which carries no sync.Mutex/RWMutex field
+// is flagged once, at the type declaration, listing the written fields and
+// the groups that can reach them. Adding a mutex field (even before any
+// locking discipline exists) or an //overlint:allow with the serialization
+// argument clears the finding.
+//
+// The groups model the paper's world-switch structure: each names a distinct
+// activation source that SMP would run concurrently. Reachability is the
+// static call-graph closure, so dynamic dispatch under-approximates — a
+// struct can be dirtier than reported, never cleaner.
+var SMPReadyAnalyzer = &Analyzer{
+	Name: "smpready",
+	Doc:  "shared mutable state in mach/sim/vmm reachable from multiple future-vCPU entry points",
+	Run:  runSMPReady,
+}
+
+// smpPkgs are the packages whose state the rule inventories.
+var smpPkgs = map[string]bool{
+	machPath:                  true,
+	"overshadow/internal/sim": true,
+	vmmPath:                   true,
+}
+
+// smpEntryGroups name the future-vCPU activation sources and their root
+// functions.
+var smpEntryGroups = []struct {
+	name  string
+	roots []hotRoot
+}{
+	{"translate", []hotRoot{{vmmPath, "VMM", "Translate"}}},
+	{"trap", []hotRoot{{vmmPath, "Thread", "EnterKernel"}, {vmmPath, "Thread", "ExitKernel"}}},
+	{"hypercall", []hotRoot{
+		{vmmPath, "VMM", "HCCreateDomain"},
+		{vmmPath, "VMM", "HCFileResource"},
+		{vmmPath, "VMM", "HCDropFileResource"},
+	}},
+	{"charge", []hotRoot{
+		{"overshadow/internal/sim", "World", "Charge"},
+		{"overshadow/internal/sim", "World", "ChargeCount"},
+		{"overshadow/internal/sim", "World", "ChargeAdd"},
+	}},
+	{"dispatch", []hotRoot{{"overshadow/internal/guestos", "Kernel", "switchTo"}}},
+	{"physio", []hotRoot{
+		{vmmPath, "VMM", "PhysRead"},
+		{vmmPath, "VMM", "PhysWrite"},
+		{vmmPath, "VMM", "PhysZero"},
+	}},
+}
+
+// smpFacts is the module-wide write inventory, memoized per graph.
+type smpFacts struct {
+	// varWritten marks gated package-level vars with at least one write.
+	varWritten map[*types.Var]bool
+	// fieldGroups maps a written struct field to the entry groups that reach
+	// a writer.
+	fieldGroups map[*types.Var]map[string]bool
+}
+
+var (
+	cachedSMP      *smpFacts
+	cachedSMPGraph *ModuleGraph
+)
+
+func smpFactsOf(g *ModuleGraph) *smpFacts {
+	if cachedSMPGraph == g {
+		return cachedSMP
+	}
+	f := &smpFacts{
+		varWritten:  make(map[*types.Var]bool),
+		fieldGroups: make(map[*types.Var]map[string]bool),
+	}
+	// Per-group reachability. The hypercall group additionally seeds every
+	// exported DomainConn method: each is a guest-initiated activation.
+	groupReach := make(map[string]map[types.Object]bool, len(smpEntryGroups))
+	for _, grp := range smpEntryGroups {
+		var roots []types.Object
+		for _, fi := range g.Order {
+			for _, r := range grp.roots {
+				if fi.Pkg.Path == r.pkg && fi.Decl.Name.Name == r.name && receiverTypeName(fi.Decl) == r.recv {
+					roots = append(roots, fi.Obj)
+				}
+			}
+			if grp.name == "hypercall" && fi.Pkg.Path == vmmPath &&
+				receiverTypeName(fi.Decl) == "DomainConn" && fi.Decl.Name.IsExported() {
+				roots = append(roots, fi.Obj)
+			}
+		}
+		groupReach[grp.name] = g.reachableFrom(roots, false)
+	}
+	for _, fi := range g.Order {
+		var groups []string
+		for _, grp := range smpEntryGroups {
+			if groupReach[grp.name][fi.Obj] {
+				groups = append(groups, grp.name)
+			}
+		}
+		scanWrites(fi, groups, f)
+	}
+	cachedSMP, cachedSMPGraph = f, g
+	return f
+}
+
+// scanWrites records every package-var and struct-field write in one
+// function, tagging field writes with the entry groups that reach the
+// function.
+func scanWrites(fi *FuncInfo, groups []string, f *smpFacts) {
+	info := fi.Pkg.Info
+	recordLHS := func(lv ast.Expr) {
+		switch lv := ast.Unparen(lv).(type) {
+		case *ast.Ident:
+			if v, ok := info.Uses[lv].(*types.Var); ok && smpPackageVar(v) {
+				f.varWritten[v] = true
+			}
+		case *ast.SelectorExpr:
+			// x.f = ... — a write through a package-level var counts for
+			// rule A; a struct-field write counts for rule B.
+			if id, ok := ast.Unparen(lv.X).(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok && smpPackageVar(v) {
+					f.varWritten[v] = true
+				}
+			}
+			if v, ok := info.Uses[lv.Sel].(*types.Var); ok && v.IsField() && v.Pkg() != nil && smpPkgs[v.Pkg().Path()] {
+				gs := f.fieldGroups[v]
+				if gs == nil {
+					gs = make(map[string]bool)
+					f.fieldGroups[v] = gs
+				}
+				for _, grp := range groups {
+					gs[grp] = true
+				}
+			}
+		case *ast.IndexExpr:
+			recordLHSBase(lv.X, info, f)
+		case *ast.StarExpr, *ast.SliceExpr:
+			// Writes through pointers/slices: the pointee is unknown; skip.
+		}
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				recordLHS(lhs)
+			}
+		case *ast.IncDecStmt:
+			recordLHS(n.X)
+		}
+		return true
+	})
+}
+
+// recordLHSBase handles indexed writes (m[k] = v): mutating a map or slice
+// held in a package-level var mutates shared state just the same.
+func recordLHSBase(x ast.Expr, info *types.Info, f *smpFacts) {
+	if id, ok := ast.Unparen(x).(*ast.Ident); ok {
+		if v, ok := info.Uses[id].(*types.Var); ok && smpPackageVar(v) {
+			f.varWritten[v] = true
+		}
+	}
+}
+
+// smpPackageVar reports whether v is a package-level variable of a gated
+// package.
+func smpPackageVar(v *types.Var) bool {
+	if v.Pkg() == nil || !smpPkgs[v.Pkg().Path()] || v.IsField() {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope()
+}
+
+func runSMPReady(pass *Pass) {
+	if !smpPkgs[pass.Pkg.Path] {
+		return
+	}
+	facts := smpFactsOf(moduleGraphOf(pass.All))
+
+	// Rule A: written package-level vars, reported at the declaration.
+	scope := pass.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		v, ok := scope.Lookup(name).(*types.Var)
+		if !ok || !facts.varWritten[v] {
+			continue
+		}
+		pass.Report(v.Pos(), "package-level var %s is written at runtime; SMP needs per-vCPU or synchronized state", v.Name())
+	}
+
+	// Rule B: one finding per mutex-less struct whose fields are written from
+	// two or more entry groups.
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok || hasMutexField(st) {
+			continue
+		}
+		fields := make(map[string]bool)
+		groups := make(map[string]bool)
+		for i := 0; i < st.NumFields(); i++ {
+			fv := st.Field(i)
+			for grp := range facts.fieldGroups[fv] {
+				fields[fv.Name()] = true
+				groups[grp] = true
+			}
+		}
+		if len(groups) < 2 {
+			continue
+		}
+		pass.Report(tn.Pos(), "struct %s: fields %s written from vCPU entry groups %s without a mutex field",
+			tn.Name(), joinSorted(fields), joinSorted(groups))
+	}
+}
+
+// hasMutexField reports whether st declares (or embeds) a sync.Mutex or
+// sync.RWMutex field — taken as the declared intent to serialize.
+func hasMutexField(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		t := st.Field(i).Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+				(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// joinSorted renders a string set as a stable comma list.
+func joinSorted(set map[string]bool) string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,895 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The interprocedural taint engine behind plaintextflow. The unit of truth
+// is a per-function summary: which results carry taint unconditionally,
+// which results carry taint when a given parameter does, which parameters
+// have taint written through them (in-place decryption, copy-into-slice),
+// which parameters are stored into struct fields, and which parameters flow
+// to an untrusted sink inside the callee. The engine iterates a
+// flow-insensitive intraprocedural pass over every module function until the
+// summaries and the global struct-field taint set stop changing, then the
+// recorded sink hits become findings.
+//
+// Taint is a pair: an absolute bit (value derives from a source on every
+// path we can see) and a parameter bitmask (value derives from those caller
+// arguments). The mask is what makes helper functions transparent — a leak
+// through three layers of forwarding shows up at the original call site.
+
+// maxTrackedParams bounds the parameter bitmask. Functions with more
+// parameters than this exist nowhere in the module; excess parameters are
+// simply untracked (safe: may miss, never spurious).
+const maxTrackedParams = 32
+
+// canCarryBytes reports whether a value of type t can hold plaintext bytes.
+// Taint only binds to such types: plaintext leaks as bytes, so strings, byte
+// slices/arrays, interfaces, and containers of those carry, while integers,
+// booleans, IDs, cycle counts, and whole structs do not (struct *fields* are
+// tracked individually). Deriving a scalar from a secret — a comparison, a
+// length, a checksum folded to an int — is an implicit flow, explicitly out
+// of scope (see DESIGN.md). This filter is what keeps the flow-insensitive
+// engine from dissolving into everything-taints-everything.
+func canCarryBytes(t types.Type) bool {
+	return carryCheck(t, make(map[types.Type]bool))
+}
+
+func carryCheck(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsString != 0 ||
+			u.Kind() == types.Byte || u.Kind() == types.Uint8 ||
+			u.Kind() == types.UnsafePointer
+	case *types.Slice:
+		return carryCheck(u.Elem(), seen)
+	case *types.Array:
+		return carryCheck(u.Elem(), seen)
+	case *types.Pointer:
+		return carryCheck(u.Elem(), seen)
+	case *types.Map:
+		return carryCheck(u.Elem(), seen)
+	case *types.Chan:
+		return carryCheck(u.Elem(), seen)
+	case *types.Interface:
+		return true // could box anything, including bytes
+	}
+	return false
+}
+
+// taintVal is the lattice element: absolute taint plus conditional taint by
+// parameter index (receiver is index 0 for methods).
+type taintVal struct {
+	abs    bool
+	params uint32
+}
+
+func (t taintVal) or(u taintVal) taintVal {
+	return taintVal{abs: t.abs || u.abs, params: t.params | u.params}
+}
+
+func (t taintVal) isZero() bool { return !t.abs && t.params == 0 }
+
+// paramEffect describes taint a callee writes through one of its
+// parameters: absolute taint, or taint carried in from other parameters.
+type paramEffect struct {
+	abs        bool
+	fromParams uint32
+}
+
+func (e paramEffect) or(o paramEffect) paramEffect {
+	return paramEffect{abs: e.abs || o.abs, fromParams: e.fromParams | o.fromParams}
+}
+
+// funcSummary is the interprocedural contract of one module function.
+type funcSummary struct {
+	results      []taintVal           // taint of each result value
+	paramWrites  map[int]paramEffect  // in-place taint written through param i
+	paramSinks   uint32               // params that reach a sink inside
+	paramToField map[int][]*types.Var // params stored into struct fields
+}
+
+// taintFinding is one sink hit discovered with absolute taint.
+type taintFinding struct {
+	pos token.Pos
+	pkg *Package
+	msg string
+}
+
+// taintEngine carries the global fixpoint state.
+type taintEngine struct {
+	graph     *ModuleGraph
+	sums      map[types.Object]*funcSummary
+	fieldTint map[*types.Var]bool // struct fields observed to hold taint
+	varTint   map[*types.Var]bool // package-level vars observed to hold taint
+	findings  []taintFinding
+	seen      map[token.Pos]bool
+	changed   bool
+}
+
+func newTaintEngine(g *ModuleGraph) *taintEngine {
+	return &taintEngine{
+		graph:     g,
+		sums:      make(map[types.Object]*funcSummary),
+		fieldTint: make(map[*types.Var]bool),
+		varTint:   make(map[*types.Var]bool),
+		seen:      make(map[token.Pos]bool),
+	}
+}
+
+// run iterates every function to a global fixpoint. Findings recorded in
+// earlier rounds with provisional summaries stay valid: summaries only grow.
+func (e *taintEngine) run() {
+	for round := 0; ; round++ {
+		e.changed = false
+		for _, fi := range e.graph.Order {
+			e.analyzeFunc(fi)
+		}
+		if !e.changed || round > 32 {
+			return
+		}
+	}
+}
+
+// summary returns (allocating) the summary for fn.
+func (e *taintEngine) summary(fn types.Object) *funcSummary {
+	s := e.sums[fn]
+	if s == nil {
+		s = &funcSummary{
+			paramWrites:  make(map[int]paramEffect),
+			paramToField: make(map[int][]*types.Var),
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok {
+			s.results = make([]taintVal, sig.Results().Len())
+		}
+		e.sums[fn] = s
+	}
+	return s
+}
+
+// --- Source / sanitizer / sink tables ---------------------------------------
+
+const persistPath = "overshadow/internal/persist"
+
+// isTaintSource reports whether calling obj yields tainted results:
+// persist.SealKey mints the sealing key from the domain-key hierarchy.
+func isTaintSource(obj types.Object) bool {
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == persistPath && obj.Name() == "SealKey" && recvNamed(obj) == ""
+}
+
+// isInPlaceDecrypt reports whether obj decrypts its final []byte argument in
+// place — (*cloak.Engine).DecryptPage turns verified ciphertext into cloaked
+// plaintext in the caller's buffer.
+func isInPlaceDecrypt(obj types.Object) bool {
+	return objIs(obj, cloakPath, "Engine", "DecryptPage")
+}
+
+// isSanitizerPkg reports whether results of pkg's functions are safe to
+// publish regardless of argument taint: ciphertext, MACs, and digests are
+// the intended public face of the secrets that went in.
+func isSanitizerPkg(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return strings.HasPrefix(p, "crypto/") || p == "crypto" || p == "hash"
+}
+
+// sinkDescription classifies obj as an untrusted sink and names it for the
+// report. The sinks are the three ways bytes leave the trust boundary:
+// raw block-device writes (the kernel and any adversary can read the disk),
+// trace/span emission (exported to host-side JSON), and host log output.
+func sinkDescription(obj types.Object) string {
+	switch {
+	case objIs(obj, machPath, "Disk", "Write"), objIs(obj, machPath, "Disk", "Poke"),
+		objIs(obj, machPath, "Disk", "PokeRaw"):
+		return "raw disk write (mach.Disk." + obj.Name() + ")"
+	case objIs(obj, "overshadow/internal/sim", "World", "Emit"),
+		objIs(obj, "overshadow/internal/sim", "World", "EmitSpan"),
+		objIs(obj, "overshadow/internal/sim", "World", "Begin"):
+		return "trace emission (sim.World." + obj.Name() + ")"
+	}
+	if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(obj.Name(), "Print") || strings.HasPrefix(obj.Name(), "Fprint")) {
+		return "log/console output (fmt." + obj.Name() + ")"
+	}
+	return ""
+}
+
+// --- Intraprocedural pass ----------------------------------------------------
+
+// funcState is the per-function flow-insensitive state for one analysis
+// visit.
+type funcState struct {
+	eng      *taintEngine
+	fi       *FuncInfo
+	info     *types.Info
+	sum      *funcSummary
+	params   map[*types.Var]int // param object -> bit index (receiver = 0)
+	results  map[*types.Var]int // named result object -> result index
+	resTypes []types.Type       // declared result types, by index
+	local    map[types.Object]taintVal
+	funcLits map[*ast.FuncLit]bool
+	changed  bool
+}
+
+func (e *taintEngine) analyzeFunc(fi *FuncInfo) {
+	fn := fi.Obj
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	st := &funcState{
+		eng:      e,
+		fi:       fi,
+		info:     fi.Pkg.Info,
+		sum:      e.summary(fn),
+		params:   make(map[*types.Var]int),
+		results:  make(map[*types.Var]int),
+		local:    make(map[types.Object]taintVal),
+		funcLits: make(map[*ast.FuncLit]bool),
+	}
+	idx := 0
+	if recv := sig.Recv(); recv != nil {
+		st.params[recv] = idx
+		idx++
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if idx < maxTrackedParams {
+			st.params[sig.Params().At(i)] = idx
+		}
+		idx++
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		st.results[sig.Results().At(i)] = i
+		st.resTypes = append(st.resTypes, sig.Results().At(i).Type())
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			st.funcLits[fl] = true
+		}
+		return true
+	})
+	// Iterate the body until the local state stops changing so taint crosses
+	// statement order (loops, later-use-before-taint in this lattice).
+	for pass := 0; pass < 8; pass++ {
+		st.changed = false
+		st.walkBody()
+		if !st.changed {
+			break
+		}
+	}
+}
+
+// walkBody makes one pass over every statement and expression of the body,
+// closures included (their bodies share the local state; only their return
+// statements are kept out of the enclosing summary).
+func (st *funcState) walkBody() {
+	ast.Inspect(st.fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			st.assign(n)
+		case *ast.ValueSpec:
+			st.valueSpec(n)
+		case *ast.RangeStmt:
+			st.rangeStmt(n)
+		case *ast.ReturnStmt:
+			if !st.insideFuncLit(n.Pos()) {
+				st.returnStmt(n)
+			}
+		case *ast.CallExpr:
+			// Visiting every call (conditions, arguments, statements alike)
+			// is what fires effect and sink processing exactly once per site.
+			st.callEffects(n)
+		case *ast.CompositeLit:
+			st.compositeFields(n)
+		}
+		return true
+	})
+}
+
+// compositeFields marks struct fields initialized with tainted values in a
+// composite literal (Record{Data: plaintext} is a field store).
+func (st *funcState) compositeFields(lit *ast.CompositeLit) {
+	tv, ok := st.info.Types[lit]
+	if !ok {
+		return
+	}
+	strct, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for ei, el := range lit.Elts {
+		var f *types.Var
+		val := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				if v, ok := st.info.Uses[id].(*types.Var); ok && v.IsField() {
+					f = v
+				}
+			}
+		} else if ei < strct.NumFields() {
+			f = strct.Field(ei)
+		}
+		if f == nil {
+			continue
+		}
+		t := st.exprTaint(val)
+		if t.abs {
+			st.markField(f)
+		}
+		for j := 0; j < maxTrackedParams; j++ {
+			if t.params&(1<<j) != 0 {
+				st.addParamField(j, f)
+			}
+		}
+	}
+}
+
+// insideFuncLit reports whether pos falls inside a function literal of this
+// body (whose returns belong to the literal, not the declaration).
+func (st *funcState) insideFuncLit(pos token.Pos) bool {
+	for fl := range st.funcLits {
+		if fl.Body != nil && fl.Body.Pos() <= pos && pos <= fl.Body.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Expression taint ---------------------------------------------------------
+
+func (st *funcState) exprTaint(e ast.Expr) taintVal {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return st.identTaint(e)
+	case *ast.ParenExpr:
+		return st.exprTaint(e.X)
+	case *ast.SelectorExpr:
+		return st.selectorTaint(e)
+	case *ast.StarExpr:
+		return st.exprTaint(e.X)
+	case *ast.UnaryExpr:
+		return st.exprTaint(e.X)
+	case *ast.BinaryExpr:
+		return st.exprTaint(e.X).or(st.exprTaint(e.Y))
+	case *ast.IndexExpr:
+		return st.exprTaint(e.X)
+	case *ast.SliceExpr:
+		return st.exprTaint(e.X)
+	case *ast.TypeAssertExpr:
+		return st.exprTaint(e.X)
+	case *ast.CompositeLit:
+		var t taintVal
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			t = t.or(st.exprTaint(el))
+		}
+		return t
+	case *ast.CallExpr:
+		res := st.callResults(e)
+		if len(res) > 0 {
+			return res[0]
+		}
+		return taintVal{}
+	}
+	return taintVal{}
+}
+
+func (st *funcState) identTaint(id *ast.Ident) taintVal {
+	obj := st.info.Uses[id]
+	if obj == nil {
+		obj = st.info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return taintVal{}
+	}
+	t := st.local[obj]
+	if i, isParam := st.params[v]; isParam && i < maxTrackedParams && canCarryBytes(v.Type()) {
+		t.params |= 1 << i
+	}
+	if st.eng.varTint[v] {
+		t.abs = true
+	}
+	return t
+}
+
+func (st *funcState) selectorTaint(sel *ast.SelectorExpr) taintVal {
+	t := st.exprTaint(sel.X)
+	if f := st.fieldOf(sel); f != nil && st.eng.fieldTint[f] {
+		t.abs = true
+	}
+	return t
+}
+
+// fieldOf resolves sel to a struct-field object, or nil.
+func (st *funcState) fieldOf(sel *ast.SelectorExpr) *types.Var {
+	if s, ok := st.info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	if v, ok := st.info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// --- Calls: results, effects, sinks ------------------------------------------
+
+// callResults computes the taint of each result of a call.
+func (st *funcState) callResults(call *ast.CallExpr) []taintVal {
+	// Type conversions keep the operand's taint ([]byte(s), string(b)).
+	if tv, ok := st.info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return []taintVal{st.exprTaint(call.Args[0])}
+		}
+		return []taintVal{{}}
+	}
+	callee := calleeObject(st.info, call)
+	argVals := st.argTaints(call, callee)
+	orArgs := func() taintVal {
+		var t taintVal
+		for _, a := range argVals {
+			t = t.or(a)
+		}
+		return t
+	}
+	switch {
+	case callee == nil:
+		// Dynamic call or builtin: propagate conservatively.
+		return []taintVal{orArgs()}
+	case isTaintSource(callee):
+		return []taintVal{{abs: true}}
+	case isSanitizerPkg(callee.Pkg()):
+		return []taintVal{{}}
+	}
+	if sum, isModuleFn := st.moduleSummary(callee); isModuleFn {
+		out := make([]taintVal, len(sum.results))
+		for ri, r := range sum.results {
+			t := taintVal{abs: r.abs}
+			for i := 0; i < len(argVals) && i < maxTrackedParams; i++ {
+				if r.params&(1<<i) != 0 {
+					t = t.or(argVals[i])
+				}
+			}
+			out[ri] = t
+		}
+		if len(out) == 0 {
+			out = []taintVal{{}}
+		}
+		return out
+	}
+	// Unknown externals (fmt.Sprintf, strings, bytes, ...) propagate.
+	return []taintVal{orArgs()}
+}
+
+// moduleSummary returns the summary for a module-declared function with a
+// body, if that is what callee is.
+func (st *funcState) moduleSummary(callee types.Object) (*funcSummary, bool) {
+	if _, ok := st.eng.graph.Funcs[callee]; !ok {
+		return nil, false
+	}
+	return st.eng.summary(callee), true
+}
+
+// argTaints evaluates taint for the receiver (if any) plus every argument,
+// aligned with summary parameter indices.
+func (st *funcState) argTaints(call *ast.CallExpr, callee types.Object) []taintVal {
+	var vals []taintVal
+	if callee != nil && recvNamed(callee) != "" {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			vals = append(vals, st.exprTaint(sel.X))
+		} else {
+			vals = append(vals, taintVal{})
+		}
+	}
+	for _, a := range call.Args {
+		vals = append(vals, st.exprTaint(a))
+	}
+	return vals
+}
+
+// callEffects handles the stateful half of a call: in-place taint written
+// through arguments, stores into fields, and sink hits.
+func (st *funcState) callEffects(call *ast.CallExpr) {
+	if tv, ok := st.info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	// copy(dst, src) writes src's bytes into dst in place; append returns a
+	// value handled by callResults.
+	if name, ok := builtinName(st.info, call); ok {
+		if name == "copy" && len(call.Args) == 2 {
+			st.storeTaint(call.Args[0], st.exprTaint(call.Args[1]))
+		}
+		return
+	}
+	callee := calleeObject(st.info, call)
+	if callee == nil {
+		return
+	}
+	argVals := st.argTaints(call, callee)
+	argExprs := st.argExprs(call, callee)
+
+	if isInPlaceDecrypt(callee) && len(argExprs) > 0 {
+		st.storeTaint(argExprs[len(argExprs)-1], taintVal{abs: true})
+	}
+
+	if desc := sinkDescription(callee); desc != "" {
+		for _, av := range argVals {
+			if av.abs {
+				st.reportSink(call.Pos(), "cloaked plaintext flows to %s", desc)
+			}
+			if av.params != 0 {
+				st.addParamSinks(av.params)
+			}
+		}
+		return
+	}
+
+	sum, isModuleFn := st.moduleSummary(callee)
+	if !isModuleFn {
+		return
+	}
+	for i, eff := range sum.paramWrites {
+		if i >= len(argExprs) {
+			continue
+		}
+		t := taintVal{abs: eff.abs}
+		for j := 0; j < len(argVals) && j < maxTrackedParams; j++ {
+			if eff.fromParams&(1<<j) != 0 {
+				t = t.or(argVals[j])
+			}
+		}
+		if !t.isZero() {
+			st.storeTaint(argExprs[i], t)
+		}
+	}
+	for i, fields := range sum.paramToField {
+		if i >= len(argVals) {
+			continue
+		}
+		if argVals[i].abs {
+			for _, f := range fields {
+				st.markField(f)
+			}
+		}
+		if argVals[i].params != 0 {
+			// The field store becomes ours to report to our own callers.
+			for j := 0; j < maxTrackedParams; j++ {
+				if argVals[i].params&(1<<j) != 0 {
+					for _, f := range fields {
+						st.addParamField(j, f)
+					}
+				}
+			}
+		}
+	}
+	if sum.paramSinks != 0 {
+		for i := 0; i < len(argVals) && i < maxTrackedParams; i++ {
+			if sum.paramSinks&(1<<i) == 0 {
+				continue
+			}
+			if argVals[i].abs {
+				st.reportSink(call.Pos(), "cloaked plaintext passed to %s, which lets it reach an untrusted sink", calleeLabel(callee))
+			}
+			if argVals[i].params != 0 {
+				st.addParamSinks(argVals[i].params)
+			}
+		}
+	}
+}
+
+// argExprs aligns argument expressions with summary parameter indices
+// (receiver first for methods).
+func (st *funcState) argExprs(call *ast.CallExpr, callee types.Object) []ast.Expr {
+	var out []ast.Expr
+	if callee != nil && recvNamed(callee) != "" {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			out = append(out, sel.X)
+		} else {
+			out = append(out, nil)
+		}
+	}
+	out = append(out, call.Args...)
+	return out
+}
+
+// calleeLabel renders pkg-qualified callee name for messages.
+func calleeLabel(obj types.Object) string {
+	if obj == nil {
+		return "call"
+	}
+	name := obj.Name()
+	if r := recvNamed(obj); r != "" {
+		name = r + "." + name
+	}
+	if obj.Pkg() != nil {
+		parts := strings.Split(obj.Pkg().Path(), "/")
+		name = parts[len(parts)-1] + "." + name
+	}
+	return name
+}
+
+// --- State mutation -----------------------------------------------------------
+
+// bindTaint rebinds an identifier's local taint (plain assignment). Taint
+// only binds to byte-carrying destinations — see canCarryBytes.
+func (st *funcState) bindTaint(obj types.Object, t taintVal) {
+	if obj == nil || t.isZero() || !canCarryBytes(obj.Type()) {
+		return
+	}
+	old := st.local[obj]
+	nw := old.or(t)
+	if nw != old {
+		st.local[obj] = nw
+		st.changed = true
+	}
+	// Binding into a named result variable feeds the summary.
+	if v, ok := obj.(*types.Var); ok {
+		if ri, isRes := st.results[v]; isRes {
+			st.addResultTaint(ri, t)
+		}
+	}
+	// Package-level vars become globally tainted.
+	if v, ok := obj.(*types.Var); ok && !v.IsField() && st.isPackageLevel(v) && t.abs {
+		if !st.eng.varTint[v] {
+			st.eng.varTint[v] = true
+			st.eng.changed = true
+			st.changed = true
+		}
+	}
+}
+
+func (st *funcState) isPackageLevel(v *types.Var) bool {
+	if v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope()
+}
+
+// storeTaint writes taint through an lvalue's memory: slices, pointers,
+// fields, and — when the base is a parameter — the caller's argument.
+func (st *funcState) storeTaint(lv ast.Expr, t taintVal) {
+	if lv == nil || t.isZero() {
+		return
+	}
+	switch lv := ast.Unparen(lv).(type) {
+	case *ast.Ident:
+		obj := st.info.Uses[lv]
+		if obj == nil {
+			obj = st.info.Defs[lv]
+		}
+		st.bindTaint(obj, t)
+		if v, ok := obj.(*types.Var); ok && canCarryBytes(v.Type()) {
+			if i, isParam := st.params[v]; isParam {
+				st.addParamWrite(i, paramEffect{abs: t.abs, fromParams: t.params})
+			}
+		}
+	case *ast.SelectorExpr:
+		if f := st.fieldOf(lv); f != nil {
+			if t.abs {
+				st.markField(f)
+			}
+			if t.params != 0 {
+				for j := 0; j < maxTrackedParams; j++ {
+					if t.params&(1<<j) != 0 {
+						st.addParamField(j, f)
+					}
+				}
+			}
+		}
+	case *ast.StarExpr:
+		st.storeTaint(lv.X, t)
+	case *ast.IndexExpr:
+		st.storeTaint(lv.X, t)
+	case *ast.SliceExpr:
+		st.storeTaint(lv.X, t)
+	}
+}
+
+func (st *funcState) markField(f *types.Var) {
+	if !canCarryBytes(f.Type()) {
+		return
+	}
+	if !st.eng.fieldTint[f] {
+		st.eng.fieldTint[f] = true
+		st.eng.changed = true
+		st.changed = true
+	}
+}
+
+func (st *funcState) addParamWrite(i int, eff paramEffect) {
+	// A parameter's own bit flowing back into itself is not an effect.
+	eff.fromParams &^= 1 << i
+	if !eff.abs && eff.fromParams == 0 {
+		return
+	}
+	old := st.sum.paramWrites[i]
+	nw := old.or(eff)
+	if nw != old {
+		st.sum.paramWrites[i] = nw
+		st.eng.changed = true
+		st.changed = true
+	}
+}
+
+func (st *funcState) addParamField(i int, f *types.Var) {
+	if !canCarryBytes(f.Type()) {
+		return
+	}
+	for _, have := range st.sum.paramToField[i] {
+		if have == f {
+			return
+		}
+	}
+	st.sum.paramToField[i] = append(st.sum.paramToField[i], f)
+	st.eng.changed = true
+	st.changed = true
+}
+
+func (st *funcState) addParamSinks(mask uint32) {
+	if st.sum.paramSinks|mask != st.sum.paramSinks {
+		st.sum.paramSinks |= mask
+		st.eng.changed = true
+		st.changed = true
+	}
+}
+
+func (st *funcState) addResultTaint(ri int, t taintVal) {
+	if ri >= len(st.sum.results) || ri >= len(st.resTypes) || !canCarryBytes(st.resTypes[ri]) {
+		return
+	}
+	old := st.sum.results[ri]
+	nw := old.or(t)
+	if nw != old {
+		st.sum.results[ri] = nw
+		st.eng.changed = true
+		st.changed = true
+	}
+}
+
+func (st *funcState) reportSink(pos token.Pos, format, arg string) {
+	if st.eng.seen[pos] {
+		return
+	}
+	st.eng.seen[pos] = true
+	st.eng.findings = append(st.eng.findings, taintFinding{
+		pos: pos,
+		pkg: st.fi.Pkg,
+		msg: strings.Replace(format, "%s", arg, 1),
+	})
+}
+
+// --- Statements ---------------------------------------------------------------
+
+func (st *funcState) assign(n *ast.AssignStmt) {
+	// Compound ops (+=, |=, ...) merge into the target.
+	if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+		if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+			st.assignOne(n.Lhs[0], st.exprTaint(n.Rhs[0]))
+		}
+		return
+	}
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+			res := st.callResults(call)
+			for i, lhs := range n.Lhs {
+				if i < len(res) {
+					st.assignOne(lhs, res[i])
+				}
+			}
+			return
+		}
+		// Comma-ok forms: value taint from the operand.
+		t := st.exprTaint(n.Rhs[0])
+		st.assignOne(n.Lhs[0], t)
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if i < len(n.Rhs) {
+			st.assignOne(lhs, st.exprTaint(n.Rhs[i]))
+		}
+	}
+}
+
+// assignOne routes one assignment: identifiers rebind, everything else is a
+// store through memory.
+func (st *funcState) assignOne(lhs ast.Expr, t taintVal) {
+	if t.isZero() {
+		return
+	}
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		obj := st.info.Defs[id]
+		if obj == nil {
+			obj = st.info.Uses[id]
+		}
+		st.bindTaint(obj, t)
+		return
+	}
+	st.storeTaint(lhs, t)
+}
+
+func (st *funcState) valueSpec(n *ast.ValueSpec) {
+	if len(n.Values) == 1 && len(n.Names) > 1 {
+		if call, ok := ast.Unparen(n.Values[0]).(*ast.CallExpr); ok {
+			res := st.callResults(call)
+			for i, name := range n.Names {
+				if i < len(res) {
+					st.bindTaint(st.info.Defs[name], res[i])
+				}
+			}
+		}
+		return
+	}
+	for i, name := range n.Names {
+		if i < len(n.Values) {
+			st.bindTaint(st.info.Defs[name], st.exprTaint(n.Values[i]))
+		}
+	}
+}
+
+func (st *funcState) rangeStmt(n *ast.RangeStmt) {
+	t := st.exprTaint(n.X)
+	if t.isZero() {
+		return
+	}
+	if n.Value != nil {
+		st.assignOne(n.Value, t)
+	}
+	if n.Key != nil {
+		st.assignOne(n.Key, t)
+	}
+}
+
+func (st *funcState) returnStmt(n *ast.ReturnStmt) {
+	if len(n.Results) == 0 {
+		return // named results already fed via bindTaint
+	}
+	if len(n.Results) == 1 && len(st.sum.results) > 1 {
+		if call, ok := ast.Unparen(n.Results[0]).(*ast.CallExpr); ok {
+			for i, t := range st.callResults(call) {
+				st.addResultTaint(i, t)
+			}
+			return
+		}
+	}
+	for i, r := range n.Results {
+		st.addResultTaint(i, st.exprTaint(r))
+	}
+}
+
+// --- Engine cache -------------------------------------------------------------
+
+// taintResultsOf runs (memoized) the taint engine over a loaded package set.
+func taintResultsOf(pkgs []*Package) *taintEngine {
+	if cachedTaint != nil && cachedTaintKey == pkgs[len(pkgs)-1] && cachedTaintLen == len(pkgs) {
+		return cachedTaint
+	}
+	e := newTaintEngine(moduleGraphOf(pkgs))
+	e.run()
+	cachedTaint, cachedTaintKey, cachedTaintLen = e, pkgs[len(pkgs)-1], len(pkgs)
+	return e
+}
+
+var (
+	cachedTaint    *taintEngine
+	cachedTaintKey *Package
+	cachedTaintLen int
+)

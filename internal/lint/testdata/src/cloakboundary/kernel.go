@@ -1,11 +1,12 @@
 // Package guestos is cloakboundary-analyzer testdata loaded under the
 // production import path overshadow/internal/guestos, importing the real
-// mach and cloak packages.
+// mach, cloak, and vmm packages.
 package guestos
 
 import (
 	"overshadow/internal/cloak"
 	"overshadow/internal/mach"
+	"overshadow/internal/vmm"
 )
 
 func badMemoryHandle(m *mach.Memory) { // want `references mach\.Memory`
@@ -36,4 +37,15 @@ func allowedHandle() {
 	//overlint:allow cloakboundary -- testdata: deliberate exception
 	var m *mach.Memory
 	_ = m
+}
+
+// The domain handle is the cloaked process's capability; the untrusted
+// kernel must not hold one in a field, accept one as a parameter, or call
+// methods on a smuggled value.
+type connHolder struct {
+	conn *vmm.DomainConn // want `references vmm\.DomainConn`
+}
+
+func badConnCall(c *vmm.DomainConn) cloak.DomainID { // want `references vmm\.DomainConn`
+	return c.Domain() // want `calls vmm\.DomainConn\.Domain`
 }

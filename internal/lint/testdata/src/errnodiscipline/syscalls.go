@@ -33,6 +33,28 @@ func badDiscards() {
 	go fallible()    // want `spawned call to fallible discards its error result`
 }
 
+// must1 mirrors the harness's generic must helper: the error is consumed
+// inside, the returned value is already checked.
+func must1[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func sysErr() (Errno, error) { return OK, nil }
+
+// tryAll has a literal error result even though it is generic: still flagged.
+func tryAll[T any](v T) error { return nil }
+
+func okMustHelpers() {
+	must1(sysRead())       // T instantiates to int: nothing error-like
+	must1(sysErr())        // T instantiates to Errno: checked inside must1, not a discard
+	must1[Errno](sysErr()) // explicit instantiation, same exemption
+	tryAll(1)              // want `call to tryAll discards its error result`
+	defer must1(sysErr())  // deferred must is still a handled error
+}
+
 func badRawErrno() Errno {
 	return Errno(99) // want `raw errno literal Errno\(99\)`
 }

@@ -1,0 +1,111 @@
+// Package guestos is hotpathalloc-analyzer testdata loaded under the
+// production import path overshadow/internal/guestos. Kernel.switchTo is a
+// hot root; everything it reaches is on the hot path, and structurally
+// identical code outside the closure must stay silent.
+package guestos
+
+import "fmt"
+
+type node struct{ v int }
+
+type Kernel struct {
+	runq []int
+	seen map[int]bool
+	buf  []byte
+}
+
+// switchTo is a hot-path root by name.
+func (k *Kernel) switchTo(n int) {
+	b := make([]byte, 64) // want `make \(heap allocation\) on hot path \(Kernel\.switchTo\)`
+	_ = b
+	k.helper(n)
+	_ = k.name("p", n)
+	k.box(n)
+	_ = k.fail(n)
+	_ = k.alloc()
+	_ = k.conv("x")
+	k.lits()
+	k.traced(n)
+	k.allowedAlloc()
+	if n < 0 {
+		// Failure paths are cold: the panic argument may allocate.
+		panic(fmt.Sprintf("bad slice %d", n))
+	}
+}
+
+// helper is hot purely by reachability from switchTo.
+func (k *Kernel) helper(n int) {
+	// Self-append: the run queue grows to steady-state capacity and stops
+	// allocating; exempt.
+	k.runq = append(k.runq, n)
+	tmp := append(k.buf, byte(n)) // want `append \(growth reallocates\) on hot path \(Kernel\.helper\)`
+	_ = tmp
+	for g := range k.seen { // want `map range \(randomized order, cache-hostile\) on hot path \(Kernel\.helper\)`
+		_ = g
+	}
+}
+
+func (k *Kernel) name(s string, v int) string {
+	return s + label(v) // want `string concatenation on hot path \(Kernel\.name\)`
+}
+
+func label(v int) string {
+	if v == 0 {
+		return "zero"
+	}
+	return "other"
+}
+
+func (k *Kernel) box(v int) {
+	sink(v) // want `interface boxing \(int to interface\{\}\) on hot path \(Kernel\.box\)`
+}
+
+func sink(x interface{}) { _ = x }
+
+// Error construction is cold even inside a hot function.
+func (k *Kernel) fail(n int) error {
+	if n > 0 {
+		return fmt.Errorf("bad %d", n)
+	}
+	return nil
+}
+
+func (k *Kernel) alloc() *node {
+	return &node{v: 1} // want `heap allocation \(&composite literal\) on hot path \(Kernel\.alloc\)`
+}
+
+func (k *Kernel) conv(s string) []byte {
+	return []byte(s) // want `string/\[\]byte conversion \(copies\) on hot path \(Kernel\.conv\)`
+}
+
+func (k *Kernel) lits() {
+	xs := []int{1, 2} // want `slice literal \(heap allocation\) on hot path \(Kernel\.lits\)`
+	_ = xs
+}
+
+func (k *Kernel) TraceEnabled() bool { return false }
+
+// A TraceEnabled guard marks its body cold: the protected fast path is the
+// trace-disabled one.
+func (k *Kernel) traced(n int) {
+	if k.TraceEnabled() {
+		_ = fmt.Sprint(n)
+	}
+}
+
+// coldSetup is structurally identical to hot code but unreachable from any
+// root: no findings.
+func (k *Kernel) coldSetup() {
+	k.seen = make(map[int]bool)
+	ys := []int{3}
+	_ = ys
+}
+
+// An allow comment suppresses a hot-path finding.
+func (k *Kernel) allowedAlloc() {
+	//overlint:allow hotpathalloc -- testdata: deliberate exception
+	b := make([]byte, 8)
+	_ = b
+	k2 := k
+	_ = k2
+}

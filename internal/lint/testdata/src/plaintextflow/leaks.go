@@ -1,0 +1,90 @@
+// Package guestos is plaintextflow-analyzer testdata loaded under the
+// production import path overshadow/internal/guestos. It imports the real
+// persist (taint source), cloak (in-place decrypt source), mach (disk sinks),
+// and sim (trace sinks) packages, so the source/sink tables fire exactly as
+// on the production tree.
+package guestos
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"overshadow/internal/cloak"
+	"overshadow/internal/mach"
+	"overshadow/internal/obs"
+	"overshadow/internal/persist"
+	"overshadow/internal/sim"
+)
+
+// Direct flow: the sealing key straight to a raw block write.
+func directLeak(d *mach.Disk) {
+	key := persist.SealKey(1)
+	d.Write(0, key[:]) // want `cloaked plaintext flows to raw disk write \(mach\.Disk\.Write\)`
+}
+
+// Interprocedural flow: the leak the PR 1 AST rules cannot see. The sink is
+// inside a helper; the finding lands at the call that hands it the secret.
+func helperLeak(d *mach.Disk) {
+	key := persist.SealKey(2)
+	writeBlock(d, key[:]) // want `cloaked plaintext passed to guestos\.writeBlock, which lets it reach an untrusted sink`
+}
+
+// writeBlock itself reports nothing: its argument is only conditionally
+// tainted, so the sink hit is recorded in the summary for callers.
+func writeBlock(d *mach.Disk, b []byte) {
+	_ = d.Write(1, b)
+}
+
+// Two layers of forwarding: the conditional-sink summary propagates through
+// intermediate helpers, still blaming the call site that held the secret.
+func doubleHelperLeak(d *mach.Disk) {
+	key := persist.SealKey(3)
+	stash(d, key[:]) // want `cloaked plaintext passed to guestos\.stash, which lets it reach an untrusted sink`
+}
+
+func stash(d *mach.Disk, b []byte) {
+	writeBlock(d, b)
+}
+
+// Field flow: a secret stored in a struct field in one function taints every
+// read of that field module-wide.
+type vault struct {
+	buf []byte
+}
+
+func fillVault(v *vault) {
+	k := persist.SealKey(4)
+	v.buf = k[:]
+}
+
+func leakVault(w *sim.World, v *vault) {
+	w.Emit(obs.KindFault, string(v.buf), 0) // want `cloaked plaintext flows to trace emission \(sim\.World\.Emit\)`
+}
+
+// In-place decrypt source: DecryptPage turns the caller's buffer into
+// cloaked plaintext; logging it afterwards is a leak.
+func decryptLeak(e *cloak.Engine, page []byte) {
+	var meta cloak.Meta
+	_ = e.DecryptPage(cloak.PageID{}, meta, page)
+	fmt.Println(string(page)) // want `cloaked plaintext flows to log/console output \(fmt\.Println\)`
+}
+
+// Sanitizer: digests are the intended public face of the secrets that went
+// in; publishing one is not a leak.
+func okDigest(d *mach.Disk) {
+	k := persist.SealKey(5)
+	sum := sha256.Sum256(k[:])
+	_ = d.Write(2, sum[:])
+}
+
+// Conditional-only taint with no tainted caller is silent.
+func okPlainWrite(d *mach.Disk, b []byte) error {
+	return d.Write(3, b)
+}
+
+// A reviewed allow comment suppresses the finding.
+func allowedLeak(d *mach.Disk) {
+	key := persist.SealKey(6)
+	//overlint:allow plaintextflow -- testdata: deliberate exception
+	_ = d.Write(4, key[:])
+}

@@ -1,0 +1,85 @@
+// Package vmm is smpready-analyzer testdata loaded under the production
+// import path overshadow/internal/vmm (one of the gated machine-model
+// packages). It declares entry-group roots by name — Translate, EnterKernel,
+// PhysWrite, HCCreateDomain, exported DomainConn methods — and shared state
+// written from various subsets of them.
+package vmm
+
+import "sync"
+
+var epoch uint64 // want `package-level var epoch is written at runtime; SMP needs per-vCPU or synchronized state`
+
+// Never written: sentinel values carry no race.
+var Sentinel = errString("boom")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+//overlint:allow smpready -- testdata: deliberate exception
+var allowedVar int
+
+// Shadow is written from the translate and trap groups with no mutex.
+type Shadow struct { // want `struct Shadow: fields hits written from vCPU entry groups translate, trap without a mutex field`
+	hits uint64
+}
+
+// Buf is written from translate and from a guest-initiated DomainConn
+// hypercall (the dynamically seeded hypercall group).
+type Buf struct { // want `struct Buf: fields data written from vCPU entry groups hypercall, translate without a mutex field`
+	data []byte
+}
+
+// Locked is written from two groups too, but the mutex field declares the
+// serialization intent: no finding.
+type Locked struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+// OneSide is written from a single group only: no finding.
+type OneSide struct {
+	count uint64
+}
+
+type VMM struct {
+	sh  *Shadow
+	buf *Buf
+	lk  *Locked
+	one *OneSide
+}
+
+type Thread struct{ v *VMM }
+
+type DomainConn struct{ v *VMM }
+
+// Translate roots the translate group.
+func (v *VMM) Translate(addr uint64) uint64 {
+	epoch++
+	allowedVar = 1
+	v.sh.hits++
+	v.buf.data = nil
+	return addr
+}
+
+// EnterKernel roots the trap group.
+func (t *Thread) EnterKernel() {
+	t.v.sh.hits++
+}
+
+// PhysWrite roots the physio group.
+func (v *VMM) PhysWrite(x uint64) {
+	v.lk.n = x
+	v.one.count++
+}
+
+// HCCreateDomain roots the hypercall group.
+func (v *VMM) HCCreateDomain() {
+	v.lk.n++
+}
+
+// Push is an exported DomainConn method: a guest-initiated hypercall
+// activation, seeded into the hypercall group dynamically.
+func (c *DomainConn) Push(b []byte) {
+	c.v.buf.data = b
+}

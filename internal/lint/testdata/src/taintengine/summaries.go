@@ -1,0 +1,42 @@
+// Package core is taint-engine testdata: each function exists to pin one
+// summary-propagation rule (result taint, recursion, in-place writes,
+// parameter sinks, closures).
+package core
+
+import (
+	"overshadow/internal/mach"
+	"overshadow/internal/persist"
+)
+
+// identity forwards its parameter to its result: results[0] must carry the
+// conditional bit for parameter 0.
+func identity(b []byte) []byte { return b }
+
+// chain forwards through its own recursion; the fixpoint must converge with
+// the conditional bit for parameter 1 (n is 0, b is 1).
+func chain(n int, b []byte) []byte {
+	if n == 0 {
+		return b
+	}
+	return chain(n-1, b)
+}
+
+// fill writes absolute taint through its parameter via the copy builtin.
+func fill(dst []byte) {
+	k := persist.SealKey(9)
+	copy(dst, k[:])
+}
+
+// sinkParam lets parameter 1 reach a raw disk write: paramSinks bit 1.
+func sinkParam(d *mach.Disk, b []byte) { _ = d.Write(0, b) }
+
+// closureTaint binds a source inside a function literal to a captured
+// variable that becomes the result: results[0] must be absolutely tainted.
+func closureTaint() []byte {
+	var out []byte
+	func() {
+		k := persist.SealKey(10)
+		out = k[:]
+	}()
+	return out
+}

@@ -79,6 +79,7 @@ func (t *TLB) evictOne() {
 // VMM uses this when a page changes view (cloak transitions must be visible
 // immediately in all contexts).
 func (t *TLB) InvalidatePage(vpn uint64) {
+	//overlint:allow hotpathalloc -- invalidation sweep bounded by TLB capacity; per-entry charges are order-independent
 	for key, e := range t.entries {
 		if e.vpn == vpn {
 			delete(t.entries, key)
@@ -103,6 +104,7 @@ func (t *TLB) InvalidateRange(base, pages uint64) {
 // InvalidateContext drops every translation tagged with ctx (address-space
 // teardown).
 func (t *TLB) InvalidateContext(ctx uint32) {
+	//overlint:allow hotpathalloc -- invalidation sweep bounded by TLB capacity; per-entry charges are order-independent
 	for key, e := range t.entries {
 		if e.ctx == ctx {
 			delete(t.entries, key)
@@ -113,6 +115,7 @@ func (t *TLB) InvalidateContext(ctx uint32) {
 
 // Flush empties the TLB entirely.
 func (t *TLB) Flush() {
+	//overlint:allow hotpathalloc -- full flush rebuilds the map; runs on context teardown, not per translation
 	t.entries = make(map[uint64]tlbEntry, t.cap)
 	t.order = t.order[:0]
 	t.world.ChargeCount(t.world.Cost.TLBFlush, sim.CtrTLBFlush)

@@ -201,7 +201,7 @@ func (j *Journal) DropDomain(d cloak.DomainID) {
 	// Deletion is commutative, so map iteration order cannot influence the
 	// resulting table or any bytes written (the single record below encodes
 	// only the domain ID).
-	//overlint:allow determinism -- domain-wide deletion is commutative; no serialized bytes depend on this order
+	//overlint:allow determinism,hotpathalloc -- domain-wide deletion is commutative; teardown sweep, no serialized bytes depend on this order
 	for id := range j.table {
 		if id.Domain == d {
 			delete(j.table, id)
@@ -274,16 +274,18 @@ func (j *Journal) checkpoint() {
 		return
 	}
 	j.ckptMarks = append(j.ckptMarks, j.world.Now())
+	//overlint:allow hotpathalloc -- checkpoint is periodic and amortized over many appends
 	ids := make([]cloak.PageID, 0, len(j.table))
 	// Keys are sorted before any byte is serialized; the encoded checkpoint
 	// is a pure function of the table contents. Location-only entries (a
 	// Locate that never saw a Put) carry no sealed metadata and are dropped.
-	//overlint:allow determinism -- keys are collected then sorted before serialization
+	//overlint:allow determinism,hotpathalloc -- checkpoint sweep; keys are collected then sorted before serialization
 	for id, e := range j.table {
 		if e.HasMeta {
 			ids = append(ids, id)
 		}
 	}
+	//overlint:allow hotpathalloc -- checkpoint sort; the boxing and closure are amortized over many appends
 	sort.Slice(ids, func(a, b int) bool { return pageIDLess(ids[a], ids[b]) })
 	n := uint64(len(ids))
 	if n > j.ckptBlocks*RecordsPerBlock {

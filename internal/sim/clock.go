@@ -33,6 +33,8 @@ func (c Cycles) String() string {
 // clock as they perform work; the guest OS uses it for preemption and timers.
 // A clock may carry a crash deadline: the first charge that reaches it stops
 // the whole machine at exactly that cycle (see SetCrashAt).
+//
+//overlint:allow smpready -- the clock is the SMP serialization point itself; ROADMAP item 1 gives it a lock or per-vCPU epochs
 type Clock struct {
 	now     Cycles
 	crashAt Cycles

@@ -5,6 +5,8 @@ package sim
 // adversary scheduling. Using our own generator rather than math/rand keeps
 // the sequence stable across Go releases, which keeps experiment outputs
 // byte-for-byte reproducible.
+//
+//overlint:allow smpready -- deterministic stream; SMP plan is per-vCPU streams seeded from the world seed
 type RNG struct {
 	state uint64
 }

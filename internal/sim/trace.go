@@ -6,6 +6,8 @@ import "overshadow/internal/obs"
 // is disabled by default: emission costs one branch until EnableTrace is
 // called, so production runs pay nothing for the instrumentation points
 // sprinkled through the VMM and guest kernel.
+//
+//overlint:allow smpready -- trace ring; SMP plan is per-vCPU rings merged at export
 type Tracer struct {
 	enabled bool
 	cap     int

@@ -96,7 +96,12 @@ func (w *World) InjectAt(site fault.Site) (fault.Kind, bool) {
 		return fault.None, false
 	}
 	w.Stats.Inc(CtrFaultInjected)
-	w.Emit(obs.KindFault, site.String()+"/"+kind.String(), uint64(site))
+	// The span name is only built when a tracer is listening: Emit is a
+	// no-op without one, and formatting per fired fault would otherwise be
+	// the injection path's only allocation.
+	if w.TraceEnabled() {
+		w.Emit(obs.KindFault, site.String()+"/"+kind.String(), uint64(site))
+	}
 	return kind, true
 }
 

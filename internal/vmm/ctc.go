@@ -52,6 +52,8 @@ func (k TrapKind) String() string {
 // flows back into the application; everything else is restored from the CTC
 // and tamper attempts are detected by comparing against the exposure
 // snapshot taken at trap entry.
+//
+//overlint:allow smpready -- a Thread is owned by exactly one vCPU at a time; the CTC handoff is the ownership transfer
 type Thread struct {
 	ID     ThreadID
 	Domain cloak.DomainID // 0 = uncloaked thread

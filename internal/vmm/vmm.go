@@ -26,6 +26,8 @@ const (
 
 // cloakPage is the VMM's registration for a guest-physical page that
 // currently holds cloaked material.
+//
+//overlint:allow smpready -- page state transitions serialize on the translate path today; SMP plan is a per-page spinlock
 type cloakPage struct {
 	state pageState
 	id    cloak.PageID
@@ -55,6 +57,8 @@ type Options struct {
 }
 
 // VMM is the hypervisor. One VMM instance runs one guest.
+//
+//overlint:allow smpready -- VMM-global state; ROADMAP item 1 introduces the big VMM lock before any second vCPU
 type VMM struct {
 	world *sim.World
 	opts  Options
@@ -219,6 +223,7 @@ func (v *VMM) machineOf(gppn mach.GPPN) (mach.MPN, bool) {
 // it to the audit trail.
 func (v *VMM) badGPPN(op string, gppn mach.GPPN) error {
 	v.logEvent(Event{Kind: EventResourceFault, GPPN: gppn,
+		//overlint:allow hotpathalloc -- resource-fault audit detail, exceptional path
 		Detail: fmt.Sprintf("%s: GPPN %d beyond guest memory (%d pages)", op, gppn, len(v.pmap))})
 	return &ResourceFault{Op: op,
 		Detail: fmt.Sprintf("GPPN %d beyond guest memory (%d pages)", gppn, len(v.pmap))}
@@ -264,6 +269,7 @@ func (v *VMM) DestroyAddressSpace(as *AddressSpace) {
 		list := v.domainSpaces[as.domain]
 		for i, q := range list {
 			if q == as {
+				//overlint:allow hotpathalloc -- address-space teardown, once per destroy
 				v.domainSpaces[as.domain] = append(list[:i], list[i+1:]...)
 				break
 			}
@@ -318,6 +324,7 @@ func (v *VMM) dropAllShadowsOfGPPN(gppn mach.GPPN) {
 		return
 	}
 	mpn := uint64(m)
+	//overlint:allow hotpathalloc -- shadow invalidation sweep; deletes are order-independent
 	for _, as := range v.spaces {
 		for view := View(0); view < numViews; view++ {
 			sh := as.shadows[view]
@@ -365,6 +372,7 @@ func (v *VMM) registerPage(gppn mach.GPPN, cp *cloakPage) {
 	v.pages[gppn] = cp
 	m := v.byDomain[cp.id.Domain]
 	if m == nil {
+		//overlint:allow hotpathalloc -- per-domain index map created once per domain
 		m = make(map[mach.GPPN]*cloakPage)
 		v.byDomain[cp.id.Domain] = m
 	}

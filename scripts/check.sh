@@ -5,7 +5,9 @@
 #   gofmt      every file formatted
 #   go vet     compiler-adjacent checks
 #   overlint   domain invariants (determinism, cloakboundary,
-#              errnodiscipline, cyclecharge) — see DESIGN.md
+#              errnodiscipline, cyclecharge, plaintextflow, hotpathalloc,
+#              smpready) — see DESIGN.md; also emits a JSON findings
+#              artifact and pins the smpready shared-state inventory
 #   build      everything compiles
 #   tests      full suite
 #   race       race detector over the concurrent packages (guest kernel
@@ -31,6 +33,25 @@ go run ./cmd/overlint ./...
 # deterministic exports: cover them explicitly even if the ./... expansion
 # above ever changes.
 go run ./cmd/overlint ./internal/obs ./cmd/overtrace
+# Machine-readable findings artifact (empty on a clean tree — the gate above
+# already failed otherwise). CI can archive it; reviewers can diff it.
+artifact="${OVERLINT_JSON:-overlint-findings.json}"
+go run ./cmd/overlint -json ./... > "$artifact"
+echo "overlint findings artifact: $artifact"
+
+# smpready inventory pin: every piece of shared mutable state the analyzer
+# flags carries an //overlint:allow with its SMP serialization argument.
+# That inventory may only shrink (ROADMAP item 1 lands locks or per-vCPU
+# state); a new allow means new shared state, which takes a deliberate,
+# reviewed bump of this pin.
+smp_allows=$(grep -rn "overlint:allow smpready" --include="*.go" internal | grep -cv testdata || true)
+max_smp_allows=7
+if [ "$smp_allows" -gt "$max_smp_allows" ]; then
+    echo "smpready inventory grew: $smp_allows allow directives (pinned at $max_smp_allows)" >&2
+    echo "new shared mutable state in mach/sim/vmm needs a serialization story before SMP" >&2
+    exit 1
+fi
+echo "smpready inventory: $smp_allows/$max_smp_allows allow directives"
 
 echo "== build"
 go build ./...

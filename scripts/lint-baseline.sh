@@ -1,0 +1,33 @@
+#!/bin/sh
+# lint-baseline.sh — (re)generate a lint baseline file for overlint's
+# -baseline flag. The baseline records today's findings as JSON; overlint
+# -baseline suppresses exactly those (matched by analyzer, file, and message,
+# ignoring line numbers), so a new analyzer can land and gate new regressions
+# while its backlog is burned down by review. Shrink the file by fixing or
+# //overlint:allow-annotating findings and rerunning this script.
+#
+# Usage: scripts/lint-baseline.sh [out.json] [packages...]
+#   out.json  defaults to lint-baseline.json in the module root
+#   packages  default to ./...
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="lint-baseline.json"
+if [ "$#" -gt 0 ]; then
+    out="$1"
+    shift
+fi
+
+# overlint exits 1 when findings exist — that is the expected case for a
+# baseline; only a load/analysis failure (exit 2) is an error here.
+status=0
+go run ./cmd/overlint -json "$@" > "$out" || status=$?
+if [ "$status" -ge 2 ]; then
+    rm -f "$out"
+    echo "lint-baseline: overlint failed (exit $status)" >&2
+    exit "$status"
+fi
+
+count=$(grep -c '"analyzer"' "$out" || true)
+echo "lint-baseline: recorded $count finding(s) in $out"
