@@ -17,6 +17,7 @@
 //	overbench -json                # emit tables as JSON
 //	overbench -e E2 -trace t.json  # also write a Perfetto-loadable trace
 //	overbench -metrics m.json      # also write attributed cycle metrics
+//	overbench -profile p.json      # also write a sim-time profile (see overprof)
 //	overbench -out bench.json      # write a bench record (cycles + wall time)
 //	overbench -baseline bench.json # embed baseline wall time + speedup in -out
 package main
@@ -44,6 +45,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit JSON instead of formatted tables")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON (load in Perfetto) to `file`")
 	metricsOut := flag.String("metrics", "", "write attributed cycle metrics JSON to `file`")
+	profileOut := flag.String("profile", "", "write a sim-time profile artifact (folded stacks + latency histograms) to `file`")
 	benchOut := flag.String("out", "", "write a bench record (per-experiment sim cycles + host wall time) to `file`")
 	baseline := flag.String("baseline", "", "bench record `file` to compare wall time against in -out")
 	flag.Parse()
@@ -56,11 +58,12 @@ func main() {
 	}
 
 	opts := harness.Options{Quick: !*full, Seed: *seed}
-	if *traceOut != "" || *metricsOut != "" {
+	if *traceOut != "" || *metricsOut != "" || *profileOut != "" {
 		opts.Observe = &harness.Observer{}
 		if *traceOut != "" {
 			opts.Observe.TraceCap = 1 << 18
 		}
+		opts.Observe.Profile = *profileOut != ""
 	}
 	selected := harness.Registry()
 	if *only != "" {
@@ -103,7 +106,7 @@ func main() {
 	}
 
 	if opts.Observe != nil {
-		writeObservations(opts.Observe, *traceOut, *metricsOut)
+		writeObservations(opts.Observe, *traceOut, *metricsOut, *profileOut)
 	}
 	if *benchOut != "" {
 		writeBenchRecord(*benchOut, *baseline, results, selected, opts, *shards, wall)
@@ -183,9 +186,9 @@ func writeBenchRecord(path, baselinePath string, results []harness.Result,
 		path, rec.WallMS, shards)
 }
 
-// writeObservations exports the collected spans and metrics to the
-// requested files.
-func writeObservations(ob *harness.Observer, tracePath, metricsPath string) {
+// writeObservations exports the collected spans, metrics, and profile to
+// the requested files.
+func writeObservations(ob *harness.Observer, tracePath, metricsPath, profilePath string) {
 	if tracePath != "" {
 		spans, ring := ob.Trace()
 		f, err := os.Create(tracePath)
@@ -213,6 +216,21 @@ func writeObservations(ob *harness.Observer, tracePath, metricsPath string) {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "overbench: wrote attributed metrics to %s\n", metricsPath)
+	}
+	if profilePath != "" {
+		doc := obs.BuildProfileJSON(ob.MergedProfile())
+		f, err := os.Create(profilePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteProfileJSON(f, doc); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "overbench: wrote profile (%d stacks, %d histograms) to %s\n",
+			len(doc.Folded), len(doc.Histograms), profilePath)
 	}
 }
 

@@ -21,13 +21,17 @@ import (
 var updateObs = flag.Bool("update", false, "rewrite observability golden files")
 
 // observedRun executes a small cloaked workload with full instrumentation
-// and returns the world's spans, ring state, and attributed metrics.
-func observedRun(t *testing.T, seed uint64) ([]obs.Span, obs.RingStats, *obs.Metrics) {
+// and returns the world's spans, ring state, attributed metrics, and
+// stack-attributed profile. Profiling rides along on the same run the trace
+// and breakdown goldens pin, which doubles as proof that enabling it does
+// not perturb the simulation.
+func observedRun(t *testing.T, seed uint64) ([]obs.Span, obs.RingStats, *obs.Metrics, *obs.Profile) {
 	t.Helper()
 	sys := core.NewSystem(core.Config{MemoryPages: 1024, Seed: seed})
 	sys.World.EnableTrace(1 << 14)
 	m := sys.World.EnableMetrics(nil)
 	sys.World.SetPhase("golden")
+	p := sys.World.EnableProfile(nil)
 	sys.Register("golden", func(e core.Env) {
 		buf, err := e.Alloc(2)
 		if err != nil {
@@ -76,7 +80,8 @@ func observedRun(t *testing.T, seed uint64) ([]obs.Span, obs.RingStats, *obs.Met
 	}
 	sys.Run()
 	spans, ring := sys.World.TraceSpans()
-	return spans, ring, m
+	p.AddDropped(sys.World.Tracer.Dropped())
+	return spans, ring, m, p
 }
 
 func checkObsGolden(t *testing.T, name string, got []byte) {
@@ -102,7 +107,7 @@ func checkObsGolden(t *testing.T, name string, got []byte) {
 // byte-identical output per seed.
 func TestChromeTraceGolden(t *testing.T) {
 	for _, seed := range []uint64{1, 2} {
-		spans, ring, _ := observedRun(t, seed)
+		spans, ring, _, _ := observedRun(t, seed)
 		var buf bytes.Buffer
 		if err := obs.WriteChromeTrace(&buf, spans, ring); err != nil {
 			t.Fatal(err)
@@ -114,7 +119,7 @@ func TestChromeTraceGolden(t *testing.T) {
 // TestBreakdownGolden pins the attributed cycle-breakdown text per seed.
 func TestBreakdownGolden(t *testing.T) {
 	for _, seed := range []uint64{1, 2} {
-		_, _, m := observedRun(t, seed)
+		_, _, m, _ := observedRun(t, seed)
 		var buf bytes.Buffer
 		if err := obs.WriteBreakdown(&buf, m); err != nil {
 			t.Fatal(err)
@@ -131,7 +136,7 @@ func goldenName(kind string, seed uint64) string {
 }
 
 func ext(kind string) string {
-	if kind == "trace" {
+	if kind == "trace" || kind == "profile" {
 		return "json"
 	}
 	return "txt"
@@ -141,8 +146,8 @@ func ext(kind string) string {
 // identical metrics snapshots and byte-identical exports — the property the
 // goldens rely on, checked directly so a violation fails even with -update.
 func TestObservabilityDeterministic(t *testing.T) {
-	spans1, ring1, m1 := observedRun(t, 7)
-	spans2, ring2, m2 := observedRun(t, 7)
+	spans1, ring1, m1, p1 := observedRun(t, 7)
+	spans2, ring2, m2, p2 := observedRun(t, 7)
 	if ring1 != ring2 {
 		t.Fatalf("ring stats differ across same-seed runs: %+v vs %+v", ring1, ring2)
 	}
@@ -169,13 +174,23 @@ func TestObservabilityDeterministic(t *testing.T) {
 	if !bytes.Equal(mj1.Bytes(), mj2.Bytes()) {
 		t.Fatalf("metrics JSON export differs across same-seed runs")
 	}
+	var pj1, pj2 bytes.Buffer
+	if err := obs.WriteProfileJSON(&pj1, obs.BuildProfileJSON(p1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteProfileJSON(&pj2, obs.BuildProfileJSON(p2)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pj1.Bytes(), pj2.Bytes()) {
+		t.Fatalf("profile artifact differs across same-seed runs")
+	}
 }
 
 // TestTraceCoversSpanKinds asserts the instrumented stack emits the span
 // taxonomy end to end: a cloaked workload doing syscalls and file I/O must
 // produce at least five distinct span kinds.
 func TestTraceCoversSpanKinds(t *testing.T) {
-	spans, _, _ := observedRun(t, 1)
+	spans, _, _, _ := observedRun(t, 1)
 	kinds := map[obs.Kind]bool{}
 	for _, s := range spans {
 		kinds[s.Kind] = true

@@ -8,6 +8,7 @@ import (
 	"overshadow/internal/core"
 	"overshadow/internal/fault"
 	"overshadow/internal/mach"
+	"overshadow/internal/obs"
 	"overshadow/internal/sim"
 	"overshadow/internal/vmm"
 )
@@ -119,6 +120,11 @@ type faultOutcome struct {
 	siblingOK   bool
 	leakFree    bool
 	residueOK   bool
+	// retryLat is the scenario's shim retry-latency histogram (first try
+	// through final outcome, backoff included); retryDropped is the
+	// scenario trace ring's dropped-span count.
+	retryLat     *obs.Histogram
+	retryDropped uint64
 }
 
 // RunE13 sweeps the fault scenarios; each builds its own system, so each
@@ -136,11 +142,18 @@ func RunE13(opts Options) *Table {
 		Title:   "Fault sweep: injection, quarantine containment, graceful degradation",
 		Columns: []string{"faults injected", "shim retries", "quarantines", "victim done", "sibling intact", "leak-free", "residue-free"},
 	}
+	retry := &obs.Histogram{}
+	var dropped uint64
 	for _, f := range futs {
 		o := f.wait()
 		t.AddRow(o.name, float64(o.faults), float64(o.retries), float64(o.quarantines),
 			b2f(o.victimDone), b2f(o.siblingOK), b2f(o.leakFree), b2f(o.residueOK))
+		// Scenario order is fixed, and histogram merge is order-independent
+		// anyway, so the attached histogram is byte-identical at any -shards.
+		retry.Merge(o.retryLat)
+		dropped += o.retryDropped
 	}
+	t.AddHist("shim retry latency (cycles)", retry, dropped)
 	t.Note("containment holds if 'leak-free' and 'residue-free' are 1 on every row")
 	t.Note("quarantine kills only the faulted domain; transient rows finish with 'victim done' = 1")
 	t.Note("under mixed-storm any domain may take its own fault, so 'sibling intact' can drop there; single-site rows keep it at 1")
@@ -159,6 +172,10 @@ func runFaultScenario(opts Options, sc faultScenario) faultOutcome {
 	plan := sc.plan
 	sys := core.NewSystem(core.Config{MemoryPages: 96, Seed: seed, Fault: &plan})
 	opts.observe(sys.World, "fault/"+sc.name)
+	prof := sys.World.Profile()
+	if prof == nil {
+		prof = sys.World.EnableProfile(nil) // the retry histogram needs spans even unobserved
+	}
 
 	victimPages := opts.scale(160, 120)
 	rounds := opts.scale(3, 2)
@@ -238,6 +255,8 @@ func runFaultScenario(opts Options, sc faultScenario) faultOutcome {
 		o.faults = sys.World.Fault.Total()
 	}
 	o.retries = sys.Stats().Get(sim.CtrShimRetry)
+	o.retryLat = prof.HistByKind(obs.KindRetry)
+	o.retryDropped = sys.World.Tracer.Dropped()
 
 	// Count containment events and collect the quarantined domains.
 	domains := map[cloak.DomainID]bool{}

@@ -5,6 +5,7 @@ import (
 	"overshadow/internal/guestos"
 	"overshadow/internal/mach"
 	"overshadow/internal/mmu"
+	"overshadow/internal/obs"
 	"overshadow/internal/sim"
 	"overshadow/internal/vmm"
 )
@@ -259,11 +260,17 @@ func e2Component(name string) int {
 // into the [total, crypto, vmm, mem+tlb, other] row shape of E2. The four
 // component columns sum exactly to total: every charge in the machine is
 // attributed to a named counter and the remainder is computed, not measured.
-func breakdown(total float64, before, after map[string]uint64) []float64 {
+// Both inputs come name-sorted from TotalsSorted, so the float accumulation
+// order — and with it the rounded column values — is deterministic.
+func breakdown(total float64, before, after []obs.NameTotal) []float64 {
+	prev := make(map[string]uint64, len(before))
+	for _, nt := range before {
+		prev[nt.Name] = nt.Cycles
+	}
 	vals := []float64{total, 0, 0, 0, 0}
-	for name, v := range after {
-		if c := e2Component(name); c != 4 {
-			vals[c] += float64(v - before[name])
+	for _, nt := range after {
+		if c := e2Component(nt.Name); c != 4 {
+			vals[c] += float64(nt.Cycles - prev[nt.Name])
 		}
 	}
 	vals[4] = total - vals[1] - vals[2] - vals[3]
@@ -281,25 +288,32 @@ func RunE2(opts Options) *Table {
 	t := &Table{
 		ID:      "E2",
 		Title:   "Cloaking transition cost breakdown (simulated cycles)",
-		Columns: []string{"cycles", "crypto", "vmm", "mem+tlb", "other"},
+		Columns: []string{"cycles", "crypto", "vmm", "mem+tlb", "other", "lat p50", "lat p99"},
 	}
-	t.Rows = append(t.Rows, fprim.wait()...)
+	for _, r := range fprim.wait() {
+		t.Rows = append(t.Rows, Row{Name: r.Name, Values: append(r.Values, 0, 0)})
+	}
 
 	// End-to-end probe: one cloaked process exercising the full stack —
 	// syscalls, hypercalls, file I/O, demand faults — so a traced E2 run
 	// (overbench -e E2 -trace) contains every span kind on the process's
-	// own track, and the row shows where a whole run's cycles go.
-	t.AddRow("end-to-end probe (cloaked)", fprobe.wait()...)
+	// own track, and the row shows where a whole run's cycles go. The probe
+	// always profiles itself, so the per-kind latency rows below carry
+	// completion-latency percentiles from its sim-time span histograms.
+	probe := fprobe.wait()
+	t.AddRow("end-to-end probe (cloaked)", append(probe.breakdown, 0, 0)...)
+	t.Rows = append(t.Rows, probe.lats...)
 
 	m := sim.DefaultCostModel()
 	aes := float64(m.PageCryptCost(mach.PageSize))
 	sha := float64(m.PageHashCost(mach.PageSize))
-	t.AddRow("  model: AES 4KiB", aes, aes, 0, 0, 0)
-	t.AddRow("  model: SHA-256 4KiB", sha, sha, 0, 0, 0)
-	t.AddRow("  model: world switch", float64(m.WorldSwitch), 0, float64(m.WorldSwitch), 0, 0)
-	t.AddRow("  model: TLB flush", float64(m.TLBFlush), 0, 0, float64(m.TLBFlush), 0)
+	t.AddRow("  model: AES 4KiB", aes, aes, 0, 0, 0, 0, 0)
+	t.AddRow("  model: SHA-256 4KiB", sha, sha, 0, 0, 0, 0, 0)
+	t.AddRow("  model: world switch", float64(m.WorldSwitch), 0, float64(m.WorldSwitch), 0, 0, 0, 0)
+	t.AddRow("  model: TLB flush", float64(m.TLBFlush), 0, 0, float64(m.TLBFlush), 0, 0, 0)
 	t.Note("measured rows include shadow maintenance and metadata cache effects")
 	t.Note("component columns (crypto/vmm/mem+tlb/other) sum to the cycles column")
+	t.Note("lat rows: per-kind span latency from the probe's profile; their cycles column is the kind's total span time")
 	return t
 }
 
@@ -323,11 +337,11 @@ func e2Primitives(opts Options) []Row {
 
 	var rows []Row
 	timed := func(name string, f func()) {
-		before := met.TotalsByName()
+		before := met.TotalsSorted()
 		t0 := w.Now()
 		f()
 		rows = append(rows, Row{Name: name,
-			Values: breakdown(float64(w.Clock.Since(t0)), before, met.TotalsByName())})
+			Values: breakdown(float64(w.Clock.Since(t0)), before, met.TotalsSorted())})
 	}
 
 	// First app touch: zero-fill + shadow fill.
@@ -362,17 +376,31 @@ func e2Primitives(opts Options) []Row {
 	return rows
 }
 
+// e2Result is the probe's output: its breakdown row plus the per-span-kind
+// latency rows derived from its profile.
+type e2Result struct {
+	breakdown []float64
+	lats      []Row
+}
+
+// e2LatKinds are the span kinds the E2 latency rows report, in table order.
+var e2LatKinds = []obs.Kind{obs.KindSyscall, obs.KindHypercall, obs.KindPageFault, obs.KindDisk}
+
 // e2Probe runs a small cloaked workload end to end (syscalls + file I/O on a
 // fresh system) and returns the same [total, crypto, vmm, mem+tlb, other]
-// row shape as RunE2's primitive measurements.
-func e2Probe(opts Options) []float64 {
+// row shape as RunE2's primitive measurements, plus per-kind latency rows.
+func e2Probe(opts Options) e2Result {
 	sys := core.NewSystem(core.Config{MemoryPages: 2048, Seed: opts.seed()})
 	opts.observe(sys.World, "E2/probe")
 	met := sys.World.Metrics
 	if met == nil {
 		met = sys.World.EnableMetrics(nil)
 	}
-	before := met.TotalsByName()
+	prof := sys.World.Profile()
+	if prof == nil {
+		prof = sys.World.EnableProfile(nil) // latency rows need spans even unobserved
+	}
+	before := met.TotalsSorted()
 	sys.Register("probe", func(e core.Env) {
 		buf := must1(e.Alloc(2))
 		payload := make([]byte, 4096)
@@ -393,5 +421,14 @@ func e2Probe(opts Options) []float64 {
 		panic(err)
 	}
 	sys.Run()
-	return breakdown(float64(sys.Now()), before, met.TotalsByName())
+	res := e2Result{breakdown: breakdown(float64(sys.Now()), before, met.TotalsSorted())}
+	for _, k := range e2LatKinds {
+		h := prof.HistByKind(k)
+		res.lats = append(res.lats, Row{
+			Name: "  lat " + k.String() + " (probe)",
+			Values: []float64{float64(h.Sum()), 0, 0, 0, 0,
+				float64(h.Percentile(50)), float64(h.Percentile(99))},
+		})
+	}
+	return res
 }

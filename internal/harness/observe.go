@@ -19,6 +19,9 @@ type Observer struct {
 	// TraceCap, when positive, enables span tracing on every attached world
 	// with a ring of this capacity.
 	TraceCap int
+	// Profile, when set, enables stack-attributed profiling on every
+	// attached world; MergedProfile folds the per-world profiles.
+	Profile bool
 
 	mu    sync.Mutex
 	slots []obsSlot
@@ -42,6 +45,11 @@ func (ob *Observer) attach(w *sim.World, phase string, key uint64) {
 	w.SetPhase(phase)
 	if ob.TraceCap > 0 {
 		w.EnableTrace(ob.TraceCap)
+	}
+	if ob.Profile {
+		// After SetPhase: the profiler roots each world's stacks at the
+		// phase label current at enable time.
+		w.EnableProfile(nil)
 	}
 	ob.mu.Lock()
 	ob.slots = append(ob.slots, obsSlot{key: key, world: w, store: store})
@@ -68,6 +76,20 @@ func (ob *Observer) MergedMetrics() *obs.Metrics {
 		m.Merge(s.store)
 	}
 	return m
+}
+
+// MergedProfile folds every attached world's profile into one, in
+// submission-key order. Profile merge is additive and commutative, so the
+// result — and every export built from it — is byte-identical for any shard
+// count. Each world's trace-ring dropped count is folded in so histogram
+// exports surface truncation of the companion trace.
+func (ob *Observer) MergedProfile() *obs.Profile {
+	p := obs.NewProfile()
+	for _, s := range ob.ordered() {
+		p.Merge(s.world.Profile())
+		p.AddDropped(s.world.Tracer.Dropped())
+	}
+	return p
 }
 
 // Trace merges the spans of every attached world in declaration order. Each

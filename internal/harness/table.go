@@ -9,15 +9,34 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+
+	"overshadow/internal/obs"
 )
 
-// Table is one experiment's result: a titled grid with named rows.
+// Table is one experiment's result: a titled grid with named rows, plus
+// optional latency histograms (omitted from JSON when absent, so tables
+// without them export byte-identically to before the field existed).
 type Table struct {
 	ID      string
 	Title   string
 	Columns []string
 	Rows    []Row
 	Notes   []string
+	Hists   []TableHist `json:"Hists,omitempty"`
+}
+
+// TableHist is one named latency histogram attached to a table export. The
+// companion trace's dropped-span count rides along — zero included — so
+// truncation is never silent.
+type TableHist struct {
+	Name    string            `json:"name"`
+	Dropped uint64            `json:"dropped_spans"`
+	Hist    obs.HistogramJSON `json:"hist"`
+}
+
+// AddHist attaches a named histogram.
+func (t *Table) AddHist(name string, h *obs.Histogram, dropped uint64) {
+	t.Hists = append(t.Hists, TableHist{Name: name, Dropped: dropped, Hist: obs.BuildHistogramJSON(h)})
 }
 
 // Row is one line of a table.
@@ -71,6 +90,10 @@ func (t *Table) String() string {
 			fmt.Fprintf(&b, "%*s", w, formatCell(v))
 		}
 		b.WriteByte('\n')
+	}
+	for _, h := range t.Hists {
+		fmt.Fprintf(&b, "  hist: %s  count=%d p50=%d p90=%d p99=%d max=%d dropped=%d\n",
+			h.Name, h.Hist.Count, h.Hist.P50, h.Hist.P90, h.Hist.P99, h.Hist.Max, h.Dropped)
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "  note: %s\n", n)

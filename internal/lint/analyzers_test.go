@@ -68,6 +68,15 @@ func TestHotPathAllocAnalyzer(t *testing.T) {
 		"overshadow/internal/guestos", "testdata/src/hotpathalloc")
 }
 
+// TestHotPathAllocProfilerRoots loads a profiler-shaped package under the
+// internal/obs import path: ProfNode.Child and AddLeaf are hot roots (they
+// run on every span and charge when profiling is on), so per-call allocation
+// inside them is a finding and the disabled path stays allocation-free.
+func TestHotPathAllocProfilerRoots(t *testing.T) {
+	runWantTest(t, HotPathAllocAnalyzer,
+		"overshadow/internal/obs", "testdata/src/profhot")
+}
+
 // TestSMPReadyAnalyzer loads a vmm-shaped package with entry-group roots by
 // name; the mutex-bearing struct and the single-group struct must pass.
 func TestSMPReadyAnalyzer(t *testing.T) {

@@ -163,13 +163,17 @@ func isChargePrimitive(obj types.Object) bool {
 }
 
 // observerMethods are the sim.World (and SpanHandle) methods that only
-// observe the machine: span emission, attribution bookkeeping, and
-// trace/metrics plumbing. None of them charges the clock.
+// observe the machine: span emission, attribution bookkeeping,
+// trace/metrics plumbing, and the stack profiler. None of them charges the
+// clock — profiling an operation is never evidence of charging for it.
 var observerMethods = map[string]bool{
 	"Begin": true, "Emit": true, "EmitSpan": true,
 	"SetTask": true, "SetTaskDomain": true, "SetPhase": true, "Attr": true,
 	"EnableTrace": true, "EnableMetrics": true,
 	"TraceEnabled": true, "TraceSpans": true,
+	"EnableProfile": true, "Profile": true,
+	"profLeaf": true, "profPush": true, "profPop": true,
+	"profSwitch": true, "profSetPhase": true,
 }
 
 // isObserverPrimitive reports whether obj belongs to the observability

@@ -65,6 +65,11 @@ var deterministicPkgs = map[string]bool{
 // deletion, collect-then-sort) carry reviewed //overlint:allow comments.
 var serializingPkgs = map[string]bool{
 	"overshadow/internal/persist": true,
+	// obs serializes every observability export (metrics JSON, Chrome
+	// traces, profile artifacts, histogram tables); a map range that reaches
+	// serialized bytes without an intervening sort would break the
+	// byte-identical-at-any-shard-count contract.
+	"overshadow/internal/obs": true,
 }
 
 // faultPkgPath is the fault-injection package whose injector seeding is

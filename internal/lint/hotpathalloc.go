@@ -57,6 +57,19 @@ var hotRoots = []hotRoot{
 	{"overshadow/internal/sim", "World", "EmitSpan"},
 	{"overshadow/internal/sim", "World", "Begin"},
 	{"overshadow/internal/sim", "SpanHandle", "End"},
+	{"overshadow/internal/sim", "World", "SetTask"},
+	// Profiler entry points: when profiling is on these run on every charge,
+	// span, and dispatch; when it is off the nil-check fast path must stay
+	// allocation-free. Rooted explicitly so the contract survives call-edge
+	// refactors above them.
+	{"overshadow/internal/sim", "World", "profLeaf"},
+	{"overshadow/internal/sim", "World", "profPush"},
+	{"overshadow/internal/sim", "World", "profPop"},
+	{"overshadow/internal/sim", "World", "profSwitch"},
+	{"overshadow/internal/obs", "Profile", "Observe"},
+	{"overshadow/internal/obs", "ProfNode", "Child"},
+	{"overshadow/internal/obs", "ProfNode", "AddLeaf"},
+	{"overshadow/internal/obs", "Histogram", "RecordN"},
 	{"overshadow/internal/obs", "Metrics", "Charge"},
 	{cloakPath, "Engine", "EncryptPage"},
 	{cloakPath, "Engine", "DecryptPage"},

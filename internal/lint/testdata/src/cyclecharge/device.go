@@ -85,3 +85,20 @@ func (d *Device) observe(mpn mach.MPN) {
 	d.world.SetTaskDomain(1)
 	d.world.Emit(obs.KindDisk, "touch", uint64(mpn))
 }
+
+// Profiling is never evidence of charging: a function whose memory touch is
+// meticulously stack-attributed by the profiler still never advanced the
+// simulated clock, so it is flagged like any other free touch.
+func (d *Device) BadProfiled(mpn mach.MPN) byte { // want `BadProfiled reaches guest memory without charging`
+	d.world.EnableProfile(nil)
+	sp := d.world.Begin(obs.KindDisk, "read", uint64(mpn))
+	defer sp.End()
+	return d.mem.Page(mpn)[0]
+}
+
+// Profiling alongside a real charge is fine — the charge is the evidence.
+func (d *Device) GoodProfiled(mpn mach.MPN) byte {
+	d.world.EnableProfile(nil)
+	d.world.Charge(d.world.Cost.MemAccess)
+	return d.mem.Page(mpn)[0]
+}

@@ -23,3 +23,25 @@ func age(s *span) time.Duration {
 
 // fromCycles is fine: pure value manipulation of a simulated timestamp.
 func fromCycles(c uint64) uint64 { return c * 2 }
+
+// flatten exercises the serializing-package map-range rule: obs renders
+// every observability export, so an unsorted map walk that could reach
+// serialized bytes is a finding.
+func flatten(counters map[string]uint64) []uint64 {
+	var out []uint64
+	for _, v := range counters { // want `map iteration order is nondeterministic: sort keys before serializing`
+		out = append(out, v)
+	}
+	return out
+}
+
+// total carries a reviewed allow comment: a commutative sum is order-blind,
+// and the directive records that reasoning next to the range.
+func total(counters map[string]uint64) uint64 {
+	var t uint64
+	//overlint:allow determinism -- commutative sum; iteration order cannot reach serialized bytes
+	for _, v := range counters {
+		t += v
+	}
+	return t
+}

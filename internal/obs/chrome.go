@@ -88,6 +88,7 @@ func BuildChromeTrace(spans []Span, ring RingStats) *ChromeTrace {
 		}
 	}
 	tids := make([]int, 0, len(taskNames))
+	//overlint:allow determinism -- keys are collected then sorted before serialization
 	for tid := range taskNames {
 		tids = append(tids, tid)
 	}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// histRNG is a tiny splitmix64 so the property tests are seed-deterministic
+// without importing math/rand (the sim RNG lives a package up; pulling it in
+// here would invert the dependency).
+type histRNG uint64
+
+func (r *histRNG) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// sampleSet draws n samples spread across bucket magnitudes: small counts,
+// mid-range durations, and a sprinkle of huge outliers, mirroring the mix a
+// span-duration histogram actually sees.
+func sampleSet(seed uint64, n int) []uint64 {
+	r := histRNG(seed)
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		v := r.next()
+		switch v % 5 {
+		case 0:
+			out = append(out, v%4) // tiny: buckets 0..2
+		case 1:
+			out = append(out, v%1000) // small
+		case 2:
+			out = append(out, v%1_000_000) // mid
+		case 3:
+			out = append(out, v%(1<<40)) // large
+		default:
+			out = append(out, v) // full range
+		}
+	}
+	return out
+}
+
+func histOf(samples []uint64) *Histogram {
+	h := &Histogram{}
+	for _, v := range samples {
+		h.Record(v)
+	}
+	return h
+}
+
+// TestHistogramMergeOrderIndependent is the merge property the sharded
+// harness depends on: partitioning one sample multiset into any number of
+// shards and merging the per-shard histograms in any order must reproduce
+// the single-histogram result exactly.
+func TestHistogramMergeOrderIndependent(t *testing.T) {
+	for _, seed := range []uint64{3, 11} {
+		samples := sampleSet(seed, 5000)
+		want := histOf(samples)
+		for _, shards := range []int{1, 2, 4, 7} {
+			parts := make([]*Histogram, shards)
+			for i := range parts {
+				parts[i] = &Histogram{}
+			}
+			for i, v := range samples {
+				parts[i%shards].Record(v)
+			}
+			// Forward merge order.
+			fwd := &Histogram{}
+			for _, p := range parts {
+				fwd.Merge(p)
+			}
+			// Reverse merge order.
+			rev := &Histogram{}
+			for i := len(parts) - 1; i >= 0; i-- {
+				rev.Merge(parts[i])
+			}
+			if !reflect.DeepEqual(want, fwd) {
+				t.Fatalf("seed %d shards %d: forward merge differs from unsharded histogram", seed, shards)
+			}
+			if !reflect.DeepEqual(want, rev) {
+				t.Fatalf("seed %d shards %d: reverse merge differs from forward merge", seed, shards)
+			}
+		}
+	}
+}
+
+// TestHistogramMergeAssociative checks (a+b)+c == a+(b+c) on the full
+// struct, the other half of "any merge tree yields identical bytes".
+func TestHistogramMergeAssociative(t *testing.T) {
+	a, b, c := sampleSet(1, 700), sampleSet(2, 900), sampleSet(3, 1100)
+	left := histOf(a)
+	left.Merge(histOf(b))
+	left.Merge(histOf(c))
+	bc := histOf(b)
+	bc.Merge(histOf(c))
+	right := histOf(a)
+	right.Merge(bc)
+	if !reflect.DeepEqual(left, right) {
+		t.Fatal("histogram merge is not associative")
+	}
+}
+
+// refPercentile is the brute-force nearest-rank reference honoring the
+// documented contract: the result is the recorded maximum of the bucket
+// containing the rank-th smallest sample.
+func refPercentile(samples []uint64, p float64) uint64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]uint64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p > 100 {
+		p = 100
+	}
+	n := uint64(len(sorted))
+	rank := uint64(p * float64(n) / 100)
+	if float64(rank)*100 < p*float64(n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	b := histBucket(sorted[rank-1])
+	var max uint64
+	for _, v := range sorted {
+		if histBucket(v) == b && v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// TestHistogramPercentileMatchesBruteForce pins Percentile to the reference
+// on mixed-magnitude sample sets across the percentile range.
+func TestHistogramPercentileMatchesBruteForce(t *testing.T) {
+	ps := []float64{0.1, 1, 10, 25, 50, 75, 90, 99, 99.9, 100}
+	for _, seed := range []uint64{5, 17, 42} {
+		for _, n := range []int{1, 2, 3, 10, 257, 4096} {
+			samples := sampleSet(seed, n)
+			h := histOf(samples)
+			for _, p := range ps {
+				got, want := h.Percentile(p), refPercentile(samples, p)
+				if got != want {
+					t.Fatalf("seed %d n %d p%.1f: Percentile = %d, brute force = %d", seed, n, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestHistogramPercentileExactSingleValueBucket checks the exactness half of
+// the contract: when every sample in the rank's bucket is one distinct
+// value, Percentile returns that value exactly.
+func TestHistogramPercentileExactSingleValueBucket(t *testing.T) {
+	h := &Histogram{}
+	// 100 samples of 1000, 10 of 1_000_000: distinct buckets, one value each.
+	h.RecordN(1000, 100)
+	h.RecordN(1_000_000, 10)
+	if got := h.Percentile(50); got != 1000 {
+		t.Fatalf("p50 = %d, want exactly 1000", got)
+	}
+	if got := h.Percentile(99); got != 1_000_000 {
+		t.Fatalf("p99 = %d, want exactly 1000000", got)
+	}
+	if got := h.Percentile(90); got != 1000 {
+		t.Fatalf("p90 = %d, want exactly 1000 (rank 99 of 110)", got)
+	}
+}
+
+// TestHistogramEdges covers the degenerate shapes: empty, single sample,
+// zero-valued samples, and the top bucket (bit 64 set).
+func TestHistogramEdges(t *testing.T) {
+	var empty Histogram
+	if empty.Count() != 0 || empty.Sum() != 0 || empty.Min() != 0 || empty.Max() != 0 {
+		t.Fatal("empty histogram accessors must all be zero")
+	}
+	if empty.Percentile(50) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty histogram percentile/mean must be zero")
+	}
+
+	single := &Histogram{}
+	single.Record(777)
+	for _, p := range []float64{-5, 0, 1, 50, 100, 150} {
+		if got := single.Percentile(p); got != 777 {
+			t.Fatalf("single-sample p%.0f = %d, want 777", p, got)
+		}
+	}
+	if single.Min() != 777 || single.Max() != 777 || single.Sum() != 777 {
+		t.Fatal("single-sample min/max/sum must be the sample")
+	}
+
+	zeros := &Histogram{}
+	zeros.RecordN(0, 5)
+	zeros.Record(1)
+	if zeros.Min() != 0 || zeros.Percentile(50) != 0 || zeros.Max() != 1 {
+		t.Fatalf("zero-bucket handling: min=%d p50=%d max=%d", zeros.Min(), zeros.Percentile(50), zeros.Max())
+	}
+
+	top := &Histogram{}
+	top.Record(^uint64(0)) // bucket 64
+	top.Record(1 << 63)
+	if top.Max() != ^uint64(0) || top.Min() != 1<<63 {
+		t.Fatalf("top bucket: min=%d max=%d", top.Min(), top.Max())
+	}
+	if got := top.Percentile(100); got != ^uint64(0) {
+		t.Fatalf("top bucket p100 = %d, want MaxUint64", got)
+	}
+
+	// RecordN(v, 0) must be a no-op, including on bucket min/max.
+	noop := &Histogram{}
+	noop.RecordN(42, 0)
+	if !reflect.DeepEqual(noop, &Histogram{}) {
+		t.Fatal("RecordN with zero count must not change the histogram")
+	}
+
+	// Merging nil and merging an empty histogram are both identity.
+	id := histOf(sampleSet(9, 100))
+	want := histOf(sampleSet(9, 100))
+	id.Merge(nil)
+	id.Merge(&Histogram{})
+	if !reflect.DeepEqual(id, want) {
+		t.Fatal("merge of nil/empty must be identity")
+	}
+}
+
+// TestBuildHistogramJSONDeterministic checks the export is a pure function
+// of the histogram value and lists buckets ascending.
+func TestBuildHistogramJSONDeterministic(t *testing.T) {
+	h := histOf(sampleSet(13, 2000))
+	a, b := BuildHistogramJSON(h), BuildHistogramJSON(h)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("BuildHistogramJSON is not deterministic")
+	}
+	for i := 1; i < len(a.Buckets); i++ {
+		if a.Buckets[i-1].Max >= a.Buckets[i].Min {
+			t.Fatalf("buckets out of order at %d: %+v then %+v", i, a.Buckets[i-1], a.Buckets[i])
+		}
+	}
+	if a.Count != h.Count() || a.P50 != h.Percentile(50) || a.P99 != h.Percentile(99) {
+		t.Fatal("export fields disagree with accessors")
+	}
+}

@@ -39,7 +39,9 @@ func (m *Metrics) Charge(a Attr, name string, cycles, events uint64) {
 // TotalCycles reports the sum of all attributed cycles.
 func (m *Metrics) TotalCycles() uint64 {
 	var total uint64
+	//overlint:allow determinism -- commutative sum; iteration order cannot reach serialized bytes
 	for _, b := range m.buckets {
+		//overlint:allow determinism -- commutative sum; iteration order cannot reach serialized bytes
 		for _, c := range b.cycles {
 			total += c
 		}
@@ -47,14 +49,34 @@ func (m *Metrics) TotalCycles() uint64 {
 	return total
 }
 
-// TotalsByName sums attributed cycles per counter name across all
-// attribution keys. The returned map is a fresh copy.
-func (m *Metrics) TotalsByName() map[string]uint64 {
-	out := make(map[string]uint64)
+// NameTotal is one (counter name, cycles) pair of TotalsSorted.
+type NameTotal struct {
+	Name   string
+	Cycles uint64
+}
+
+// TotalsSorted sums attributed cycles per counter name across all
+// attribution keys and returns the totals in name order. It replaces the
+// map-returning TotalsByName: with a sorted slice, caller iteration order —
+// including float accumulation order — is deterministic by construction.
+func (m *Metrics) TotalsSorted() []NameTotal {
+	totals := make(map[string]uint64)
+	//overlint:allow determinism -- additive fold into a scratch map, sorted before return
 	for _, b := range m.buckets {
+		//overlint:allow determinism -- additive fold into a scratch map, sorted before return
 		for name, c := range b.cycles {
-			out[name] += c
+			totals[name] += c
 		}
+	}
+	names := make([]string, 0, len(totals))
+	//overlint:allow determinism -- keys are collected then sorted before return
+	for name := range totals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]NameTotal, 0, len(names))
+	for _, name := range names {
+		out = append(out, NameTotal{Name: name, Cycles: totals[name]})
 	}
 	return out
 }
@@ -71,6 +93,7 @@ type MetricPoint struct {
 // attribution keys in key order, counter names alphabetical within each.
 func (m *Metrics) Snapshot() []MetricPoint {
 	attrs := make([]Attr, 0, len(m.buckets))
+	//overlint:allow determinism -- keys are collected then sorted before serialization
 	for a := range m.buckets {
 		attrs = append(attrs, a)
 	}
@@ -79,6 +102,7 @@ func (m *Metrics) Snapshot() []MetricPoint {
 	for _, a := range attrs {
 		b := m.buckets[a]
 		names := make([]string, 0, len(b.cycles))
+		//overlint:allow determinism -- keys are collected then sorted before serialization
 		for n := range b.cycles {
 			names = append(names, n)
 		}
@@ -97,15 +121,18 @@ func (m *Metrics) Merge(other *Metrics) {
 	if other == nil {
 		return
 	}
+	//overlint:allow determinism -- additive merge; iteration order cannot reach serialized bytes
 	for a, ob := range other.buckets {
 		b := m.buckets[a]
 		if b == nil {
 			b = &bucket{cycles: make(map[string]uint64), counts: make(map[string]uint64)}
 			m.buckets[a] = b
 		}
+		//overlint:allow determinism -- additive merge; iteration order cannot reach serialized bytes
 		for name, c := range ob.cycles {
 			b.cycles[name] += c
 		}
+		//overlint:allow determinism -- additive merge; iteration order cannot reach serialized bytes
 		for name, n := range ob.counts {
 			b.counts[name] += n
 		}

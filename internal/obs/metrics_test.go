@@ -19,9 +19,13 @@ func TestMetricsChargeAndTotals(t *testing.T) {
 	if got := m.TotalCycles(); got != 1162 {
 		t.Fatalf("TotalCycles = %d, want 1162", got)
 	}
-	totals := m.TotalsByName()
-	if totals["cloak.encrypt"] != 150 || totals["mem.access"] != 12 || totals["cpu.idle"] != 1000 {
-		t.Fatalf("TotalsByName = %v", totals)
+	want := []NameTotal{
+		{Name: "cloak.encrypt", Cycles: 150},
+		{Name: "cpu.idle", Cycles: 1000},
+		{Name: "mem.access", Cycles: 12},
+	}
+	if got := m.TotalsSorted(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("TotalsSorted = %v, want %v", got, want)
 	}
 }
 

@@ -24,12 +24,13 @@ const (
 	KindFault            // injected fault firing at a fault site
 	KindQuarantine       // domain quarantine: scrub, revoke, reclaim
 	KindPersist          // metadata journal append/checkpoint/replay
+	KindRetry            // shim transient-fault retry loop (backoff included)
 )
 
 var kindNames = [...]string{
 	"none", "syscall", "hypercall", "worldswitch", "pagefault", "disk",
 	"cloak", "ctc", "ctxswitch", "swap", "proc", "security",
-	"fault", "quarantine", "persist",
+	"fault", "quarantine", "persist", "retry",
 }
 
 // String implements fmt.Stringer.

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"overshadow/internal/guestos"
+	"overshadow/internal/obs"
 	"overshadow/internal/sim"
 	"overshadow/internal/vmm"
 )
@@ -40,13 +41,21 @@ func transient(err error) bool {
 // success, the last failure otherwise) is returned; non-transient errors
 // return immediately.
 func (s *Ctx) retryTransient(fn func() error) error {
+	w := s.world()
+	start := w.Now()
 	backoff := uint64(retryBackoffBase)
 	for attempt := 0; ; attempt++ {
 		err := fn()
 		if err == nil || !transient(err) || attempt == retryAttempts {
+			// The retry span (first try through final outcome, backoff
+			// included) is emitted only when a retry actually happened, so
+			// fault-free traces and profiles carry no retry artifacts.
+			if attempt > 0 {
+				w.EmitSpan(obs.KindRetry, "transient", uint64(attempt), w.Now()-start)
+			}
 			return err
 		}
-		s.world().ChargeAdd(0, sim.CtrShimRetry, 1)
+		w.ChargeAdd(0, sim.CtrShimRetry, 1)
 		s.uc.Sleep(backoff)
 		backoff *= 2
 	}

@@ -51,7 +51,10 @@ func (w *World) EnableTrace(capacity int) {
 func (w *World) TraceEnabled() bool { return w.Tracer != nil && w.Tracer.enabled }
 
 // SpanHandle marks an open span returned by Begin; End closes it. The zero
-// handle (returned when tracing is off) makes End a no-op.
+// handle (returned when both tracing and profiling are off) makes End a
+// no-op.
+//
+//overlint:allow smpready -- per-span value handle; lives on one simulated CPU's call path, never shared
 type SpanHandle struct {
 	w     *World
 	start Cycles
@@ -59,32 +62,57 @@ type SpanHandle struct {
 	name  string
 	arg   uint64
 	attr  obs.Attr
+	// traced records whether the tracer was listening at Begin; pushed
+	// records whether the profiler pushed a stack frame, with profTID and
+	// profDepth naming the frame to pop (spans interleave across guest
+	// context switches, so End must pop the opening task's stack, not
+	// whichever stack is active).
+	traced    bool
+	pushed    bool
+	profTID   int
+	profDepth int
 }
 
 // Begin opens a span of the given kind at the current simulated time,
-// attributed to the current task. When tracing is disabled this is a single
-// branch and returns the zero handle.
+// attributed to the current task. When tracing and profiling are both
+// disabled this is two branches and returns the zero handle.
 func (w *World) Begin(kind obs.Kind, name string, arg uint64) SpanHandle {
 	t := w.Tracer
-	if t == nil || !t.enabled {
+	traced := t != nil && t.enabled
+	if !traced && w.prof == nil {
 		return SpanHandle{}
 	}
-	return SpanHandle{w: w, start: w.Clock.Now(), kind: kind, name: name, arg: arg, attr: w.attr}
+	h := SpanHandle{w: w, start: w.Clock.Now(), kind: kind, name: name, arg: arg, attr: w.attr, traced: traced}
+	if w.prof != nil {
+		h.pushed = true
+		h.profTID = w.prof.tid
+		h.profDepth = w.profPush(kind, name)
+	}
+	return h
 }
 
-// End closes the span at the current simulated time and records it.
+// End closes the span at the current simulated time: records it when traced,
+// and pops the profiler frame and feeds the (kind, domain) duration
+// histogram when profiled.
 func (h SpanHandle) End() {
 	if h.w == nil {
 		return
 	}
-	h.w.Tracer.record(obs.Span{
-		Start: uint64(h.start),
-		Dur:   uint64(h.w.Clock.Now() - h.start),
-		Kind:  h.kind,
-		Name:  h.name,
-		Arg:   h.arg,
-		Attr:  h.attr,
-	})
+	dur := h.w.Clock.Now() - h.start
+	if h.traced {
+		h.w.Tracer.record(obs.Span{
+			Start: uint64(h.start),
+			Dur:   uint64(dur),
+			Kind:  h.kind,
+			Name:  h.name,
+			Arg:   h.arg,
+			Attr:  h.attr,
+		})
+	}
+	if h.pushed && h.w.prof != nil {
+		h.w.profPop(h.profTID, h.profDepth)
+		h.w.prof.prof.Observe(h.kind, h.attr.Domain, uint64(dur))
+	}
 }
 
 // Emit records an instantaneous event at the current simulated time.
@@ -100,6 +128,11 @@ func (w *World) Emit(kind obs.Kind, name string, arg uint64) {
 // cycles — the natural shape for block charges (world switch, disk op)
 // where the cost is paid in one Advance.
 func (w *World) EmitSpan(kind obs.Kind, name string, arg uint64, dur Cycles) {
+	if w.prof != nil {
+		// Block charges are already leaf-attributed by the Charge that paid
+		// them; the profiler only needs the duration sample.
+		w.prof.prof.Observe(kind, w.attr.Domain, uint64(dur))
+	}
 	t := w.Tracer
 	if t == nil || !t.enabled {
 		return

@@ -158,7 +158,10 @@ func TestAttributedChargesBucketPerTask(t *testing.T) {
 	if uint64(w.Now()) != 457 {
 		t.Fatalf("clock = %d, want attributed total 457", w.Now())
 	}
-	totals := m.TotalsByName()
+	totals := map[string]uint64{}
+	for _, nt := range m.TotalsSorted() {
+		totals[nt.Name] = nt.Cycles
+	}
 	if totals[string(CtrSyscall)] != 400 || totals[string(CtrMemAccess)] != 50 || totals[string(CtrOther)] != 7 {
 		t.Fatalf("totals = %v", totals)
 	}

@@ -27,6 +27,10 @@ type World struct {
 	// attr identifies the simulated CPU context charges are attributed to;
 	// the guest scheduler and the shim keep it current (see SetTask).
 	attr obs.Attr
+
+	// prof is nil until EnableProfile: with it off every charge, span, and
+	// dispatch pays exactly one extra nil check (see prof.go).
+	prof *profState
 }
 
 // NewWorld builds a World with the given cost model and seed.
@@ -59,6 +63,9 @@ func (w *World) Charge(n Cycles) {
 	if w.Metrics != nil {
 		w.Metrics.Charge(w.attr, string(CtrOther), uint64(n), 0)
 	}
+	if w.prof != nil {
+		w.profLeaf(string(CtrOther), uint64(n))
+	}
 }
 
 // ChargeCount advances the clock and increments the matching counter; the
@@ -68,6 +75,9 @@ func (w *World) ChargeCount(n Cycles, c Counter) {
 	w.Stats.Inc(c)
 	if w.Metrics != nil {
 		w.Metrics.Charge(w.attr, string(c), uint64(n), 1)
+	}
+	if w.prof != nil {
+		w.profLeaf(string(c), uint64(n))
 	}
 }
 
@@ -81,6 +91,9 @@ func (w *World) ChargeAdd(n Cycles, c Counter, events uint64) {
 	}
 	if w.Metrics != nil {
 		w.Metrics.Charge(w.attr, string(c), uint64(n), events)
+	}
+	if w.prof != nil {
+		w.profLeaf(string(c), uint64(n))
 	}
 }
 
@@ -112,6 +125,9 @@ func (w *World) Now() Cycles { return w.Clock.Now() }
 // subsequent charges and spans are attributed to it. The guest scheduler
 // calls this on every dispatch; pid/tid zero resets to the machine context.
 func (w *World) SetTask(pid, tid int, name string, domain uint32, cloaked bool) {
+	if w.prof != nil && tid != w.prof.tid {
+		w.profSwitch(tid)
+	}
 	w.attr.PID = pid
 	w.attr.TID = tid
 	w.attr.Task = name
@@ -125,7 +141,12 @@ func (w *World) SetTaskDomain(domain uint32) { w.attr.Domain = domain }
 
 // SetPhase labels all subsequent attribution with an experiment phase
 // (e.g. "E2/cloaked"); the harness sets it per measured region.
-func (w *World) SetPhase(phase string) { w.attr.Phase = phase }
+func (w *World) SetPhase(phase string) {
+	w.attr.Phase = phase
+	if w.prof != nil {
+		w.profSetPhase(phase)
+	}
+}
 
 // Attr returns the current attribution context.
 func (w *World) Attr() obs.Attr { return w.attr }

@@ -45,7 +45,10 @@ echo "overlint findings artifact: $artifact"
 # state); a new allow means new shared state, which takes a deliberate,
 # reviewed bump of this pin.
 smp_allows=$(grep -rn "overlint:allow smpready" --include="*.go" internal | grep -cv testdata || true)
-max_smp_allows=7
+# 9 = the 7 pre-profiler sites plus sim.profState (per-vCPU profiles merged
+# at export, like the trace rings) and sim.SpanHandle (per-span value handle
+# on one simulated CPU's call path).
+max_smp_allows=9
 if [ "$smp_allows" -gt "$max_smp_allows" ]; then
     echo "smpready inventory grew: $smp_allows allow directives (pinned at $max_smp_allows)" >&2
     echo "new shared mutable state in mach/sim/vmm needs a serialization story before SMP" >&2
@@ -91,6 +94,28 @@ for s in 3 11; do
         exit 1
     fi
 done
+
+echo "== profile determinism"
+# The profiler leaf-attributes every charged cycle and histograms every span
+# duration. Merging per-world profiles is additive and every export sorts, so
+# the profile artifact and the profiled table JSON must be byte-identical
+# between a serial and a 4-way sharded run, on two seeds.
+for s in 3 11; do
+    "$tmpdir/overbench" -e E2 -seed "$s" -shards 1 -json \
+        -profile "$tmpdir/profile-serial-$s.json" > "$tmpdir/ptab-serial-$s.json" 2>/dev/null
+    "$tmpdir/overbench" -e E2 -seed "$s" -shards 4 -json \
+        -profile "$tmpdir/profile-sharded-$s.json" > "$tmpdir/ptab-sharded-$s.json" 2>/dev/null
+    for pair in profile ptab; do
+        if ! cmp -s "$tmpdir/$pair-serial-$s.json" "$tmpdir/$pair-sharded-$s.json"; then
+            echo "profile determinism broken: seed $s $pair differs between -shards 1 and -shards 4" >&2
+            diff "$tmpdir/$pair-serial-$s.json" "$tmpdir/$pair-sharded-$s.json" | head -20 >&2
+            exit 1
+        fi
+    done
+    # The artifact must parse and render through the summarizer.
+    go run ./cmd/overprof "$tmpdir/profile-serial-$s.json" > /dev/null
+done
+echo "profile artifact: $tmpdir/profile-serial-3.json (and seed 11) verified shard-independent"
 
 echo "== crash-sweep smoke"
 # E14 crashes whole machines at derived cycle deadlines and reboots each one
