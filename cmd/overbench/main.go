@@ -12,6 +12,7 @@
 //	overbench -full                # full-scale parameters (slower)
 //	overbench -e E1,E8             # a subset by ID
 //	overbench -seed 7              # change the simulation seed
+//	overbench -vcpus 4             # run every machine with 4 virtual CPUs
 //	overbench -shards 4            # bound worker-pool width (default GOMAXPROCS)
 //	overbench -list                # list experiments
 //	overbench -json                # emit tables as JSON
@@ -39,6 +40,7 @@ func main() {
 	full := flag.Bool("full", false, "run full-scale parameters (slower)")
 	only := flag.String("e", "", "comma-separated experiment IDs (default: all)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	vcpus := flag.Int("vcpus", 1, "virtual CPUs per simulated machine (1 = the pre-SMP machine, byte-identical output)")
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "worker-pool width (1 = serial; results are identical for any value)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of formatted tables")
@@ -57,7 +59,11 @@ func main() {
 		return
 	}
 
-	opts := harness.Options{Quick: !*full, Seed: *seed}
+	if *vcpus < 1 {
+		fmt.Fprintf(os.Stderr, "overbench: -vcpus must be >= 1 (got %d)\n", *vcpus)
+		os.Exit(2)
+	}
+	opts := harness.Options{Quick: !*full, Seed: *seed, VCPUs: *vcpus}
 	if *traceOut != "" || *metricsOut != "" || *profileOut != "" {
 		opts.Observe = &harness.Observer{}
 		if *traceOut != "" {
@@ -128,6 +134,7 @@ type benchRecord struct {
 	Schema         string            `json:"schema"` // "overshadow-bench/v1"
 	Mode           string            `json:"mode"`   // "quick" | "full"
 	Seed           uint64            `json:"seed"`
+	VCPUs          int               `json:"vcpus"`
 	Shards         int               `json:"shards"`
 	GOMAXPROCS     int               `json:"gomaxprocs"`
 	Experiments    []benchExperiment `json:"experiments"`
@@ -135,6 +142,11 @@ type benchRecord struct {
 	WallMS         float64           `json:"wall_ms"`
 	BaselineWallMS float64           `json:"baseline_wall_ms,omitempty"`
 	Speedup        float64           `json:"speedup,omitempty"`
+	// BaselineSimCycles/SimCycleRatio compare the deterministic dimension
+	// against -baseline — meaningful when the two records differ in the
+	// simulated machine (e.g. -vcpus), not just in host parallelism.
+	BaselineSimCycles uint64  `json:"baseline_total_sim_cycles,omitempty"`
+	SimCycleRatio     float64 `json:"sim_cycle_ratio,omitempty"`
 }
 
 // writeBenchRecord emits the bench record, optionally embedding the wall
@@ -145,6 +157,7 @@ func writeBenchRecord(path, baselinePath string, results []harness.Result,
 		Schema:     "overshadow-bench/v1",
 		Mode:       "quick",
 		Seed:       opts.Seed,
+		VCPUs:      opts.VCPUs,
 		Shards:     shards,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		WallMS:     float64(wall.Nanoseconds()) / 1e6,
@@ -173,6 +186,10 @@ func writeBenchRecord(path, baselinePath string, results []harness.Result,
 		rec.BaselineWallMS = base.WallMS
 		if rec.WallMS > 0 {
 			rec.Speedup = base.WallMS / rec.WallMS
+		}
+		rec.BaselineSimCycles = base.TotalSimCycles
+		if base.TotalSimCycles > 0 {
+			rec.SimCycleRatio = float64(rec.TotalSimCycles) / float64(base.TotalSimCycles)
 		}
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")

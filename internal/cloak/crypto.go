@@ -171,8 +171,8 @@ func (e *Engine) EncryptPage(id PageID, prevVersion uint64, page []byte) Meta {
 	e.stream(id.Domain, iv).XORKeyStream(page, page)
 	version := prevVersion + 1
 	hash := e.hashPage(id, version, iv, page)
-	e.world.ChargeCount(e.world.Cost.PageCryptCost(len(page)), sim.CtrPageEncrypt)
-	e.world.ChargeCount(e.world.Cost.PageHashCost(len(page)), sim.CtrHashCompute)
+	e.world.CPU().ChargeCount(e.world.Cost.PageCryptCost(len(page)), sim.CtrPageEncrypt)
+	e.world.CPU().ChargeCount(e.world.Cost.PageHashCost(len(page)), sim.CtrHashCompute)
 	return Meta{IV: iv, Hash: hash, Version: version}
 }
 
@@ -192,14 +192,14 @@ func (e *ErrIntegrity) Error() string {
 // decrypts in place. On failure the page is left untouched and an
 // *ErrIntegrity is returned.
 func (e *Engine) DecryptPage(id PageID, meta Meta, page []byte) error {
-	e.world.ChargeAdd(e.world.Cost.PageHashCost(len(page)), sim.CtrHashCompute, 0)
+	e.world.CPU().ChargeAdd(e.world.Cost.PageHashCost(len(page)), sim.CtrHashCompute, 0)
 	want := e.hashPage(id, meta.Version, meta.IV, page)
 	if want != meta.Hash {
-		e.world.ChargeAdd(0, sim.CtrHashVerifyFail, 1)
+		e.world.CPU().ChargeAdd(0, sim.CtrHashVerifyFail, 1)
 		return &ErrIntegrity{Page: id}
 	}
-	e.world.ChargeAdd(0, sim.CtrHashVerifyOK, 1)
+	e.world.CPU().ChargeAdd(0, sim.CtrHashVerifyOK, 1)
 	e.stream(id.Domain, meta.IV).XORKeyStream(page, page)
-	e.world.ChargeCount(e.world.Cost.PageCryptCost(len(page)), sim.CtrPageDecrypt)
+	e.world.CPU().ChargeCount(e.world.Cost.PageCryptCost(len(page)), sim.CtrPageDecrypt)
 	return nil
 }

@@ -24,15 +24,23 @@ type MetaStore struct {
 	order []PageID
 	head  int
 
-	// One-entry MRU cache in front of the map: sequential touch patterns
-	// (streaming reads/writes, fork re-cloak, eager encryption sweeps) hit
-	// the same PageID several times in a row, and the map lookup + hash is
-	// the metastore's hot-path cost. Invariant: lastOK implies lastID is
-	// present in cache with value lastMeta, so the fast path charges the
-	// same MetaCacheHit a map hit would.
-	lastID   PageID
-	lastMeta Meta
-	lastOK   bool
+	// One-entry MRU cache per vCPU in front of the map: sequential touch
+	// patterns (streaming reads/writes, fork re-cloak, eager encryption
+	// sweeps) hit the same PageID several times in a row, and the map lookup
+	// + hash is the metastore's hot-path cost. The slot is per vCPU —
+	// indexed by the executing vCPU's ID — so two CPUs streaming different
+	// resources don't thrash one shared slot. Invariant: ok implies id is
+	// present in cache with value meta, so the fast path charges the same
+	// MetaCacheHit a map hit would; Delete/DeleteDomain/evictOne clear
+	// matching slots on every vCPU.
+	mru []mruSlot
+}
+
+// mruSlot is one vCPU's most-recently-used metadata record.
+type mruSlot struct {
+	id   PageID
+	meta Meta
+	ok   bool
 }
 
 // NewMetaStore builds a store whose cache holds cacheCap records. The
@@ -48,6 +56,20 @@ func NewMetaStore(world *sim.World, cacheCap int) *MetaStore {
 		cap:     cacheCap,
 		cache:   make(map[PageID]Meta, cacheCap),
 		backing: make(map[PageID]Meta, cacheCap),
+		mru:     make([]mruSlot, world.NumVCPUs()),
+	}
+}
+
+// slot returns the executing vCPU's MRU slot.
+func (s *MetaStore) slot() *mruSlot { return &s.mru[s.world.CPU().ID()] }
+
+// dropMRU invalidates id's MRU entry on every vCPU (deletion and eviction
+// must not leave any CPU a stale fast path).
+func (s *MetaStore) dropMRU(id PageID) {
+	for i := range s.mru {
+		if s.mru[i].ok && s.mru[i].id == id {
+			s.mru[i].ok = false
+		}
 	}
 }
 
@@ -60,7 +82,7 @@ func (s *MetaStore) Put(id PageID, meta Meta) {
 		s.order = append(s.order, id)
 	}
 	s.cache[id] = meta
-	s.lastID, s.lastMeta, s.lastOK = id, meta, true
+	*s.slot() = mruSlot{id: id, meta: meta, ok: true}
 }
 
 func (s *MetaStore) evictOne() {
@@ -71,10 +93,8 @@ func (s *MetaStore) evictOne() {
 			// Spill to the hash-tree-protected backing area.
 			s.backing[victim] = m
 			delete(s.cache, victim)
-			if s.lastOK && victim == s.lastID {
-				s.lastOK = false
-			}
-			s.world.ChargeAdd(s.world.Cost.MetaCacheMiss, sim.CtrMetaCacheMiss, 0)
+			s.dropMRU(victim)
+			s.world.CPU().ChargeAdd(s.world.Cost.MetaCacheMiss, sim.CtrMetaCacheMiss, 0)
 			s.compactOrder()
 			return
 		}
@@ -103,17 +123,19 @@ func (s *MetaStore) compactOrder() {
 // Get returns the current record for id, charging the cache hit or miss
 // cost. ok is false if the page has never been encrypted.
 func (s *MetaStore) Get(id PageID) (Meta, bool) {
-	if s.lastOK && id == s.lastID {
-		s.world.ChargeCount(s.world.Cost.MetaCacheHit, sim.CtrMetaCacheHit)
-		return s.lastMeta, true
+	c := s.world.CPU()
+	sl := s.slot()
+	if sl.ok && id == sl.id {
+		c.ChargeCount(s.world.Cost.MetaCacheHit, sim.CtrMetaCacheHit)
+		return sl.meta, true
 	}
 	if m, ok := s.cache[id]; ok {
-		s.world.ChargeCount(s.world.Cost.MetaCacheHit, sim.CtrMetaCacheHit)
-		s.lastID, s.lastMeta, s.lastOK = id, m, true
+		c.ChargeCount(s.world.Cost.MetaCacheHit, sim.CtrMetaCacheHit)
+		*sl = mruSlot{id: id, meta: m, ok: true}
 		return m, true
 	}
 	if m, ok := s.backing[id]; ok {
-		s.world.ChargeCount(s.world.Cost.MetaCacheMiss, sim.CtrMetaCacheMiss)
+		c.ChargeCount(s.world.Cost.MetaCacheMiss, sim.CtrMetaCacheMiss)
 		// Promote back into the cache.
 		s.Put(id, m)
 		return m, true
@@ -125,8 +147,8 @@ func (s *MetaStore) Get(id PageID) (Meta, bool) {
 // effects (0 if never encrypted). Used when encrypting to derive the next
 // version.
 func (s *MetaStore) Version(id PageID) uint64 {
-	if s.lastOK && id == s.lastID {
-		return s.lastMeta.Version
+	if sl := s.slot(); sl.ok && id == sl.id {
+		return sl.meta.Version
 	}
 	if m, ok := s.cache[id]; ok {
 		return m.Version
@@ -141,9 +163,7 @@ func (s *MetaStore) Version(id PageID) uint64 {
 func (s *MetaStore) Delete(id PageID) {
 	delete(s.cache, id)
 	delete(s.backing, id)
-	if s.lastOK && id == s.lastID {
-		s.lastOK = false
-	}
+	s.dropMRU(id)
 }
 
 // DeleteDomain forgets every record belonging to a domain (domain
@@ -161,8 +181,10 @@ func (s *MetaStore) DeleteDomain(d DomainID) {
 			delete(s.backing, id)
 		}
 	}
-	if s.lastOK && s.lastID.Domain == d {
-		s.lastOK = false
+	for i := range s.mru {
+		if s.mru[i].ok && s.mru[i].id.Domain == d {
+			s.mru[i].ok = false
+		}
 	}
 }
 

@@ -74,6 +74,10 @@ type Config struct {
 	FSDiskPages uint64
 	// Quantum is the scheduler slice (default 400k cycles).
 	Quantum sim.Cycles
+	// VCPUs is the number of virtual CPUs (default 1). A single-vCPU
+	// machine is bit-for-bit identical to builds before SMP existed; more
+	// vCPUs interleave deterministically per Seed (see DESIGN.md).
+	VCPUs int
 	// Seed drives all simulation randomness (default 1).
 	Seed uint64
 	// Cost overrides the cycle cost model (nil = DefaultCostModel).
@@ -129,6 +133,9 @@ func (cfg Config) resolve() Config {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.VCPUs == 0 {
+		cfg.VCPUs = 1
+	}
 	if cfg.Persist != nil {
 		p := *cfg.Persist // private copy: callers may share an Options
 		if p.Blocks == 0 {
@@ -145,7 +152,7 @@ func newWorld(cfg Config) *sim.World {
 	if cfg.Cost != nil {
 		cost = *cfg.Cost
 	}
-	world := sim.NewWorld(cost, cfg.Seed)
+	world := sim.NewWorldN(cost, cfg.Seed, cfg.VCPUs)
 	if cfg.Fault != nil && cfg.Fault.Enabled() {
 		world.Fault = fault.NewInjector(cfg.Seed, *cfg.Fault)
 	}

@@ -256,7 +256,7 @@ func (fs *FS) ReadDir(path string) ([]string, Errno) {
 func (fs *FS) blockRead(blk uint64, dst []byte) Errno {
 	if b, ok := fs.cache[blk]; ok {
 		copy(dst, b)
-		fs.world.ChargeAdd(fs.world.Cost.MemAccess*sim.Cycles(mach.PageSize/64), sim.CtrMemAccess, mach.PageSize/64)
+		fs.world.CPU().ChargeAdd(fs.world.Cost.MemAccess*sim.Cycles(mach.PageSize/64), sim.CtrMemAccess, mach.PageSize/64)
 		return OK
 	}
 	if err := fs.disk.Read(blk, dst); err != nil {

@@ -51,9 +51,17 @@ type Kernel struct {
 	// transfers; see scratchPage for the reuse argument.
 	pageBuf []byte
 
-	procs    map[Pid]*Proc
-	nextPid  Pid
-	runq     []*Proc
+	procs   map[Pid]*Proc
+	nextPid Pid
+	// cpus is the per-vCPU scheduler state (one run queue each); current is
+	// the task holding the machine-wide baton. Tasks are placed round-robin
+	// at creation (nextCPU) and migrate between queues only through
+	// rebalance(). schedRNG drives the seeded interleaving choice among
+	// non-empty queues; it is consumed only on multi-vCPU machines, so
+	// single-vCPU schedules are byte-identical to the pre-SMP kernel.
+	cpus     []*kcpu
+	nextCPU  int
+	schedRNG *sim.RNG
 	current  *Proc
 	sleepers []*sleeper
 	resident []residentPage // global page-replacement candidate list
@@ -98,6 +106,11 @@ func NewKernel(world *sim.World, hv *vmm.VMM, cfg Config) *Kernel {
 		shm:      make(map[string]*ShmObj),
 		programs: make(map[string]Program),
 		done:     make(chan struct{}),
+		schedRNG: world.DeriveRNG(0x5C4ED), // scheduler interleaving stream
+	}
+	k.cpus = make([]*kcpu, world.NumVCPUs())
+	for i, c := range world.VCPUs() {
+		k.cpus[i] = &kcpu{cpu: c}
 	}
 	k.mem = newGPPNAllocator(cfg.MemoryPages)
 	k.swap = newSwapSpace(world, cfg.SwapPages, cfg.SwapDisk)
@@ -178,10 +191,10 @@ func (k *Kernel) Run() {
 		panic("guestos: Run called twice")
 	}
 	k.running = true
-	if len(k.runq) == 0 {
+	if k.runnable() == 0 {
 		return
 	}
-	first := k.dequeue()
+	first := k.pickNext()
 	k.current = first
 	k.dispatchAttr(first)
 	first.baton <- struct{}{}
@@ -207,20 +220,114 @@ func (k *Kernel) Crashed() bool { return k.crashed }
 
 // --- Scheduler -----------------------------------------------------------
 
+// kcpu is one vCPU's scheduler state: a FIFO run queue of tasks homed on
+// that CPU. Execution stays globally serialized by the baton; the queues
+// decide which vCPU context the next task runs in.
+type kcpu struct {
+	cpu  *sim.VCPU
+	runq []*Proc
+}
+
 type sleeper struct {
 	p    *Proc
 	wake sim.Cycles
 }
 
-func (k *Kernel) makeRunnable(p *Proc) {
-	p.state = stateRunnable
-	k.runq = append(k.runq, p)
+// placeCPU assigns a newly created task its home CPU, round-robin. Always 0
+// on a single-vCPU machine.
+func (k *Kernel) placeCPU() int {
+	ci := k.nextCPU % len(k.cpus)
+	k.nextCPU++
+	return ci
 }
 
-func (k *Kernel) dequeue() *Proc {
-	p := k.runq[0]
-	k.runq = k.runq[1:]
+func (k *Kernel) makeRunnable(p *Proc) {
+	p.state = stateRunnable
+	kc := k.cpus[p.home]
+	kc.runq = append(kc.runq, p)
+}
+
+// runnable reports the total number of queued tasks across all CPUs.
+func (k *Kernel) runnable() int {
+	n := 0
+	for _, kc := range k.cpus {
+		n += len(kc.runq)
+	}
+	return n
+}
+
+func (k *Kernel) dequeueFrom(ci int) *Proc {
+	kc := k.cpus[ci]
+	p := kc.runq[0]
+	kc.runq = kc.runq[1:]
 	return p
+}
+
+// rebalance migrates one queued task from the longest run queue (length ≥ 2,
+// lowest index on ties) to the lowest-index idle CPU (empty queue), keeping
+// all CPUs busy when work is available. Each migration re-homes the task —
+// its next dispatch runs on the new vCPU, refilling that CPU's TLB and
+// shadow state — and counts under CtrMigration. Never runs on a single-vCPU
+// machine.
+func (k *Kernel) rebalance() {
+	if len(k.cpus) == 1 {
+		return
+	}
+	for {
+		longest, idle := -1, -1
+		for i, kc := range k.cpus {
+			if len(kc.runq) == 0 && idle == -1 {
+				idle = i
+			}
+			if len(kc.runq) >= 2 && (longest == -1 || len(kc.runq) > len(k.cpus[longest].runq)) {
+				longest = i
+			}
+		}
+		if longest == -1 || idle == -1 {
+			return
+		}
+		src := k.cpus[longest]
+		p := src.runq[len(src.runq)-1]
+		src.runq = src.runq[:len(src.runq)-1]
+		p.home = idle
+		k.cpus[idle].runq = append(k.cpus[idle].runq, p)
+		c := k.world.CPU()
+		c.ChargeAdd(0, sim.CtrMigration, 1)
+		c.Emit(obs.KindProc, "migrate", uint64(p.pid))
+	}
+}
+
+// chooseCPU picks which CPU's queue head runs next. With one candidate the
+// choice is forced; with several, the seeded scheduler stream picks among
+// them — the deterministic interleaving schedule. The stream is consumed
+// only when a real choice exists, so single-vCPU machines never touch it.
+func (k *Kernel) chooseCPU() int {
+	if len(k.cpus) == 1 {
+		return 0
+	}
+	first := -1
+	n := 0
+	for i, kc := range k.cpus {
+		if len(kc.runq) > 0 {
+			if first == -1 {
+				first = i
+			}
+			n++
+		}
+	}
+	if n <= 1 {
+		return first
+	}
+	pick := k.schedRNG.Intn(n)
+	for i, kc := range k.cpus {
+		if len(kc.runq) > 0 {
+			if pick == 0 {
+				return i
+			}
+			pick--
+		}
+	}
+	return first
 }
 
 // wakeDueSleepers moves every sleeper whose deadline has passed onto the
@@ -244,8 +351,9 @@ func (k *Kernel) wakeDueSleepers() {
 func (k *Kernel) pickNext() *Proc {
 	k.wakeDueSleepers()
 	for {
-		if len(k.runq) > 0 {
-			return k.dequeue()
+		if k.runnable() > 0 {
+			k.rebalance()
+			return k.dequeueFrom(k.chooseCPU())
 		}
 		if len(k.sleepers) == 0 {
 			if k.liveProcs > 0 {
@@ -264,9 +372,12 @@ func (k *Kernel) pickNext() *Proc {
 		//overlint:allow hotpathalloc -- removal by append into the same backing array; never grows
 		k.sleepers = append(k.sleepers[:earliest], k.sleepers[earliest+1:]...)
 		if s.wake > k.world.Now() {
-			// Idle: no task holds the CPU while the clock advances.
-			k.world.SetTask(0, 0, "", 0, false)
-			k.world.ChargeAdd(s.wake-k.world.Now(), sim.CtrIdle, 0)
+			// Idle: no task holds a CPU while the clock advances; the idle
+			// cycles bill to the due sleeper's home vCPU.
+			c := k.world.VCPUs()[s.p.home]
+			k.world.Activate(c)
+			c.SetTask(0, 0, "", 0, false)
+			c.ChargeAdd(s.wake-k.world.Now(), sim.CtrIdle, 0)
 		}
 		k.makeRunnable(s.p)
 	}
@@ -277,8 +388,12 @@ func (k *Kernel) pickNext() *Proc {
 // suspended until rescheduled; otherwise (exit) the caller's goroutine
 // simply returns.
 func (k *Kernel) switchTo(next *Proc, cur *Proc, park bool) {
-	k.world.ChargeCount(k.world.Cost.ContextSwitch, sim.CtrContextSwitch)
-	k.world.EmitSpan(obs.KindCtxSwitch, "switch", uint64(next.pid), k.world.Cost.ContextSwitch)
+	// Dispatch happens in the target's execution context: the target's home
+	// vCPU becomes the machine's executing CPU and pays the switch cost.
+	c := k.world.VCPUs()[next.home]
+	k.world.Activate(c)
+	c.ChargeCount(k.world.Cost.ContextSwitch, sim.CtrContextSwitch)
+	c.EmitSpan(obs.KindCtxSwitch, "switch", uint64(next.pid), k.world.Cost.ContextSwitch)
 	k.dispatchAttr(next)
 	k.current = next
 	next.sliceStart = k.world.Now()
@@ -293,7 +408,7 @@ func (k *Kernel) switchTo(next *Proc, cur *Proc, park bool) {
 // yield gives up the CPU: requeue and reschedule. No-op if nothing else is
 // runnable.
 func (k *Kernel) yield(p *Proc) {
-	if len(k.runq) == 0 && len(k.sleepers) == 0 {
+	if k.runnable() == 0 && len(k.sleepers) == 0 {
 		p.sliceStart = k.world.Now()
 		return
 	}
@@ -360,15 +475,17 @@ func (k *Kernel) maybePreempt(p *Proc) {
 		return
 	}
 	k.wakeDueSleepers()
-	if len(k.runq) == 0 {
+	if k.runnable() == 0 {
 		p.sliceStart = k.world.Now()
 		return
 	}
 	k.yield(p)
 }
 
-// dispatchAttr points cycle and span attribution at p; the scheduler calls
-// it at every point where p (re)takes the simulated CPU.
+// dispatchAttr points cycle and span attribution at p on p's home vCPU; the
+// scheduler calls it at every point where p (re)takes a simulated CPU.
 func (k *Kernel) dispatchAttr(p *Proc) {
-	k.world.SetTask(int(p.procShared.leader.pid), int(p.pid), p.name, uint32(p.thread.Domain), p.cloaked)
+	c := k.world.VCPUs()[p.home]
+	k.world.Activate(c)
+	c.SetTask(int(p.procShared.leader.pid), int(p.pid), p.name, uint32(p.thread.Domain), p.cloaked)
 }

@@ -301,7 +301,7 @@ func (k *Kernel) pageOut(p *Proc, vpn uint64, pte mmu.PTE) bool {
 			k.swap.freeSlot(blk)
 			return false
 		}
-		if kind, _ := k.world.InjectAt(fault.SiteSwapOut); kind != fault.None {
+		if kind, _ := k.world.CPU().InjectAt(fault.SiteSwapOut); kind != fault.None {
 			if kind == fault.Fail {
 				// Page-out aborted mid-flight: the page simply stays resident.
 				k.swap.freeSlot(blk)
@@ -326,8 +326,8 @@ func (k *Kernel) pageOut(p *Proc, vpn uint64, pte mmu.PTE) bool {
 			k.swap.freeSlot(old)
 		}
 		p.swapped[vpn] = blk
-		k.world.ChargeAdd(0, sim.CtrPageOut, 1)
-		k.world.Emit(obs.KindSwap, "out", vpn)
+		k.world.CPU().ChargeAdd(0, sim.CtrPageOut, 1)
+		k.world.CPU().Emit(obs.KindSwap, "out", vpn)
 	}
 	p.gpt.Unmap(vpn)
 	p.residentPages--
@@ -385,7 +385,7 @@ func (k *Kernel) pageInZero(p *Proc, vpn uint64, v *VMA) Errno {
 		return EIO
 	}
 	p.mapUserPage(vpn, g, v.Writable)
-	k.world.ChargeAdd(0, sim.CtrPageFaultDemand, 1)
+	k.world.CPU().ChargeAdd(0, sim.CtrPageFaultDemand, 1)
 	return OK
 }
 
@@ -410,7 +410,7 @@ func (k *Kernel) pageInSwap(p *Proc, vpn uint64, v *VMA, blk uint64) Errno {
 		k.mem.free(g)
 		return EIO
 	}
-	if kind, _ := k.world.InjectAt(fault.SiteSwapIn); kind != fault.None {
+	if kind, _ := k.world.CPU().InjectAt(fault.SiteSwapIn); kind != fault.None {
 		if kind == fault.Fail {
 			k.mem.release(g)
 			k.mem.free(g)
@@ -429,8 +429,8 @@ func (k *Kernel) pageInSwap(p *Proc, vpn uint64, v *VMA, blk uint64) Errno {
 	p.mapUserPage(vpn, g, v.Writable)
 	delete(p.swapped, vpn)
 	k.swap.freeSlot(blk)
-	k.world.ChargeAdd(0, sim.CtrPageIn, 1)
-	k.world.Emit(obs.KindSwap, "in", vpn)
+	k.world.CPU().ChargeAdd(0, sim.CtrPageIn, 1)
+	k.world.CPU().Emit(obs.KindSwap, "in", vpn)
 	return OK
 }
 
@@ -452,7 +452,7 @@ func (k *Kernel) pageInFile(p *Proc, vpn uint64, v *VMA) Errno {
 		return EIO
 	}
 	p.mapUserPage(vpn, g, v.Writable)
-	k.world.ChargeAdd(0, sim.CtrPageFaultDemand, 1)
+	k.world.CPU().ChargeAdd(0, sim.CtrPageFaultDemand, 1)
 	return OK
 }
 
@@ -463,7 +463,7 @@ func (k *Kernel) cowBreak(p *Proc, vpn uint64, pte mmu.PTE) Errno {
 		// Last sharer: just restore write permission.
 		p.gpt.SetFlags(vpn, mmu.FlagWritable)
 		k.vmm.InvalidateGuestMapping(p.as, vpn)
-		k.world.ChargeAdd(0, sim.CtrPageFaultCOW, 1)
+		k.world.CPU().ChargeAdd(0, sim.CtrPageFaultCOW, 1)
 		return OK
 	}
 	ng, errno := k.allocUserPage(p, vpn)
@@ -481,12 +481,12 @@ func (k *Kernel) cowBreak(p *Proc, vpn uint64, pte mmu.PTE) Errno {
 		k.mem.free(ng)
 		return EIO
 	}
-	k.world.ChargeAdd(k.world.Cost.PageCopy, sim.CtrPageCopy, 1)
+	k.world.CPU().ChargeAdd(k.world.Cost.PageCopy, sim.CtrPageCopy, 1)
 	k.mem.release(g)
 	p.gpt.Map(vpn, mmu.PTE{PN: uint64(ng),
 		Flags: mmu.FlagPresent | mmu.FlagUser | mmu.FlagWritable})
 	k.vmm.InvalidateGuestMapping(p.as, vpn)
-	k.world.ChargeAdd(0, sim.CtrPageFaultCOW, 1)
+	k.world.CPU().ChargeAdd(0, sim.CtrPageFaultCOW, 1)
 	return OK
 }
 

@@ -92,6 +92,11 @@ type Proc struct {
 	killed    bool
 	waiters   []*Proc // waitpid waiters (leaders) or joiners (threads)
 
+	// home is the index of the vCPU this task is queued on and dispatches to.
+	// Assigned round-robin at creation; rebalance() migrates it. Always 0 on
+	// a single-vCPU machine.
+	home int
+
 	sliceStart sim.Cycles
 	baton      chan struct{}
 
@@ -152,6 +157,7 @@ func (k *Kernel) newProc(ppid Pid, cloaked bool, name string, args []string) *Pr
 		kernel:     k,
 		procShared: sh,
 		baton:      make(chan struct{}, 1),
+		home:       k.placeCPU(),
 	}
 	sh.leader = p
 	sh.threads = []*Proc{p}
@@ -179,6 +185,7 @@ func (k *Kernel) createThread(p *Proc, runner func(*UserCtx)) Pid {
 		kernel:     k,
 		procShared: sh,
 		baton:      make(chan struct{}, 1),
+		home:       k.placeCPU(),
 	}
 	t.userCtx = &UserCtx{p: t, k: k}
 	k.procs[t.pid] = t
@@ -273,7 +280,7 @@ func (k *Kernel) exitCurrent(p *Proc, status int) {
 // exitThread terminates the calling thread. The last thread out performs
 // the process-level teardown. Never returns.
 func (k *Kernel) exitThread(p *Proc) {
-	k.world.Emit(obs.KindProc, "exit", uint64(p.pid))
+	k.world.CPU().Emit(obs.KindProc, "exit", uint64(p.pid))
 	k.vmm.DestroyThread(p.thread)
 	p.state = stateZombie
 	delete(k.procs, p.pid)
@@ -369,8 +376,8 @@ func (k *Kernel) releaseAddressSpace(p *Proc) {
 // the child address space is fully built but before the child is runnable;
 // the shim uses it to re-cloak the child via hypercall.
 func (k *Kernel) forkProc(p *Proc, childRunner func(*UserCtx), onPrepared func(parent, child *vmm.AddressSpace) error) (Pid, Errno) {
-	k.world.ChargeAdd(0, sim.CtrFork, 1)
-	k.world.Emit(obs.KindProc, "fork", uint64(p.pid))
+	k.world.CPU().ChargeAdd(0, sim.CtrFork, 1)
+	k.world.CPU().Emit(obs.KindProc, "fork", uint64(p.pid))
 	child := k.newProc(p.procShared.leader.pid, p.cloaked, p.name, p.args)
 	child.procShared.brk = p.brk
 	child.procShared.mmapPtr = p.mmapPtr
@@ -501,7 +508,7 @@ func (k *Kernel) execProc(p *Proc, name string, args []string) Errno {
 	if !ok {
 		return ENOENT
 	}
-	k.world.ChargeAdd(0, sim.CtrExec, 1)
+	k.world.CPU().ChargeAdd(0, sim.CtrExec, 1)
 	sh := p.procShared
 	for _, t := range sh.threads {
 		if t != p && t.state != stateZombie {
@@ -611,7 +618,7 @@ func (k *Kernel) killProc(p *Proc, target Pid, sig Signal) Errno {
 		return OK
 	}
 	t.procShared.sigPending = append(t.procShared.sigPending, sig)
-	k.world.ChargeAdd(0, sim.CtrSignalDeliver, 1)
+	k.world.CPU().ChargeAdd(0, sim.CtrSignalDeliver, 1)
 	k.wake(t.procShared.leader)
 	return OK
 }

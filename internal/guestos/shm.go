@@ -101,6 +101,6 @@ func (k *Kernel) pageInShm(p *Proc, vpn uint64, v *VMA) Errno {
 	// Each mapping holds its own reference on top of the object's.
 	k.mem.share(g)
 	p.mapUserPage(vpn, g, v.Writable)
-	k.world.ChargeAdd(0, sim.CtrPageFaultDemand, 1)
+	k.world.CPU().ChargeAdd(0, sim.CtrPageFaultDemand, 1)
 	return OK
 }

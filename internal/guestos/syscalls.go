@@ -13,7 +13,7 @@ import (
 // (their bytes are charged like a copyin).
 
 func (k *Kernel) chargePathCopy(path string) {
-	k.world.ChargeAdd(sim.Cycles(1+len(path)/cachelineBytes)*k.world.Cost.MemAccess, sim.CtrMemAccess, uint64(1+len(path)/cachelineBytes))
+	k.world.CPU().ChargeAdd(sim.Cycles(1+len(path)/cachelineBytes)*k.world.Cost.MemAccess, sim.CtrMemAccess, uint64(1+len(path)/cachelineBytes))
 }
 
 const cachelineBytes = 64

@@ -52,7 +52,7 @@ func (c *UserCtx) Time() sim.Cycles { return c.k.world.Now() }
 // Compute implements Env: burn simulated cycles in user mode.
 func (c *UserCtx) Compute(units uint64) {
 	k := c.k
-	k.world.ChargeAdd(sim.Cycles(units)*k.world.Cost.ComputeUnit, sim.CtrCompute, 0)
+	k.world.CPU().ChargeAdd(sim.Cycles(units)*k.world.Cost.ComputeUnit, sim.CtrCompute, 0)
 	k.reapKilledAtSafePoint(c.p)
 	if k.world.Now()-c.p.sliceStart >= k.cfg.Quantum {
 		c.timerInterrupt()
@@ -94,7 +94,7 @@ func (c *UserCtx) access(va mach.Addr, buf []byte, write bool) {
 		var fault *mmu.Fault
 		if errors.As(err, &fault) {
 			// Page fault: trap to the kernel to service it.
-			sp := k.world.Begin(obs.KindPageFault, "app", uint64(va))
+			sp := k.world.CPU().Begin(obs.KindPageFault, "app", uint64(va))
 			p.thread.EnterKernel(vmm.TrapFault)
 			k.vmm.SwitchContext(p.as, vmm.ViewSystem)
 			errno := k.handleFault(p, fault)
@@ -165,9 +165,9 @@ func (c *UserCtx) trap(no Sysno, args [5]uint64, handler func(kregs *vmm.Regs) u
 	k.reapKilledAtSafePoint(p)
 	p.thread.Regs.GPR[0] = uint64(no)
 	copy(p.thread.Regs.GPR[1:], args[:])
-	sp := k.world.Begin(obs.KindSyscall, no.String(), uint64(p.pid))
+	sp := k.world.CPU().Begin(obs.KindSyscall, no.String(), uint64(p.pid))
 	kregs := p.thread.EnterKernel(vmm.TrapSyscall)
-	k.world.ChargeAdd(0, sim.CtrSyscall, 1)
+	k.world.CPU().ChargeAdd(0, sim.CtrSyscall, 1)
 	k.vmm.SwitchContext(p.as, vmm.ViewSystem)
 	if k.Adversary.OnSyscall != nil {
 		k.Adversary.OnSyscall(k, p, Sysno(kregs.GPR[0]), kregs)

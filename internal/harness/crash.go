@@ -35,10 +35,11 @@ var e14secret = []byte("E14-CRASH-SECRET-fedcba9876543210")
 // e14Config is the machine every E14 job boots: small RAM so the workload
 // swaps hard, and a journal checkpointing often enough that mid-checkpoint
 // crash points exist even at quick scale.
-func e14Config(seed uint64) core.Config {
+func e14Config(o Options) core.Config {
 	return core.Config{
 		MemoryPages: 96,
-		Seed:        seed,
+		Seed:        o.seed(),
+		VCPUs:       o.VCPUs,
 		Persist:     &persist.Options{CheckpointEvery: 16},
 	}
 }
@@ -130,7 +131,7 @@ func RunE14(opts Options) *Table {
 	rounds := opts.scale(4, 3)
 
 	probe := submit(opts, func(o Options) e14Probe {
-		sys := core.NewSystem(e14Config(o.seed()))
+		sys := core.NewSystem(e14Config(o))
 		boot := sys.Now()
 		o.observe(sys.World, "crash/probe")
 		e14Register(sys, pages, rounds)
@@ -169,7 +170,7 @@ func RunE14(opts Options) *Table {
 // reboot.
 func runCrashPoint(o Options, pt crashPoint, pages, rounds int) crashOutcome {
 	out := crashOutcome{name: pt.name}
-	cfg := e14Config(o.seed())
+	cfg := e14Config(o)
 	cfg.CrashAt = pt.at
 	sys := core.NewSystem(cfg)
 	o.observe(sys.World, "crash/"+pt.name)

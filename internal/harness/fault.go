@@ -170,7 +170,7 @@ func runFaultScenario(opts Options, sc faultScenario) faultOutcome {
 		seed = seed*1099511628211 + uint64(c)
 	}
 	plan := sc.plan
-	sys := core.NewSystem(core.Config{MemoryPages: 96, Seed: seed, Fault: &plan})
+	sys := core.NewSystem(core.Config{MemoryPages: 96, Seed: seed, VCPUs: opts.VCPUs, Fault: &plan})
 	opts.observe(sys.World, "fault/"+sc.name)
 	prof := sys.World.Profile()
 	if prof == nil {

@@ -21,7 +21,7 @@ func RunE11(opts Options) *Table {
 	totalKB := opts.scale(4096, 512)
 	chunk := 16 * 1024
 
-	cfg := core.Config{MemoryPages: 4096, Seed: opts.seed()}
+	cfg := core.Config{MemoryPages: 4096, Seed: opts.seed(), VCPUs: opts.VCPUs}
 	fpipe := deferRun(opts, cfg, "pipeipc",
 		func() core.Program { return pipeIPCProgram(totalKB, chunk) }, true)
 	fshm := deferRun(opts, cfg, "shmipc",

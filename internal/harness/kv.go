@@ -23,7 +23,7 @@ func RunE12(opts Options) *Table {
 		cfg := workload.KVConfig{
 			Ops: ops, ValueBytes: vs, Keys: 32, PutRatio: 30, Persist: true,
 		}
-		sysCfg := core.Config{MemoryPages: 4096, Seed: opts.seed()}
+		sysCfg := core.Config{MemoryPages: 4096, Seed: opts.seed(), VCPUs: opts.VCPUs}
 		pairs[i] = deferPair(opts, sysCfg, "kv", func() core.Program { return workload.KVProgram(cfg) })
 	}
 	for i, vs := range sizes {

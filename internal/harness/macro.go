@@ -89,7 +89,7 @@ func RunE3(opts Options) *Table {
 			iters = quickIters[k]
 		}
 		cfg := workload.CPUConfig{Kernel: k, WorkingSetK: ws, Iters: iters}
-		sysCfg := core.Config{MemoryPages: 4096, Seed: opts.seed()}
+		sysCfg := core.Config{MemoryPages: 4096, Seed: opts.seed(), VCPUs: opts.VCPUs}
 		pairs[i] = deferPair(opts, sysCfg, string(k), func() core.Program { return workload.CPUProgram(cfg) })
 	}
 	for i, k := range kernels {
@@ -114,7 +114,7 @@ func RunE4(opts Options) *Table {
 		cfg := workload.WebConfig{
 			Requests: reqs, PayloadBytes: payload, NumDocs: 8, ParseCompute: 2000,
 		}
-		sysCfg := core.Config{MemoryPages: 8192, Seed: opts.seed()}
+		sysCfg := core.Config{MemoryPages: 8192, Seed: opts.seed(), VCPUs: opts.VCPUs}
 		pairs[i] = deferPair(opts, sysCfg, "web", func() core.Program { return workload.WebServerProgram(cfg) })
 	}
 	for i, payload := range payloads {
@@ -150,7 +150,7 @@ func RunE5(opts Options) *Table {
 	futs := make([]*future[runOut], len(modes))
 	for i, m := range modes {
 		cfg := workload.FileIOConfig{FileKB: fileKB, IOSize: io, RandReads: rand, Cloak: m.cloakF}
-		sysCfg := core.Config{MemoryPages: 8192, FSDiskPages: 65536, Seed: opts.seed()}
+		sysCfg := core.Config{MemoryPages: 8192, FSDiskPages: 65536, Seed: opts.seed(), VCPUs: opts.VCPUs}
 		futs[i] = deferRun(opts, sysCfg, "fileio",
 			func() core.Program { return workload.FileIOProgram(cfg) }, m.cloakP)
 	}
@@ -176,7 +176,7 @@ func RunE6(opts Options) *Table {
 	for i, ratio := range ratios {
 		pages := int(float64(ram) * ratio)
 		cfg := workload.PagingConfig{WorkingSetPages: pages, Sweeps: sweeps}
-		sysCfg := core.Config{MemoryPages: ram, SwapPages: uint64(ram) * 8, Seed: opts.seed()}
+		sysCfg := core.Config{MemoryPages: ram, SwapPages: uint64(ram) * 8, Seed: opts.seed(), VCPUs: opts.VCPUs}
 		pairs[i] = deferPair(opts, sysCfg, "paging", func() core.Program { return workload.PagingProgram(cfg) })
 	}
 	for i, ratio := range ratios {
@@ -208,7 +208,7 @@ func RunE7(opts Options) *Table {
 		pages := pages
 		futs[i] = submit(opts, func(o Options) int {
 			cfg := workload.PagingConfig{WorkingSetPages: pages, Sweeps: 2}
-			sys := core.NewSystem(core.Config{MemoryPages: ram, SwapPages: uint64(ram) * 8, Seed: o.seed()})
+			sys := core.NewSystem(core.Config{MemoryPages: ram, SwapPages: uint64(ram) * 8, Seed: o.seed(), VCPUs: o.VCPUs})
 			o.observe(sys.World, fmt.Sprintf("meta-%dp/cloaked", pages))
 			maxBytes := 0
 			// Sample metadata growth whenever the kernel pages something out.
@@ -255,7 +255,7 @@ func RunE9(opts Options) *Table {
 			FilesPerJob: opts.scale(4, 2),
 			FileKB:      opts.scale(64, 16),
 		}
-		sysCfg := core.Config{MemoryPages: 8192, Seed: opts.seed()}
+		sysCfg := core.Config{MemoryPages: 8192, Seed: opts.seed(), VCPUs: opts.VCPUs}
 		pairs[i] = deferPair(opts, sysCfg, "mix", func() core.Program { return workload.ProcessMixProgram(cfg) })
 	}
 	for i, jobs := range jobCounts {
@@ -300,6 +300,7 @@ func RunE10(opts Options) *Table {
 		cfg.MemoryPages = 448
 		cfg.Cost = &fastDisk
 		cfg.Seed = opts.seed()
+		cfg.VCPUs = opts.VCPUs
 		futs[i] = deferRun(opts, cfg, "mixed", func() core.Program { return mixed }, true)
 	}
 	var base float64

@@ -187,7 +187,7 @@ func runMicroSuite(opts Options, cloaked bool) microResults {
 		mode = "cloaked"
 	}
 	run := func(name string, prog core.Program) {
-		sys := core.NewSystem(core.Config{MemoryPages: 4096, Seed: opts.seed()})
+		sys := core.NewSystem(core.Config{MemoryPages: 4096, Seed: opts.seed(), VCPUs: opts.VCPUs})
 		opts.observe(sys.World, name+"/"+mode)
 		sys.Register(name, prog)
 		sys.Register("noop", func(e core.Env) { e.Exit(0) })
@@ -390,7 +390,7 @@ var e2LatKinds = []obs.Kind{obs.KindSyscall, obs.KindHypercall, obs.KindPageFaul
 // fresh system) and returns the same [total, crypto, vmm, mem+tlb, other]
 // row shape as RunE2's primitive measurements, plus per-kind latency rows.
 func e2Probe(opts Options) e2Result {
-	sys := core.NewSystem(core.Config{MemoryPages: 2048, Seed: opts.seed()})
+	sys := core.NewSystem(core.Config{MemoryPages: 2048, Seed: opts.seed(), VCPUs: opts.VCPUs})
 	opts.observe(sys.World, "E2/probe")
 	met := sys.World.Metrics
 	if met == nil {

@@ -64,7 +64,7 @@ var e8secret = []byte("E8-SECRET-PAYLOAD-0123456789-ABCDEF")
 // view at every syscall.
 func attackSyscallSnoop(opts Options) attackOutcome {
 	o := attackOutcome{name: "syscall-time memory snoop"}
-	sys := core.NewSystem(core.Config{MemoryPages: 512, Seed: opts.seed()})
+	sys := core.NewSystem(core.Config{MemoryPages: 512, Seed: opts.seed(), VCPUs: opts.VCPUs})
 	opts.observe(sys.World, "attack/"+o.name)
 	sys.Adversary().OnSyscall = func(k *guestos.Kernel, p *guestos.Proc, _ guestos.Sysno, _ *vmm.Regs) {
 		if !p.Cloaked() {
@@ -101,7 +101,7 @@ func attackSyscallSnoop(opts Options) attackOutcome {
 // attackMemoryTamper: the kernel overwrites victim heap bytes.
 func attackMemoryTamper(opts Options) attackOutcome {
 	o := attackOutcome{name: "memory tamper via system view"}
-	sys := core.NewSystem(core.Config{MemoryPages: 512, Seed: opts.seed()})
+	sys := core.NewSystem(core.Config{MemoryPages: 512, Seed: opts.seed(), VCPUs: opts.VCPUs})
 	opts.observe(sys.World, "attack/"+o.name)
 	sys.Adversary().OnSyscall = func(k *guestos.Kernel, p *guestos.Proc, _ guestos.Sysno, _ *vmm.Regs) {
 		if o.attempted || !p.Cloaked() {
@@ -143,7 +143,7 @@ func attackMemoryTamper(opts Options) attackOutcome {
 // attackSwapTamper: flip bits in pages coming back from swap.
 func attackSwapTamper(opts Options) attackOutcome {
 	o := attackOutcome{name: "swap page-in tamper"}
-	sys := core.NewSystem(core.Config{MemoryPages: 128, Seed: opts.seed()})
+	sys := core.NewSystem(core.Config{MemoryPages: 128, Seed: opts.seed(), VCPUs: opts.VCPUs})
 	opts.observe(sys.World, "attack/"+o.name)
 	sys.Adversary().OnPageIn = func(_ *guestos.Kernel, p *guestos.Proc, _ uint64, frame []byte) {
 		if p.Cloaked() && !o.attempted {
@@ -184,7 +184,7 @@ func attackSwapTamper(opts Options) attackOutcome {
 // stale copy of an earlier version instead.
 func attackSwapReplayDrop(opts Options) attackOutcome {
 	o := attackOutcome{name: "swap replay (stale page)"}
-	sys := core.NewSystem(core.Config{MemoryPages: 128, Seed: opts.seed()})
+	sys := core.NewSystem(core.Config{MemoryPages: 128, Seed: opts.seed(), VCPUs: opts.VCPUs})
 	opts.observe(sys.World, "attack/"+o.name)
 	var stash []byte
 	var stashVPN uint64
@@ -239,7 +239,7 @@ func attackSwapReplayDrop(opts Options) attackOutcome {
 func attackRegisterGrab(opts Options) attackOutcome {
 	o := attackOutcome{name: "register harvest at traps"}
 	const marker = 0x5EC4E7C0DE
-	sys := core.NewSystem(core.Config{MemoryPages: 512, Seed: opts.seed()})
+	sys := core.NewSystem(core.Config{MemoryPages: 512, Seed: opts.seed(), VCPUs: opts.VCPUs})
 	opts.observe(sys.World, "attack/"+o.name)
 	sys.Adversary().OnSyscall = func(_ *guestos.Kernel, p *guestos.Proc, _ guestos.Sysno, kregs *vmm.Regs) {
 		if !p.Cloaked() {
@@ -277,7 +277,7 @@ func attackRegisterGrab(opts Options) attackOutcome {
 // context and log the attempt.
 func attackRegisterTamper(opts Options) attackOutcome {
 	o := attackOutcome{name: "register tamper during trap"}
-	sys := core.NewSystem(core.Config{MemoryPages: 512, Seed: opts.seed()})
+	sys := core.NewSystem(core.Config{MemoryPages: 512, Seed: opts.seed(), VCPUs: opts.VCPUs})
 	opts.observe(sys.World, "attack/"+o.name)
 	sys.Adversary().OnSyscall = func(_ *guestos.Kernel, p *guestos.Proc, _ guestos.Sysno, kregs *vmm.Regs) {
 		if !p.Cloaked() || o.attempted {
@@ -316,7 +316,7 @@ func attackRegisterTamper(opts Options) attackOutcome {
 // colluding process.
 func attackCrossProcessMap(opts Options) attackOutcome {
 	o := attackOutcome{name: "cross-process frame remap"}
-	sys := core.NewSystem(core.Config{MemoryPages: 512, Seed: opts.seed()})
+	sys := core.NewSystem(core.Config{MemoryPages: 512, Seed: opts.seed(), VCPUs: opts.VCPUs})
 	opts.observe(sys.World, "attack/"+o.name)
 	var spySaw []byte
 	sys.Adversary().OnSyscall = func(k *guestos.Kernel, p *guestos.Proc, _ guestos.Sysno, _ *vmm.Regs) {

@@ -153,6 +153,9 @@ func (t *Table) JSON() string {
 type Options struct {
 	Quick bool
 	Seed  uint64
+	// VCPUs sizes every machine the experiments boot (0 = 1). The
+	// single-vCPU output is byte-identical to builds before SMP existed.
+	VCPUs int
 	// Observe, when non-nil, collects attributed metrics (and spans, if
 	// Observe.TraceCap > 0) from every world the experiments build.
 	Observe *Observer

@@ -154,26 +154,32 @@ func isMemoryPrimitive(obj types.Object) bool {
 		objIs(obj, "overshadow/internal/mach", "Memory", "Zero")
 }
 
-// isChargePrimitive reports whether obj advances the simulated clock.
+// isChargePrimitive reports whether obj advances the simulated clock. The
+// per-vCPU methods are the real primitives; the World methods are the
+// one-release deprecation forwarders onto the boot vCPU and still count.
 func isChargePrimitive(obj types.Object) bool {
-	return objIs(obj, "overshadow/internal/sim", "World", "Charge") ||
+	return objIs(obj, "overshadow/internal/sim", "VCPU", "Charge") ||
+		objIs(obj, "overshadow/internal/sim", "VCPU", "ChargeCount") ||
+		objIs(obj, "overshadow/internal/sim", "VCPU", "ChargeAdd") ||
+		objIs(obj, "overshadow/internal/sim", "World", "Charge") ||
 		objIs(obj, "overshadow/internal/sim", "World", "ChargeCount") ||
 		objIs(obj, "overshadow/internal/sim", "World", "ChargeAdd") ||
 		objIs(obj, "overshadow/internal/sim", "Clock", "Advance")
 }
 
-// observerMethods are the sim.World (and SpanHandle) methods that only
-// observe the machine: span emission, attribution bookkeeping,
+// observerMethods are the sim.World/sim.VCPU (and SpanHandle) methods that
+// only observe the machine: span emission, attribution bookkeeping,
 // trace/metrics plumbing, and the stack profiler. None of them charges the
 // clock — profiling an operation is never evidence of charging for it.
 var observerMethods = map[string]bool{
 	"Begin": true, "Emit": true, "EmitSpan": true,
-	"SetTask": true, "SetTaskDomain": true, "SetPhase": true, "Attr": true,
+	"SetTask": true, "SetTaskDomain": true, "SetPhase": true,
+	"setPhase": true, "Attr": true,
 	"EnableTrace": true, "EnableMetrics": true,
 	"TraceEnabled": true, "TraceSpans": true,
 	"EnableProfile": true, "Profile": true,
 	"profLeaf": true, "profPush": true, "profPop": true,
-	"profSwitch": true, "profSetPhase": true,
+	"profDispatch": true, "profObserve": true, "profSetPhase": true,
 }
 
 // isObserverPrimitive reports whether obj belongs to the observability
@@ -195,7 +201,7 @@ func isObserverPrimitive(obj types.Object) bool {
 		return false
 	}
 	switch recvNamed(obj) {
-	case "World":
+	case "World", "VCPU":
 		return observerMethods[obj.Name()]
 	case "SpanHandle", "Tracer":
 		return true

@@ -49,15 +49,15 @@ var hotRoots = []hotRoot{
 	{vmmPath, "VMM", "Translate"},
 	{vmmPath, "Thread", "EnterKernel"},
 	{vmmPath, "Thread", "ExitKernel"},
-	{"overshadow/internal/sim", "World", "Charge"},
-	{"overshadow/internal/sim", "World", "ChargeCount"},
-	{"overshadow/internal/sim", "World", "ChargeAdd"},
-	{"overshadow/internal/sim", "World", "InjectAt"},
-	{"overshadow/internal/sim", "World", "Emit"},
-	{"overshadow/internal/sim", "World", "EmitSpan"},
-	{"overshadow/internal/sim", "World", "Begin"},
+	{"overshadow/internal/sim", "VCPU", "Charge"},
+	{"overshadow/internal/sim", "VCPU", "ChargeCount"},
+	{"overshadow/internal/sim", "VCPU", "ChargeAdd"},
+	{"overshadow/internal/sim", "VCPU", "InjectAt"},
+	{"overshadow/internal/sim", "VCPU", "Emit"},
+	{"overshadow/internal/sim", "VCPU", "EmitSpan"},
+	{"overshadow/internal/sim", "VCPU", "Begin"},
 	{"overshadow/internal/sim", "SpanHandle", "End"},
-	{"overshadow/internal/sim", "World", "SetTask"},
+	{"overshadow/internal/sim", "VCPU", "SetTask"},
 	// Profiler entry points: when profiling is on these run on every charge,
 	// span, and dispatch; when it is off the nil-check fast path must stay
 	// allocation-free. Rooted explicitly so the contract survives call-edge
@@ -65,7 +65,8 @@ var hotRoots = []hotRoot{
 	{"overshadow/internal/sim", "World", "profLeaf"},
 	{"overshadow/internal/sim", "World", "profPush"},
 	{"overshadow/internal/sim", "World", "profPop"},
-	{"overshadow/internal/sim", "World", "profSwitch"},
+	{"overshadow/internal/sim", "World", "profDispatch"},
+	{"overshadow/internal/sim", "World", "profObserve"},
 	{"overshadow/internal/obs", "Profile", "Observe"},
 	{"overshadow/internal/obs", "ProfNode", "Child"},
 	{"overshadow/internal/obs", "ProfNode", "AddLeaf"},

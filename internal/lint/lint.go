@@ -88,6 +88,7 @@ func Analyzers() []*Analyzer {
 		PlaintextFlowAnalyzer,
 		HotPathAllocAnalyzer,
 		SMPReadyAnalyzer,
+		WorldChargeAnalyzer,
 	}
 }
 

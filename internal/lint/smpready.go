@@ -24,6 +24,17 @@ import (
 // locking discipline exists) or an //overlint:allow with the serialization
 // argument clears the finding.
 //
+// Rule C closes rule B's escape hatch: once a struct written from two or
+// more entry groups does carry a mutex field, the mutex has to be more than
+// decoration — every function that writes the struct's fields from inside an
+// entry group must take one of the struct's mutexes (x.mu.Lock()/RLock(), or
+// the promoted Lock of an embedded mutex) in its own body. Writers outside
+// every entry group (constructors, test rigs) are exempt, as is locking any
+// one of several mutex fields — the analyzer checks that the declared
+// serialization intent is exercised, not which shard of it applies.
+// Lock-taking through a helper (s.Lock() where Lock is a hand-written method
+// that locks s.mu) is credited only when the helper itself is the writer.
+//
 // The groups model the paper's world-switch structure: each names a distinct
 // activation source that SMP would run concurrently. Reachability is the
 // static call-graph closure, so dynamic dispatch under-approximates — a
@@ -55,6 +66,9 @@ var smpEntryGroups = []struct {
 		{vmmPath, "VMM", "HCDropFileResource"},
 	}},
 	{"charge", []hotRoot{
+		{"overshadow/internal/sim", "VCPU", "Charge"},
+		{"overshadow/internal/sim", "VCPU", "ChargeCount"},
+		{"overshadow/internal/sim", "VCPU", "ChargeAdd"},
 		{"overshadow/internal/sim", "World", "Charge"},
 		{"overshadow/internal/sim", "World", "ChargeCount"},
 		{"overshadow/internal/sim", "World", "ChargeAdd"},
@@ -74,6 +88,12 @@ type smpFacts struct {
 	// fieldGroups maps a written struct field to the entry groups that reach
 	// a writer.
 	fieldGroups map[*types.Var]map[string]bool
+	// fieldWriters maps a written struct field to the functions that write it
+	// while reachable from at least one entry group (rule C's audit set).
+	fieldWriters map[*types.Var]map[types.Object]bool
+	// funcLocks maps a function to the mutex fields whose Lock/RLock it calls
+	// in its own body.
+	funcLocks map[types.Object]map[*types.Var]bool
 }
 
 var (
@@ -86,8 +106,10 @@ func smpFactsOf(g *ModuleGraph) *smpFacts {
 		return cachedSMP
 	}
 	f := &smpFacts{
-		varWritten:  make(map[*types.Var]bool),
-		fieldGroups: make(map[*types.Var]map[string]bool),
+		varWritten:   make(map[*types.Var]bool),
+		fieldGroups:  make(map[*types.Var]map[string]bool),
+		fieldWriters: make(map[*types.Var]map[types.Object]bool),
+		funcLocks:    make(map[types.Object]map[*types.Var]bool),
 	}
 	// Per-group reachability. The hypercall group additionally seeds every
 	// exported DomainConn method: each is a guest-initiated activation.
@@ -115,6 +137,7 @@ func smpFactsOf(g *ModuleGraph) *smpFacts {
 			}
 		}
 		scanWrites(fi, groups, f)
+		scanLocks(fi, f)
 	}
 	cachedSMP, cachedSMPGraph = f, g
 	return f
@@ -148,6 +171,14 @@ func scanWrites(fi *FuncInfo, groups []string, f *smpFacts) {
 				for _, grp := range groups {
 					gs[grp] = true
 				}
+				if len(groups) > 0 {
+					ws := f.fieldWriters[v]
+					if ws == nil {
+						ws = make(map[types.Object]bool)
+						f.fieldWriters[v] = ws
+					}
+					ws[fi.Obj] = true
+				}
 			}
 		case *ast.IndexExpr:
 			recordLHSBase(lv.X, info, f)
@@ -166,6 +197,80 @@ func scanWrites(fi *FuncInfo, groups []string, f *smpFacts) {
 		}
 		return true
 	})
+}
+
+// scanLocks records every mutex-field Lock/RLock call in one function: the
+// x.mu.Lock() form where mu is a sync.Mutex/RWMutex field, and the promoted
+// s.Lock() form where the mutex is embedded in s's struct type.
+func scanLocks(fi *FuncInfo, f *smpFacts) {
+	info := fi.Pkg.Info
+	record := func(v *types.Var) {
+		ls := f.funcLocks[fi.Obj]
+		if ls == nil {
+			ls = make(map[*types.Var]bool)
+			f.funcLocks[fi.Obj] = ls
+		}
+		ls[v] = true
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		// Only the sync package's own Lock/RLock counts; a hand-written
+		// method of the same name is not evidence of taking the mutex.
+		m, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || m.Pkg() == nil || m.Pkg().Path() != "sync" {
+			return true
+		}
+		// x.mu.Lock(): the receiver expression names the mutex field.
+		if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+			if v, ok := info.Uses[inner.Sel].(*types.Var); ok && v.IsField() && isMutexType(v.Type()) {
+				record(v)
+				return true
+			}
+		}
+		// s.Lock(): promoted method of an embedded mutex — credit the
+		// embedded field itself.
+		if tv, ok := info.Types[sel.X]; ok {
+			if st := structUnder(tv.Type); st != nil {
+				for i := 0; i < st.NumFields(); i++ {
+					if fv := st.Field(i); fv.Embedded() && isMutexType(fv.Type()) {
+						record(fv)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// structUnder unwraps pointers and named types down to a struct, or nil.
+func structUnder(t types.Type) *types.Struct {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
 }
 
 // recordLHSBase handles indexed writes (m[k] = v): mutating a map or slice
@@ -204,7 +309,8 @@ func runSMPReady(pass *Pass) {
 	}
 
 	// Rule B: one finding per mutex-less struct whose fields are written from
-	// two or more entry groups.
+	// two or more entry groups. Rule C: for a mutexed struct in the same
+	// position, every grouped writer must take one of the struct's mutexes.
 	for _, name := range scope.Names() {
 		tn, ok := scope.Lookup(name).(*types.TypeName)
 		if !ok || tn.IsAlias() {
@@ -215,7 +321,7 @@ func runSMPReady(pass *Pass) {
 			continue
 		}
 		st, ok := named.Underlying().(*types.Struct)
-		if !ok || hasMutexField(st) {
+		if !ok {
 			continue
 		}
 		fields := make(map[string]bool)
@@ -230,8 +336,59 @@ func runSMPReady(pass *Pass) {
 		if len(groups) < 2 {
 			continue
 		}
-		pass.Report(tn.Pos(), "struct %s: fields %s written from vCPU entry groups %s without a mutex field",
-			tn.Name(), joinSorted(fields), joinSorted(groups))
+		if !hasMutexField(st) {
+			pass.Report(tn.Pos(), "struct %s: fields %s written from vCPU entry groups %s without a mutex field",
+				tn.Name(), joinSorted(fields), joinSorted(groups))
+			continue
+		}
+		reportUnlockedWriters(pass, tn, st, facts)
+	}
+}
+
+// reportUnlockedWriters implements rule C for one mutexed struct: each
+// grouped writer of its fields must call Lock/RLock on one of the struct's
+// mutex fields in its own body.
+func reportUnlockedWriters(pass *Pass, tn *types.TypeName, st *types.Struct, facts *smpFacts) {
+	var mutexes []*types.Var
+	for i := 0; i < st.NumFields(); i++ {
+		if fv := st.Field(i); isMutexType(fv.Type()) {
+			mutexes = append(mutexes, fv)
+		}
+	}
+	// Collect the offending writers first (map iteration is unordered), then
+	// report in source order so findings are stable run to run.
+	type offender struct {
+		writer types.Object
+		field  string
+	}
+	seen := make(map[types.Object]bool)
+	var bad []offender
+	for i := 0; i < st.NumFields(); i++ {
+		fv := st.Field(i)
+		if isMutexType(fv.Type()) {
+			continue
+		}
+		for w := range facts.fieldWriters[fv] {
+			if seen[w] {
+				continue
+			}
+			locked := false
+			for _, m := range mutexes {
+				if facts.funcLocks[w][m] {
+					locked = true
+					break
+				}
+			}
+			if !locked {
+				seen[w] = true
+				bad = append(bad, offender{w, fv.Name()})
+			}
+		}
+	}
+	sort.Slice(bad, func(i, j int) bool { return bad[i].writer.Pos() < bad[j].writer.Pos() })
+	for _, o := range bad {
+		pass.Report(o.writer.Pos(), "%s writes %s.%s from a vCPU entry group without locking %s.%s",
+			o.writer.Name(), tn.Name(), o.field, tn.Name(), mutexes[0].Name())
 	}
 }
 

@@ -193,10 +193,10 @@ func sinkDescription(obj types.Object) string {
 	case objIs(obj, machPath, "Disk", "Write"), objIs(obj, machPath, "Disk", "Poke"),
 		objIs(obj, machPath, "Disk", "PokeRaw"):
 		return "raw disk write (mach.Disk." + obj.Name() + ")"
-	case objIs(obj, "overshadow/internal/sim", "World", "Emit"),
-		objIs(obj, "overshadow/internal/sim", "World", "EmitSpan"),
-		objIs(obj, "overshadow/internal/sim", "World", "Begin"):
-		return "trace emission (sim.World." + obj.Name() + ")"
+	case objIs(obj, "overshadow/internal/sim", "VCPU", "Emit"),
+		objIs(obj, "overshadow/internal/sim", "VCPU", "EmitSpan"),
+		objIs(obj, "overshadow/internal/sim", "VCPU", "Begin"):
+		return "trace emission (sim.VCPU." + obj.Name() + ")"
 	}
 	if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" &&
 		(strings.HasPrefix(obj.Name(), "Print") || strings.HasPrefix(obj.Name(), "Fprint")) {

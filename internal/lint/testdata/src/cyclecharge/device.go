@@ -20,7 +20,7 @@ func (d *Device) BadRead(mpn mach.MPN) byte { // want `BadRead reaches guest mem
 }
 
 func (d *Device) GoodRead(mpn mach.MPN) byte {
-	d.world.Charge(d.world.Cost.MemAccess)
+	d.world.CPU().Charge(d.world.Cost.MemAccess)
 	return d.mem.Page(mpn)[0]
 }
 
@@ -50,6 +50,8 @@ func (d *Device) BadClosure(mpns []mach.MPN) int { // want `BadClosure reaches g
 // must guarantee the charge.
 func (d *Device) raw(mpn mach.MPN) byte { return d.mem.Page(mpn)[0] }
 
+// The deprecated World forwarder onto the boot vCPU still counts as a
+// charge primitive for the duration of the migration window.
 func (d *Device) charge() { d.world.Charge(1) }
 
 // Exported but never reaches memory: not flagged.
@@ -69,7 +71,7 @@ func (d *Device) GoodChargeAdd(mpn mach.MPN) byte {
 // Span emission is observation, not charging: a function that carefully
 // traces its memory touch but never charges the clock is still flagged.
 func (d *Device) BadTraced(mpn mach.MPN) byte { // want `BadTraced reaches guest memory without charging`
-	sp := d.world.Begin(obs.KindDisk, "read", uint64(mpn))
+	sp := d.world.CPU().Begin(obs.KindDisk, "read", uint64(mpn))
 	defer sp.End()
 	return d.mem.Page(mpn)[0]
 }
@@ -82,8 +84,8 @@ func (d *Device) BadEmit(mpn mach.MPN) byte { // want `BadEmit reaches guest mem
 }
 
 func (d *Device) observe(mpn mach.MPN) {
-	d.world.SetTaskDomain(1)
-	d.world.Emit(obs.KindDisk, "touch", uint64(mpn))
+	d.world.CPU().SetTaskDomain(1)
+	d.world.CPU().Emit(obs.KindDisk, "touch", uint64(mpn))
 }
 
 // Profiling is never evidence of charging: a function whose memory touch is
@@ -91,7 +93,7 @@ func (d *Device) observe(mpn mach.MPN) {
 // simulated clock, so it is flagged like any other free touch.
 func (d *Device) BadProfiled(mpn mach.MPN) byte { // want `BadProfiled reaches guest memory without charging`
 	d.world.EnableProfile(nil)
-	sp := d.world.Begin(obs.KindDisk, "read", uint64(mpn))
+	sp := d.world.CPU().Begin(obs.KindDisk, "read", uint64(mpn))
 	defer sp.End()
 	return d.mem.Page(mpn)[0]
 }
@@ -99,6 +101,6 @@ func (d *Device) BadProfiled(mpn mach.MPN) byte { // want `BadProfiled reaches g
 // Profiling alongside a real charge is fine — the charge is the evidence.
 func (d *Device) GoodProfiled(mpn mach.MPN) byte {
 	d.world.EnableProfile(nil)
-	d.world.Charge(d.world.Cost.MemAccess)
+	d.world.CPU().Charge(d.world.Cost.MemAccess)
 	return d.mem.Page(mpn)[0]
 }

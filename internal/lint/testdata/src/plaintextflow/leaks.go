@@ -58,7 +58,7 @@ func fillVault(v *vault) {
 }
 
 func leakVault(w *sim.World, v *vault) {
-	w.Emit(obs.KindFault, string(v.buf), 0) // want `cloaked plaintext flows to trace emission \(sim\.World\.Emit\)`
+	w.CPU().Emit(obs.KindFault, string(v.buf), 0) // want `cloaked plaintext flows to trace emission \(sim\.VCPU\.Emit\)`
 }
 
 // In-place decrypt source: DecryptPage turns the caller's buffer into

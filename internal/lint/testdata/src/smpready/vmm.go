@@ -31,13 +31,21 @@ type Buf struct { // want `struct Buf: fields data written from vCPU entry group
 }
 
 // Locked is written from two groups too, but the mutex field declares the
-// serialization intent: no finding.
+// serialization intent — and rule C checks each grouped writer takes it.
 type Locked struct {
 	mu sync.Mutex
 	n  uint64
 }
 
-// OneSide is written from a single group only: no finding.
+// Embedded carries its mutex by embedding; the promoted e.Lock() form must
+// be credited just like e.mu.Lock().
+type Embedded struct {
+	sync.Mutex
+	gen uint64
+}
+
+// OneSide is written from a single group only: no finding, and rule C does
+// not audit its writers either.
 type OneSide struct {
 	count uint64
 }
@@ -46,6 +54,7 @@ type VMM struct {
 	sh  *Shadow
 	buf *Buf
 	lk  *Locked
+	emb *Embedded
 	one *OneSide
 }
 
@@ -67,15 +76,44 @@ func (t *Thread) EnterKernel() {
 	t.v.sh.hits++
 }
 
-// PhysWrite roots the physio group.
+// PhysWrite roots the physio group; it takes the mutex around the write, so
+// rule C is satisfied.
 func (v *VMM) PhysWrite(x uint64) {
+	v.lk.mu.Lock()
 	v.lk.n = x
+	v.lk.mu.Unlock()
 	v.one.count++
+	v.emb.Lock()
+	v.emb.gen++
+	v.emb.Unlock()
 }
 
-// HCCreateDomain roots the hypercall group.
-func (v *VMM) HCCreateDomain() {
+// HCCreateDomain roots the hypercall group. It writes Locked.n without
+// taking Locked.mu: the mutex is decoration here, which is exactly what
+// rule C flags.
+func (v *VMM) HCCreateDomain() { // want `HCCreateDomain writes Locked\.n from a vCPU entry group without locking Locked\.mu`
 	v.lk.n++
+	v.emb.touch()
+}
+
+// touch is reached from the hypercall group through HCCreateDomain and
+// writes Embedded.gen holding the promoted embedded mutex: no finding.
+func (e *Embedded) touch() {
+	e.Lock()
+	e.gen++
+	e.Unlock()
+}
+
+// bump is reached from the physio group via PhysRead and writes without the
+// lock — helpers inside an entry group's closure are audited like roots.
+func (e *Embedded) bump() { // want `bump writes Embedded\.gen from a vCPU entry group without locking Embedded\.Mutex`
+	e.gen++
+}
+
+// PhysRead roots the physio group.
+func (v *VMM) PhysRead() uint64 {
+	v.emb.bump()
+	return v.one.count
 }
 
 // Push is an exported DomainConn method: a guest-initiated hypercall

@@ -1,0 +1,40 @@
+// Package vmm is worldcharge-analyzer testdata loaded under the production
+// import path overshadow/internal/vmm (any path outside internal/sim is
+// policed), importing the real sim package so the deprecated forwarders
+// resolve to the same objects as on the production tree.
+package vmm
+
+import "overshadow/internal/sim"
+
+type Device struct {
+	world *sim.World
+}
+
+// The deprecated World-level forwarders bill the boot vCPU no matter which
+// vCPU is executing: every use outside internal/sim is a finding.
+func (d *Device) Deprecated() {
+	d.world.Charge(10)                         // want `deprecated sim\.World\.Charge bills the boot vCPU unconditionally`
+	d.world.ChargeCount(10, sim.CtrMemAccess)  // want `deprecated sim\.World\.ChargeCount bills the boot vCPU unconditionally`
+	d.world.ChargeAdd(10, sim.CtrMemAccess, 2) // want `deprecated sim\.World\.ChargeAdd bills the boot vCPU unconditionally`
+}
+
+// The explicit per-vCPU surface is the sanctioned API: no findings, whether
+// through the executing-CPU accessor or a threaded handle.
+func (d *Device) Migrated(c *sim.VCPU) {
+	d.world.CPU().Charge(10)
+	d.world.CPU().ChargeCount(10, sim.CtrMemAccess)
+	c.ChargeAdd(10, sim.CtrMemAccess, 2)
+}
+
+// Same-named methods on unrelated types are not the forwarders.
+type billing struct{}
+
+func (billing) Charge(n int) {}
+func (billing) ChargeAdd()   {}
+func chargeLocal(b billing)  { b.Charge(1); b.ChargeAdd() }
+
+// A reviewed allow comment suppresses the finding.
+func (d *Device) Allowed() {
+	//overlint:allow worldcharge -- testdata: deliberate exception
+	d.world.Charge(1)
+}

@@ -1,0 +1,47 @@
+package lint
+
+import "go/ast"
+
+// WorldChargeAnalyzer polices the SMP deprecation window: the old
+// single-CPU charging surface (*sim.World).Charge/ChargeCount/ChargeAdd
+// survives for one release as thin forwarders onto the boot vCPU, so code
+// written against the old API keeps compiling — but every in-tree caller
+// has been migrated to the explicit per-vCPU handles
+// (world.CPU().Charge...), and new code must not quietly re-adopt the
+// forwarders: a World-level charge always bills vCPU 0 regardless of which
+// vCPU is executing, which silently corrupts per-CPU cycle accounting the
+// moment a machine runs more than one vCPU.
+//
+// Only internal/sim itself may name the forwarders (it defines them, and
+// its tests pin their boot-vCPU delegation until removal).
+var WorldChargeAnalyzer = &Analyzer{
+	Name: "worldcharge",
+	Doc:  "forbid the deprecated World.Charge* forwarders outside internal/sim",
+	Run:  runWorldCharge,
+}
+
+// worldChargeNames are the deprecated forwarder methods.
+var worldChargeNames = map[string]bool{
+	"Charge": true, "ChargeCount": true, "ChargeAdd": true,
+}
+
+func runWorldCharge(pass *Pass) {
+	if pass.Pkg.Path == "overshadow/internal/sim" {
+		return // the forwarders live (and are pinned by tests) here
+	}
+	info := pass.Pkg.Info
+	inspect(pass.Pkg, func(n ast.Node) bool {
+		ident, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[ident]
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "overshadow/internal/sim" {
+			return true
+		}
+		if worldChargeNames[obj.Name()] && recvNamed(obj) == "World" {
+			pass.Report(ident.Pos(), "deprecated sim.World.%s bills the boot vCPU unconditionally: charge through an explicit handle (world.CPU().%s or a threaded *sim.VCPU)", obj.Name(), obj.Name())
+		}
+		return true
+	})
+}

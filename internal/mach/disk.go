@@ -42,9 +42,10 @@ func (d *Disk) Read(blk uint64, dst []byte) error {
 		return fmt.Errorf("disk: short read buffer (%d bytes)", len(dst))
 	}
 	cost := d.world.Cost.DiskSeek + sim.Cycles(BlockSize)*d.world.Cost.DiskPerByte
-	d.world.ChargeCount(cost, sim.CtrDiskRead)
-	d.world.EmitSpan(obs.KindDisk, "read", blk, cost)
-	kind, _ := d.world.InjectAt(fault.SiteDiskRead)
+	c := d.world.CPU()
+	c.ChargeCount(cost, sim.CtrDiskRead)
+	c.EmitSpan(obs.KindDisk, "read", blk, cost)
+	kind, _ := c.InjectAt(fault.SiteDiskRead)
 	if kind == fault.Fail {
 		return fmt.Errorf("%w: read of block %d", ErrIO, blk)
 	}
@@ -72,9 +73,10 @@ func (d *Disk) Write(blk uint64, src []byte) error {
 		return fmt.Errorf("disk: short write buffer (%d bytes)", len(src))
 	}
 	cost := d.world.Cost.DiskSeek + sim.Cycles(BlockSize)*d.world.Cost.DiskPerByte
-	d.world.ChargeCount(cost, sim.CtrDiskWrite)
-	d.world.EmitSpan(obs.KindDisk, "write", blk, cost)
-	kind, _ := d.world.InjectAt(fault.SiteDiskWrite)
+	c := d.world.CPU()
+	c.ChargeCount(cost, sim.CtrDiskWrite)
+	c.EmitSpan(obs.KindDisk, "write", blk, cost)
+	kind, _ := c.InjectAt(fault.SiteDiskWrite)
 	if kind == fault.Fail {
 		return fmt.Errorf("%w: write of block %d", ErrIO, blk)
 	}

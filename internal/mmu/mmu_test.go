@@ -198,7 +198,7 @@ func TestPageTableCountProperty(t *testing.T) {
 
 func TestTLBHitMiss(t *testing.T) {
 	w := testWorld()
-	tlb := NewTLB(w, 16)
+	tlb := NewTLB(w.Boot(), 16)
 	if _, ok := tlb.Lookup(1, 100); ok {
 		t.Fatal("hit on empty TLB")
 	}
@@ -216,7 +216,7 @@ func TestTLBHitMiss(t *testing.T) {
 
 func TestTLBContextTagging(t *testing.T) {
 	w := testWorld()
-	tlb := NewTLB(w, 16)
+	tlb := NewTLB(w.Boot(), 16)
 	tlb.Insert(1, 100, PTE{PN: 7, Flags: FlagPresent})
 	if _, ok := tlb.Lookup(2, 100); ok {
 		t.Fatal("context 2 saw context 1's translation")
@@ -225,11 +225,11 @@ func TestTLBContextTagging(t *testing.T) {
 
 func TestTLBInvalidatePageAllContexts(t *testing.T) {
 	w := testWorld()
-	tlb := NewTLB(w, 16)
+	tlb := NewTLB(w.Boot(), 16)
 	tlb.Insert(1, 100, PTE{PN: 7, Flags: FlagPresent})
 	tlb.Insert(2, 100, PTE{PN: 9, Flags: FlagPresent})
 	tlb.Insert(1, 101, PTE{PN: 8, Flags: FlagPresent})
-	tlb.InvalidatePage(100)
+	tlb.InvalidatePage(w.Boot(), 100)
 	if _, ok := tlb.Lookup(1, 100); ok {
 		t.Fatal("ctx1 vpn100 survived invalidation")
 	}
@@ -243,10 +243,10 @@ func TestTLBInvalidatePageAllContexts(t *testing.T) {
 
 func TestTLBInvalidateContext(t *testing.T) {
 	w := testWorld()
-	tlb := NewTLB(w, 16)
+	tlb := NewTLB(w.Boot(), 16)
 	tlb.Insert(1, 100, PTE{PN: 7, Flags: FlagPresent})
 	tlb.Insert(2, 200, PTE{PN: 9, Flags: FlagPresent})
-	tlb.InvalidateContext(1)
+	tlb.InvalidateContext(w.Boot(), 1)
 	if _, ok := tlb.Lookup(1, 100); ok {
 		t.Fatal("ctx1 entry survived context invalidation")
 	}
@@ -257,7 +257,7 @@ func TestTLBInvalidateContext(t *testing.T) {
 
 func TestTLBCapacityEviction(t *testing.T) {
 	w := testWorld()
-	tlb := NewTLB(w, 4)
+	tlb := NewTLB(w.Boot(), 4)
 	for vpn := uint64(0); vpn < 20; vpn++ {
 		tlb.Insert(1, vpn, PTE{PN: vpn, Flags: FlagPresent})
 	}
@@ -268,7 +268,7 @@ func TestTLBCapacityEviction(t *testing.T) {
 
 func TestTLBFlush(t *testing.T) {
 	w := testWorld()
-	tlb := NewTLB(w, 8)
+	tlb := NewTLB(w.Boot(), 8)
 	tlb.Insert(1, 1, PTE{PN: 1, Flags: FlagPresent})
 	tlb.Flush()
 	if tlb.Len() != 0 {
@@ -283,12 +283,12 @@ func TestTLBReinsertAfterEvictionStaleOrder(t *testing.T) {
 	// Exercises the stale-order-slot path: invalidate entries, then force
 	// evictions; the TLB must stay within capacity and not panic.
 	w := testWorld()
-	tlb := NewTLB(w, 4)
+	tlb := NewTLB(w.Boot(), 4)
 	for vpn := uint64(0); vpn < 4; vpn++ {
 		tlb.Insert(1, vpn, PTE{PN: vpn, Flags: FlagPresent})
 	}
-	tlb.InvalidatePage(0)
-	tlb.InvalidatePage(1)
+	tlb.InvalidatePage(w.Boot(), 0)
+	tlb.InvalidatePage(w.Boot(), 1)
 	for vpn := uint64(10); vpn < 30; vpn++ {
 		tlb.Insert(1, vpn, PTE{PN: vpn, Flags: FlagPresent})
 	}

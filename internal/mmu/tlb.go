@@ -14,22 +14,26 @@ type tlbEntry struct {
 }
 
 // TLB is a software model of a set-capacity translation cache with random
-// replacement. All costs are charged to the world clock by the caller-facing
-// methods.
+// replacement, owned by exactly one vCPU: lookups, fills, and the eviction
+// random stream all belong to the owner, which is always the vCPU executing
+// when the TLB is consulted. Invalidations may be driven by another vCPU (a
+// cross-CPU shootdown), so they take the initiating execution context
+// explicitly and report how many entries were dropped — the VMM charges the
+// initiator the IPI cost when a remote TLB actually held stale entries.
 type TLB struct {
-	world   *sim.World
+	cpu     *sim.VCPU
 	cap     int
 	entries map[uint64]tlbEntry // key: vpn | ctx<<40
 	order   []uint64            // insertion keys for eviction choice
 }
 
-// NewTLB builds a TLB with the given entry capacity.
-func NewTLB(world *sim.World, capacity int) *TLB {
+// NewTLB builds a TLB with the given entry capacity, owned by cpu.
+func NewTLB(cpu *sim.VCPU, capacity int) *TLB {
 	if capacity <= 0 {
 		panic("mmu: TLB capacity must be positive")
 	}
 	return &TLB{
-		world:   world,
+		cpu:     cpu,
 		cap:     capacity,
 		entries: make(map[uint64]tlbEntry, capacity),
 	}
@@ -38,18 +42,20 @@ func NewTLB(world *sim.World, capacity int) *TLB {
 func tlbKey(ctx uint32, vpn uint64) uint64 { return vpn | uint64(ctx)<<40 }
 
 // Lookup returns the cached translation for (ctx, vpn) if present, charging
-// the hit cost; the miss path cost is charged by the walker, not here.
+// the hit cost to the owning vCPU; the miss path cost is charged by the
+// walker, not here.
 func (t *TLB) Lookup(ctx uint32, vpn uint64) (PTE, bool) {
 	e, ok := t.entries[tlbKey(ctx, vpn)]
 	if !ok {
-		t.world.ChargeAdd(0, sim.CtrTLBMiss, 1)
+		t.cpu.ChargeAdd(0, sim.CtrTLBMiss, 1)
 		return PTE{}, false
 	}
-	t.world.ChargeCount(t.world.Cost.TLBHit, sim.CtrTLBHit)
+	t.cpu.ChargeCount(t.cpu.World().Cost.TLBHit, sim.CtrTLBHit)
 	return PTE{PN: e.pn, Flags: e.flags}, true
 }
 
-// Insert caches a translation, evicting a pseudo-random entry when full.
+// Insert caches a translation, evicting a pseudo-random entry when full. The
+// eviction choice draws from the owning vCPU's random stream.
 func (t *TLB) Insert(ctx uint32, vpn uint64, pte PTE) {
 	key := tlbKey(ctx, vpn)
 	if _, exists := t.entries[key]; !exists && len(t.entries) >= t.cap {
@@ -63,7 +69,7 @@ func (t *TLB) Insert(ctx uint32, vpn uint64, pte PTE) {
 
 func (t *TLB) evictOne() {
 	for len(t.order) > 0 {
-		i := t.world.RNG.Intn(len(t.order))
+		i := t.cpu.RNG.Intn(len(t.order))
 		key := t.order[i]
 		t.order[i] = t.order[len(t.order)-1]
 		t.order = t.order[:len(t.order)-1]
@@ -75,50 +81,62 @@ func (t *TLB) evictOne() {
 	}
 }
 
-// InvalidatePage drops the translation of vpn in every shadow context; the
-// VMM uses this when a page changes view (cloak transitions must be visible
-// immediately in all contexts).
-func (t *TLB) InvalidatePage(vpn uint64) {
+// InvalidatePage drops the translation of vpn in every shadow context,
+// charging the per-entry evict cost to the initiating vCPU, and reports how
+// many entries were dropped; the VMM uses this when a page changes view
+// (cloak transitions must be visible immediately in all contexts).
+func (t *TLB) InvalidatePage(on *sim.VCPU, vpn uint64) int {
+	dropped := 0
 	//overlint:allow hotpathalloc -- invalidation sweep bounded by TLB capacity; per-entry charges are order-independent
 	for key, e := range t.entries {
 		if e.vpn == vpn {
 			delete(t.entries, key)
-			t.world.ChargeAdd(t.world.Cost.TLBEvict, sim.CtrTLBEvict, 1)
+			on.ChargeAdd(on.World().Cost.TLBEvict, sim.CtrTLBEvict, 1)
+			dropped++
 		}
 	}
+	return dropped
 }
 
 // InvalidateRange drops the translations of every vpn in [base, base+pages)
 // across all shadow contexts in a single pass over the TLB. Equivalent to
 // calling InvalidatePage per vpn — same entries dropped, same per-entry evict
 // charge — without paying one full-table scan per page.
-func (t *TLB) InvalidateRange(base, pages uint64) {
+func (t *TLB) InvalidateRange(on *sim.VCPU, base, pages uint64) int {
+	dropped := 0
 	for key, e := range t.entries {
 		if e.vpn >= base && e.vpn < base+pages {
 			delete(t.entries, key)
-			t.world.ChargeAdd(t.world.Cost.TLBEvict, sim.CtrTLBEvict, 1)
+			on.ChargeAdd(on.World().Cost.TLBEvict, sim.CtrTLBEvict, 1)
+			dropped++
 		}
 	}
+	return dropped
 }
 
 // InvalidateContext drops every translation tagged with ctx (address-space
-// teardown).
-func (t *TLB) InvalidateContext(ctx uint32) {
+// teardown), charging the initiating vCPU, and reports the drop count.
+func (t *TLB) InvalidateContext(on *sim.VCPU, ctx uint32) int {
+	dropped := 0
 	//overlint:allow hotpathalloc -- invalidation sweep bounded by TLB capacity; per-entry charges are order-independent
 	for key, e := range t.entries {
 		if e.ctx == ctx {
 			delete(t.entries, key)
-			t.world.ChargeAdd(t.world.Cost.TLBEvict, sim.CtrTLBEvict, 1)
+			on.ChargeAdd(on.World().Cost.TLBEvict, sim.CtrTLBEvict, 1)
+			dropped++
 		}
 	}
+	return dropped
 }
 
-// Flush empties the TLB entirely.
+// Flush empties the TLB entirely, charged to the owning vCPU (a CPU only
+// ever flushes its own TLB — on shadow-context switch under the flush
+// ablation, never remotely).
 func (t *TLB) Flush() {
 	//overlint:allow hotpathalloc -- full flush rebuilds the map; runs on context teardown, not per translation
 	t.entries = make(map[uint64]tlbEntry, t.cap)
 	t.order = t.order[:0]
-	t.world.ChargeCount(t.world.Cost.TLBFlush, sim.CtrTLBFlush)
+	t.cpu.ChargeCount(t.cpu.World().Cost.TLBFlush, sim.CtrTLBFlush)
 }
 
 // Len reports the number of cached translations (for tests and stats).

@@ -14,7 +14,7 @@ import (
 func TestTLBAgainstReferenceModel(t *testing.T) {
 	for seed := uint64(1); seed <= 6; seed++ {
 		w := sim.NewWorld(sim.DefaultCostModel(), seed)
-		tlb := NewTLB(w, 32)
+		tlb := NewTLB(w.Boot(), 32)
 		rng := sim.NewRNG(seed * 7777)
 		type key struct {
 			ctx uint32
@@ -44,14 +44,14 @@ func TestTLBAgainstReferenceModel(t *testing.T) {
 					t.Fatalf("seed %d step %d: stale translation %v, want %v", seed, step, got, want)
 				}
 			case 8: // invalidate page everywhere
-				tlb.InvalidatePage(vpn)
+				tlb.InvalidatePage(w.Boot(), vpn)
 				for kk := range ref {
 					if kk.vpn == vpn {
 						delete(ref, kk)
 					}
 				}
 			case 9: // invalidate a whole context
-				tlb.InvalidateContext(ctx)
+				tlb.InvalidateContext(w.Boot(), ctx)
 				for kk := range ref {
 					if kk.ctx == ctx {
 						delete(ref, kk)

@@ -249,14 +249,14 @@ func (j *Journal) append(r Record) {
 	encode(j.tail[off:off+RecordSize], r, &j.key)
 	start := j.world.Now()
 	err := j.disk.Write(blk, j.tail[:])
-	j.world.ChargeCount(0, sim.CtrJournalAppend)
-	j.world.EmitSpan(obs.KindPersist, "append", uint64(r.Kind), j.world.Now()-start)
+	j.world.CPU().ChargeCount(0, sim.CtrJournalAppend)
+	j.world.CPU().EmitSpan(obs.KindPersist, "append", uint64(r.Kind), j.world.Now()-start)
 	if err != nil {
 		// The record stays in the tail image; the next append (or
 		// checkpoint) rewrites the block. Until then the on-disk tail is
 		// torn or stale — exactly the state replay must tolerate.
 		j.writeErrs++
-		j.world.ChargeCount(0, sim.CtrJournalWriteErr)
+		j.world.CPU().ChargeCount(0, sim.CtrJournalWriteErr)
 	}
 	j.seq++
 	j.sinceCkpt++
@@ -290,7 +290,7 @@ func (j *Journal) checkpoint() {
 	n := uint64(len(ids))
 	if n > j.ckptBlocks*RecordsPerBlock {
 		j.wedged = true
-		j.world.ChargeCount(0, sim.CtrJournalWedged)
+		j.world.CPU().ChargeCount(0, sim.CtrJournalWedged)
 		return
 	}
 	newEpoch := j.epoch + 1
@@ -325,7 +325,7 @@ func (j *Journal) checkpoint() {
 			// A bad snapshot block costs exactly its records at replay
 			// (entries are validated independently); keep going.
 			j.writeErrs++
-			j.world.ChargeCount(0, sim.CtrJournalWriteErr)
+			j.world.CPU().ChargeCount(0, sim.CtrJournalWriteErr)
 		}
 	}
 	// Commit: the superblock names the new epoch and its checkpoint length.
@@ -345,14 +345,14 @@ func (j *Journal) checkpoint() {
 		// appended under newEpoch will read as stale — a bounded data loss
 		// window, surfaced as typed rejections at replay, never a panic.
 		j.writeErrs++
-		j.world.ChargeCount(0, sim.CtrJournalWriteErr)
+		j.world.CPU().ChargeCount(0, sim.CtrJournalWriteErr)
 	}
 	j.epoch = newEpoch
 	j.seq = 0
 	j.sinceCkpt = 0
 	j.tailBlock = 0
-	j.world.ChargeCount(0, sim.CtrJournalCheckpoint)
-	j.world.EmitSpan(obs.KindPersist, "checkpoint", n, j.world.Now()-start)
+	j.world.CPU().ChargeCount(0, sim.CtrJournalCheckpoint)
+	j.world.CPU().EmitSpan(obs.KindPersist, "checkpoint", n, j.world.Now()-start)
 }
 
 // snapshotDev encodes an entry's location validity into the dev byte. A

@@ -377,7 +377,7 @@ func TestJournalZeroRateSitesConsumeNoPRNG(t *testing.T) {
 			if j != nil {
 				j.Put(pid(1, 1, n%8), meta(n+1))
 			}
-			world.InjectAt(fault.SiteSwapIn)
+			world.CPU().InjectAt(fault.SiteSwapIn)
 		}
 		return world.Fault.Log()
 	}

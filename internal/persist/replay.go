@@ -140,7 +140,7 @@ func Replay(world *sim.World, disk *mach.Disk, base, blocks uint64, key [32]byte
 	res := &Result{Table: make(map[cloak.PageID]Entry)}
 	start := world.Now()
 	defer func() {
-		world.EmitSpan(obs.KindPersist, "replay", uint64(res.Accepted()), world.Now()-start)
+		world.CPU().EmitSpan(obs.KindPersist, "replay", uint64(res.Accepted()), world.Now()-start)
 	}()
 	if blocks < MinBlocks || base+blocks > disk.NumBlocks() {
 		res.Rejections = append(res.Rejections,
@@ -227,7 +227,7 @@ func Replay(world *sim.World, disk *mach.Disk, base, blocks uint64, key [32]byte
 		}
 		res.Table[r.ID] = e
 		res.CheckpointRecords++
-		world.ChargeCount(0, sim.CtrReplayAccepted)
+		world.CPU().ChargeCount(0, sim.CtrReplayAccepted)
 	}
 
 	// Log: strictly sequential; the first hole, tear, stale record, or
@@ -292,7 +292,7 @@ func Replay(world *sim.World, disk *mach.Disk, base, blocks uint64, key [32]byte
 			return res
 		}
 		res.LogRecords++
-		world.ChargeCount(0, sim.CtrReplayAccepted)
+		world.CPU().ChargeCount(0, sim.CtrReplayAccepted)
 	}
 	return res
 }
@@ -300,5 +300,5 @@ func Replay(world *sim.World, disk *mach.Disk, base, blocks uint64, key [32]byte
 // reject records one refusal and counts it.
 func (r *Result) reject(world *sim.World, rej Rejection) {
 	r.Rejections = append(r.Rejections, rej)
-	world.ChargeCount(0, sim.CtrReplayRejected)
+	world.CPU().ChargeCount(0, sim.CtrReplayRejected)
 }

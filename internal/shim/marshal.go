@@ -14,8 +14,8 @@ import (
 // marshalStats bumps the marshalling counters.
 func (s *Ctx) marshalStats(n int) {
 	w := s.uc.Kernel().World()
-	w.ChargeAdd(0, sim.CtrShimSyscall, 1)
-	w.ChargeAdd(0, sim.CtrShimMarshalBytes, uint64(n))
+	w.CPU().ChargeAdd(0, sim.CtrShimSyscall, 1)
+	w.CPU().ChargeAdd(0, sim.CtrShimMarshalBytes, uint64(n))
 }
 
 // Open implements Env. Cloaked paths are switched to the mmap-emulated path.

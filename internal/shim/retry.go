@@ -51,11 +51,11 @@ func (s *Ctx) retryTransient(fn func() error) error {
 			// included) is emitted only when a retry actually happened, so
 			// fault-free traces and profiles carry no retry artifacts.
 			if attempt > 0 {
-				w.EmitSpan(obs.KindRetry, "transient", uint64(attempt), w.Now()-start)
+				w.CPU().EmitSpan(obs.KindRetry, "transient", uint64(attempt), w.Now()-start)
 			}
 			return err
 		}
-		w.ChargeAdd(0, sim.CtrShimRetry, 1)
+		w.CPU().ChargeAdd(0, sim.CtrShimRetry, 1)
 		s.uc.Sleep(backoff)
 		backoff *= 2
 	}

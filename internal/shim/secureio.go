@@ -144,7 +144,7 @@ func (s *Ctx) cloakedIO(cf *cloakedFile, va mach.Addr, n int, off uint64, write 
 			cf.size = end
 		}
 	}
-	w.ChargeAdd(0, sim.CtrShimSyscall, 1)
+	w.CPU().ChargeAdd(0, sim.CtrShimSyscall, 1)
 	return done, nil
 }
 

@@ -122,7 +122,7 @@ func attach(uc *guestos.UserCtx, opts Options) *Ctx {
 	}
 	s.domain = s.conn.Domain()
 	uc.Thread().Domain = s.domain
-	s.world().SetTaskDomain(uint32(s.domain))
+	s.world().CPU().SetTaskDomain(uint32(s.domain))
 
 	// Measure the application identity and record it with the VMM — the
 	// verified-startup step: relying parties ask the VMM, not the OS, what
@@ -337,7 +337,7 @@ func attachForked(cuc *guestos.UserCtx, parent *Ctx, conn *vmm.DomainConn, rmap 
 		cfiles:       make(map[int]*cloakedFile),
 	}
 	cuc.Thread().Domain = cs.domain
-	cs.world().SetTaskDomain(uint32(cs.domain))
+	cs.world().CPU().SetTaskDomain(uint32(cs.domain))
 	remap := func(r cloak.ResourceID) cloak.ResourceID {
 		if nr, ok := rmap[r]; ok {
 			return nr
@@ -365,7 +365,7 @@ func (s *Ctx) SpawnThread(body func(guestos.Env)) (guestos.Pid, error) {
 		ts := *s // share maps (cfiles, anonRegions) and identities
 		ts.uc = tuc
 		tuc.Thread().Domain = s.domain
-		ts.world().SetTaskDomain(uint32(s.domain))
+		ts.world().CPU().SetTaskDomain(uint32(s.domain))
 		body(&ts)
 	})
 }

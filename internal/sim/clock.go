@@ -2,15 +2,22 @@
 // whole machine: a virtual cycle clock, the cycle cost model, event counters,
 // and a seeded PRNG.
 //
-// The simulated machine is single-clocked: exactly one simulated CPU context
-// executes at a time (the guest scheduler hands off a baton), so none of the
-// types in this package are synchronized. All performance results reported by
+// The simulated machine executes exactly one vCPU context at a time (the
+// guest scheduler hands off a baton), and with VCPUs > 1 the interleaving of
+// those contexts is drawn from a seeded schedule, so simulated time is a
+// single totally-ordered cycle stream for any vCPU count. The shared types in
+// this package are nonetheless mutex-guarded: the baton already serializes
+// execution, and the locks make that serialization visible to the race
+// detector and to the smpready analyzer. All performance results reported by
 // the benchmark harness are expressed in simulated cycles drawn from this
 // clock, which makes experiment shapes reproducible run-to-run and
 // independent of host hardware.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Cycles is a quantity of simulated CPU cycles.
 type Cycles uint64
@@ -33,9 +40,8 @@ func (c Cycles) String() string {
 // clock as they perform work; the guest OS uses it for preemption and timers.
 // A clock may carry a crash deadline: the first charge that reaches it stops
 // the whole machine at exactly that cycle (see SetCrashAt).
-//
-//overlint:allow smpready -- the clock is the SMP serialization point itself; ROADMAP item 1 gives it a lock or per-vCPU epochs
 type Clock struct {
+	mu      sync.Mutex
 	now     Cycles
 	crashAt Cycles
 	armed   bool
@@ -46,7 +52,31 @@ type Clock struct {
 func NewClock() *Clock { return &Clock{} }
 
 // Now reports the current simulated time.
-func (c *Clock) Now() Cycles { return c.now }
+func (c *Clock) Now() Cycles {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// advance is the locked core of Advance: it moves time forward by n cycles,
+// clamping at an armed crash deadline, and returns the cycles actually
+// applied plus the deadline state. It never panics itself — callers raise the
+// Crash outside the lock, after crediting the applied cycles to the charging
+// vCPU, so per-vCPU cycle counters keep summing exactly to the clock even
+// across a crash.
+func (c *Clock) advance(n Cycles) (applied, at Cycles, crashed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.armed && c.now+n >= c.crashAt {
+		applied = c.crashAt - c.now
+		c.now = c.crashAt
+		c.armed = false
+		c.crashed = true
+		return applied, c.crashAt, true
+	}
+	c.now += n
+	return n, 0, false
+}
 
 // Advance moves simulated time forward by n cycles. If an armed crash
 // deadline falls inside the advance, time is clamped to the deadline and a
@@ -54,19 +84,17 @@ func (c *Clock) Now() Cycles { return c.now }
 // Charges always execute on the baton-holding goroutine, so the guest
 // kernel's scheduler recover is the single catch point.
 func (c *Clock) Advance(n Cycles) {
-	if c.armed && c.now+n >= c.crashAt {
-		c.now = c.crashAt
-		c.armed = false
-		c.crashed = true
-		panic(Crash{At: c.crashAt})
+	if _, at, crashed := c.advance(n); crashed {
+		panic(Crash{At: at})
 	}
-	c.now += n
 }
 
 // SetCrashAt arms a whole-machine crash at simulated cycle at. A deadline
 // already in the past fires on the next charge (time still clamps forward,
 // never backward). Passing 0 disarms.
 func (c *Clock) SetCrashAt(at Cycles) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if at == 0 {
 		c.armed = false
 		return
@@ -79,7 +107,11 @@ func (c *Clock) SetCrashAt(at Cycles) {
 }
 
 // Crashed reports whether an armed deadline fired.
-func (c *Clock) Crashed() bool { return c.crashed }
+func (c *Clock) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
 
 // Crash is the panic value carrying a fired crash deadline. It exists so
 // the kernel scheduler can distinguish a deliberate whole-machine stop from
@@ -97,6 +129,8 @@ func IsCrash(r any) bool {
 
 // Since reports the cycles elapsed since an earlier reading.
 func (c *Clock) Since(t Cycles) Cycles {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.now < t {
 		return 0
 	}

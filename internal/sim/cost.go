@@ -16,6 +16,11 @@ type CostModel struct {
 	TLBMiss   Cycles // shadow page-table walk on a TLB miss
 	TLBFlush  Cycles // full TLB invalidation
 	TLBEvict  Cycles // single-entry invalidation
+	// TLBShootdown is the cross-CPU invalidation cost: one IPI round paid by
+	// the initiating vCPU per remote vCPU whose TLB actually held stale
+	// entries (lazy shootdown). Unused — hence never charged — on a
+	// single-vCPU machine.
+	TLBShootdown Cycles
 
 	// Traps and privilege transitions.
 	SyscallTrap   Cycles // guest user -> guest kernel, no VMM involvement
@@ -60,11 +65,12 @@ func DefaultCostModel() CostModel {
 	return CostModel{
 		ComputeUnit: 1,
 
-		MemAccess: 4,
-		TLBHit:    0,
-		TLBMiss:   60,
-		TLBFlush:  200,
-		TLBEvict:  30,
+		MemAccess:    4,
+		TLBHit:       0,
+		TLBMiss:      60,
+		TLBFlush:     200,
+		TLBEvict:     30,
+		TLBShootdown: 1500,
 
 		SyscallTrap:   250,
 		SyscallReturn: 250,

@@ -1,20 +1,26 @@
 package sim
 
-import "overshadow/internal/obs"
+import (
+	"sync"
+
+	"overshadow/internal/obs"
+)
 
 // Sim-time profiling: when enabled, the World maintains a stack of open
 // spans per guest task and leaf-attributes every cycle charge to the current
 // stack in an obs.Profile. Guest traps are nested within a task but
 // interleave across tasks (a blocked syscall's span stays open while another
-// process runs), so the stack is swapped on every dispatch in SetTask, keyed
-// by TID. Like Metrics and Tracer, the whole layer costs one nil check per
-// charge / span / dispatch when disabled.
+// process runs), so the stack is swapped on every dispatch in VCPU.SetTask,
+// keyed by TID — tasks migrate across vCPUs, so the stack table is
+// machine-global, not per-vCPU. Like Metrics and Tracer, the whole layer
+// costs one nil check per charge / span / dispatch when disabled.
 
 // profState is the World's profiling state, split out so the disabled path
-// carries a single pointer.
-//
-//overlint:allow smpready -- profiler state; SMP plan is per-vCPU profiles merged at export, like the trace rings
+// carries a single pointer. The mutex serializes stack mutation across vCPU
+// contexts (only the baton holder mutates, but the lock keeps that checkable
+// by the race detector).
 type profState struct {
+	mu   sync.Mutex
 	prof *obs.Profile
 	// root is the tree root for the current phase; the base frame of every
 	// task's stack.
@@ -36,7 +42,7 @@ func (w *World) EnableProfile(shared *obs.Profile) *obs.Profile {
 	if shared == nil {
 		shared = obs.NewProfile()
 	}
-	root := shared.Root(w.attr.Phase)
+	root := shared.Root(w.phase)
 	w.prof = &profState{
 		prof:   shared,
 		root:   root,
@@ -58,16 +64,26 @@ func (w *World) Profile() *obs.Profile {
 // name. Called only when w.prof != nil.
 func (w *World) profLeaf(name string, cycles uint64) {
 	p := w.prof
+	p.mu.Lock()
 	p.stack[len(p.stack)-1].AddLeaf(name, cycles)
+	p.mu.Unlock()
 }
 
-// profPush opens a frame for a beginning span and returns the stack depth to
-// restore on End. Called only when w.prof != nil.
-func (w *World) profPush(kind obs.Kind, name string) int {
+// profObserve feeds the (kind, domain) duration histogram. Called only when
+// w.prof != nil.
+func (w *World) profObserve(kind obs.Kind, domain uint32, dur uint64) {
+	w.prof.prof.Observe(kind, domain, dur)
+}
+
+// profPush opens a frame for a beginning span and returns the owning TID and
+// the stack depth to restore on End. Called only when w.prof != nil.
+func (w *World) profPush(kind obs.Kind, name string) (tid, depth int) {
 	p := w.prof
-	depth := len(p.stack)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	depth = len(p.stack)
 	p.stack = append(p.stack, p.stack[depth-1].Child(kind, name))
-	return depth
+	return p.tid, depth
 }
 
 // profPop closes the frame opened at the given depth for the given task. If
@@ -76,6 +92,8 @@ func (w *World) profPush(kind obs.Kind, name string) int {
 // that exited mid-trap) are discarded with it.
 func (w *World) profPop(tid, depth int) {
 	p := w.prof
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if tid == p.tid {
 		if depth >= 1 && depth <= len(p.stack) {
 			p.stack = p.stack[:depth]
@@ -87,11 +105,16 @@ func (w *World) profPop(tid, depth int) {
 	}
 }
 
-// profSwitch swaps the active stack on a task dispatch. A task seen for the
-// first time starts a fresh stack at the phase root. Called only when
-// w.prof != nil.
-func (w *World) profSwitch(tid int) {
+// profDispatch swaps the active stack on a task dispatch (a no-op when the
+// task is already active). A task seen for the first time starts a fresh
+// stack at the phase root. Called only when w.prof != nil.
+func (w *World) profDispatch(tid int) {
 	p := w.prof
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if tid == p.tid {
+		return
+	}
 	p.stacks[p.tid] = p.stack
 	s, ok := p.stacks[tid]
 	if !ok {
@@ -109,6 +132,8 @@ func (w *World) profSwitch(tid int) {
 // never mid-trap).
 func (w *World) profSetPhase(phase string) {
 	p := w.prof
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.root = p.prof.Root(phase)
 	if len(p.stack) == 1 {
 		p.stack[0] = p.root

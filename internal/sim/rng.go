@@ -1,13 +1,19 @@
 package sim
 
+import "sync"
+
 // RNG is a small deterministic PRNG (xorshift64*) used everywhere the
 // simulation needs randomness: TLB eviction choice, workload access patterns,
 // adversary scheduling. Using our own generator rather than math/rand keeps
 // the sequence stable across Go releases, which keeps experiment outputs
 // byte-for-byte reproducible.
 //
-//overlint:allow smpready -- deterministic stream; SMP plan is per-vCPU streams seeded from the world seed
+// Every vCPU carries its own stream (the boot vCPU's stream IS the world
+// stream, so single-vCPU machines draw the historical sequence), and the
+// state advance itself is mutex-guarded so a stream handed to a shared
+// component stays race-free.
 type RNG struct {
+	mu    sync.Mutex
 	state uint64
 }
 
@@ -22,11 +28,13 @@ func NewRNG(seed uint64) *RNG {
 
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
+	r.mu.Lock()
 	x := r.state
 	x ^= x >> 12
 	x ^= x << 25
 	x ^= x >> 27
 	r.state = x
+	r.mu.Unlock()
 	return x * 0x2545F4914F6CDD1D
 }
 
@@ -64,4 +72,13 @@ func (r *RNG) Perm(n int) []int {
 		p[i], p[j] = p[j], p[i]
 	}
 	return p
+}
+
+// splitmix64 is the finalizer used to derive well-separated child seeds from
+// the world seed; it is the standard SplitMix64 output function.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Counter names every event class the machine records. Keeping these as
@@ -54,6 +55,11 @@ const (
 	CtrShimRetry        Counter = "shim.retry"
 	CtrQuarantine       Counter = "vmm.quarantine"
 
+	// SMP counters (zero on a single-vCPU machine, so VCPUs=1 runs keep
+	// their exports byte-identical to the historical single-CPU machine).
+	CtrTLBShootdown Counter = "tlb.shootdown"
+	CtrMigration    Counter = "os.migrate"
+
 	// Persistence counters (zero unless a metadata journal is attached, so
 	// journal-free runs keep their exports byte-identical).
 	CtrJournalAppend     Counter = "persist.append"
@@ -77,8 +83,11 @@ const (
 	CtrOther    Counter = "cycles.other"
 )
 
-// Stats is a bag of monotonically increasing event counters.
+// Stats is a bag of monotonically increasing event counters. The mutex
+// serializes counter updates across vCPU contexts (one executes at a time,
+// but the lock keeps the invariant checkable by the race detector).
 type Stats struct {
+	mu     sync.Mutex
 	counts map[Counter]uint64
 }
 
@@ -86,16 +95,30 @@ type Stats struct {
 func NewStats() *Stats { return &Stats{counts: make(map[Counter]uint64)} }
 
 // Inc adds one to counter c.
-func (s *Stats) Inc(c Counter) { s.counts[c]++ }
+func (s *Stats) Inc(c Counter) {
+	s.mu.Lock()
+	s.counts[c]++
+	s.mu.Unlock()
+}
 
 // Add adds n to counter c.
-func (s *Stats) Add(c Counter, n uint64) { s.counts[c] += n }
+func (s *Stats) Add(c Counter, n uint64) {
+	s.mu.Lock()
+	s.counts[c] += n
+	s.mu.Unlock()
+}
 
 // Get reports the current value of counter c.
-func (s *Stats) Get(c Counter) uint64 { return s.counts[c] }
+func (s *Stats) Get(c Counter) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[c]
+}
 
 // Snapshot returns a copy of all counters, for before/after deltas.
 func (s *Stats) Snapshot() map[Counter]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make(map[Counter]uint64, len(s.counts))
 	for k, v := range s.counts {
 		out[k] = v
@@ -105,6 +128,8 @@ func (s *Stats) Snapshot() map[Counter]uint64 {
 
 // DeltaSince subtracts an earlier snapshot from the current counters.
 func (s *Stats) DeltaSince(prev map[Counter]uint64) map[Counter]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make(map[Counter]uint64)
 	for k, v := range s.counts {
 		if d := v - prev[k]; d != 0 {
@@ -115,10 +140,16 @@ func (s *Stats) DeltaSince(prev map[Counter]uint64) map[Counter]uint64 {
 }
 
 // Reset zeroes all counters.
-func (s *Stats) Reset() { s.counts = make(map[Counter]uint64) }
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	s.counts = make(map[Counter]uint64)
+	s.mu.Unlock()
+}
 
 // String renders the non-zero counters sorted by name.
 func (s *Stats) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	keys := make([]string, 0, len(s.counts))
 	for k := range s.counts {
 		keys = append(keys, string(k))

@@ -1,14 +1,19 @@
 package sim
 
-import "overshadow/internal/obs"
+import (
+	"sync"
+
+	"overshadow/internal/obs"
+)
 
 // Tracer is a fixed-capacity ring buffer of structured spans (obs.Span). It
 // is disabled by default: emission costs one branch until EnableTrace is
 // called, so production runs pay nothing for the instrumentation points
-// sprinkled through the VMM and guest kernel.
-//
-//overlint:allow smpready -- trace ring; SMP plan is per-vCPU rings merged at export
+// sprinkled through the VMM and guest kernel. The mutex serializes ring
+// writes across vCPU contexts; spans land in the global ring in execution
+// order, which the baton already makes total.
 type Tracer struct {
+	mu      sync.Mutex
 	enabled bool
 	cap     int
 	buf     []obs.Span
@@ -18,11 +23,31 @@ type Tracer struct {
 
 // Wrapped reports whether the ring filled and began overwriting, i.e.
 // whether the exported trace is truncated.
-func (t *Tracer) Wrapped() bool { return t != nil && len(t.buf) == t.cap && t.total > uint64(t.cap) }
+func (t *Tracer) Wrapped() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.wrappedLocked()
+}
+
+func (t *Tracer) wrappedLocked() bool {
+	return len(t.buf) == t.cap && t.total > uint64(t.cap)
+}
 
 // Dropped reports how many spans were overwritten after the ring wrapped.
 func (t *Tracer) Dropped() uint64 {
-	if t == nil || !t.Wrapped() {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.droppedLocked()
+}
+
+func (t *Tracer) droppedLocked() uint64 {
+	if !t.wrappedLocked() {
 		return 0
 	}
 	return t.total - uint64(t.cap)
@@ -30,6 +55,7 @@ func (t *Tracer) Dropped() uint64 {
 
 // record appends a span, overwriting the oldest entry once full.
 func (t *Tracer) record(s obs.Span) {
+	t.mu.Lock()
 	if len(t.buf) < t.cap {
 		t.buf = append(t.buf, s)
 	} else {
@@ -37,6 +63,7 @@ func (t *Tracer) record(s obs.Span) {
 		t.next = (t.next + 1) % t.cap
 	}
 	t.total++
+	t.mu.Unlock()
 }
 
 // EnableTrace turns on tracing with a ring of the given capacity.
@@ -52,9 +79,8 @@ func (w *World) TraceEnabled() bool { return w.Tracer != nil && w.Tracer.enabled
 
 // SpanHandle marks an open span returned by Begin; End closes it. The zero
 // handle (returned when both tracing and profiling are off) makes End a
-// no-op.
-//
-//overlint:allow smpready -- per-span value handle; lives on one simulated CPU's call path, never shared
+// no-op. The handle is a value constructed once at Begin and never mutated —
+// it lives on one vCPU's call path.
 type SpanHandle struct {
 	w     *World
 	start Cycles
@@ -74,21 +100,26 @@ type SpanHandle struct {
 }
 
 // Begin opens a span of the given kind at the current simulated time,
-// attributed to the current task. When tracing and profiling are both
-// disabled this is two branches and returns the zero handle.
-func (w *World) Begin(kind obs.Kind, name string, arg uint64) SpanHandle {
+// attributed to this vCPU's current task. When tracing and profiling are
+// both disabled this is two branches and returns the zero handle.
+func (c *VCPU) Begin(kind obs.Kind, name string, arg uint64) SpanHandle {
+	w := c.w
 	t := w.Tracer
 	traced := t != nil && t.enabled
 	if !traced && w.prof == nil {
 		return SpanHandle{}
 	}
-	h := SpanHandle{w: w, start: w.Clock.Now(), kind: kind, name: name, arg: arg, attr: w.attr, traced: traced}
+	pushed := false
+	profTID, profDepth := 0, 0
 	if w.prof != nil {
-		h.pushed = true
-		h.profTID = w.prof.tid
-		h.profDepth = w.profPush(kind, name)
+		pushed = true
+		profTID, profDepth = w.profPush(kind, name)
 	}
-	return h
+	return SpanHandle{
+		w: w, start: w.Clock.Now(), kind: kind, name: name, arg: arg,
+		attr: c.attr, traced: traced,
+		pushed: pushed, profTID: profTID, profDepth: profDepth,
+	}
 }
 
 // End closes the span at the current simulated time: records it when traced,
@@ -111,34 +142,36 @@ func (h SpanHandle) End() {
 	}
 	if h.pushed && h.w.prof != nil {
 		h.w.profPop(h.profTID, h.profDepth)
-		h.w.prof.prof.Observe(h.kind, h.attr.Domain, uint64(dur))
+		h.w.profObserve(h.kind, h.attr.Domain, uint64(dur))
 	}
 }
 
 // Emit records an instantaneous event at the current simulated time.
-func (w *World) Emit(kind obs.Kind, name string, arg uint64) {
+func (c *VCPU) Emit(kind obs.Kind, name string, arg uint64) {
+	w := c.w
 	t := w.Tracer
 	if t == nil || !t.enabled {
 		return
 	}
-	t.record(obs.Span{Start: uint64(w.Clock.Now()), Kind: kind, Name: name, Arg: arg, Instant: true, Attr: w.attr})
+	t.record(obs.Span{Start: uint64(w.Clock.Now()), Kind: kind, Name: name, Arg: arg, Instant: true, Attr: c.attr})
 }
 
 // EmitSpan records a completed span that ended now and covered the last dur
 // cycles — the natural shape for block charges (world switch, disk op)
 // where the cost is paid in one Advance.
-func (w *World) EmitSpan(kind obs.Kind, name string, arg uint64, dur Cycles) {
+func (c *VCPU) EmitSpan(kind obs.Kind, name string, arg uint64, dur Cycles) {
+	w := c.w
 	if w.prof != nil {
 		// Block charges are already leaf-attributed by the Charge that paid
 		// them; the profiler only needs the duration sample.
-		w.prof.prof.Observe(kind, w.attr.Domain, uint64(dur))
+		w.profObserve(kind, c.attr.Domain, uint64(dur))
 	}
 	t := w.Tracer
 	if t == nil || !t.enabled {
 		return
 	}
 	now := w.Clock.Now()
-	t.record(obs.Span{Start: uint64(now - dur), Dur: uint64(dur), Kind: kind, Name: name, Arg: arg, Attr: w.attr})
+	t.record(obs.Span{Start: uint64(now - dur), Dur: uint64(dur), Kind: kind, Name: name, Arg: arg, Attr: c.attr})
 }
 
 // TraceSpans returns the retained spans oldest-first plus the ring state
@@ -149,6 +182,8 @@ func (w *World) TraceSpans() ([]obs.Span, obs.RingStats) {
 	if t == nil {
 		return nil, obs.RingStats{}
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	out := make([]obs.Span, 0, len(t.buf))
 	if len(t.buf) == t.cap {
 		out = append(out, t.buf[t.next:]...)
@@ -156,5 +191,5 @@ func (w *World) TraceSpans() ([]obs.Span, obs.RingStats) {
 	} else {
 		out = append(out, t.buf...)
 	}
-	return out, obs.RingStats{Total: t.total, Dropped: t.Dropped(), Wrapped: t.Wrapped()}
+	return out, obs.RingStats{Total: t.total, Dropped: t.droppedLocked(), Wrapped: t.wrappedLocked()}
 }

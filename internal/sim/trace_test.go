@@ -9,8 +9,8 @@ import (
 
 func TestTraceDisabledByDefault(t *testing.T) {
 	w := NewWorld(DefaultCostModel(), 1)
-	w.Emit(obs.KindProc, "should vanish", 1)
-	h := w.Begin(obs.KindSyscall, "noop", 0)
+	w.Boot().Emit(obs.KindProc, "should vanish", 1)
+	h := w.Boot().Begin(obs.KindSyscall, "noop", 0)
 	h.End()
 	spans, ring := w.TraceSpans()
 	if len(spans) != 0 || ring.Total != 0 {
@@ -26,7 +26,7 @@ func TestTraceRecordsInOrder(t *testing.T) {
 	w.EnableTrace(16)
 	for i := 0; i < 5; i++ {
 		w.Charge(10)
-		w.Emit(obs.KindProc, fmt.Sprintf("event %d", i), uint64(i))
+		w.Boot().Emit(obs.KindProc, fmt.Sprintf("event %d", i), uint64(i))
 	}
 	spans, ring := w.TraceSpans()
 	if ring.Total != 5 || len(spans) != 5 {
@@ -49,7 +49,7 @@ func TestTraceRingWrapsAndReportsDrops(t *testing.T) {
 	w := NewWorld(DefaultCostModel(), 1)
 	w.EnableTrace(4)
 	for i := 0; i < 10; i++ {
-		w.Emit(obs.KindProc, "t", uint64(i))
+		w.Boot().Emit(obs.KindProc, "t", uint64(i))
 	}
 	spans, ring := w.TraceSpans()
 	if ring.Total != 10 {
@@ -75,7 +75,7 @@ func TestTracerExactlyFullIsNotWrapped(t *testing.T) {
 	w := NewWorld(DefaultCostModel(), 1)
 	w.EnableTrace(4)
 	for i := 0; i < 4; i++ {
-		w.Emit(obs.KindProc, "t", uint64(i))
+		w.Boot().Emit(obs.KindProc, "t", uint64(i))
 	}
 	if w.Tracer.Wrapped() || w.Tracer.Dropped() != 0 {
 		t.Fatal("full-but-not-overwritten ring reported as wrapped")
@@ -86,7 +86,7 @@ func TestBeginEndSpanCoversCharges(t *testing.T) {
 	w := NewWorld(DefaultCostModel(), 1)
 	w.EnableTrace(16)
 	w.Charge(100)
-	h := w.Begin(obs.KindSyscall, "write", 42)
+	h := w.Boot().Begin(obs.KindSyscall, "write", 42)
 	w.Charge(250)
 	h.End()
 	spans, _ := w.TraceSpans()
@@ -106,7 +106,7 @@ func TestEmitSpanIsBackdated(t *testing.T) {
 	w := NewWorld(DefaultCostModel(), 1)
 	w.EnableTrace(16)
 	w.Charge(1000)
-	w.EmitSpan(obs.KindWorldSwitch, "enter", 0, 800)
+	w.Boot().EmitSpan(obs.KindWorldSwitch, "enter", 0, 800)
 	spans, _ := w.TraceSpans()
 	if len(spans) != 1 || spans[0].Start != 200 || spans[0].Dur != 800 {
 		t.Fatalf("spans = %v", spans)
@@ -117,15 +117,15 @@ func TestSpansCarryAttribution(t *testing.T) {
 	w := NewWorld(DefaultCostModel(), 1)
 	w.EnableTrace(16)
 	w.SetPhase("E2/cloaked")
-	w.SetTask(3, 4, "kv", 0, true)
-	w.SetTaskDomain(2)
-	w.Emit(obs.KindCloak, "encrypt", 7)
+	w.Boot().SetTask(3, 4, "kv", 0, true)
+	w.Boot().SetTaskDomain(2)
+	w.Boot().Emit(obs.KindCloak, "encrypt", 7)
 	spans, _ := w.TraceSpans()
 	want := obs.Attr{Phase: "E2/cloaked", Domain: 2, PID: 3, TID: 4, Task: "kv", Cloaked: true}
 	if spans[0].Attr != want {
 		t.Fatalf("attr = %+v, want %+v", spans[0].Attr, want)
 	}
-	if got := w.Attr(); got != want {
+	if got := w.Boot().Attr(); got != want {
 		t.Fatalf("Attr() = %+v", got)
 	}
 }
@@ -136,7 +136,7 @@ func TestEnableTraceDefaultCap(t *testing.T) {
 	if !w.TraceEnabled() {
 		t.Fatal("not enabled")
 	}
-	w.Emit(obs.KindProc, "a", 0)
+	w.Boot().Emit(obs.KindProc, "a", 0)
 	if spans, _ := w.TraceSpans(); len(spans) != 1 {
 		t.Fatal("default-capacity tracer dropped a span")
 	}
@@ -145,9 +145,9 @@ func TestEnableTraceDefaultCap(t *testing.T) {
 func TestAttributedChargesBucketPerTask(t *testing.T) {
 	w := NewWorld(DefaultCostModel(), 1)
 	m := w.EnableMetrics(nil)
-	w.SetTask(1, 1, "a", 0, false)
+	w.Boot().SetTask(1, 1, "a", 0, false)
 	w.ChargeCount(100, CtrSyscall)
-	w.SetTask(2, 2, "b", 0, false)
+	w.Boot().SetTask(2, 2, "b", 0, false)
 	w.ChargeCount(300, CtrSyscall)
 	w.ChargeAdd(50, CtrMemAccess, 10)
 	w.Charge(7) // catch-all

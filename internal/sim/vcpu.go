@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"sync"
+
+	"overshadow/internal/fault"
+	"overshadow/internal/obs"
+)
+
+// VCPU is the execution context of one simulated CPU: the handle every
+// charge, trace, fault, and dispatch site goes through. All execution-scoped
+// state — the attribution context, the per-CPU cycle counter, the per-CPU
+// random stream — lives here; the World keeps only the machine-global clock,
+// cost model, counters, and export surfaces.
+//
+// Exactly one vCPU executes at any simulated instant (the guest scheduler's
+// baton enforces it), so the global clock only ever advances on behalf of the
+// running vCPU and the per-vCPU cycle counters sum exactly to the clock. The
+// mutex guards the mutable fields for the race detector's benefit; it is
+// never contended.
+type VCPU struct {
+	id int
+	w  *World
+
+	// RNG is this vCPU's deterministic stream. The boot vCPU aliases the
+	// World stream (so single-vCPU machines draw the historical sequence);
+	// vCPU i > 0 draws a stream derived from the world seed and i.
+	RNG *RNG
+
+	mu sync.Mutex
+	// attr identifies the guest task this vCPU is running; charges and spans
+	// are attributed to it. The guest scheduler and the shim keep it current
+	// (see SetTask).
+	attr obs.Attr
+	// cycles is the simulated time this vCPU has charged to the clock.
+	cycles Cycles
+}
+
+// ID returns the vCPU index (0 is the boot vCPU).
+func (c *VCPU) ID() int { return c.id }
+
+// World returns the machine this vCPU belongs to.
+func (c *VCPU) World() *World { return c.w }
+
+// Now is shorthand for the global clock reading.
+func (c *VCPU) Now() Cycles { return c.w.Clock.Now() }
+
+// Cycles reports the simulated time this vCPU has charged so far. Summed
+// over all vCPUs it equals the clock exactly, including across a crash.
+func (c *VCPU) Cycles() Cycles {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cycles
+}
+
+// chargeClock advances the global clock by n on this vCPU's behalf, crediting
+// the applied cycles to the per-vCPU counter. When an armed crash deadline
+// fires the credit still lands (time was clamped to the deadline) before the
+// Crash panic unwinds — so the sum-to-clock invariant holds in crashed worlds
+// too, exactly like the historical single-CPU charge path, which also stopped
+// before any counter or metrics attribution.
+func (c *VCPU) chargeClock(n Cycles) {
+	applied, at, crashed := c.w.Clock.advance(n)
+	c.mu.Lock()
+	c.cycles += applied
+	c.mu.Unlock()
+	if crashed {
+		panic(Crash{At: at})
+	}
+}
+
+// Charge advances the clock by n cycles. Sites with a meaningful counter
+// should prefer ChargeCount/ChargeAdd; anything left here lands in the
+// catch-all bucket so attributed components still sum to the clock total.
+func (c *VCPU) Charge(n Cycles) {
+	c.chargeClock(n)
+	w := c.w
+	if w.Metrics != nil {
+		w.Metrics.Charge(c.attr, string(CtrOther), uint64(n), 0)
+	}
+	if w.prof != nil {
+		w.profLeaf(string(CtrOther), uint64(n))
+	}
+}
+
+// ChargeCount advances the clock and increments the matching counter; the
+// two almost always travel together.
+func (c *VCPU) ChargeCount(n Cycles, ctr Counter) {
+	c.chargeClock(n)
+	w := c.w
+	w.Stats.Inc(ctr)
+	if w.Metrics != nil {
+		w.Metrics.Charge(c.attr, string(ctr), uint64(n), 1)
+	}
+	if w.prof != nil {
+		w.profLeaf(string(ctr), uint64(n))
+	}
+}
+
+// ChargeAdd advances the clock by n cycles attributed to counter ctr, adding
+// events to the flat counter (events may be zero when the count is already
+// maintained elsewhere and only the cycles need attribution).
+func (c *VCPU) ChargeAdd(n Cycles, ctr Counter, events uint64) {
+	c.chargeClock(n)
+	w := c.w
+	if events != 0 {
+		w.Stats.Add(ctr, events)
+	}
+	if w.Metrics != nil {
+		w.Metrics.Charge(c.attr, string(ctr), uint64(n), events)
+	}
+	if w.prof != nil {
+		w.profLeaf(string(ctr), uint64(n))
+	}
+}
+
+// InjectAt consumes one fault opportunity at site. When a fault fires it is
+// counted and traced (an instant span named "<site>/<kind>") so every export
+// can correlate injected faults with their downstream effects.
+func (c *VCPU) InjectAt(site fault.Site) (fault.Kind, bool) {
+	w := c.w
+	if w.Fault == nil {
+		return fault.None, false
+	}
+	kind, ok := w.Fault.At(site)
+	if !ok {
+		return fault.None, false
+	}
+	w.Stats.Inc(CtrFaultInjected)
+	// The span name is only built when a tracer is listening: Emit is a
+	// no-op without one, and formatting per fired fault would otherwise be
+	// the injection path's only allocation.
+	if w.TraceEnabled() {
+		c.Emit(obs.KindFault, site.String()+"/"+kind.String(), uint64(site))
+	}
+	return kind, true
+}
+
+// SetTask records which guest task this vCPU is now running; subsequent
+// charges and spans are attributed to it. The guest scheduler calls this on
+// every dispatch; pid/tid zero resets to the machine context.
+func (c *VCPU) SetTask(pid, tid int, name string, domain uint32, cloaked bool) {
+	w := c.w
+	if w.prof != nil {
+		w.profDispatch(tid)
+	}
+	c.mu.Lock()
+	c.attr = obs.Attr{
+		PID: pid, TID: tid, Task: name,
+		Domain: domain, Cloaked: cloaked,
+		Phase: c.attr.Phase,
+	}
+	c.mu.Unlock()
+}
+
+// SetTaskDomain updates the cloaking domain of the current task (the shim
+// learns the domain only after its first hypercall, mid-run).
+func (c *VCPU) SetTaskDomain(domain uint32) {
+	c.mu.Lock()
+	a := c.attr
+	a.Domain = domain
+	c.attr = a
+	c.mu.Unlock()
+}
+
+// setPhase relabels this vCPU's attribution phase; the World applies it to
+// every vCPU (see World.SetPhase).
+func (c *VCPU) setPhase(phase string) {
+	c.mu.Lock()
+	a := c.attr
+	a.Phase = phase
+	c.attr = a
+	c.mu.Unlock()
+}
+
+// Attr returns this vCPU's current attribution context.
+func (c *VCPU) Attr() obs.Attr {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.attr
+}

@@ -1,47 +1,116 @@
 package sim
 
 import (
+	"fmt"
+
 	"overshadow/internal/fault"
 	"overshadow/internal/obs"
 )
 
-// World bundles the shared simulation services — clock, cost model, counters,
-// and PRNG — into a single handle threaded through every component of the
-// machine. One World corresponds to one simulated machine.
+// World bundles the machine-global simulation services — clock, cost model,
+// counters, PRNG, and export surfaces — into a single handle threaded through
+// every component of the machine. One World corresponds to one simulated
+// machine; execution-scoped state (attribution, per-CPU cycle accounting,
+// per-CPU random streams) lives on its VCPUs.
 type World struct {
 	Clock *Clock
 	Cost  CostModel
 	Stats *Stats
-	RNG   *RNG
+	// RNG is the machine-global stream, aliased by the boot vCPU so
+	// single-vCPU machines draw the historical sequence.
+	RNG *RNG
 	// Tracer is nil until EnableTrace; see trace.go.
 	Tracer *Tracer
 	// Metrics is nil until EnableMetrics: with it off every charge pays
 	// exactly one extra nil check, preserving the uninstrumented fast path.
 	Metrics *obs.Metrics
 	// Fault is nil unless a fault-injection plan is active; components
-	// consult it through InjectAt, which costs one nil check when off. The
-	// injector carries its own seeded PRNG stream, so the fault-free
+	// consult it through VCPU.InjectAt, which costs one nil check when off.
+	// The injector carries its own seeded PRNG stream, so the fault-free
 	// execution is bit-identical with Fault nil or an all-zero plan.
 	Fault *fault.Injector
 
-	// attr identifies the simulated CPU context charges are attributed to;
-	// the guest scheduler and the shim keep it current (see SetTask).
-	attr obs.Attr
+	// seed is the machine seed, kept for deriving per-vCPU and scheduler
+	// streams (see DeriveRNG).
+	seed uint64
+	// phase is the current experiment phase label, applied to every vCPU's
+	// attribution context by SetPhase.
+	phase string
+
+	// vcpus are the machine's execution contexts; cur is the one currently
+	// holding the baton. Both are written only at construction and on
+	// dispatch (one goroutine at a time), never from charge paths.
+	vcpus []*VCPU
+	cur   *VCPU
 
 	// prof is nil until EnableProfile: with it off every charge, span, and
 	// dispatch pays exactly one extra nil check (see prof.go).
 	prof *profState
 }
 
-// NewWorld builds a World with the given cost model and seed.
+// NewWorld builds a single-vCPU World with the given cost model and seed —
+// the historical machine shape, byte-identical to the pre-SMP simulator.
 func NewWorld(cost CostModel, seed uint64) *World {
-	return &World{
+	return NewWorldN(cost, seed, 1)
+}
+
+// NewWorldN builds a World with n vCPUs. vCPU 0 (the boot vCPU) aliases the
+// world RNG stream; every additional vCPU gets its own stream derived from
+// the seed, so adding vCPUs never perturbs the boot stream.
+func NewWorldN(cost CostModel, seed uint64, n int) *World {
+	if n < 1 {
+		n = 1
+	}
+	w := &World{
 		Clock: NewClock(),
 		Cost:  cost,
 		Stats: NewStats(),
 		RNG:   NewRNG(seed),
+		seed:  seed,
 	}
+	w.vcpus = make([]*VCPU, n)
+	for i := range w.vcpus {
+		rng := w.RNG
+		if i > 0 {
+			rng = w.DeriveRNG(uint64(i))
+		}
+		w.vcpus[i] = &VCPU{id: i, w: w, RNG: rng}
+	}
+	w.cur = w.vcpus[0]
+	return w
 }
+
+// DeriveRNG returns a fresh deterministic stream derived from the world seed
+// and salt, well-separated from the boot stream and from other salts. Used
+// for per-vCPU streams and the scheduler's interleaving schedule.
+func (w *World) DeriveRNG(salt uint64) *RNG {
+	return NewRNG(splitmix64(w.seed) ^ splitmix64(salt^0xC5C0A9A9C3C7)) // arbitrary domain-separation constant
+}
+
+// Boot returns the boot vCPU (index 0) — the machine context everything runs
+// on before and outside guest dispatch.
+func (w *World) Boot() *VCPU { return w.vcpus[0] }
+
+// CPU returns the currently executing vCPU. The guest scheduler keeps it
+// current via Activate; machine-wide components (disk, journal, caches) use
+// it to charge whichever vCPU drove them. On a single-vCPU machine it is
+// always the boot vCPU.
+func (w *World) CPU() *VCPU { return w.cur }
+
+// Activate marks c as the executing vCPU. Called by the guest scheduler on
+// dispatch, strictly from the baton-holding goroutine.
+func (w *World) Activate(c *VCPU) {
+	if c.w != w {
+		panic(fmt.Sprintf("sim: Activate with foreign vCPU %d", c.id))
+	}
+	w.cur = c
+}
+
+// VCPUs returns the machine's execution contexts, boot vCPU first.
+func (w *World) VCPUs() []*VCPU { return w.vcpus }
+
+// NumVCPUs reports the vCPU count.
+func (w *World) NumVCPUs() int { return len(w.vcpus) }
 
 // EnableMetrics turns on attributed cycle accounting. Passing a non-nil
 // store shares it between worlds (the harness aggregates native and cloaked
@@ -55,98 +124,37 @@ func (w *World) EnableMetrics(shared *obs.Metrics) *obs.Metrics {
 	return shared
 }
 
-// Charge advances the clock by n cycles. Sites with a meaningful counter
-// should prefer ChargeCount/ChargeAdd; anything left here lands in the
-// catch-all bucket so attributed components still sum to the clock total.
-func (w *World) Charge(n Cycles) {
-	w.Clock.Advance(n)
-	if w.Metrics != nil {
-		w.Metrics.Charge(w.attr, string(CtrOther), uint64(n), 0)
-	}
-	if w.prof != nil {
-		w.profLeaf(string(CtrOther), uint64(n))
-	}
-}
+// Charge advances the clock by n cycles on the boot vCPU.
+//
+// Deprecated: charges belong to an execution context. Use the *VCPU handle
+// from World.CPU (or the one threaded to the call site) — this one-release
+// forwarder exists only to stage the migration and is flagged by the
+// worldcharge overlint analyzer outside internal/sim.
+func (w *World) Charge(n Cycles) { w.Boot().Charge(n) }
 
-// ChargeCount advances the clock and increments the matching counter; the
-// two almost always travel together.
-func (w *World) ChargeCount(n Cycles, c Counter) {
-	w.Clock.Advance(n)
-	w.Stats.Inc(c)
-	if w.Metrics != nil {
-		w.Metrics.Charge(w.attr, string(c), uint64(n), 1)
-	}
-	if w.prof != nil {
-		w.profLeaf(string(c), uint64(n))
-	}
-}
+// ChargeCount advances the clock and increments the matching counter on the
+// boot vCPU.
+//
+// Deprecated: use the *VCPU handle (see Charge).
+func (w *World) ChargeCount(n Cycles, c Counter) { w.Boot().ChargeCount(n, c) }
 
-// ChargeAdd advances the clock by n cycles attributed to counter c, adding
-// events to the flat counter (events may be zero when the count is already
-// maintained elsewhere and only the cycles need attribution).
-func (w *World) ChargeAdd(n Cycles, c Counter, events uint64) {
-	w.Clock.Advance(n)
-	if events != 0 {
-		w.Stats.Add(c, events)
-	}
-	if w.Metrics != nil {
-		w.Metrics.Charge(w.attr, string(c), uint64(n), events)
-	}
-	if w.prof != nil {
-		w.profLeaf(string(c), uint64(n))
-	}
-}
-
-// InjectAt consumes one fault opportunity at site. When a fault fires it is
-// counted and traced (an instant span named "<site>/<kind>") so every export
-// can correlate injected faults with their downstream effects.
-func (w *World) InjectAt(site fault.Site) (fault.Kind, bool) {
-	if w.Fault == nil {
-		return fault.None, false
-	}
-	kind, ok := w.Fault.At(site)
-	if !ok {
-		return fault.None, false
-	}
-	w.Stats.Inc(CtrFaultInjected)
-	// The span name is only built when a tracer is listening: Emit is a
-	// no-op without one, and formatting per fired fault would otherwise be
-	// the injection path's only allocation.
-	if w.TraceEnabled() {
-		w.Emit(obs.KindFault, site.String()+"/"+kind.String(), uint64(site))
-	}
-	return kind, true
-}
+// ChargeAdd advances the clock by n cycles attributed to counter c on the
+// boot vCPU, adding events to the flat counter.
+//
+// Deprecated: use the *VCPU handle (see Charge).
+func (w *World) ChargeAdd(n Cycles, c Counter, events uint64) { w.Boot().ChargeAdd(n, c, events) }
 
 // Now is shorthand for w.Clock.Now().
 func (w *World) Now() Cycles { return w.Clock.Now() }
 
-// SetTask records which guest task the simulated CPU is now running;
-// subsequent charges and spans are attributed to it. The guest scheduler
-// calls this on every dispatch; pid/tid zero resets to the machine context.
-func (w *World) SetTask(pid, tid int, name string, domain uint32, cloaked bool) {
-	if w.prof != nil && tid != w.prof.tid {
-		w.profSwitch(tid)
-	}
-	w.attr.PID = pid
-	w.attr.TID = tid
-	w.attr.Task = name
-	w.attr.Domain = domain
-	w.attr.Cloaked = cloaked
-}
-
-// SetTaskDomain updates the cloaking domain of the current task (the shim
-// learns the domain only after its first hypercall, mid-run).
-func (w *World) SetTaskDomain(domain uint32) { w.attr.Domain = domain }
-
 // SetPhase labels all subsequent attribution with an experiment phase
-// (e.g. "E2/cloaked"); the harness sets it per measured region.
+// (e.g. "E2/cloaked") on every vCPU; the harness sets it per measured region.
 func (w *World) SetPhase(phase string) {
-	w.attr.Phase = phase
+	w.phase = phase
+	for _, c := range w.vcpus {
+		c.setPhase(phase)
+	}
 	if w.prof != nil {
 		w.profSetPhase(phase)
 	}
 }
-
-// Attr returns the current attribution context.
-func (w *World) Attr() obs.Attr { return w.attr }

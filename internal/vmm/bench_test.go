@@ -35,8 +35,8 @@ func BenchmarkTranslateShadowMiss(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		vpn := uint64(i % 32)
-		r.as.shadows[ViewApp].Unmap(vpn)
-		r.v.tlb.InvalidatePage(vpn)
+		r.as.shadow(0, ViewApp).Unmap(vpn)
+		r.v.tlbInvalidatePage(vpn)
 		if _, err := r.v.Translate(r.as, ViewApp, vpn, mmu.AccessRead, true); err != nil {
 			b.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package vmm
 
 import (
 	"fmt"
+	"sync"
 
 	"overshadow/internal/cloak"
 	"overshadow/internal/obs"
@@ -53,38 +54,77 @@ func (k TrapKind) String() string {
 // and tamper attempts are detected by comparing against the exposure
 // snapshot taken at trap entry.
 //
-//overlint:allow smpready -- a Thread is owned by exactly one vCPU at a time; the CTC handoff is the ownership transfer
+// A Thread is owned by exactly one vCPU at a time; mu serializes the CTC
+// handoff itself — save on one CPU, restore possibly on another after the
+// guest scheduler migrates the thread. A cross-CPU resume is a typed,
+// audited outcome (EventCTCMigrate), never a panic: verification runs
+// identically wherever the thread lands.
 type Thread struct {
 	ID     ThreadID
 	Domain cloak.DomainID // 0 = uncloaked thread
 	Regs   Regs           // live registers as the current mode sees them
 
-	vmm     *VMM
+	vmm *VMM
+
+	mu      sync.Mutex
 	ctc     Regs // saved full context while the kernel runs
 	exposed Regs // post-scrub snapshot of what the kernel was shown
 	inTrap  bool
 	trap    TrapKind
 	pending bool // CTC currently holds a valid saved context
+	// savedCPU is the vCPU the CTC was saved on; compared at restore to
+	// detect (and audit) cross-CPU handoff.
+	savedCPU int
 }
 
 // CreateThread allocates a thread context. domain 0 creates an ordinary
 // (uncloaked) thread.
 func (v *VMM) CreateThread(domain cloak.DomainID) *Thread {
+	v.mu.Lock()
 	v.nextThread++
 	t := &Thread{ID: v.nextThread, Domain: domain, vmm: v}
 	v.threads[t.ID] = t
+	v.mu.Unlock()
 	return t
 }
 
 // DestroyThread forgets a thread context.
-func (v *VMM) DestroyThread(t *Thread) { delete(v.threads, t.ID) }
+func (v *VMM) DestroyThread(t *Thread) {
+	v.mu.Lock()
+	delete(v.threads, t.ID)
+	v.mu.Unlock()
+}
 
 // Cloaked reports whether the thread belongs to a protection domain.
 func (t *Thread) Cloaked() bool { return t.Domain != 0 }
 
 // InTrap reports whether the thread is currently between EnterKernel and
 // ExitKernel.
-func (t *Thread) InTrap() bool { return t.inTrap }
+func (t *Thread) InTrap() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.inTrap
+}
+
+// hasPendingCTC reports whether the thread currently holds a valid saved
+// context (used by the quarantine residue audit).
+func (t *Thread) hasPendingCTC() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pending
+}
+
+// revoke clears the thread's saved context and scrubs its registers —
+// quarantine containment. Returns nothing the caller could misuse: the CTC
+// is gone.
+func (t *Thread) revoke() {
+	t.mu.Lock()
+	t.ctc = Regs{}
+	t.exposed = Regs{}
+	t.Regs = Regs{}
+	t.pending = false
+	t.mu.Unlock()
+}
 
 // EnterKernel performs the guest-user to guest-kernel crossing. For cloaked
 // threads the VMM interposes: it saves the full register file into the CTC
@@ -93,19 +133,23 @@ func (t *Thread) InTrap() bool { return t.inTrap }
 // the return value back).
 func (t *Thread) EnterKernel(kind TrapKind) *Regs {
 	v := t.vmm
+	c := v.cpu()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.inTrap = true
 	t.trap = kind
-	v.world.ChargeAdd(v.world.Cost.SyscallTrap, sim.CtrTrap, 0)
+	c.ChargeAdd(v.world.Cost.SyscallTrap, sim.CtrTrap, 0)
 	if !t.Cloaked() {
 		return &t.Regs
 	}
 	// Cloaked: the trap bounces through the VMM (world switch in).
-	v.world.ChargeCount(v.world.Cost.WorldSwitch, sim.CtrWorldSwitch)
-	v.world.EmitSpan(obs.KindWorldSwitch, "guest->vmm", uint64(t.ID), v.world.Cost.WorldSwitch)
+	c.ChargeCount(v.world.Cost.WorldSwitch, sim.CtrWorldSwitch)
+	c.EmitSpan(obs.KindWorldSwitch, "guest->vmm", uint64(t.ID), v.world.Cost.WorldSwitch)
 	t.ctc = t.Regs
 	t.pending = true
-	v.world.ChargeCount(v.world.Cost.CTCSave, sim.CtrCTCSave)
-	v.world.EmitSpan(obs.KindCTC, "save", uint64(t.ID), v.world.Cost.CTCSave)
+	t.savedCPU = c.ID()
+	c.ChargeCount(v.world.Cost.CTCSave, sim.CtrCTCSave)
+	c.EmitSpan(obs.KindCTC, "save", uint64(t.ID), v.world.Cost.CTCSave)
 	switch kind {
 	case TrapSyscall:
 		// Expose only the syscall number and arguments (which the shim has
@@ -118,8 +162,8 @@ func (t *Thread) EnterKernel(kind TrapKind) *Regs {
 		t.Regs = Regs{}
 	}
 	t.exposed = t.Regs
-	v.world.ChargeCount(v.world.Cost.WorldSwitch, sim.CtrWorldSwitch)
-	v.world.EmitSpan(obs.KindWorldSwitch, "vmm->guest", uint64(t.ID), v.world.Cost.WorldSwitch)
+	c.ChargeCount(v.world.Cost.WorldSwitch, sim.CtrWorldSwitch)
+	c.EmitSpan(obs.KindWorldSwitch, "vmm->guest", uint64(t.ID), v.world.Cost.WorldSwitch)
 	return &t.Regs
 }
 
@@ -128,19 +172,24 @@ func (t *Thread) EnterKernel(kind TrapKind) *Regs {
 // value (GPR[0]) from the kernel's view. If the kernel modified any other
 // exposed register, the tamper is logged and reported — but the application
 // still resumes with its genuine context, so register-tampering cannot
-// influence cloaked execution.
+// influence cloaked execution. Resuming on a different vCPU than the one
+// that saved the CTC is legitimate (thread migration) and is audited as
+// EventCTCMigrate on multi-vCPU machines.
 func (t *Thread) ExitKernel() error {
 	v := t.vmm
+	c := v.cpu()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if !t.inTrap {
 		return fmt.Errorf("vmm: ExitKernel on thread %d not in a trap", t.ID)
 	}
 	t.inTrap = false
-	v.world.ChargeAdd(v.world.Cost.SyscallReturn, sim.CtrTrap, 0)
+	c.ChargeAdd(v.world.Cost.SyscallReturn, sim.CtrTrap, 0)
 	if !t.Cloaked() {
 		return nil
 	}
-	v.world.ChargeCount(v.world.Cost.WorldSwitch, sim.CtrWorldSwitch)
-	v.world.EmitSpan(obs.KindWorldSwitch, "guest->vmm", uint64(t.ID), v.world.Cost.WorldSwitch)
+	c.ChargeCount(v.world.Cost.WorldSwitch, sim.CtrWorldSwitch)
+	c.EmitSpan(obs.KindWorldSwitch, "guest->vmm", uint64(t.ID), v.world.Cost.WorldSwitch)
 	if v.quarantined[t.Domain] {
 		// The domain was quarantined while this thread was trapped; its CTC
 		// is revoked and the thread must never resume with live state. The
@@ -155,6 +204,11 @@ func (t *Thread) ExitKernel() error {
 			Detail: "resume with no saved context"}
 		v.logEvent(ev)
 		return &SecViolation{Event: ev}
+	}
+	if t.savedCPU != c.ID() && v.world.NumVCPUs() > 1 {
+		//overlint:allow hotpathalloc -- cross-CPU audit detail, emitted only on migrated resumes
+		detail := fmt.Sprintf("thread %d: CTC saved on cpu%d, restored on cpu%d", t.ID, t.savedCPU, c.ID())
+		v.logEvent(Event{Kind: EventCTCMigrate, Domain: t.Domain, Detail: detail})
 	}
 	var tamperErr error
 	cur, snap := t.Regs, t.exposed
@@ -176,9 +230,9 @@ func (t *Thread) ExitKernel() error {
 	}
 	t.Regs = restored
 	t.pending = false
-	v.world.ChargeCount(v.world.Cost.CTCRestore, sim.CtrCTCRestore)
-	v.world.EmitSpan(obs.KindCTC, "restore", uint64(t.ID), v.world.Cost.CTCRestore)
-	v.world.ChargeCount(v.world.Cost.WorldSwitch, sim.CtrWorldSwitch)
-	v.world.EmitSpan(obs.KindWorldSwitch, "vmm->guest", uint64(t.ID), v.world.Cost.WorldSwitch)
+	c.ChargeCount(v.world.Cost.CTCRestore, sim.CtrCTCRestore)
+	c.EmitSpan(obs.KindCTC, "restore", uint64(t.ID), v.world.Cost.CTCRestore)
+	c.ChargeCount(v.world.Cost.WorldSwitch, sim.CtrWorldSwitch)
+	c.EmitSpan(obs.KindWorldSwitch, "vmm->guest", uint64(t.ID), v.world.Cost.WorldSwitch)
 	return tamperErr
 }

@@ -32,6 +32,16 @@ const (
 	// EventQuarantine: a domain was quarantined — its frames scrubbed, CTC
 	// entries revoked, and metadata reclaimed — after a security violation.
 	EventQuarantine
+	// EventCrossCPUFault: informational — an app-view fault on a cloaked page
+	// arrived on a different vCPU than the one that last transitioned it. Not
+	// an attack (thread migration does this legitimately); the typed outcome
+	// for the two-CPUs-race-one-page interleaving. Only ever logged on a
+	// multi-vCPU machine.
+	EventCrossCPUFault
+	// EventCTCMigrate: informational — a cloaked thread context saved on one
+	// vCPU was resumed on another (CTC handoff across CPUs). Verification
+	// still ran; the entry records the migration. Multi-vCPU machines only.
+	EventCTCMigrate
 )
 
 // String implements fmt.Stringer.
@@ -49,13 +59,17 @@ func (k EventKind) String() string {
 		return "resource-fault"
 	case EventQuarantine:
 		return "quarantine"
+	case EventCrossCPUFault:
+		return "cross-cpu-fault"
+	case EventCTCMigrate:
+		return "ctc-migrate"
 	}
 	return "unknown"
 }
 
-// Event is one entry in the VMM's security audit log.
-//
-//overlint:allow smpready -- audit events are stamped once at creation; the log append is the shared point, covered by VMM's plan
+// Event is one entry in the VMM's security audit log. Events are immutable
+// once stamped: logEvent builds the stored copy in a single composite
+// literal and appends it under the VMM lock.
 type Event struct {
 	Time   sim.Cycles
 	Kind   EventKind

@@ -20,8 +20,9 @@ import (
 // validated caller and carry no domain guards.
 
 func (v *VMM) chargeHypercall(name string) {
-	v.world.ChargeCount(v.world.Cost.Hypercall, sim.CtrHypercall)
-	v.world.EmitSpan(obs.KindHypercall, name, 0, v.world.Cost.Hypercall)
+	c := v.cpu()
+	c.ChargeCount(v.world.Cost.Hypercall, sim.CtrHypercall)
+	c.EmitSpan(obs.KindHypercall, name, 0, v.world.Cost.Hypercall)
 }
 
 // hypercallFault consults the fault injector for a transient resource
@@ -30,7 +31,7 @@ func (v *VMM) chargeHypercall(name string) {
 // hypercalls take this path — lifecycle calls (create, clone, destroy) must
 // stay fault-free or half-built domains would need their own recovery story.
 func (v *VMM) hypercallFault(name string) error {
-	if _, ok := v.world.InjectAt(fault.SiteHypercall); ok {
+	if _, ok := v.cpu().InjectAt(fault.SiteHypercall); ok {
 		v.logEvent(Event{Kind: EventResourceFault,
 			Detail: name + ": injected transient failure"})
 		return &ResourceFault{Op: name, Detail: "injected transient failure",
@@ -48,17 +49,21 @@ func (v *VMM) HCCreateDomain(as *AddressSpace) (*DomainConn, error) {
 	if as.domain != 0 {
 		return nil, ErrDomainBound
 	}
+	v.mu.Lock()
 	d := v.nextDomain
 	v.nextDomain++
 	as.domain = d
 	v.domainSpaces[d] = append(v.domainSpaces[d], as)
+	v.mu.Unlock()
 	return &DomainConn{v: v, as: as, domain: d}, nil
 }
 
 // allocResource hands out a fresh resource identifier.
 func (v *VMM) allocResource() cloak.ResourceID {
+	v.mu.Lock()
 	r := v.nextResource
 	v.nextResource++
+	v.mu.Unlock()
 	return r
 }
 
@@ -102,9 +107,9 @@ func (v *VMM) releaseResource(d cloak.DomainID, res cloak.ResourceID, pages uint
 // destroyDomain tears down a domain; see DomainConn.Destroy.
 func (v *VMM) destroyDomain(d cloak.DomainID) {
 	for gppn, cp := range v.byDomain[d] {
-		if cp.state == statePlain {
+		if cp.getState() == statePlain {
 			zeroFrame(v.frame(gppn))
-			v.world.ChargeAdd(v.world.Cost.PageZero, sim.CtrPageZero, 1)
+			v.cpu().ChargeAdd(v.world.Cost.PageZero, sim.CtrPageZero, 1)
 		}
 		v.dropAllShadowsOfGPPN(gppn)
 		delete(v.pages, gppn)
@@ -128,11 +133,13 @@ func (v *VMM) HCFileResource(uid uint64) (cloak.DomainID, cloak.ResourceID) {
 	if b, ok := v.fileVaults[uid]; ok {
 		return b.domain, b.resource
 	}
+	v.mu.Lock()
 	d := v.nextDomain
 	v.nextDomain++
 	r := v.nextResource
 	v.nextResource++
 	v.fileVaults[uid] = fileVault{domain: d, resource: r}
+	v.mu.Unlock()
 	return d, r
 }
 
@@ -254,14 +261,15 @@ func (v *VMM) unwindClone(child *AddressSpace, resourceMap map[cloak.ResourceID]
 	}
 	var victims []mach.GPPN
 	for gppn, cp := range v.byDomain[d] {
-		if childRes[cp.id.Resource] {
+		if childRes[cp.identity().Resource] {
 			victims = append(victims, gppn)
 		}
 	}
 	for _, gppn := range victims {
 		cp := v.pages[gppn]
-		v.metas.Delete(cp.id)
-		v.jDelete(cp.id)
+		id := cp.identity()
+		v.metas.Delete(id)
+		v.jDelete(id)
 		v.unregisterPage(gppn, cp)
 	}
 	list := v.domainSpaces[d]

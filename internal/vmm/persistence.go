@@ -16,7 +16,11 @@ import (
 
 // AttachJournal mirrors all future metadata mutations into j. Must be
 // called before the machine runs.
-func (v *VMM) AttachJournal(j *persist.Journal) { v.journal = j }
+func (v *VMM) AttachJournal(j *persist.Journal) {
+	v.mu.Lock()
+	v.journal = j
+	v.mu.Unlock()
+}
 
 // Journal returns the attached metadata journal (nil if none).
 func (v *VMM) Journal() *persist.Journal { return v.journal }
@@ -50,10 +54,11 @@ func (v *VMM) NoteSwapSlot(gppn mach.GPPN, blk uint64) {
 		return
 	}
 	cp, ok := v.pages[gppn]
-	if !ok || cp.state != stateEncrypted {
+	if !ok || cp.getState() != stateEncrypted {
 		return
 	}
-	v.journal.Locate(cp.id, persist.DevSwap, blk, v.metas.Version(cp.id))
+	id := cp.identity()
+	v.journal.Locate(id, persist.DevSwap, blk, v.metas.Version(id))
 }
 
 // RecoverPage verifies and decrypts a journaled page on behalf of the
@@ -68,6 +73,6 @@ func (v *VMM) RecoverPage(id cloak.PageID, meta cloak.Meta, ciphertext []byte) (
 	if err := v.engine.DecryptPage(id, meta, buf); err != nil {
 		return nil, err
 	}
-	v.world.ChargeAdd(0, sim.CtrRecoverPage, 1)
+	v.cpu().ChargeAdd(0, sim.CtrRecoverPage, 1)
 	return buf, nil
 }

@@ -37,7 +37,7 @@ func (v *VMM) QuarantineResidue(d cloak.DomainID) (pages, metaRecords, liveCTCs 
 	pages = len(v.byDomain[d])
 	metaRecords = v.metas.DomainRecords(d)
 	for _, t := range v.threads {
-		if t.Domain == d && t.pending {
+		if t.Domain == d && t.hasPendingCTC() {
 			liveCTCs++
 		}
 	}
@@ -50,12 +50,14 @@ func (v *VMM) quarantine(d cloak.DomainID, cause Event) {
 	if d == 0 || v.quarantined[d] {
 		return
 	}
+	v.mu.Lock()
 	if v.quarantined == nil {
 		//overlint:allow hotpathalloc -- quarantine is the containment path after a violation; exceptional by construction
 		v.quarantined = make(map[cloak.DomainID]bool)
 	}
 	v.quarantined[d] = true
-	sp := v.world.Begin(obs.KindQuarantine, "quarantine", uint64(d))
+	v.mu.Unlock()
+	sp := v.cpu().Begin(obs.KindQuarantine, "quarantine", uint64(d))
 	defer sp.End()
 
 	// Scrub the domain's frames in ascending GPPN order (map iteration order
@@ -71,9 +73,9 @@ func (v *VMM) quarantine(d cloak.DomainID, cause Event) {
 	sort.Slice(gppns, func(i, j int) bool { return gppns[i] < gppns[j] })
 	for _, gppn := range gppns {
 		cp := pages[gppn]
-		if cp.state == statePlain {
+		if cp.getState() == statePlain {
 			zeroFrame(v.frame(gppn))
-			v.world.ChargeAdd(v.world.Cost.PageZero, sim.CtrPageZero, 1)
+			v.cpu().ChargeAdd(v.world.Cost.PageZero, sim.CtrPageZero, 1)
 		}
 		v.dropAllShadowsOfGPPN(gppn)
 		delete(v.pages, gppn)
@@ -93,16 +95,8 @@ func (v *VMM) quarantine(d cloak.DomainID, cause Event) {
 	}
 	//overlint:allow hotpathalloc -- quarantine sort; exceptional path
 	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
-	revoked := 0
 	for _, id := range tids {
-		t := v.threads[id]
-		t.ctc = Regs{}
-		t.exposed = Regs{}
-		t.Regs = Regs{}
-		if t.pending {
-			t.pending = false
-			revoked++
-		}
+		v.threads[id].revoke()
 	}
 
 	// Reclaim metadata and the measured identity. Unlike Destroy, the
@@ -112,7 +106,7 @@ func (v *VMM) quarantine(d cloak.DomainID, cause Event) {
 	v.jDropDomain(d)
 	delete(v.identities, d)
 
-	v.world.ChargeAdd(0, sim.CtrQuarantine, 1)
+	v.cpu().ChargeAdd(0, sim.CtrQuarantine, 1)
 	v.logEvent(Event{Kind: EventQuarantine, Domain: d, Page: cause.Page,
 		//overlint:allow hotpathalloc -- quarantine audit detail, exceptional path
 		GPPN: cause.GPPN, Detail: "contained after " + cause.Kind.String()})

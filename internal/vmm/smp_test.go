@@ -1,0 +1,192 @@
+package vmm
+
+import (
+	"testing"
+
+	"overshadow/internal/mmu"
+	"overshadow/internal/sim"
+)
+
+// newSMPRig is newRig on an n-vCPU world; vCPU 0 starts active.
+func newSMPRig(t *testing.T, n int, opts Options) *testRig {
+	t.Helper()
+	w := sim.NewWorldN(sim.DefaultCostModel(), 7, n)
+	v, err := New(w, Config{GuestPages: 64, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := v.CreateAddressSpace(mmu.NewPageTable())
+	return &testRig{t: t, w: w, v: v, as: as}
+}
+
+// on switches the rig's world to vCPU id for the duration of fn.
+func (r *testRig) on(id int, fn func()) {
+	r.t.Helper()
+	prev := r.w.CPU()
+	r.w.Activate(r.w.VCPUs()[id])
+	fn()
+	r.w.Activate(prev)
+}
+
+// eventCount tallies the VMM's audit log by kind.
+func (r *testRig) eventCount(kind EventKind) int {
+	n := 0
+	for _, ev := range r.v.Events() {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCrossCPUFaultTyped drives the documented cross-CPU cloaking race: the
+// same cloaked page faults in the app view on two different vCPUs. The
+// second fault must resolve exactly like a single-CPU fault — same
+// plaintext, no panic — and additionally log the typed EventCrossCPUFault
+// outcome in the audit trail.
+func TestCrossCPUFaultTyped(t *testing.T) {
+	r := newSMPRig(t, 2, Options{})
+	r.cloakSetup(10, 1)
+	r.mapGuest(r.as, 10, 5)
+
+	secret := []byte("cross-cpu secret")
+	if err := r.appWrite(10, secret); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.eventCount(EventCrossCPUFault); got != 0 {
+		t.Fatalf("cross-cpu events after single-CPU fault = %d, want 0", got)
+	}
+
+	// The same page faults in the app view on vCPU 1: its shadow and TLB
+	// are cold, so the access replays the cloaked fault path there.
+	r.on(1, func() {
+		got, err := r.appRead(10, len(secret))
+		if err != nil {
+			t.Fatalf("app read on vCPU 1: %v", err)
+		}
+		if string(got) != string(secret) {
+			t.Fatalf("vCPU 1 read %q, want %q", got, secret)
+		}
+	})
+	if got := r.eventCount(EventCrossCPUFault); got != 1 {
+		t.Fatalf("cross-cpu events = %d, want exactly 1", got)
+	}
+	// Faulting again on the CPU that now owns the page is not a crossing.
+	r.on(1, func() {
+		if _, err := r.appRead(10, len(secret)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := r.eventCount(EventCrossCPUFault); got != 1 {
+		t.Fatalf("cross-cpu events after same-CPU refault = %d, want 1", got)
+	}
+}
+
+// TestCTCMigrateTyped checks the CTC handoff under concurrency: a thread
+// traps on one vCPU and resumes on another. The restore must succeed with
+// the saved context intact and log the typed EventCTCMigrate outcome.
+func TestCTCMigrateTyped(t *testing.T) {
+	r := newSMPRig(t, 2, Options{})
+	conn, err := r.v.HCCreateDomain(r.as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := r.v.CreateThread(conn.Domain())
+
+	// Same-CPU round trip: no migration event.
+	th.EnterKernel(TrapSyscall)
+	if err := th.ExitKernel(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.eventCount(EventCTCMigrate); got != 0 {
+		t.Fatalf("ctc-migrate events after same-CPU round trip = %d, want 0", got)
+	}
+
+	// Save on vCPU 0, restore on vCPU 1.
+	th.EnterKernel(TrapInterrupt)
+	r.on(1, func() {
+		if err := th.ExitKernel(); err != nil {
+			t.Fatalf("cross-CPU ExitKernel: %v", err)
+		}
+	})
+	if got := r.eventCount(EventCTCMigrate); got != 1 {
+		t.Fatalf("ctc-migrate events = %d, want exactly 1", got)
+	}
+}
+
+// TestTLBShootdownAccounting fills two vCPUs' TLBs with the same context,
+// then invalidates from one CPU: the initiator pays one TLBShootdown charge
+// for the remote TLB that actually dropped entries, the counter records the
+// event, and every cycle — including the shootdown — lands on some vCPU so
+// the per-vCPU counters sum exactly to the global clock.
+func TestTLBShootdownAccounting(t *testing.T) {
+	r := newSMPRig(t, 2, Options{})
+	r.mapGuest(r.as, 3, 9)
+
+	// Warm both TLBs for vpn 3.
+	for cpu := 0; cpu < 2; cpu++ {
+		r.on(cpu, func() {
+			if _, err := r.v.Translate(r.as, ViewApp, 3, mmu.AccessRead, true); err != nil {
+				t.Fatalf("translate on vCPU %d: %v", cpu, err)
+			}
+		})
+	}
+	if got := r.w.Stats.Get(sim.CtrTLBShootdown); got != 0 {
+		t.Fatalf("shootdowns before invalidation = %d, want 0", got)
+	}
+
+	before := r.w.VCPUs()[0].Cycles()
+	r.v.tlbInvalidatePage(3)
+	if got := r.w.Stats.Get(sim.CtrTLBShootdown); got != 1 {
+		t.Fatalf("shootdowns = %d, want exactly 1 (one remote TLB dropped)", got)
+	}
+	paid := r.w.VCPUs()[0].Cycles() - before
+	if paid < r.w.Cost.TLBShootdown {
+		t.Fatalf("initiator paid %d cycles, want >= TLBShootdown cost %d", paid, r.w.Cost.TLBShootdown)
+	}
+
+	// A second invalidation finds both TLBs already cold: no new shootdown.
+	r.v.tlbInvalidatePage(3)
+	if got := r.w.Stats.Get(sim.CtrTLBShootdown); got != 1 {
+		t.Fatalf("shootdowns after cold invalidation = %d, want 1", got)
+	}
+
+	var sum sim.Cycles
+	for _, c := range r.w.VCPUs() {
+		sum += c.Cycles()
+	}
+	if sum != r.w.Clock.Now() {
+		t.Fatalf("per-vCPU cycles sum %d != clock %d", sum, r.w.Clock.Now())
+	}
+}
+
+// TestSingleCPUNoSMPEvents pins the N=1 compatibility contract at the VMM
+// level: on a single-vCPU world the cloak fault path and CTC round trip must
+// produce zero cross-CPU events and zero shootdown charges, so exports stay
+// byte-identical to pre-SMP builds.
+func TestSingleCPUNoSMPEvents(t *testing.T) {
+	r := newRig(t, Options{})
+	r.cloakSetup(10, 1)
+	r.mapGuest(r.as, 10, 5)
+	if err := r.appWrite(10, []byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.sysRead(10, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.appRead(10, 4); err != nil {
+		t.Fatal(err)
+	}
+	th := r.v.CreateThread(r.conn.Domain())
+	th.EnterKernel(TrapSyscall)
+	if err := th.ExitKernel(); err != nil {
+		t.Fatal(err)
+	}
+	r.v.tlbInvalidatePage(10)
+	if got := r.eventCount(EventCrossCPUFault) + r.eventCount(EventCTCMigrate); got != 0 {
+		t.Fatalf("SMP-typed events on a 1-vCPU world = %d, want 0", got)
+	}
+	if got := r.w.Stats.Get(sim.CtrTLBShootdown); got != 0 {
+		t.Fatalf("shootdown charges on a 1-vCPU world = %d, want 0", got)
+	}
+}

@@ -71,15 +71,30 @@ func (r Region) Contains(vpn uint64) bool {
 }
 
 // AddressSpace is the VMM's bookkeeping for one guest address space: the
-// guest page table it shadows, one shadow page table per view, and the
-// registered cloaked/uncloaked regions.
+// guest page table it shadows, one shadow page table per (vCPU, view), and
+// the registered cloaked/uncloaked regions.
+//
+// Shadows are replicated per vCPU rather than shared: each CPU demand-fills
+// its own shadow from the guest page table, exactly like hardware per-CPU
+// paging structures, so translation never takes a cross-CPU lock. The price
+// is that invalidations must sweep every CPU's replica (see the VMM's
+// dropShadows* helpers and the TLB-shootdown cost model).
 type AddressSpace struct {
 	id      ASID
 	guestPT *mmu.PageTable
 	domain  cloak.DomainID // 0 while no cloaked app is attached
-	shadows [numViews]*mmu.PageTable
+	// shadows[cpu][view] is that vCPU's shadow page table for the view.
+	shadows [][numViews]*mmu.PageTable
+	// ctxIDs[view] tags TLB entries filled from that view's shadow. The IDs
+	// are shared across vCPUs: TLBs are per-vCPU, so the same context tag can
+	// never collide between CPUs.
 	ctxIDs  [numViews]uint32
 	regions []Region // sorted by BaseVPN
+}
+
+// shadow returns the shadow page table for (cpu, view).
+func (as *AddressSpace) shadow(cpu int, view View) *mmu.PageTable {
+	return as.shadows[cpu][view]
 }
 
 // ID returns the address-space identifier.

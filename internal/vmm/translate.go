@@ -13,18 +13,21 @@ import (
 // cacheLine is the granularity at which bulk copies charge memory cost.
 const cacheLine = 64
 
-// SwitchContext models loading a different shadow context onto the CPU
-// (guest context switch or app/kernel crossing). With multi-shadowing the
-// cost is one register write; the E10 ablations make it more expensive.
+// SwitchContext models loading a different shadow context onto the
+// executing vCPU (guest context switch or app/kernel crossing). With
+// multi-shadowing the cost is one register write; the E10 ablations make it
+// more expensive. The active-context register is per vCPU: each CPU tracks
+// which shadow it has loaded independently.
 func (v *VMM) SwitchContext(as *AddressSpace, view View) {
+	c := v.cpu()
 	ctx := as.ctxIDs[view]
-	if ctx == v.activeCtx {
+	if ctx == v.activeCtxs[c.ID()] {
 		return
 	}
-	v.activeCtx = ctx
-	v.world.ChargeCount(v.world.Cost.ShadowSwitch, sim.CtrShadowSwitch)
+	v.activeCtxs[c.ID()] = ctx
+	c.ChargeCount(v.world.Cost.ShadowSwitch, sim.CtrShadowSwitch)
 	if v.opts.FlushTLBOnSwitch {
-		v.tlb.Flush()
+		v.tlb().Flush()
 	}
 	if v.opts.NoMultiShadow && view == ViewSystem && as.domain != 0 {
 		// Ablation E10a: without multi-shadowing the VMM cannot keep a
@@ -45,7 +48,7 @@ func (v *VMM) EncryptAllPlaintext(d cloak.DomainID, why string) int {
 	gppns := make([]mach.GPPN, 0, len(pages))
 	//overlint:allow hotpathalloc -- stop-the-world sweep; collected pages are sorted before encryption
 	for gppn, cp := range pages {
-		if cp.state == statePlain {
+		if cp.getState() == statePlain {
 			gppns = append(gppns, gppn)
 		}
 	}
@@ -70,26 +73,29 @@ func (v *VMM) Translate(as *AddressSpace, view View, vpn uint64, access mmu.Acce
 		return 0, &SecViolation{Event: Event{Kind: EventQuarantine,
 			Domain: as.domain, Detail: "access denied: domain is quarantined"}}
 	}
+	c := v.cpu()
+	tlb := v.tlbs[c.ID()]
 	ctx := as.ctxIDs[view]
-	if pte, ok := v.tlb.Lookup(ctx, vpn); ok {
+	if pte, ok := tlb.Lookup(ctx, vpn); ok {
 		if f := mmu.CheckPerms(vpn, pte, access, user); f == nil {
 			v.markGuestAD(as, vpn, access)
 			return mach.MPN(pte.PN), nil
 		}
 		// Permission upgrade needed (e.g. COW write): fall through to the
-		// slow path after dropping the stale entry.
-		v.tlb.InvalidatePage(vpn)
+		// slow path after dropping the stale entry — and shoot it down
+		// everywhere, so another CPU cannot keep using the stale mapping.
+		v.tlbInvalidatePage(vpn)
 	}
-	// TLB miss: hardware walks the shadow page table.
-	v.world.ChargeAdd(v.world.Cost.TLBMiss, sim.CtrTLBMiss, 0)
-	pte := as.shadows[view].Lookup(vpn)
+	// TLB miss: hardware walks this vCPU's shadow page table.
+	c.ChargeAdd(v.world.Cost.TLBMiss, sim.CtrTLBMiss, 0)
+	pte := as.shadow(c.ID(), view).Lookup(vpn)
 	if f := mmu.CheckPerms(vpn, pte, access, user); f == nil {
-		v.tlb.Insert(ctx, vpn, pte)
+		tlb.Insert(ctx, vpn, pte)
 		v.markGuestAD(as, vpn, access)
 		return mach.MPN(pte.PN), nil
 	}
 	// Shadow miss: hidden fault into the VMM.
-	v.world.ChargeCount(v.world.Cost.HiddenFault, sim.CtrHiddenFault)
+	c.ChargeCount(v.world.Cost.HiddenFault, sim.CtrHiddenFault)
 	mpn, err := v.resolveShadowFault(as, view, vpn, access, user)
 	if err != nil {
 		return 0, err
@@ -115,7 +121,7 @@ func (v *VMM) resolveShadowFault(as *AddressSpace, view View, vpn uint64, access
 	if f := mmu.CheckPerms(vpn, gpte, access, user); f != nil {
 		// True guest fault: the guest kernel must service it (demand page,
 		// COW, or segfault). Delivered by the caller.
-		v.world.ChargeCount(v.world.Cost.GuestFault, sim.CtrGuestFault)
+		v.cpu().ChargeCount(v.world.Cost.GuestFault, sim.CtrGuestFault)
 		return 0, f
 	}
 	gppn := mach.GPPN(gpte.PN)
@@ -132,12 +138,12 @@ func (v *VMM) resolveShadowFault(as *AddressSpace, view View, vpn uint64, access
 		if err := v.resolveCloaked(as, view, vpn, gppn, id); err != nil {
 			return 0, err
 		}
-	} else if cp, ok := v.pages[gppn]; ok && cp.state == statePlain {
+	} else if cp, ok := v.pages[gppn]; ok && cp.getState() == statePlain {
 		// The OS mapped a frame holding cloaked *plaintext* somewhere
 		// outside the owning domain's app view (another process, or an
 		// unregistered range). Multi-shadowing demands this context see
 		// only ciphertext: encrypt before mapping.
-		if view != ViewApp || as.domain != cp.id.Domain {
+		if view != ViewApp || as.domain != cp.identity().Domain {
 			v.encryptPage(gppn, cp, "foreign mapping of plaintext frame")
 		}
 	}
@@ -154,22 +160,39 @@ func (v *VMM) resolveShadowFault(as *AddressSpace, view View, vpn uint64, access
 		// kernel may legitimately overwrite ciphertext (page-in).
 		flags = mmu.FlagPresent | mmu.FlagWritable
 	}
+	c := v.cpu()
 	spte := mmu.PTE{PN: uint64(mpn), Flags: flags}
-	as.shadows[view].Map(vpn, spte)
-	v.world.ChargeCount(v.world.Cost.ShadowFill, sim.CtrShadowFill)
-	v.tlb.Insert(as.ctxIDs[view], vpn, spte)
+	as.shadow(c.ID(), view).Map(vpn, spte)
+	c.ChargeCount(v.world.Cost.ShadowFill, sim.CtrShadowFill)
+	v.tlbs[c.ID()].Insert(as.ctxIDs[view], vpn, spte)
 	v.markGuestAD(as, vpn, access)
 	return mpn, nil
 }
 
 // resolveCloaked drives the per-page state machine for an access to a
 // cloaked region.
+//
+// Cross-CPU races on the same cloaked page — two vCPUs faulting the same
+// frame, or an app-view fault landing on a CPU other than the one that last
+// transitioned the page — are a typed, audited outcome (EventCrossCPUFault),
+// never a panic: the per-page lock serializes the state words, the faulting
+// CPU simply re-drives the state machine, and the audit log records that the
+// page moved across CPUs.
 func (v *VMM) resolveCloaked(as *AddressSpace, view View, vpn uint64, gppn mach.GPPN, id cloak.PageID) error {
 	cp, registered := v.pages[gppn]
 
 	switch view {
 	case ViewApp:
-		v.world.ChargeAdd(0, sim.CtrCloakFault, 1)
+		c := v.cpu()
+		c.ChargeAdd(0, sim.CtrCloakFault, 1)
+		if registered {
+			if prev, crossed := cp.noteFaultCPU(c.ID()); crossed && v.world.NumVCPUs() > 1 {
+				v.logEvent(Event{Kind: EventCrossCPUFault, Domain: id.Domain,
+					Page: id, GPPN: gppn,
+					//overlint:allow hotpathalloc -- cross-CPU audit detail, only on migration faults
+					Detail: fmt.Sprintf("app-view fault on cpu%d, last transition on cpu%d", c.ID(), prev)})
+			}
+		}
 		switch {
 		case !registered:
 			// Fresh frame from the OS. Two legitimate cases: first touch of
@@ -181,33 +204,32 @@ func (v *VMM) resolveCloaked(as *AddressSpace, view View, vpn uint64, gppn mach.
 				}
 			} else {
 				zeroFrame(v.frame(gppn))
-				v.world.ChargeAdd(v.world.Cost.PageZero, sim.CtrPageZero, 1)
+				c.ChargeAdd(v.world.Cost.PageZero, sim.CtrPageZero, 1)
 			}
 			//overlint:allow hotpathalloc -- cloak-page record allocated once per page state transition, not per access
-			v.registerPage(gppn, &cloakPage{state: statePlain, id: id})
+			v.registerPage(gppn, &cloakPage{state: statePlain, id: id, faultCPU: c.ID()})
 			v.dropAllShadowsOfGPPN(gppn) // stale system-view mappings
-		case cp.state == statePlain:
-			if cp.id != id {
+		case cp.getState() == statePlain:
+			if got := cp.identity(); got != id {
 				// Plaintext frame presented at the wrong virtual location:
 				// the OS is trying to alias cloaked data.
 				ev := Event{Kind: EventIdentityMismatch, Domain: id.Domain,
 					Page: id, GPPN: gppn,
 					//overlint:allow hotpathalloc -- aliasing-violation audit detail, exceptional path
-					Detail: "plaintext frame belongs to " + cp.id.String()}
+					Detail: "plaintext frame belongs to " + got.String()}
 				v.logEvent(ev)
 				v.quarantine(id.Domain, ev)
 				return &SecViolation{Event: ev}
 			}
-		case cp.state == stateEncrypted:
+		default: // stateEncrypted
 			if err := v.decryptPage(gppn, id); err != nil {
 				return err
 			}
-			cp.state = statePlain
-			cp.id = id
+			cp.set(statePlain, id)
 			v.dropAllShadowsOfGPPN(gppn)
 		}
 	case ViewSystem:
-		if registered && cp.state == statePlain {
+		if registered && cp.getState() == statePlain {
 			v.encryptPage(gppn, cp, "kernel access to cloaked page")
 		}
 		// Encrypted or unregistered frames map freely in the system view.
@@ -223,10 +245,11 @@ func zeroFrame(p []byte) {
 
 // --- Bulk virtual-memory access ------------------------------------------
 
-// chargeCopy charges memory-system cost for n bytes moved.
+// chargeCopy charges memory-system cost for n bytes moved to the executing
+// vCPU.
 func (v *VMM) chargeCopy(n int) {
 	lines := (n + cacheLine - 1) / cacheLine
-	v.world.ChargeAdd(sim.Cycles(lines)*v.world.Cost.MemAccess, sim.CtrMemAccess, uint64(lines))
+	v.cpu().ChargeAdd(sim.Cycles(lines)*v.world.Cost.MemAccess, sim.CtrMemAccess, uint64(lines))
 }
 
 // ReadVirt copies len(buf) bytes from virtual address va in (as, view) into
@@ -279,7 +302,7 @@ func (v *VMM) PhysRead(gppn mach.GPPN, off int, buf []byte) error {
 	if err := v.physCheck(gppn, off, len(buf)); err != nil {
 		return err
 	}
-	if cp, ok := v.pages[gppn]; ok && cp.state == statePlain {
+	if cp, ok := v.pages[gppn]; ok && cp.getState() == statePlain {
 		v.encryptPage(gppn, cp, "kernel physical read")
 	}
 	copy(buf, v.frame(gppn)[off:off+len(buf)])
@@ -295,7 +318,7 @@ func (v *VMM) PhysWrite(gppn mach.GPPN, off int, buf []byte) error {
 	if err := v.physCheck(gppn, off, len(buf)); err != nil {
 		return err
 	}
-	if cp, ok := v.pages[gppn]; ok && cp.state == statePlain {
+	if cp, ok := v.pages[gppn]; ok && cp.getState() == statePlain {
 		v.encryptPage(gppn, cp, "kernel physical write")
 	}
 	copy(v.frame(gppn)[off:off+len(buf)], buf)
@@ -320,10 +343,10 @@ func (v *VMM) PhysZero(gppn mach.GPPN) error {
 	if err := v.physCheck(gppn, 0, 0); err != nil {
 		return err
 	}
-	if cp, ok := v.pages[gppn]; ok && cp.state == statePlain {
+	if cp, ok := v.pages[gppn]; ok && cp.getState() == statePlain {
 		v.encryptPage(gppn, cp, "kernel zeroing cloaked page")
 	}
 	zeroFrame(v.frame(gppn))
-	v.world.ChargeAdd(v.world.Cost.PageZero, sim.CtrPageZero, 1)
+	v.cpu().ChargeAdd(v.world.Cost.PageZero, sim.CtrPageZero, 1)
 	return nil
 }

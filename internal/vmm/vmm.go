@@ -2,6 +2,7 @@ package vmm
 
 import (
 	"fmt"
+	"sync"
 
 	"overshadow/internal/cloak"
 	"overshadow/internal/fault"
@@ -25,12 +26,51 @@ const (
 )
 
 // cloakPage is the VMM's registration for a guest-physical page that
-// currently holds cloaked material.
-//
-//overlint:allow smpready -- page state transitions serialize on the translate path today; SMP plan is a per-page spinlock
+// currently holds cloaked material. The per-page mutex serializes state
+// transitions across vCPU contexts (the per-page spinlock promised by the
+// pre-SMP inventory); all mutation goes through set/noteFaultCPU so every
+// writer holds it.
 type cloakPage struct {
+	mu    sync.Mutex
 	state pageState
 	id    cloak.PageID
+	// faultCPU is the vCPU that last drove a cloaking transition or app-view
+	// fault on this page; a different vCPU arriving is the cross-CPU race the
+	// audit log records as EventCrossCPUFault (typed outcome, never a panic).
+	faultCPU int
+}
+
+// set transitions the page's cloaking state (and identity) under the
+// per-page lock.
+func (cp *cloakPage) set(state pageState, id cloak.PageID) {
+	cp.mu.Lock()
+	cp.state = state
+	cp.id = id
+	cp.mu.Unlock()
+}
+
+// noteFaultCPU records which vCPU is driving the current transition and
+// reports whether the page last moved on a different vCPU.
+func (cp *cloakPage) noteFaultCPU(cpu int) (prev int, crossed bool) {
+	cp.mu.Lock()
+	prev = cp.faultCPU
+	cp.faultCPU = cpu
+	cp.mu.Unlock()
+	return prev, prev != cpu
+}
+
+// getState reads the page's cloaking state under the per-page lock.
+func (cp *cloakPage) getState() pageState {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.state
+}
+
+// identity reads the page's cloaked identity under the per-page lock.
+func (cp *cloakPage) identity() cloak.PageID {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.id
 }
 
 // fileVault is the stable (domain, resource) identity of a cloaked file.
@@ -58,14 +98,21 @@ type Options struct {
 
 // VMM is the hypervisor. One VMM instance runs one guest.
 //
-//overlint:allow smpready -- VMM-global state; ROADMAP item 1 introduces the big VMM lock before any second vCPU
+// mu serializes the VMM-global mutable state (identifier allocation, the
+// audit log, quarantine marking, journal attachment). Critical sections are
+// deliberately tiny and never nest: the baton already serializes execution,
+// so the lock documents — and lets the race detector check — which fields
+// are shared across vCPU entry paths. Per-vCPU state (TLBs, shadow page
+// tables, active shadow context) is replicated instead of locked.
 type VMM struct {
 	world *sim.World
 	opts  Options
+	mu    sync.Mutex
 
 	mem   *mach.Memory
 	alloc *mach.FrameAllocator
-	tlb   *mmu.TLB
+	// tlbs is one TLB per vCPU, indexed by vCPU ID.
+	tlbs []*mmu.TLB
 
 	engine *cloak.Engine
 	metas  *cloak.MetaStore
@@ -100,7 +147,9 @@ type VMM struct {
 	// quarantine, so the fast-path emptiness check is one len().
 	quarantined map[cloak.DomainID]bool
 
-	activeCtx uint32 // currently loaded shadow context (for switch costs)
+	// activeCtxs is the currently loaded shadow context per vCPU (for
+	// switch costs), indexed by vCPU ID.
+	activeCtxs []uint32
 
 	// journal, when attached, mirrors every metadata mutation to stable
 	// storage for crash recovery (see persistence.go). nil = no journaling.
@@ -143,12 +192,19 @@ func New(world *sim.World, cfg Config) (*VMM, error) {
 	}
 	mem := mach.NewMemory(cfg.GuestPages + 1)
 	alloc := mach.NewFrameAllocator(mem)
+	// One TLB per vCPU, each owned by (and drawing its eviction stream from)
+	// its execution context.
+	tlbs := make([]*mmu.TLB, world.NumVCPUs())
+	for i, c := range world.VCPUs() {
+		tlbs[i] = mmu.NewTLB(c, tlbCap)
+	}
 	v := &VMM{
 		world:        world,
 		opts:         cfg.Options,
 		mem:          mem,
 		alloc:        alloc,
-		tlb:          mmu.NewTLB(world, tlbCap),
+		tlbs:         tlbs,
+		activeCtxs:   make([]uint32, world.NumVCPUs()),
 		engine:       cloak.NewEngine(world, cloak.NewMasterKeyer(secret)),
 		metas:        cloak.NewMetaStore(world, metaCap),
 		pmap:         make([]mach.MPN, cfg.GuestPages),
@@ -184,6 +240,8 @@ func (v *VMM) GuestPages() int { return len(v.pmap) }
 
 // Events returns a copy of the security audit log.
 func (v *VMM) Events() []Event {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	out := make([]Event, len(v.events))
 	copy(out, v.events)
 	return out
@@ -200,11 +258,24 @@ func (v *VMM) CloakedPages() int { return len(v.pages) }
 // domain. The shim destroys the domain when the last one exits.
 func (v *VMM) DomainSpaceCount(d cloak.DomainID) int { return len(v.domainSpaces[d]) }
 
+// cpu returns the currently executing vCPU — the context every VMM charge,
+// span, and fault consultation belongs to (the VMM runs on whichever vCPU
+// trapped into it).
+func (v *VMM) cpu() *sim.VCPU { return v.world.CPU() }
+
+// tlb returns the executing vCPU's TLB.
+func (v *VMM) tlb() *mmu.TLB { return v.tlbs[v.world.CPU().ID()] }
+
 func (v *VMM) logEvent(e Event) {
-	e.Time = v.world.Now()
-	v.events = append(v.events, e)
+	stamped := Event{
+		Time: v.world.Now(), Kind: e.Kind, Domain: e.Domain,
+		Page: e.Page, GPPN: e.GPPN, Detail: e.Detail,
+	}
+	v.mu.Lock()
+	v.events = append(v.events, stamped)
+	v.mu.Unlock()
 	if e.Kind != EventCloakOnKernelAccess {
-		v.world.Emit(obs.KindSecurity, e.Kind.String(), uint64(e.GPPN))
+		v.cpu().Emit(obs.KindSecurity, e.Kind.String(), uint64(e.GPPN))
 	}
 }
 
@@ -246,24 +317,38 @@ func (v *VMM) frame(gppn mach.GPPN) []byte {
 // CreateAddressSpace registers a guest page table with the VMM and returns
 // the handle used for all translations in that space.
 func (v *VMM) CreateAddressSpace(guestPT *mmu.PageTable) *AddressSpace {
-	v.nextASID++
-	as := &AddressSpace{id: v.nextASID, guestPT: guestPT}
-	for i := range as.shadows {
-		as.shadows[i] = mmu.NewPageTable()
-		v.nextCtxID++
-		as.ctxIDs[i] = v.nextCtxID
+	ncpu := v.world.NumVCPUs()
+	shadows := make([][numViews]*mmu.PageTable, ncpu)
+	for cpu := 0; cpu < ncpu; cpu++ {
+		for view := range shadows[cpu] {
+			shadows[cpu][view] = mmu.NewPageTable()
+		}
 	}
+	var ctxIDs [numViews]uint32
+	v.mu.Lock()
+	v.nextASID++
+	id := v.nextASID
+	for i := range ctxIDs {
+		v.nextCtxID++
+		ctxIDs[i] = v.nextCtxID
+	}
+	as := &AddressSpace{id: id, guestPT: guestPT, shadows: shadows, ctxIDs: ctxIDs}
 	v.spaces[as.id] = as
+	v.mu.Unlock()
 	return as
 }
 
-// DestroyAddressSpace drops all shadows and TLB entries for as. The caller
-// (guest kernel) remains responsible for freeing guest-physical pages; the
-// VMM only forgets its own state.
+// DestroyAddressSpace drops all shadows and TLB entries for as on every
+// vCPU. The caller (guest kernel) remains responsible for freeing
+// guest-physical pages; the VMM only forgets its own state.
 func (v *VMM) DestroyAddressSpace(as *AddressSpace) {
-	for i := range as.shadows {
-		as.shadows[i].Clear()
-		v.tlb.InvalidateContext(as.ctxIDs[i])
+	for cpu := range as.shadows {
+		for view := range as.shadows[cpu] {
+			as.shadows[cpu][view].Clear()
+		}
+	}
+	for i := range as.ctxIDs {
+		v.tlbInvalidateContext(as.ctxIDs[i])
 	}
 	if as.domain != 0 {
 		list := v.domainSpaces[as.domain]
@@ -285,39 +370,83 @@ func (v *VMM) DestroyAddressSpace(as *AddressSpace) {
 
 // --- Shadow maintenance -------------------------------------------------
 
-// dropShadowsFor removes vpn from the given views of as and invalidates the
-// TLB for that page across all contexts.
-func (v *VMM) dropShadowsFor(as *AddressSpace, vpn uint64, views ...View) {
-	for _, view := range views {
-		if as.shadows[view].Lookup(vpn).Present() {
-			as.shadows[view].Unmap(vpn)
-			v.world.ChargeCount(v.world.Cost.ShadowDrop, sim.CtrShadowDrop)
+// TLB shootdown: invalidations sweep every vCPU's TLB in index order. The
+// initiating vCPU pays the per-entry evict cost for all drops (the TLB
+// charges that internally), plus one IPI cost per *remote* TLB that actually
+// held a stale entry — a lazy shootdown model: CPUs whose TLBs never cached
+// the translation are not interrupted. On a single-vCPU machine no remote
+// TLB exists, so no shootdown cost is ever charged and exports stay
+// byte-identical to the pre-SMP machine.
+
+// tlbInvalidatePage drops vpn from every vCPU's TLB across all contexts.
+func (v *VMM) tlbInvalidatePage(vpn uint64) {
+	c := v.cpu()
+	for i, t := range v.tlbs {
+		if t.InvalidatePage(c, vpn) > 0 && i != c.ID() {
+			c.ChargeCount(v.world.Cost.TLBShootdown, sim.CtrTLBShootdown)
 		}
 	}
-	v.tlb.InvalidatePage(vpn)
 }
 
-// dropShadowsRange removes the whole VPN range [base, base+pages) from both
-// views of as, then invalidates the TLB for the range in one pass instead of
-// one full-table scan per page. Charges are identical to calling
-// dropShadowsFor per VPN — same per-entry ShadowDrop and TLBEvict counts —
-// only the host-side work is batched.
-func (v *VMM) dropShadowsRange(as *AddressSpace, base, pages uint64) {
-	for view := View(0); view < numViews; view++ {
-		sh := as.shadows[view]
-		for vpn := base; vpn < base+pages; vpn++ {
+// tlbInvalidateRange drops [base, base+pages) from every vCPU's TLB.
+func (v *VMM) tlbInvalidateRange(base, pages uint64) {
+	c := v.cpu()
+	for i, t := range v.tlbs {
+		if t.InvalidateRange(c, base, pages) > 0 && i != c.ID() {
+			c.ChargeCount(v.world.Cost.TLBShootdown, sim.CtrTLBShootdown)
+		}
+	}
+}
+
+// tlbInvalidateContext drops every translation tagged ctx from every vCPU's
+// TLB (address-space teardown).
+func (v *VMM) tlbInvalidateContext(ctx uint32) {
+	c := v.cpu()
+	for i, t := range v.tlbs {
+		if t.InvalidateContext(c, ctx) > 0 && i != c.ID() {
+			c.ChargeCount(v.world.Cost.TLBShootdown, sim.CtrTLBShootdown)
+		}
+	}
+}
+
+// dropShadowsFor removes vpn from the given views of as on every vCPU and
+// invalidates the TLBs for that page across all contexts.
+func (v *VMM) dropShadowsFor(as *AddressSpace, vpn uint64, views ...View) {
+	for _, view := range views {
+		for cpu := range as.shadows {
+			sh := as.shadows[cpu][view]
 			if sh.Lookup(vpn).Present() {
 				sh.Unmap(vpn)
-				v.world.ChargeCount(v.world.Cost.ShadowDrop, sim.CtrShadowDrop)
+				v.cpu().ChargeCount(v.world.Cost.ShadowDrop, sim.CtrShadowDrop)
 			}
 		}
 	}
-	v.tlb.InvalidateRange(base, pages)
+	v.tlbInvalidatePage(vpn)
 }
 
-// dropAllShadowsOfGPPN removes every shadow mapping (any space, any view)
-// that points at gppn. Needed when a page changes cloak state: stale
-// mappings in other views/spaces would bypass the state machine.
+// dropShadowsRange removes the whole VPN range [base, base+pages) from both
+// views of as on every vCPU, then invalidates the TLBs for the range in one
+// pass instead of one full-table scan per page. Charges are identical to
+// calling dropShadowsFor per VPN — same per-entry ShadowDrop and TLBEvict
+// counts — only the host-side work is batched.
+func (v *VMM) dropShadowsRange(as *AddressSpace, base, pages uint64) {
+	for view := View(0); view < numViews; view++ {
+		for cpu := range as.shadows {
+			sh := as.shadows[cpu][view]
+			for vpn := base; vpn < base+pages; vpn++ {
+				if sh.Lookup(vpn).Present() {
+					sh.Unmap(vpn)
+					v.cpu().ChargeCount(v.world.Cost.ShadowDrop, sim.CtrShadowDrop)
+				}
+			}
+		}
+	}
+	v.tlbInvalidateRange(base, pages)
+}
+
+// dropAllShadowsOfGPPN removes every shadow mapping (any space, any vCPU,
+// any view) that points at gppn. Needed when a page changes cloak state:
+// stale mappings in other views/spaces would bypass the state machine.
 func (v *VMM) dropAllShadowsOfGPPN(gppn mach.GPPN) {
 	m, ok := v.machineOf(gppn)
 	if !ok {
@@ -327,18 +456,20 @@ func (v *VMM) dropAllShadowsOfGPPN(gppn mach.GPPN) {
 	//overlint:allow hotpathalloc -- shadow invalidation sweep; deletes are order-independent
 	for _, as := range v.spaces {
 		for view := View(0); view < numViews; view++ {
-			sh := as.shadows[view]
-			var victims []uint64
-			sh.Range(func(vpn uint64, pte mmu.PTE) bool {
-				if pte.PN == mpn {
-					victims = append(victims, vpn)
+			for cpu := range as.shadows {
+				sh := as.shadows[cpu][view]
+				var victims []uint64
+				sh.Range(func(vpn uint64, pte mmu.PTE) bool {
+					if pte.PN == mpn {
+						victims = append(victims, vpn)
+					}
+					return true
+				})
+				for _, vpn := range victims {
+					sh.Unmap(vpn)
+					v.cpu().ChargeCount(v.world.Cost.ShadowDrop, sim.CtrShadowDrop)
+					v.tlbInvalidatePage(vpn)
 				}
-				return true
-			})
-			for _, vpn := range victims {
-				sh.Unmap(vpn)
-				v.world.ChargeCount(v.world.Cost.ShadowDrop, sim.CtrShadowDrop)
-				v.tlb.InvalidatePage(vpn)
 			}
 		}
 	}
@@ -358,10 +489,10 @@ func (v *VMM) InvalidateGuestMapping(as *AddressSpace, vpn uint64) {
 // detected when the application next faults on that data.
 func (v *VMM) NotifyFrameRecycled(gppn mach.GPPN) {
 	if cp, ok := v.pages[gppn]; ok {
-		if cp.state == statePlain {
+		if cp.getState() == statePlain {
 			// Never let cloaked plaintext linger in a recycled frame.
 			zeroFrame(v.frame(gppn))
-			v.world.ChargeAdd(v.world.Cost.PageZero, sim.CtrPageZero, 1)
+			v.cpu().ChargeAdd(v.world.Cost.PageZero, sim.CtrPageZero, 1)
 		}
 		v.unregisterPage(gppn, cp)
 		v.dropAllShadowsOfGPPN(gppn)
@@ -388,17 +519,18 @@ func (v *VMM) unregisterPage(gppn mach.GPPN, cp *cloakPage) {
 
 // encryptPage transitions a plaintext cloaked page to the encrypted state.
 func (v *VMM) encryptPage(gppn mach.GPPN, cp *cloakPage, why string) {
-	sp := v.world.Begin(obs.KindCloak, "encrypt", uint64(gppn))
+	sp := v.cpu().Begin(obs.KindCloak, "encrypt", uint64(gppn))
 	frame := v.frame(gppn)
-	meta := v.engine.EncryptPage(cp.id, v.metas.Version(cp.id), frame)
-	v.metas.Put(cp.id, meta)
-	v.jPut(cp.id, meta)
-	cp.state = stateEncrypted
+	id := cp.identity()
+	meta := v.engine.EncryptPage(id, v.metas.Version(id), frame)
+	v.metas.Put(id, meta)
+	v.jPut(id, meta)
+	cp.set(stateEncrypted, id)
 	v.dropAllShadowsOfGPPN(gppn)
 	sp.End()
 	v.logEvent(Event{
-		Kind: EventCloakOnKernelAccess, Domain: cp.id.Domain,
-		Page: cp.id, GPPN: gppn, Detail: why,
+		Kind: EventCloakOnKernelAccess, Domain: id.Domain,
+		Page: id, GPPN: gppn, Detail: why,
 	})
 }
 
@@ -408,7 +540,7 @@ func (v *VMM) encryptPage(gppn mach.GPPN, cp *cloakPage, why string) {
 // genuine tampering, an injected metadata corruption, or a forced mismatch —
 // quarantines the page's domain before the violation is returned.
 func (v *VMM) decryptPage(gppn mach.GPPN, id cloak.PageID) error {
-	if _, ok := v.world.InjectAt(fault.SiteIntegrity); ok {
+	if _, ok := v.cpu().InjectAt(fault.SiteIntegrity); ok {
 		// Forced integrity mismatch: the check itself is made to fail, as if
 		// the stored hash and the frame could never agree.
 		ev := Event{Kind: EventIntegrityViolation, Domain: id.Domain, Page: id,
@@ -427,14 +559,14 @@ func (v *VMM) decryptPage(gppn mach.GPPN, id cloak.PageID) error {
 		v.quarantine(id.Domain, ev)
 		return &SecViolation{Event: ev}
 	}
-	if kind, ok := v.world.InjectAt(fault.SiteMetaTamper); ok && kind != fault.None {
+	if kind, ok := v.cpu().InjectAt(fault.SiteMetaTamper); ok && kind != fault.None {
 		// Metadata tampering: the record consulted for this decrypt is
 		// damaged in flight. The store's copy is untouched — only this
 		// lookup sees the corruption, and verification below catches it.
 		v.world.Fault.Corrupt(meta.Hash[:])
 	}
 	frame := v.frame(gppn)
-	sp := v.world.Begin(obs.KindCloak, "decrypt", uint64(gppn))
+	sp := v.cpu().Begin(obs.KindCloak, "decrypt", uint64(gppn))
 	defer sp.End()
 	if err := v.engine.DecryptPage(id, meta, frame); err != nil {
 		ev := Event{Kind: EventIntegrityViolation, Domain: id.Domain, Page: id,

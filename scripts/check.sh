@@ -6,12 +6,14 @@
 #   go vet     compiler-adjacent checks
 #   overlint   domain invariants (determinism, cloakboundary,
 #              errnodiscipline, cyclecharge, plaintextflow, hotpathalloc,
-#              smpready) — see DESIGN.md; also emits a JSON findings
-#              artifact and pins the smpready shared-state inventory
+#              smpready, worldcharge) — see DESIGN.md; also emits a JSON
+#              findings artifact and pins the smpready shared-state
+#              inventory
 #   build      everything compiles
 #   tests      full suite
 #   race       race detector over the concurrent packages (guest kernel
-#              goroutines + end-to-end scenarios)
+#              goroutines + end-to-end scenarios), including the SMP
+#              interleaving tests at 4 vCPUs
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -41,14 +43,11 @@ echo "overlint findings artifact: $artifact"
 
 # smpready inventory pin: every piece of shared mutable state the analyzer
 # flags carries an //overlint:allow with its SMP serialization argument.
-# That inventory may only shrink (ROADMAP item 1 lands locks or per-vCPU
-# state); a new allow means new shared state, which takes a deliberate,
-# reviewed bump of this pin.
+# The SMP refactor landed locks or per-vCPU replication for every one of the
+# original 9 sites, so the inventory is pinned at zero: any new allow means
+# new shared state, which takes a deliberate, reviewed bump of this pin.
 smp_allows=$(grep -rn "overlint:allow smpready" --include="*.go" internal | grep -cv testdata || true)
-# 9 = the 7 pre-profiler sites plus sim.profState (per-vCPU profiles merged
-# at export, like the trace rings) and sim.SpanHandle (per-span value handle
-# on one simulated CPU's call path).
-max_smp_allows=9
+max_smp_allows=0
 if [ "$smp_allows" -gt "$max_smp_allows" ]; then
     echo "smpready inventory grew: $smp_allows allow directives (pinned at $max_smp_allows)" >&2
     echo "new shared mutable state in mach/sim/vmm needs a serialization story before SMP" >&2
@@ -63,7 +62,10 @@ echo "== tests"
 go test ./...
 
 echo "== race pass"
-go test -race ./internal/guestos/... ./internal/core/...
+# internal/core includes the SMP suite (TestSMP* boots 2- and 4-vCPU
+# machines), and internal/vmm the cross-CPU fault/CTC/shootdown tests, so
+# this is also the required race pass over the VCPUs=4 interleaving.
+go test -race ./internal/guestos/... ./internal/core/... ./internal/vmm/
 
 echo "== shard determinism"
 # Sharding may change wall time only: the quick suite's JSON must be
@@ -80,6 +82,38 @@ for s in 1 42; do
         exit 1
     fi
 done
+
+echo "== vcpus determinism"
+# The N=1 compatibility contract: -vcpus 1 (the default) is the pre-SMP
+# machine, so the quick suite's JSON must be byte-identical to the goldens
+# in scripts/goldens/ (generated from the last pre-SMP build), on two
+# seeds. The serial runs above are exactly that machine — compare them.
+for s in 1 42; do
+    if ! cmp -s "scripts/goldens/vcpus1-seed$s.json" "$tmpdir/serial-$s.json"; then
+        echo "VCPUs=1 golden broken: seed $s output differs from scripts/goldens/vcpus1-seed$s.json" >&2
+        diff "scripts/goldens/vcpus1-seed$s.json" "$tmpdir/serial-$s.json" | head -20 >&2
+        exit 1
+    fi
+done
+# A 4-vCPU machine must be deterministic per seed (two-run cmp: the seeded
+# interleaving is the only schedule source) and, like every machine,
+# shard-independent.
+for s in 1 42; do
+    "$tmpdir/overbench" -vcpus 4 -seed "$s" -shards 1 -json > "$tmpdir/v4-a-$s.json"
+    "$tmpdir/overbench" -vcpus 4 -seed "$s" -shards 1 -json > "$tmpdir/v4-b-$s.json"
+    if ! cmp -s "$tmpdir/v4-a-$s.json" "$tmpdir/v4-b-$s.json"; then
+        echo "VCPUs=4 determinism broken: seed $s output differs between two identical runs" >&2
+        diff "$tmpdir/v4-a-$s.json" "$tmpdir/v4-b-$s.json" | head -20 >&2
+        exit 1
+    fi
+    "$tmpdir/overbench" -vcpus 4 -seed "$s" -shards 4 -json > "$tmpdir/v4-sharded-$s.json"
+    if ! cmp -s "$tmpdir/v4-a-$s.json" "$tmpdir/v4-sharded-$s.json"; then
+        echo "VCPUs=4 shard determinism broken: seed $s output differs between -shards 1 and -shards 4" >&2
+        diff "$tmpdir/v4-a-$s.json" "$tmpdir/v4-sharded-$s.json" | head -20 >&2
+        exit 1
+    fi
+done
+echo "vcpus goldens: VCPUs=1 byte-identical to pre-SMP, VCPUs=4 deterministic and shard-independent (seeds 1, 42)"
 
 echo "== fault-sweep smoke"
 # E13 drives the fault-injection layer end to end. The injected fault
