@@ -1,0 +1,80 @@
+// Package adversary is the pluggable malicious-kernel layer: named attack
+// plans that wrap the guest OS at the syscall/hypercall boundary and mount
+// the attack families of experiment E17 — Iago-style lying syscall returns,
+// scheduler-driven cross-vCPU races, resource-exhaustion storms, and
+// rootkit-style lies to the hypervisor's introspection monitor.
+//
+// Every plan is deterministic: its schedule (which calls to forge, when to
+// tamper) comes from a seeded RNG stream derived from the world seed and the
+// plan name, so one (seed, plan) pair names one exact attack history at any
+// vCPU count or shard layout.
+//
+// The package mounts attacks; it never weakens defenses. Each plan's doc
+// comment names the defense expected to contain it, and the E17 harness
+// asserts that containment: a typed rejection, a quarantine, a divergence
+// report, or a typed availability loss — never a panic, never silent
+// corruption.
+package adversary
+
+import (
+	"overshadow/internal/guestos"
+	"overshadow/internal/sim"
+	"overshadow/internal/vmm"
+)
+
+// Family groups plans by attack surface.
+type Family string
+
+// The attack families of E17.
+const (
+	// FamilyIago forges kernel-controlled syscall return values aimed at the
+	// shim's marshalling layer (Checkoway & Shacham's Iago attacks).
+	FamilyIago Family = "iago"
+	// FamilyRace drives adversarial cross-vCPU orderings: tampering and
+	// snooping from other contexts while the victim runs, CTC replay.
+	FamilyRace Family = "race"
+	// FamilyExhaust floods a shared resource (journal, metastore, domain
+	// table) hoping to wedge the machine for everyone.
+	FamilyExhaust Family = "exhaust"
+	// FamilyRootkit lies to the hypervisor-side introspection monitor:
+	// hidden tasks, phantom tasks, unlinked region tables.
+	FamilyRootkit Family = "rootkit"
+)
+
+// Plan is one named attack: kernel hooks to arm plus the resource policy the
+// scenario boots with. Exhaustion plans may have no hooks at all — there the
+// hostile behavior is the workload shape and the defense is the quota.
+type Plan struct {
+	Name   string
+	Family Family
+	// Victim is the program name the attack targets.
+	Victim string
+	// Install arms the kernel hooks (nil for pure exhaustion plans). The RNG
+	// is the plan's private deterministic schedule stream.
+	Install func(k *guestos.Kernel, rng *sim.RNG)
+	// Quota is the VMM resource policy the scenario boots with (zero =
+	// unlimited, the default machine).
+	Quota vmm.Quota
+	// JournalQuota, when non-zero, caps live journal entries per domain
+	// (persist.Options.PerDomainEntries).
+	JournalQuota int
+}
+
+// Arm installs the plan's hooks on k with the plan's derived RNG stream.
+// A nil Install is a no-op (quota-only plans).
+func (pl Plan) Arm(k *guestos.Kernel) {
+	if pl.Install == nil {
+		return
+	}
+	pl.Install(k, k.World().DeriveRNG(planSalt(pl.Name)))
+}
+
+// planSalt hashes a plan name into an RNG domain-separation salt (FNV-1a).
+func planSalt(name string) uint64 {
+	h := uint64(1469598103934665603)
+	for _, c := range []byte(name) {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h ^ 0xAD7E25A217AC0DE
+}

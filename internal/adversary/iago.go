@@ -1,0 +1,183 @@
+package adversary
+
+import (
+	"overshadow/internal/guestos"
+	"overshadow/internal/mach"
+	"overshadow/internal/sim"
+	"overshadow/internal/vmm"
+)
+
+// Iago-style attacks: the kernel answers honestly-issued syscalls with lying
+// return values. GPR[0] after the handler is the single register the VMM
+// legitimately lets flow back into a cloaked context (the syscall result),
+// so OnSysRet is exactly the paper-faithful Iago channel. Every plan here
+// must be contained by the shim's validation layer (shim/validate.go): the
+// forged value is rejected with a typed errno and an EventIagoRejected audit
+// record — the shim never dereferences it.
+//
+// Plans forge only a bounded, seeded subset of calls so the victim also
+// exercises honest paths (proving the validator's rejections are selective,
+// not a blanket denial of service).
+
+// iagoForger builds an OnSysRet hook that rewrites the return register of
+// matching successful syscalls, up to maxForged times, on a seeded schedule.
+func iagoForger(victim string, match guestos.Sysno, maxForged int, perMille int,
+	forge func(k *guestos.Kernel, honest uint64, n int) uint64) func(*guestos.Kernel, *sim.RNG) {
+	return func(k *guestos.Kernel, rng *sim.RNG) {
+		forged := 0
+		k.Adversary.OnSysRet = func(k *guestos.Kernel, p *guestos.Proc, no guestos.Sysno, kregs *vmm.Regs) {
+			if forged >= maxForged || p.Name() != victim || no != match {
+				return
+			}
+			if _, e := guestos.DecodeRet(kregs.GPR[0]); e != guestos.OK {
+				return // only lie about successes; failures are believable already
+			}
+			if rng.Intn(1000) >= perMille {
+				return
+			}
+			kregs.GPR[0] = forge(k, kregs.GPR[0], forged)
+			forged++
+		}
+	}
+}
+
+// IagoMmapScratch forges mmap returns to point inside the uncloaked scratch
+// region: the application would then treat kernel-readable memory as cloaked
+// heap. Contained by validateMappedBase (scratch is outside the mmap window).
+func IagoMmapScratch(victim string) Plan {
+	return Plan{
+		Name: "iago-mmap-scratch", Family: FamilyIago, Victim: victim,
+		Install: iagoForger(victim, guestos.SysMmap, 3, 600,
+			func(_ *guestos.Kernel, _ uint64, _ int) uint64 {
+				return guestos.LayoutScratch * mach.PageSize
+			}),
+	}
+}
+
+// IagoMmapOverlap forges a later mmap return to alias an earlier one: two
+// cloaked mappings on one range. Contained by validateMappedBase's overlap
+// cross-check against the shim's own region table.
+func IagoMmapOverlap(victim string) Plan {
+	var first uint64
+	return Plan{
+		Name: "iago-mmap-overlap", Family: FamilyIago, Victim: victim,
+		Install: iagoForger(victim, guestos.SysMmap, 2, 1000,
+			func(_ *guestos.Kernel, honest uint64, n int) uint64 {
+				if n == 0 {
+					first = honest // pass the first through, remember it
+					return honest
+				}
+				return first
+			}),
+	}
+}
+
+// IagoBrkWild forges sbrk returns to an address outside the registered heap:
+// the application would treat unprotected memory as cloaked heap. Contained
+// by validateHeapBrk.
+func IagoBrkWild(victim string) Plan {
+	return Plan{
+		Name: "iago-brk-wild", Family: FamilyIago, Victim: victim,
+		Install: iagoForger(victim, guestos.SysBrk, 3, 700,
+			func(_ *guestos.Kernel, _ uint64, n int) uint64 {
+				if n%2 == 0 {
+					return guestos.LayoutMmapBase * mach.PageSize // outside the heap
+				}
+				return guestos.LayoutHeapBase*mach.PageSize + 7 // unaligned
+			}),
+	}
+}
+
+// IagoReadHuge forges read counts far past the buffer the shim offered: the
+// bounce copy would run off the scratch window. Contained by
+// validateXferCount.
+func IagoReadHuge(victim string) Plan {
+	return Plan{
+		Name: "iago-read-huge", Family: FamilyIago, Victim: victim,
+		Install: iagoForger(victim, guestos.SysRead, 4, 500,
+			func(_ *guestos.Kernel, honest uint64, _ int) uint64 {
+				return honest + 1<<24
+			}),
+	}
+}
+
+// IagoReadNegative forges read counts that decode as negative lengths
+// (two's-complement values below the errno band). Contained by
+// validateXferCount's lower bound.
+func IagoReadNegative(victim string) Plan {
+	return Plan{
+		Name: "iago-read-negative", Family: FamilyIago, Victim: victim,
+		Install: iagoForger(victim, guestos.SysRead, 4, 500,
+			func(_ *guestos.Kernel, _ uint64, _ int) uint64 {
+				n := int64(-1 << 20) // far below -4095: a length, not an errno
+				return uint64(n)
+			}),
+	}
+}
+
+// IagoFDAlias forges a later open to return the descriptor of an
+// already-open cloaked file: the new descriptor's plaintext I/O would route
+// through the cloaked window. Contained by validateNewFD's cross-check
+// against the shim's cloaked-file table.
+func IagoFDAlias(victim string) Plan {
+	var cloakedFD uint64
+	var have bool
+	return Plan{
+		Name: "iago-fd-alias", Family: FamilyIago, Victim: victim,
+		Install: iagoForger(victim, guestos.SysOpen, 2, 1000,
+			func(_ *guestos.Kernel, honest uint64, _ int) uint64 {
+				if !have {
+					// First open is the victim's cloaked file: remember the
+					// honest descriptor, lie about the next one.
+					cloakedFD, have = honest, true
+					return honest
+				}
+				return cloakedFD
+			}),
+	}
+}
+
+// IagoErrnoForge forges failures with errno values that name no real error,
+// aimed at error-handling paths that switch on errno. Contained by
+// validateErrno (unknown errnos are reported and normalized to EIO).
+func IagoErrnoForge(victim string) Plan {
+	return Plan{
+		Name: "iago-errno-forge", Family: FamilyIago, Victim: victim,
+		Install: iagoForger(victim, guestos.SysOpen, 3, 600,
+			func(_ *guestos.Kernel, _ uint64, _ int) uint64 {
+				n := int64(-4000) // inside the errno band, names nothing
+				return uint64(n)
+			}),
+	}
+}
+
+// IagoShmOverlap forges shm-attach returns to alias the victim's existing
+// anonymous mapping. Contained by validateMappedBase's overlap cross-check.
+func IagoShmOverlap(victim string) Plan {
+	var anonBase uint64
+	return Plan{
+		Name: "iago-shm-overlap", Family: FamilyIago, Victim: victim,
+		Install: func(k *guestos.Kernel, rng *sim.RNG) {
+			forged := 0
+			k.Adversary.OnSysRet = func(k *guestos.Kernel, p *guestos.Proc, no guestos.Sysno, kregs *vmm.Regs) {
+				if p.Name() != victim {
+					return
+				}
+				if _, e := guestos.DecodeRet(kregs.GPR[0]); e != guestos.OK {
+					return
+				}
+				switch no {
+				case guestos.SysMmap:
+					if anonBase == 0 {
+						anonBase = kregs.GPR[0]
+					}
+				case guestos.SysShmAttach:
+					if anonBase != 0 && forged < 2 {
+						kregs.GPR[0] = anonBase
+						forged++
+					}
+				}
+			}
+		},
+	}
+}

@@ -1,0 +1,120 @@
+package adversary
+
+import (
+	"bytes"
+
+	"overshadow/internal/guestos"
+	"overshadow/internal/mach"
+	"overshadow/internal/sim"
+	"overshadow/internal/vmm"
+)
+
+// Scheduler-driven race attacks: the malicious kernel exploits its control
+// of dispatch to act on the victim's state from *other* execution contexts —
+// sibling processes' syscalls, which on a multi-vCPU machine run genuinely
+// concurrently (interleaved by the deterministic scheduler) with the victim.
+// The forced windows are the cross-CPU hazards of the SMP design: a context
+// touched while its pages migrate between views, stale shadow state behind
+// a shootdown, a cloaked context replayed wholesale.
+
+// RaceCTCReplay stashes the register file the kernel sees at one of the
+// victim's traps and replays it, whole, into a later trap of a different
+// syscall — a cloaked-thread-context replay across scheduling slots (and,
+// at >1 vCPU, across vCPUs). Contained by secure control transfer: the VMM
+// restores the genuine CTC and flags the mismatch (EventCTCTamper); only
+// GPR[0] can flow through, and the stale value must then survive the shim's
+// Iago validation.
+func RaceCTCReplay(victim string) Plan {
+	return Plan{
+		Name: "race-ctc-replay", Family: FamilyRace, Victim: victim,
+		Install: func(k *guestos.Kernel, rng *sim.RNG) {
+			var stash vmm.Regs
+			var stashNo guestos.Sysno
+			have, replays := false, 0
+			k.Adversary.OnSysRet = func(k *guestos.Kernel, p *guestos.Proc, no guestos.Sysno, kregs *vmm.Regs) {
+				if p.Name() != victim {
+					return
+				}
+				if !have {
+					stash, stashNo, have = *kregs, no, true
+					return
+				}
+				if replays < 3 && no != stashNo && rng.Intn(1000) < 300 {
+					*kregs = stash // wholesale replay of the stale context
+					replays++
+				}
+			}
+		},
+	}
+}
+
+// RaceTamperStorm captures the victim's address space on its first trap and
+// then, from every *other* process's syscalls — other scheduling contexts,
+// other vCPUs — scribbles over the victim's cloaked heap through the system
+// view on a seeded schedule. Contained by multi-shadowing integrity: the
+// scribble lands on ciphertext, the next victim access fails its hash check
+// (EventIntegrityViolation) and the domain is quarantined; siblings and the
+// machine keep running.
+func RaceTamperStorm(victim string) Plan {
+	return Plan{
+		Name: "race-tamper-storm", Family: FamilyRace, Victim: victim,
+		Install: func(k *guestos.Kernel, rng *sim.RNG) {
+			var target *guestos.Proc
+			writes := 0
+			k.Adversary.OnSyscall = func(k *guestos.Kernel, p *guestos.Proc, _ guestos.Sysno, _ *vmm.Regs) {
+				if target == nil {
+					if p.Name() == victim && p.Cloaked() {
+						target = p
+					}
+					return
+				}
+				// Strike only from foreign contexts: this is the cross-CPU
+				// ordering the scheduler adversary forces.
+				if p == target || writes >= 4 || rng.Intn(1000) >= 250 {
+					return
+				}
+				junk := []byte{0xDE, 0xAD, byte(writes)}
+				va := mach.Addr(guestos.LayoutHeapBase * mach.PageSize)
+				//overlint:allow errnodiscipline -- attack path: a failed tamper is simply a miss
+				k.VMM().WriteVirt(target.AddressSpace(), vmm.ViewSystem, va+mach.Addr(writes*8), junk, false)
+				writes++
+			}
+		},
+	}
+}
+
+// RaceSnoopStorm is the read-side twin: from every other context's syscalls
+// the kernel reads the victim's heap through the system view, racing the
+// victim's own (plaintext-view) access to the same pages and forcing
+// encrypt/decrypt transitions and cross-vCPU shadow invalidations at
+// adversarial points. Contained by multi-shadowing secrecy: every snoop
+// yields ciphertext (the harness scans the captures for the plaintext
+// marker) and the victim completes unharmed.
+func RaceSnoopStorm(victim string, marker []byte) Plan {
+	return Plan{
+		Name: "race-snoop-storm", Family: FamilyRace, Victim: victim,
+		Install: func(k *guestos.Kernel, rng *sim.RNG) {
+			var target *guestos.Proc
+			k.Adversary.OnSyscall = func(k *guestos.Kernel, p *guestos.Proc, _ guestos.Sysno, _ *vmm.Regs) {
+				if target == nil {
+					if p.Name() == victim && p.Cloaked() {
+						target = p
+					}
+					return
+				}
+				if p == target || rng.Intn(1000) >= 400 {
+					return
+				}
+				buf := make([]byte, len(marker))
+				va := mach.Addr(guestos.LayoutHeapBase * mach.PageSize)
+				if err := k.VMM().ReadVirt(target.AddressSpace(), vmm.ViewSystem, va, buf, false); err == nil {
+					if bytes.Contains(buf, marker) {
+						// Plaintext through the system view: catastrophic.
+						// Record it where the harness can see it.
+						k.Adversary.Leaked = true
+					}
+				}
+			}
+		},
+	}
+}

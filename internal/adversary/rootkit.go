@@ -1,0 +1,100 @@
+package adversary
+
+import (
+	"overshadow/internal/guestos"
+	"overshadow/internal/sim"
+	"overshadow/internal/vmm"
+)
+
+// Rootkit-style lies to the hypervisor's introspection monitor: the kernel
+// rewrites the object snapshot (run queues, region tables) it hands the
+// monitor, the classic DKOM playbook — unlink the process you're hiding,
+// keep scheduler state for a corpse, drop a mapping from the tables. The
+// monitor cross-checks every claim against VMM ground truth, so each lie
+// must surface as a typed divergence (EventIntrospectDiverge), never be
+// believed.
+
+// RootkitHideTasks unlinks every cloaked task from the claimed run queues:
+// the kernel pretends no protected process exists. Detected as hidden-task
+// divergence for each live domain.
+func RootkitHideTasks(victim string) Plan {
+	return Plan{
+		Name: "vmi-hidden-task", Family: FamilyRootkit, Victim: victim,
+		Install: func(k *guestos.Kernel, _ *sim.RNG) {
+			k.Adversary.OnIntrospect = func(_ *guestos.Kernel, claims *vmm.IntrospectClaims) {
+				kept := claims.Tasks[:0]
+				for _, t := range claims.Tasks {
+					if t.Domain == 0 {
+						kept = append(kept, t)
+					}
+				}
+				claims.Tasks = kept
+			}
+		},
+	}
+}
+
+// RootkitPhantomTask claims a schedulable task inside a domain the VMM knows
+// nothing about — scheduler state fabricated for a nonexistent protected
+// process. Detected as phantom-task divergence.
+func RootkitPhantomTask(victim string) Plan {
+	return Plan{
+		Name: "vmi-phantom-task", Family: FamilyRootkit, Victim: victim,
+		Install: func(k *guestos.Kernel, _ *sim.RNG) {
+			k.Adversary.OnIntrospect = func(_ *guestos.Kernel, claims *vmm.IntrospectClaims) {
+				claims.Tasks = append(claims.Tasks, vmm.TaskClaim{
+					Pid: 9999, Domain: 1 << 30, State: "runnable",
+				})
+			}
+		},
+	}
+}
+
+// RootkitUnlinkRegions drops every region claim: the kernel unlinks all
+// cloaked mappings from the tables it shows the monitor. Detected as
+// unclaimed-region divergence for each registered cloaked region.
+func RootkitUnlinkRegions(victim string) Plan {
+	return Plan{
+		Name: "vmi-region-unlink", Family: FamilyRootkit, Victim: victim,
+		Install: func(k *guestos.Kernel, _ *sim.RNG) {
+			k.Adversary.OnIntrospect = func(_ *guestos.Kernel, claims *vmm.IntrospectClaims) {
+				claims.Regions = claims.Regions[:0]
+			}
+		},
+	}
+}
+
+// Exhaustion plans: no hooks — the hostile behavior is the workload shape
+// (the E17 harness runs a greedy flooder against each quota) and the defense
+// is the per-domain resource policy, which must degrade the flooder into a
+// typed availability loss while siblings keep full service.
+
+// ExhaustDomains caps live protection domains; the harness spawn-storms past
+// the cap. Excess domain creation fails typed (ResourceFault) and the shim
+// exits the uncloakable process gracefully.
+func ExhaustDomains(victim string, maxDomains int) Plan {
+	return Plan{
+		Name: "exhaust-spawn-storm", Family: FamilyExhaust, Victim: victim,
+		Quota: vmm.Quota{MaxDomains: maxDomains},
+	}
+}
+
+// ExhaustRegions caps registered regions per domain; the harness grows one
+// domain's metastore past the cap. The overflow is a typed ResourceFault and
+// the offender exits; siblings keep registering.
+func ExhaustRegions(victim string, maxRegions int) Plan {
+	return Plan{
+		Name: "exhaust-meta-bomb", Family: FamilyExhaust, Victim: victim,
+		Quota: vmm.Quota{MaxRegionsPerDomain: maxRegions},
+	}
+}
+
+// ExhaustJournal caps live journal entries per domain; the harness floods
+// the journal from one domain. The flooder's domain wedges individually
+// (typed availability loss at replay) while every sibling keeps journaling.
+func ExhaustJournal(victim string, perDomainEntries int) Plan {
+	return Plan{
+		Name: "exhaust-journal-flood", Family: FamilyExhaust, Victim: victim,
+		JournalQuota: perDomainEntries,
+	}
+}

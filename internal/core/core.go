@@ -271,6 +271,15 @@ func (s *System) SecurityEvents() []Event { return s.VMM.Events() }
 // hooks. Must be configured before Run.
 func (s *System) Adversary() *guestos.Adversary { return &s.Kernel.Adversary }
 
+// AttachIntrospector arms hypervisor-side kernel introspection (VMI): the
+// VMM snapshots the guest kernel's claimed tasks and regions every `every`
+// real context switches and cross-checks them against its own ground truth.
+// Must be called before Run. Off by default; unattached machines scan
+// nothing and keep all exports byte-identical.
+func (s *System) AttachIntrospector(every int) *vmm.Introspector {
+	return s.VMM.AttachIntrospector(s.Kernel, every)
+}
+
 // WriteGuestFile populates the guest filesystem before the machine runs.
 func (s *System) WriteGuestFile(path string, data []byte) error {
 	if errno := s.Kernel.FS().WriteFile(path, data); errno != guestos.OK {

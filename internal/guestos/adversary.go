@@ -22,4 +22,19 @@ type Adversary struct {
 	OnPageOut func(k *Kernel, p *Proc, vpn uint64, frame []byte)
 	// OnPageIn sees (and may mutate) the page image just read from swap.
 	OnPageIn func(k *Kernel, p *Proc, vpn uint64, frame []byte)
+	// OnSysRet runs after the syscall handler has written its return value
+	// into kregs.GPR[0] but before the thread exits the kernel. Mutating
+	// kregs.GPR[0] here forges the one register the VMM legitimately lets
+	// flow back into a cloaked context — the Iago attack channel.
+	OnSysRet func(k *Kernel, p *Proc, no Sysno, kregs *vmm.Regs)
+	// OnIntrospect runs when the hypervisor-side introspection monitor asks
+	// the kernel for its object state (run queues, region tables). Mutating
+	// the claims models a rootkit-style kernel lying to the introspector:
+	// hiding tasks, forging regions. The monitor compares whatever comes
+	// back against VMM ground truth.
+	OnIntrospect func(k *Kernel, claims *vmm.IntrospectClaims)
+
+	// Leaked records that some hook observed cloaked plaintext. Attack
+	// implementations set it; the harness asserts it stays false.
+	Leaked bool
 }

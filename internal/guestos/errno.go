@@ -61,6 +61,14 @@ func (e Errno) Error() string {
 	return fmt.Sprintf("errno(%d)", int(e))
 }
 
+// KnownErrno reports whether e names one of the kernel's defined error
+// numbers (or OK). The shim's validation layer uses it to reject forged
+// errno values that name no real failure.
+func KnownErrno(e Errno) bool {
+	_, ok := errnoNames[e]
+	return ok
+}
+
 // The syscall return-register encoding mirrors Linux: values in
 // [-4095, -1] (two's complement) are negated errnos.
 const maxErrno = 4095

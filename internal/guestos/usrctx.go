@@ -174,6 +174,12 @@ func (c *UserCtx) trap(no Sysno, args [5]uint64, handler func(kregs *vmm.Regs) u
 	}
 	ret := handler(kregs)
 	kregs.GPR[0] = ret
+	if k.Adversary.OnSysRet != nil {
+		// Iago window: the handler is done, the return value sits in the one
+		// register ExitKernel lets flow back. A malicious kernel forges it
+		// here; the shim's validation layer must catch the lie.
+		k.Adversary.OnSysRet(k, p, no, kregs)
+	}
 	if err := p.thread.ExitKernel(); err != nil {
 		var sv *vmm.SecViolation
 		if !errors.As(err, &sv) {

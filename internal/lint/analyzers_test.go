@@ -115,3 +115,11 @@ func TestAnalyzerGatesOtherPackages(t *testing.T) {
 		t.Errorf("unexpected finding outside checked set: %s", f)
 	}
 }
+
+// TestIagoFlowAnalyzer loads a shim-shaped package under the internal/shim
+// import path: kernel-returned values must reach their matching validator
+// before any use, and kernel errnos must pass validateErrno.
+func TestIagoFlowAnalyzer(t *testing.T) {
+	runWantTest(t, IagoFlowAnalyzer,
+		"overshadow/internal/shim", "testdata/src/iagoflow")
+}

@@ -84,6 +84,7 @@ func Analyzers() []*Analyzer {
 		DeterminismAnalyzer,
 		CloakBoundaryAnalyzer,
 		ErrnoDisciplineAnalyzer,
+		IagoFlowAnalyzer,
 		CycleChargeAnalyzer,
 		PlaintextFlowAnalyzer,
 		HotPathAllocAnalyzer,

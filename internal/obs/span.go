@@ -25,12 +25,13 @@ const (
 	KindQuarantine       // domain quarantine: scrub, revoke, reclaim
 	KindPersist          // metadata journal append/checkpoint/replay
 	KindRetry            // shim transient-fault retry loop (backoff included)
+	KindIntrospect       // hypervisor-side VMI scan over guest kernel objects
 )
 
 var kindNames = [...]string{
 	"none", "syscall", "hypercall", "worldswitch", "pagefault", "disk",
 	"cloak", "ctc", "ctxswitch", "swap", "proc", "security",
-	"fault", "quarantine", "persist", "retry",
+	"fault", "quarantine", "persist", "retry", "introspect",
 }
 
 // String implements fmt.Stringer.

@@ -19,6 +19,14 @@ type Options struct {
 	// Blocks sizes the reserved journal range when the embedding host
 	// builds the device (default 256 blocks = 1 MiB).
 	Blocks uint64
+	// PerDomainEntries caps live journal entries per domain (0 = unlimited).
+	// A domain that exceeds it — a hostile kernel flooding appends or
+	// growing the metastore without bound — is wedged *individually*: its
+	// sealed state is dropped (typed availability loss at replay) and its
+	// further mutations are ignored, while every other domain keeps
+	// journaling. Without the quota a single flooder fills the reserved
+	// range and wedges the shared journal for all domains at once.
+	PerDomainEntries int
 }
 
 // Geometry describes the reserved block range:
@@ -73,6 +81,10 @@ type Journal struct {
 	wedged    bool
 	writeErrs int
 
+	// Per-domain quota state (allocated only when the quota is set).
+	domainCount  map[cloak.DomainID]int
+	domainWedged map[cloak.DomainID]bool
+
 	// Marks: the simulated cycle at which each append / checkpoint began.
 	// E14 derives its mid-append and mid-checkpoint crash points from these.
 	appendMarks []sim.Cycles
@@ -95,7 +107,7 @@ func newJournal(world *sim.World, disk *mach.Disk, base, blocks uint64, key [32]
 	if ckpt == 0 {
 		ckpt = 1
 	}
-	return &Journal{
+	j := &Journal{
 		world:      world,
 		disk:       disk,
 		key:        key,
@@ -106,7 +118,12 @@ func newJournal(world *sim.World, disk *mach.Disk, base, blocks uint64, key [32]
 		logStart:   base + superSlots + 2*ckpt,
 		logBlocks:  blocks - superSlots - 2*ckpt,
 		table:      make(map[cloak.PageID]Entry),
-	}, nil
+	}
+	if opts.PerDomainEntries > 0 {
+		j.domainCount = make(map[cloak.DomainID]int)
+		j.domainWedged = make(map[cloak.DomainID]bool)
+	}
+	return j, nil
 }
 
 // NewJournal formats the reserved range [base, base+blocks) of disk and
@@ -136,6 +153,9 @@ func Resume(world *sim.World, disk *mach.Disk, base, blocks uint64, key [32]byte
 	j.table = make(map[cloak.PageID]Entry, len(rep.Table))
 	for _, id := range rep.PageIDs() {
 		j.table[id] = rep.Table[id]
+		if j.domainCount != nil {
+			j.domainCount[id.Domain]++
+		}
 	}
 	j.checkpoint()
 	return j, nil
@@ -146,6 +166,55 @@ func (j *Journal) Len() int { return len(j.table) }
 
 // Wedged reports whether the journal stopped persisting (range overflow).
 func (j *Journal) Wedged() bool { return j.wedged }
+
+// DomainWedged reports whether domain d individually exceeded its quota and
+// lost journaling (its sealed state is gone; siblings are unaffected).
+func (j *Journal) DomainWedged(d cloak.DomainID) bool { return j.domainWedged[d] }
+
+// admit applies the per-domain quota to a mutation of id's entry, reporting
+// whether it may proceed. Growth beyond the quota wedges the offending
+// domain only: its state is dropped and further mutations are ignored.
+func (j *Journal) admit(id cloak.PageID) bool {
+	if j.opts.PerDomainEntries <= 0 {
+		return true
+	}
+	d := id.Domain
+	if j.domainWedged[d] {
+		return false
+	}
+	if _, ok := j.table[id]; ok {
+		return true // updating a live entry adds no growth
+	}
+	if j.domainCount[d] >= j.opts.PerDomainEntries {
+		j.wedgeDomain(d)
+		return false
+	}
+	j.domainCount[d]++
+	return true
+}
+
+// wedgeDomain contains a quota overflow to its domain: drop the domain's
+// sealed state (its pages become typed-unavailable at replay, never silently
+// stale) and stop accepting its mutations. The shared journal — and every
+// sibling domain — keeps running.
+func (j *Journal) wedgeDomain(d cloak.DomainID) {
+	j.domainWedged[d] = true
+	j.domainCount[d] = 0
+	j.world.CPU().ChargeCount(0, sim.CtrJournalDomainWedged)
+	found := false
+	// Deletion is commutative; only the single KindDomainGone record below
+	// is serialized, so iteration order cannot reach any byte on disk.
+	//overlint:allow determinism,hotpathalloc -- domain-wide deletion is commutative; quota containment sweep
+	for id := range j.table {
+		if id.Domain == d {
+			delete(j.table, id)
+			found = true
+		}
+	}
+	if found {
+		j.append(Record{Kind: KindDomainGone, ID: cloak.PageID{Domain: d}})
+	}
+}
 
 // WriteErrs reports how many journal block writes failed (injected faults).
 func (j *Journal) WriteErrs() int { return j.writeErrs }
@@ -164,6 +233,9 @@ func (j *Journal) Marks() (appends, checkpoints []sim.Cycles) {
 
 // Put journals a page's new metadata record.
 func (j *Journal) Put(id cloak.PageID, m cloak.Meta) {
+	if !j.admit(id) {
+		return
+	}
 	e := j.table[id]
 	e.Meta = m
 	e.HasMeta = true
@@ -176,6 +248,9 @@ func (j *Journal) Put(id cloak.PageID, m cloak.Meta) {
 // re-verifies the payload against the sealed hash, so a wrong location can
 // only cost availability.
 func (j *Journal) Locate(id cloak.PageID, dev uint8, block, version uint64) {
+	if !j.admit(id) {
+		return
+	}
 	e := j.table[id]
 	e.Dev = dev
 	e.Block = block
@@ -192,6 +267,9 @@ func (j *Journal) Delete(id cloak.PageID) {
 		return
 	}
 	delete(j.table, id)
+	if j.domainCount != nil {
+		j.domainCount[id.Domain]--
+	}
 	j.append(Record{Kind: KindDelete, ID: id})
 }
 
@@ -207,6 +285,12 @@ func (j *Journal) DropDomain(d cloak.DomainID) {
 			delete(j.table, id)
 			found = true
 		}
+	}
+	if j.domainCount != nil {
+		// Teardown releases the domain's quota slots (and any wedge marker):
+		// a recycled domain ID starts with a clean budget.
+		delete(j.domainCount, d)
+		delete(j.domainWedged, d)
 	}
 	if !found {
 		return

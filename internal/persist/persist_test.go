@@ -391,3 +391,68 @@ func TestJournalZeroRateSitesConsumeNoPRNG(t *testing.T) {
 		}
 	}
 }
+
+// TestJournalPerDomainQuota pins the resource-exhaustion containment
+// contract: a domain that floods the journal past its entry quota wedges
+// itself — typed counter, sealed state dropped, mutations ignored — while
+// sibling domains, the shared log, and the global checkpoint keep working.
+// Teardown recycles the wedged domain's budget.
+func TestJournalPerDomainQuota(t *testing.T) {
+	world := testWorld(9)
+	j, disk, key := newTestJournal(t, world, Options{PerDomainEntries: 4})
+
+	// The sibling journals comfortably under quota.
+	for i := uint64(0); i < 3; i++ {
+		j.Put(pid(1, 1, i), meta(i+1))
+	}
+	// The flooder pushes far past its quota: the fifth distinct page trips
+	// the wedge, every later mutation is ignored.
+	for i := uint64(0); i < 12; i++ {
+		j.Put(pid(2, 1, i), meta(i+1))
+	}
+	if !j.DomainWedged(2) {
+		t.Fatal("flooding domain not wedged")
+	}
+	if j.DomainWedged(1) {
+		t.Fatal("sibling domain wedged by a neighbor's flood")
+	}
+	if j.Wedged() {
+		t.Fatal("per-domain overflow wedged the shared journal")
+	}
+	if got := world.Stats.Get(sim.CtrJournalDomainWedged); got != 1 {
+		t.Fatalf("CtrJournalDomainWedged = %d, want 1", got)
+	}
+
+	// The sibling keeps journaling after the wedge, and the global
+	// checkpoint still quiesces.
+	j.Put(pid(1, 1, 3), meta(9))
+	j.Checkpoint()
+
+	// Replay sees all four sibling entries and none of the flooder's: its
+	// sealed state is gone (typed-unavailable), never silently stale.
+	rep := Replay(testWorld(10), disk, 128, testBlocks, key)
+	if !rep.Anchored {
+		t.Fatal("replay lost its anchor")
+	}
+	for i := uint64(0); i < 4; i++ {
+		if _, ok := rep.Table[pid(1, 1, i)]; !ok {
+			t.Fatalf("sibling page %d missing after flood", i)
+		}
+	}
+	for id := range rep.Table {
+		if id.Domain == 2 {
+			t.Fatalf("wedged domain's page %v survived replay", id)
+		}
+	}
+
+	// Teardown releases the quota: a recycled domain ID journals again.
+	j.DropDomain(cloak.DomainID(2))
+	j.Put(pid(2, 2, 0), meta(1))
+	if j.DomainWedged(2) {
+		t.Fatal("DropDomain did not clear the wedge")
+	}
+	rep2 := Replay(testWorld(11), disk, 128, testBlocks, key)
+	if _, ok := rep2.Table[pid(2, 2, 0)]; !ok {
+		t.Fatal("recycled domain's page missing: budget not restored")
+	}
+}

@@ -19,11 +19,21 @@ func (s *Ctx) marshalStats(n int) {
 }
 
 // Open implements Env. Cloaked paths are switched to the mmap-emulated path.
+// Even pass-through descriptors are validated: a forged fd aliasing a
+// cloaked file would route this descriptor's plaintext I/O through the
+// cloaked window.
 func (s *Ctx) Open(path string, flags int) (int, error) {
 	if s.opts.cloaks(path) {
 		return s.openCloaked(path, flags)
 	}
-	return s.uc.Open(path, flags)
+	fd, err := s.uc.Open(path, flags)
+	if err != nil {
+		return 0, s.validateErrno("open", err)
+	}
+	if verr := s.validateNewFD("open", fd); verr != nil {
+		return 0, verr
+	}
+	return fd, nil
 }
 
 // Close implements Env.
@@ -60,7 +70,10 @@ func (s *Ctx) Pread(fd int, va mach.Addr, n int, off uint64) (int, error) {
 		chunk := min(n-total, s.scratchBytes)
 		got, err := s.uc.Pread(fd, s.scratchVA, chunk, off+uint64(total))
 		if err != nil {
-			return total, err
+			return total, s.validateErrno("pread", err)
+		}
+		if verr := s.validateXferCount("pread", got, chunk); verr != nil {
+			return total, verr
 		}
 		if got == 0 {
 			break
@@ -85,7 +98,10 @@ func (s *Ctx) Pwrite(fd int, va mach.Addr, n int, off uint64) (int, error) {
 		s.bounce(va+mach.Addr(total), s.scratchVA, chunk)
 		got, err := s.uc.Pwrite(fd, s.scratchVA, chunk, off+uint64(total))
 		if err != nil {
-			return total, err
+			return total, s.validateErrno("pwrite", err)
+		}
+		if verr := s.validateXferCount("pwrite", got, chunk); verr != nil {
+			return total, verr
 		}
 		total += got
 		if got < chunk {
@@ -104,7 +120,10 @@ func (s *Ctx) marshalledRead(fd int, va mach.Addr, n int) (int, error) {
 		chunk := min(n-total, s.scratchBytes)
 		got, err := s.uc.Read(fd, s.scratchVA, chunk)
 		if err != nil {
-			return total, err
+			return total, s.validateErrno("read", err)
+		}
+		if verr := s.validateXferCount("read", got, chunk); verr != nil {
+			return total, verr
 		}
 		if got == 0 {
 			break
@@ -127,7 +146,10 @@ func (s *Ctx) marshalledWrite(fd int, va mach.Addr, n int) (int, error) {
 		s.bounce(va+mach.Addr(total), s.scratchVA, chunk)
 		got, err := s.uc.Write(fd, s.scratchVA, chunk)
 		if err != nil {
-			return total, err
+			return total, s.validateErrno("write", err)
+		}
+		if verr := s.validateXferCount("write", got, chunk); verr != nil {
+			return total, verr
 		}
 		total += got
 		if got < chunk {
@@ -205,7 +227,10 @@ func (s *Ctx) Dup(fd int) (int, error) {
 	}
 	nfd, err := s.uc.Dup(fd)
 	if err != nil {
-		return nfd, err
+		return 0, s.validateErrno("dup", err)
+	}
+	if verr := s.validateNewFD("dup", nfd); verr != nil {
+		return 0, verr
 	}
 	if cf, ok := s.cfiles[fd]; ok {
 		dup := *cf
@@ -217,8 +242,21 @@ func (s *Ctx) Dup(fd int) (int, error) {
 	return nfd, nil
 }
 
-// Pipe implements Env; pipe data is marshalled on read/write.
-func (s *Ctx) Pipe() (int, int, error) { return s.uc.Pipe() }
+// Pipe implements Env; pipe data is marshalled on read/write. Both returned
+// descriptors are validated against the cloaked-file table.
+func (s *Ctx) Pipe() (int, int, error) {
+	r, w, err := s.uc.Pipe()
+	if err != nil {
+		return 0, 0, s.validateErrno("pipe", err)
+	}
+	if verr := s.validateNewFD("pipe", r); verr != nil {
+		return 0, 0, verr
+	}
+	if verr := s.validateNewFD("pipe", w); verr != nil {
+		return 0, 0, verr
+	}
+	return r, w, nil
+}
 
 func min(a, b int) int {
 	if a < b {

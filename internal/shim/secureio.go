@@ -34,7 +34,10 @@ type cloakedFile struct {
 func (s *Ctx) openCloaked(path string, flags int) (int, error) {
 	fd, err := s.uc.Open(path, flags)
 	if err != nil {
-		return 0, err
+		return 0, s.validateErrno("open", err)
+	}
+	if verr := s.validateNewFD("open", fd); verr != nil {
+		return 0, verr
 	}
 	st, err := s.uc.Fstat(fd)
 	if err != nil {
@@ -70,7 +73,10 @@ func (s *Ctx) ensureWindow(cf *cloakedFile, idx uint64) error {
 	off := (idx / wp) * wp // window-aligned
 	va, err := s.uc.MmapFile(cf.fd, off, wp, true)
 	if err != nil {
-		return err
+		return s.validateErrno("mmap_file", err)
+	}
+	if verr := s.validateMappedBase("mmap_file", va, wp); verr != nil {
+		return verr
 	}
 	s.mustRegister(vmm.Region{
 		BaseVPN: mach.PageOf(va), Pages: wp,

@@ -24,7 +24,6 @@ package shim
 
 import (
 	"crypto/sha256"
-	"fmt"
 
 	"overshadow/internal/cloak"
 	"overshadow/internal/guestos"
@@ -118,7 +117,11 @@ func attach(uc *guestos.UserCtx, opts Options) *Ctx {
 	var err error
 	s.conn, err = s.hv.HCCreateDomain(s.as)
 	if err != nil {
-		panic(fmt.Sprintf("shim: domain creation failed: %v", err))
+		// No domain, no cloaking: the process cannot run protected. This is
+		// a typed availability loss for this process only (e.g. the domain
+		// quota under a spawn storm) — exit like a killed task; the machine
+		// and every sibling domain keep running.
+		uc.Exit(128 + int(guestos.SIGKILL)) // never returns
 	}
 	s.domain = s.conn.Domain()
 	uc.Thread().Domain = s.domain
@@ -239,14 +242,31 @@ func (s *Ctx) Load64(va mach.Addr) uint64 { return s.uc.Load64(va) }
 // Store64 implements Env.
 func (s *Ctx) Store64(va mach.Addr, val uint64) { s.uc.Store64(va, val) }
 
-// Sbrk implements Env; the heap region is pre-registered.
-func (s *Ctx) Sbrk(deltaPages int64) (mach.Addr, error) { return s.uc.Sbrk(deltaPages) }
+// Sbrk implements Env; the heap region is pre-registered. The returned
+// break is kernel-controlled: a lying break outside the registered heap
+// would make the application treat unprotected memory as cloaked, so it is
+// validated before the application ever sees it.
+func (s *Ctx) Sbrk(deltaPages int64) (mach.Addr, error) {
+	old, err := s.uc.Sbrk(deltaPages)
+	if err != nil {
+		return 0, s.validateErrno("sbrk", err)
+	}
+	if verr := s.validateHeapBrk("sbrk", old, deltaPages); verr != nil {
+		return 0, verr
+	}
+	return old, nil
+}
 
 // Alloc implements Env: anonymous mappings get their own cloaked region.
+// The kernel-returned base is validated against the shim's view before the
+// region is registered or the address returned.
 func (s *Ctx) Alloc(pages int) (mach.Addr, error) {
 	base, err := s.uc.Alloc(pages)
 	if err != nil {
-		return 0, err
+		return 0, s.validateErrno("alloc", err)
+	}
+	if verr := s.validateMappedBase("alloc", base, uint64(pages)); verr != nil {
+		return 0, verr
 	}
 	res := s.mustResource()
 	s.mustRegister(vmm.Region{
@@ -290,7 +310,10 @@ func (s *Ctx) Free(base mach.Addr) error {
 func (s *Ctx) ShmAttach(name string, pages int) (mach.Addr, error) {
 	base, err := s.uc.ShmAttach(name, pages)
 	if err != nil {
-		return 0, err
+		return 0, s.validateErrno("shm_attach", err)
+	}
+	if verr := s.validateMappedBase("shm_attach", base, uint64(pages)); verr != nil {
+		return 0, verr
 	}
 	vault, res := s.hv.HCFileResource(guestos.ShmUID(name))
 	s.mustRegister(vmm.Region{
@@ -303,16 +326,45 @@ func (s *Ctx) ShmAttach(name string, pages int) (mach.Addr, error) {
 
 // --- Process control ------------------------------------------------------------
 
+// forkSnapshot is the parent shim state frozen at fork time. The child's
+// context is built from this snapshot, not the parent's live maps: the
+// parent may mutate its mappings before the child first runs, and those
+// post-fork mappings do not exist in the child's copied address space
+// (inheriting them live would make the validation layer see phantom
+// aliases in the child).
+type forkSnapshot struct {
+	anon map[uint64]anonRegion
+	shm  map[uint64]shmRegion
+	cf   map[int]*cloakedFile
+}
+
 // Fork implements Env: the kernel copies the address space (as ciphertext),
 // then the shim's onPrepared hypercall re-cloaks the child before it runs.
 func (s *Ctx) Fork(child func(guestos.Env)) (guestos.Pid, error) {
 	var rmap map[cloak.ResourceID]cloak.ResourceID
 	var childConn *vmm.DomainConn
+	var snap forkSnapshot
 	parent := s
 	pid, err := s.uc.ForkWith(func(cuc *guestos.UserCtx) {
-		cs := attachForked(cuc, parent, childConn, rmap)
+		cs := attachForked(cuc, parent, childConn, rmap, snap)
 		child(cs)
 	}, func(pas, cas *vmm.AddressSpace) error {
+		// Fork time: freeze the shim's view alongside the address-space copy.
+		snap = forkSnapshot{
+			anon: make(map[uint64]anonRegion, len(s.anonRegions)),
+			shm:  make(map[uint64]shmRegion, len(s.shmRegions)),
+			cf:   make(map[int]*cloakedFile, len(s.cfiles)),
+		}
+		for vpn, ar := range s.anonRegions {
+			snap.anon[vpn] = ar
+		}
+		for vpn, sr := range s.shmRegions {
+			snap.shm[vpn] = sr
+		}
+		for fd, cf := range s.cfiles {
+			dup := *cf
+			snap.cf[fd] = &dup
+		}
 		m, cc, err := s.conn.CloneInto(cas)
 		rmap, childConn = m, cc
 		return err
@@ -321,8 +373,8 @@ func (s *Ctx) Fork(child func(guestos.Env)) (guestos.Pid, error) {
 }
 
 // attachForked builds the child's shim context after a fork: same domain,
-// remapped private resources, inherited cloaked-file table.
-func attachForked(cuc *guestos.UserCtx, parent *Ctx, conn *vmm.DomainConn, rmap map[cloak.ResourceID]cloak.ResourceID) *Ctx {
+// remapped private resources, fork-time cloaked-file table.
+func attachForked(cuc *guestos.UserCtx, parent *Ctx, conn *vmm.DomainConn, rmap map[cloak.ResourceID]cloak.ResourceID, snap forkSnapshot) *Ctx {
 	cs := &Ctx{
 		uc:           cuc,
 		hv:           parent.hv,
@@ -333,8 +385,8 @@ func attachForked(cuc *guestos.UserCtx, parent *Ctx, conn *vmm.DomainConn, rmap 
 		scratchVA:    parent.scratchVA,
 		scratchBytes: parent.scratchBytes,
 		anonRegions:  make(map[uint64]anonRegion),
-		shmRegions:   make(map[uint64]shmRegion),
-		cfiles:       make(map[int]*cloakedFile),
+		shmRegions:   snap.shm,
+		cfiles:       snap.cf,
 	}
 	cuc.Thread().Domain = cs.domain
 	cs.world().CPU().SetTaskDomain(uint32(cs.domain))
@@ -346,12 +398,8 @@ func attachForked(cuc *guestos.UserCtx, parent *Ctx, conn *vmm.DomainConn, rmap 
 	}
 	cs.heapRes = remap(parent.heapRes)
 	cs.stackRes = remap(parent.stackRes)
-	for vpn, ar := range parent.anonRegions {
+	for vpn, ar := range snap.anon {
 		cs.anonRegions[vpn] = anonRegion{res: remap(ar.res), pages: ar.pages}
-	}
-	for fd, cf := range parent.cfiles {
-		dup := *cf
-		cs.cfiles[fd] = &dup
 	}
 	cuc.Proc().AddExitHook(cs.onExit)
 	return cs

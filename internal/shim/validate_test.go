@@ -1,0 +1,315 @@
+package shim
+
+// White-box tests for the Iago validation layer. Every rejection path in
+// validate.go is pinned table-style — wrong errno, missing audit event, or a
+// silently accepted lie all fail here — and a seeded-random generator throws
+// arbitrary malicious kernel returns at the validators to pin the core
+// invariant: never a panic, never an unvalidated acceptance, always a typed
+// errno from the validator's own vocabulary.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"overshadow/internal/guestos"
+	"overshadow/internal/mach"
+	"overshadow/internal/mmu"
+	"overshadow/internal/sim"
+	"overshadow/internal/vmm"
+)
+
+// newValidatorCtx builds the minimal shim context the validators touch: a
+// live domain handle (so rejections land real audit events) plus the three
+// tracking maps, pre-seeded with one mapping each so alias checks have
+// something to collide with.
+func newValidatorCtx(t *testing.T) (*Ctx, *vmm.VMM, *sim.World) {
+	t.Helper()
+	w := sim.NewWorld(sim.DefaultCostModel(), 11)
+	hv, err := vmm.New(w, vmm.Config{GuestPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := hv.CreateAddressSpace(mmu.NewPageTable())
+	conn, err := hv.HCCreateDomain(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Ctx{
+		conn:        conn,
+		anonRegions: map[uint64]anonRegion{guestos.LayoutMmapBase + 100: {pages: 4}},
+		shmRegions:  map[uint64]shmRegion{guestos.LayoutMmapBase + 200: {pages: 2}},
+		cfiles: map[int]*cloakedFile{7: {
+			fd:       7,
+			winBase:  mach.Addr((guestos.LayoutMmapBase + 300) * mach.PageSize),
+			winPages: 8,
+		}},
+	}
+	return s, hv, w
+}
+
+func countIagoEvents(hv *vmm.VMM) int {
+	n := 0
+	for _, ev := range hv.Events() {
+		if ev.Kind == vmm.EventIagoRejected {
+			n++
+		}
+	}
+	return n
+}
+
+func TestValidateRejectionPaths(t *testing.T) {
+	page := func(vpn uint64) mach.Addr { return mach.Addr(vpn * mach.PageSize) }
+	cases := []struct {
+		name   string
+		run    func(s *Ctx) error
+		errno  guestos.Errno // OK means the value must be accepted
+		detail string        // substring of the audit event detail
+	}{
+		// validateMappedBase: alignment, window bounds, alias checks.
+		{"mmap-unaligned", func(s *Ctx) error {
+			return s.validateMappedBase("alloc", page(guestos.LayoutMmapBase)+7, 1)
+		}, guestos.EFAULT, "unaligned mapping base"},
+		{"mmap-zero-pages", func(s *Ctx) error {
+			return s.validateMappedBase("alloc", page(guestos.LayoutMmapBase), 0)
+		}, guestos.EFAULT, "outside the mmap window"},
+		{"mmap-below-window", func(s *Ctx) error {
+			return s.validateMappedBase("alloc", page(guestos.LayoutHeapBase), 1)
+		}, guestos.EFAULT, "outside the mmap window"},
+		{"mmap-into-scratch", func(s *Ctx) error {
+			return s.validateMappedBase("alloc", page(guestos.LayoutScratch), 1)
+		}, guestos.EFAULT, "outside the mmap window"},
+		{"mmap-past-window-end", func(s *Ctx) error {
+			return s.validateMappedBase("alloc", page(guestos.LayoutMmapMax-1), 2)
+		}, guestos.EFAULT, "outside the mmap window"},
+		{"mmap-length-wraps", func(s *Ctx) error {
+			return s.validateMappedBase("alloc", page(guestos.LayoutMmapBase), ^uint64(0))
+		}, guestos.EFAULT, "outside the mmap window"},
+		{"mmap-alias-anon", func(s *Ctx) error {
+			return s.validateMappedBase("alloc", page(guestos.LayoutMmapBase+102), 1)
+		}, guestos.EFAULT, "aliases a tracked cloaked mapping"},
+		{"mmap-alias-shm", func(s *Ctx) error {
+			return s.validateMappedBase("shm_attach", page(guestos.LayoutMmapBase+199), 2)
+		}, guestos.EFAULT, "aliases a tracked cloaked mapping"},
+		{"mmap-alias-file-window", func(s *Ctx) error {
+			return s.validateMappedBase("mmap_file", page(guestos.LayoutMmapBase+307), 1)
+		}, guestos.EFAULT, "aliases a tracked cloaked mapping"},
+		{"mmap-honest", func(s *Ctx) error {
+			return s.validateMappedBase("alloc", page(guestos.LayoutMmapBase+1000), 4)
+		}, guestos.OK, ""},
+
+		// validateHeapBrk: alignment and heap-range bounds.
+		{"brk-unaligned", func(s *Ctx) error {
+			return s.validateHeapBrk("sbrk", page(guestos.LayoutHeapBase)+1, 1)
+		}, guestos.EFAULT, "unaligned break"},
+		{"brk-below-heap", func(s *Ctx) error {
+			return s.validateHeapBrk("sbrk", page(guestos.LayoutHeapBase-1), 1)
+		}, guestos.EFAULT, "outside heap"},
+		{"brk-above-heap", func(s *Ctx) error {
+			return s.validateHeapBrk("sbrk", page(guestos.LayoutHeapMax+1), 0)
+		}, guestos.EFAULT, "outside heap"},
+		{"brk-grows-past-end", func(s *Ctx) error {
+			return s.validateHeapBrk("sbrk", page(guestos.LayoutHeapMax-1), 2)
+		}, guestos.EFAULT, "grows past heap end"},
+		{"brk-honest", func(s *Ctx) error {
+			return s.validateHeapBrk("sbrk", page(guestos.LayoutHeapBase+5), 3)
+		}, guestos.OK, ""},
+
+		// validateXferCount: [0, chunk] only.
+		{"xfer-negative", func(s *Ctx) error {
+			return s.validateXferCount("read", -1, 4096)
+		}, guestos.EIO, "transfer count"},
+		{"xfer-over-chunk", func(s *Ctx) error {
+			return s.validateXferCount("read", 4097, 4096)
+		}, guestos.EIO, "transfer count"},
+		{"xfer-zero-honest", func(s *Ctx) error {
+			return s.validateXferCount("read", 0, 4096)
+		}, guestos.OK, ""},
+		{"xfer-full-honest", func(s *Ctx) error {
+			return s.validateXferCount("write", 4096, 4096)
+		}, guestos.OK, ""},
+
+		// validateNewFD: range sanity and cloaked-descriptor aliasing.
+		{"fd-negative", func(s *Ctx) error {
+			return s.validateNewFD("open", -3)
+		}, guestos.EBADF, "out of range"},
+		{"fd-wild", func(s *Ctx) error {
+			return s.validateNewFD("open", 1<<20)
+		}, guestos.EBADF, "out of range"},
+		{"fd-alias-cloaked", func(s *Ctx) error {
+			return s.validateNewFD("open", 7)
+		}, guestos.EBADF, "aliases a cloaked file"},
+		{"fd-honest", func(s *Ctx) error {
+			return s.validateNewFD("open", 8)
+		}, guestos.OK, ""},
+
+		// validateErrno: forged failure codes normalize to EIO.
+		{"errno-forged", func(s *Ctx) error {
+			return s.validateErrno("open", guestos.Errno(4000))
+		}, guestos.EIO, "forged errno"},
+		{"errno-known-passthrough", func(s *Ctx) error {
+			return s.validateErrno("open", guestos.ENOENT)
+		}, guestos.ENOENT, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, hv, w := newValidatorCtx(t)
+			err := tc.run(s)
+			rejected := countIagoEvents(hv)
+			if tc.errno == guestos.OK {
+				if err != nil {
+					t.Fatalf("honest value rejected: %v", err)
+				}
+				if rejected != 0 {
+					t.Fatalf("honest value logged %d Iago events", rejected)
+				}
+				return
+			}
+			var e guestos.Errno
+			if !errors.As(err, &e) || e != tc.errno {
+				t.Fatalf("err = %v, want errno %v", err, tc.errno)
+			}
+			// A known errno passing through validateErrno is not a rejection.
+			if tc.detail == "" {
+				if rejected != 0 {
+					t.Fatalf("passthrough logged %d Iago events", rejected)
+				}
+				return
+			}
+			if rejected != 1 {
+				t.Fatalf("rejection logged %d Iago events, want 1", rejected)
+			}
+			evs := hv.Events()
+			last := evs[len(evs)-1]
+			if !strings.Contains(last.Detail, tc.detail) {
+				t.Fatalf("event detail %q missing %q", last.Detail, tc.detail)
+			}
+			if got := w.Stats.Get(sim.CtrIagoRejected); got != 1 {
+				t.Fatalf("CtrIagoRejected = %d, want 1", got)
+			}
+		})
+	}
+}
+
+// TestValidateNilErrnoPassthrough pins the two non-errno shapes of
+// validateErrno: nil flows through, and a wrapped non-errno error is not the
+// validator's business.
+func TestValidateNilErrnoPassthrough(t *testing.T) {
+	s, hv, _ := newValidatorCtx(t)
+	if err := s.validateErrno("read", nil); err != nil {
+		t.Fatalf("nil error rejected: %v", err)
+	}
+	opaque := errors.New("transport glitch")
+	if err := s.validateErrno("read", opaque); err != opaque {
+		t.Fatalf("opaque error rewritten: %v", err)
+	}
+	if n := countIagoEvents(hv); n != 0 {
+		t.Fatalf("passthroughs logged %d Iago events", n)
+	}
+}
+
+// TestValidateFuzzMaliciousReturns drives every validator with a seeded
+// stream of adversarial kernel returns — boundary values, wild addresses,
+// wrapped lengths, forged errnos — and asserts the layer's contract on each:
+// it never panics, it never accepts a value that violates the documented
+// invariant, and every rejection is one of the validator's own typed errnos.
+func TestValidateFuzzMaliciousReturns(t *testing.T) {
+	s, hv, w := newValidatorCtx(t)
+	rng := sim.NewRNG(0xE17F0221)
+
+	// Adversarial value pools: exact boundaries, off-by-ones, and wild bits.
+	interesting := []uint64{
+		0, 1, 7,
+		guestos.LayoutHeapBase, guestos.LayoutHeapBase - 1,
+		guestos.LayoutHeapMax, guestos.LayoutHeapMax + 1,
+		guestos.LayoutMmapBase, guestos.LayoutMmapBase - 1,
+		guestos.LayoutMmapMax, guestos.LayoutMmapMax + 1,
+		guestos.LayoutScratch, guestos.LayoutStackTop,
+		^uint64(0), ^uint64(0) >> 1, 1 << 40,
+	}
+	pick := func() uint64 {
+		if rng.Intn(2) == 0 {
+			return interesting[rng.Intn(len(interesting))]
+		}
+		return rng.Uint64()
+	}
+	typedFault := func(err error, want guestos.Errno) bool {
+		var e guestos.Errno
+		return errors.As(err, &e) && e == want
+	}
+
+	const rounds = 4000
+	for i := 0; i < rounds; i++ {
+		switch rng.Intn(5) {
+		case 0: // mmap-class base
+			base := mach.Addr(pick()*mach.PageSize + uint64(rng.Intn(16)))
+			pages := pick() % (1 << 21)
+			err := s.validateMappedBase("fuzz_mmap", base, pages)
+			if err == nil {
+				vpn := mach.PageOf(base)
+				if base%mach.PageSize != 0 || pages == 0 ||
+					vpn < guestos.LayoutMmapBase || vpn+pages > guestos.LayoutMmapMax ||
+					s.trackedOverlap(vpn, pages) {
+					t.Fatalf("accepted bad mapping base=%#x pages=%d", uint64(base), pages)
+				}
+			} else if !typedFault(err, guestos.EFAULT) {
+				t.Fatalf("mapping rejection not EFAULT: %v", err)
+			}
+		case 1: // program break
+			old := mach.Addr(pick()*mach.PageSize + uint64(rng.Intn(16)))
+			delta := int64(rng.Intn(64)) - 8
+			err := s.validateHeapBrk("fuzz_brk", old, delta)
+			if err == nil {
+				vpn := mach.PageOf(old)
+				grown := vpn
+				if delta > 0 {
+					grown += uint64(delta)
+				}
+				if old%mach.PageSize != 0 ||
+					vpn < guestos.LayoutHeapBase || grown > guestos.LayoutHeapMax {
+					t.Fatalf("accepted bad break old=%#x delta=%d", uint64(old), delta)
+				}
+			} else if !typedFault(err, guestos.EFAULT) {
+				t.Fatalf("break rejection not EFAULT: %v", err)
+			}
+		case 2: // transfer count
+			chunk := rng.Intn(1 << 16)
+			got := rng.Intn(1<<17) - (1 << 16)
+			err := s.validateXferCount("fuzz_xfer", got, chunk)
+			if err == nil {
+				if got < 0 || got > chunk {
+					t.Fatalf("accepted bad count %d/[0,%d]", got, chunk)
+				}
+			} else if !typedFault(err, guestos.EIO) {
+				t.Fatalf("count rejection not EIO: %v", err)
+			}
+		case 3: // descriptor
+			fd := int(int32(pick()))
+			err := s.validateNewFD("fuzz_fd", fd)
+			if err == nil {
+				if fd < 0 || fd >= 1<<20 {
+					t.Fatalf("accepted wild fd %d", fd)
+				}
+				if _, tracked := s.cfiles[fd]; tracked {
+					t.Fatalf("accepted aliased fd %d", fd)
+				}
+			} else if !typedFault(err, guestos.EBADF) {
+				t.Fatalf("fd rejection not EBADF: %v", err)
+			}
+		case 4: // errno
+			forged := guestos.Errno(int(pick() % 100000))
+			err := s.validateErrno("fuzz_errno", forged)
+			if guestos.KnownErrno(forged) {
+				if err != forged {
+					t.Fatalf("known errno %d rewritten to %v", int(forged), err)
+				}
+			} else if !typedFault(err, guestos.EIO) {
+				t.Fatalf("forged errno %d not normalized to EIO: %v", int(forged), err)
+			}
+		}
+	}
+	// Every rejection must have produced an audit event: count parity.
+	if rej := int(w.Stats.Get(sim.CtrIagoRejected)); rej != countIagoEvents(hv) {
+		t.Fatalf("counter (%d) and audit log (%d) disagree", rej, countIagoEvents(hv))
+	}
+}

@@ -70,6 +70,15 @@ const (
 	CtrReplayRejected    Counter = "persist.replay.rejected"
 	CtrRecoverPage       Counter = "persist.recover.page"
 
+	// Adversary-hardening counters (zero unless an adversary plan, a
+	// resource quota, or the introspection monitor is active, so default
+	// runs keep their exports byte-identical).
+	CtrIagoRejected        Counter = "shim.iago.rejected"
+	CtrQuotaDenied         Counter = "vmm.quota.denied"
+	CtrJournalDomainWedged Counter = "persist.wedged.domain"
+	CtrIntrospectScan      Counter = "vmi.scan"
+	CtrIntrospectDiverge   Counter = "vmi.diverge"
+
 	// Cycle-attribution counters: these name cycle sinks that previously
 	// charged the clock anonymously, so attributed profiles can decompose
 	// every simulated cycle. CtrOther is the catch-all that keeps the

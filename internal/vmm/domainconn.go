@@ -1,6 +1,9 @@
 package vmm
 
-import "overshadow/internal/cloak"
+import (
+	"overshadow/internal/cloak"
+	"overshadow/internal/sim"
+)
 
 // DomainConn is the typed hypercall handle for one protection domain bound
 // to one address space. HCCreateDomain returns it, and every hypercall whose
@@ -139,6 +142,20 @@ func (c *DomainConn) CloneInto(child *AddressSpace) (map[cloak.ResourceID]cloak.
 		return nil, nil, err
 	}
 	return rmap, &DomainConn{v: c.v, as: child, domain: child.domain}, nil
+}
+
+// ReportIago records that the shim's validation layer rejected a
+// kernel-controlled syscall return value before use — the typed outcome of
+// an attempted Iago attack (a lying address, length, or descriptor aimed at
+// the trusted marshalling code). The audit entry is the VMM's, not the
+// kernel's: the kernel cannot suppress its own indictment. Reporting stays
+// valid on a stale handle — a domain being quarantined mid-attack must still
+// be able to land the audit record.
+func (c *DomainConn) ReportIago(call, detail string) {
+	c.v.chargeHypercall("report_iago")
+	c.v.cpu().ChargeAdd(0, sim.CtrIagoRejected, 1)
+	c.v.logEvent(Event{Kind: EventIagoRejected, Domain: c.domain,
+		Detail: call + ": " + detail})
 }
 
 // Destroy tears down the domain: every plaintext page is zeroed (so nothing

@@ -42,6 +42,16 @@ const (
 	// vCPU was resumed on another (CTC handoff across CPUs). Verification
 	// still ran; the entry records the migration. Multi-vCPU machines only.
 	EventCTCMigrate
+	// EventIagoRejected: the shim's validation layer rejected a
+	// kernel-controlled syscall return value (Iago attack: a lying address,
+	// length, or descriptor aimed at the trusted marshalling code). The
+	// forged value was never dereferenced.
+	EventIagoRejected
+	// EventIntrospectDiverge: the hypervisor-side introspection monitor
+	// found the guest kernel's claimed object state (run queues, region
+	// tables) diverging from VMM ground truth — a hidden task, a phantom
+	// task in a dead domain, or an unclaimed cloaked region.
+	EventIntrospectDiverge
 )
 
 // String implements fmt.Stringer.
@@ -63,6 +73,10 @@ func (k EventKind) String() string {
 		return "cross-cpu-fault"
 	case EventCTCMigrate:
 		return "ctc-migrate"
+	case EventIagoRejected:
+		return "iago-rejected"
+	case EventIntrospectDiverge:
+		return "introspect-diverge"
 	}
 	return "unknown"
 }

@@ -49,6 +49,15 @@ func (v *VMM) HCCreateDomain(as *AddressSpace) (*DomainConn, error) {
 	if as.domain != 0 {
 		return nil, ErrDomainBound
 	}
+	if q := v.opts.Quota.MaxDomains; q > 0 && len(v.domainSpaces) >= q {
+		// Domain-spawn storm containment: the storm gets a typed failure;
+		// existing domains keep their resources.
+		v.cpu().ChargeAdd(0, sim.CtrQuotaDenied, 1)
+		v.logEvent(Event{Kind: EventResourceFault,
+			Detail: "create_domain: domain quota exhausted"})
+		return nil, &ResourceFault{Op: "create_domain",
+			Detail: "domain quota exhausted"}
+	}
 	v.mu.Lock()
 	d := v.nextDomain
 	v.nextDomain++
@@ -73,6 +82,22 @@ func (v *VMM) allocResource() cloak.ResourceID {
 func (v *VMM) registerRegion(as *AddressSpace, r Region) error {
 	if r.Cloaked && r.Resource == 0 {
 		return &RegionError{Op: "register", Region: r, Err: ErrNoResource}
+	}
+	if q := v.opts.Quota.MaxRegionsPerDomain; q > 0 && as.domain != 0 {
+		// Metastore growth-bomb containment: regions (and the metadata
+		// records behind them) are bounded per domain; the bomber gets a
+		// typed failure while sibling domains register freely.
+		n := 0
+		for _, sp := range v.domainSpaces[as.domain] {
+			n += len(sp.regions)
+		}
+		if n >= q {
+			v.cpu().ChargeAdd(0, sim.CtrQuotaDenied, 1)
+			v.logEvent(Event{Kind: EventResourceFault, Domain: as.domain,
+				Detail: "register_region: per-domain region quota exhausted"})
+			return &ResourceFault{Op: "register_region",
+				Detail: "per-domain region quota exhausted"}
+		}
 	}
 	if err := as.addRegion(r); err != nil {
 		return err

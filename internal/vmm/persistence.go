@@ -26,8 +26,21 @@ func (v *VMM) AttachJournal(j *persist.Journal) {
 func (v *VMM) Journal() *persist.Journal { return v.journal }
 
 func (v *VMM) jPut(id cloak.PageID, m cloak.Meta) {
-	if v.journal != nil {
-		v.journal.Put(id, m)
+	if v.journal == nil {
+		return
+	}
+	was := v.journal.DomainWedged(id.Domain)
+	v.journal.Put(id, m)
+	if !was && v.journal.DomainWedged(id.Domain) {
+		// The put crossed this domain's journal quota: its sealed state is
+		// gone (typed availability loss at replay) but siblings — and the
+		// shared journal — keep running. Surface it in the audit log; the
+		// journal itself has no event channel.
+		v.logEvent(Event{
+			Kind:   EventResourceFault,
+			Domain: id.Domain,
+			Detail: "journal: per-domain quota exhausted; domain journaling wedged",
+		})
 	}
 }
 
@@ -58,7 +71,15 @@ func (v *VMM) NoteSwapSlot(gppn mach.GPPN, blk uint64) {
 		return
 	}
 	id := cp.identity()
+	was := v.journal.DomainWedged(id.Domain)
 	v.journal.Locate(id, persist.DevSwap, blk, v.metas.Version(id))
+	if !was && v.journal.DomainWedged(id.Domain) {
+		v.logEvent(Event{
+			Kind:   EventResourceFault,
+			Domain: id.Domain,
+			Detail: "journal: per-domain quota exhausted; domain journaling wedged",
+		})
+	}
 }
 
 // RecoverPage verifies and decrypts a journaled page on behalf of the

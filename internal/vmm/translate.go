@@ -35,6 +35,10 @@ func (v *VMM) SwitchContext(as *AddressSpace, view View) {
 		// the system view eagerly encrypts the domain's plaintext pages.
 		v.EncryptAllPlaintext(as.domain, "no-multishadow crossing")
 	}
+	if v.introspector != nil {
+		// VMI cadence: real context switches are the monitor's clock.
+		v.introspector.tick()
+	}
 }
 
 // EncryptAllPlaintext forces every plaintext page of a domain into the

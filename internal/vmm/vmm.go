@@ -94,6 +94,21 @@ type Options struct {
 	MetaCacheSize int
 	// TLBSize overrides the TLB capacity (0 = default 256 entries).
 	TLBSize int
+	// Quota bounds how much cloaking state the guest kernel can make the
+	// VMM hold. Zero values mean unlimited (the historical machine).
+	Quota Quota
+}
+
+// Quota caps per-domain and machine-wide cloaking resources so a hostile
+// kernel mounting a spawn storm or metastore growth bomb degrades into a
+// typed ResourceFault for the offending domain instead of starving its
+// siblings or the VMM itself.
+type Quota struct {
+	// MaxDomains caps live protection domains (0 = unlimited).
+	MaxDomains int
+	// MaxRegionsPerDomain caps registered regions per domain — the lever
+	// behind unbounded metastore growth (0 = unlimited).
+	MaxRegionsPerDomain int
 }
 
 // VMM is the hypervisor. One VMM instance runs one guest.
@@ -154,6 +169,10 @@ type VMM struct {
 	// journal, when attached, mirrors every metadata mutation to stable
 	// storage for crash recovery (see persistence.go). nil = no journaling.
 	journal *persist.Journal
+
+	// introspector, when attached, scans guest kernel objects on a context-
+	// switch cadence (see introspect.go). nil = no monitoring.
+	introspector *Introspector
 
 	events []Event
 }

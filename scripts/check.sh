@@ -5,8 +5,9 @@
 #   gofmt      every file formatted
 #   go vet     compiler-adjacent checks
 #   overlint   domain invariants (determinism, cloakboundary,
-#              errnodiscipline, cyclecharge, plaintextflow, hotpathalloc,
-#              smpready, worldcharge) — see DESIGN.md; also emits a JSON
+#              errnodiscipline, iagoflow, cyclecharge, plaintextflow,
+#              hotpathalloc, smpready, worldcharge) — see DESIGN.md; also
+#              emits a JSON
 #              findings artifact and pins the smpready shared-state
 #              inventory
 #   build      everything compiles
@@ -64,8 +65,11 @@ go test ./...
 echo "== race pass"
 # internal/core includes the SMP suite (TestSMP* boots 2- and 4-vCPU
 # machines), and internal/vmm the cross-CPU fault/CTC/shootdown tests, so
-# this is also the required race pass over the VCPUs=4 interleaving.
+# this is also the required race pass over the VCPUs=4 interleaving. The
+# harness E17 run covers the adversary suites (scheduler races, tamper
+# storms, exhaustion floods) at both 1 and 4 vCPUs under the detector.
 go test -race ./internal/guestos/... ./internal/core/... ./internal/vmm/
+go test -race ./internal/harness/ -run 'TestE17'
 
 echo "== shard determinism"
 # Sharding may change wall time only: the quick suite's JSON must be
@@ -84,10 +88,10 @@ for s in 1 42; do
 done
 
 echo "== vcpus determinism"
-# The N=1 compatibility contract: -vcpus 1 (the default) is the pre-SMP
-# machine, so the quick suite's JSON must be byte-identical to the goldens
-# in scripts/goldens/ (generated from the last pre-SMP build), on two
-# seeds. The serial runs above are exactly that machine — compare them.
+# The N=1 compatibility contract: -vcpus 1 (the default) is the serialized
+# machine, so the quick suite's JSON must be byte-identical to the pinned
+# goldens in scripts/goldens/ (see its README for the regeneration log), on
+# two seeds. The serial runs above are exactly that machine — compare them.
 for s in 1 42; do
     if ! cmp -s "scripts/goldens/vcpus1-seed$s.json" "$tmpdir/serial-$s.json"; then
         echo "VCPUs=1 golden broken: seed $s output differs from scripts/goldens/vcpus1-seed$s.json" >&2
@@ -113,7 +117,7 @@ for s in 1 42; do
         exit 1
     fi
 done
-echo "vcpus goldens: VCPUs=1 byte-identical to pre-SMP, VCPUs=4 deterministic and shard-independent (seeds 1, 42)"
+echo "vcpus goldens: VCPUs=1 byte-identical to the pinned goldens, VCPUs=4 deterministic and shard-independent (seeds 1, 42)"
 
 echo "== fault-sweep smoke"
 # E13 drives the fault-injection layer end to end. The injected fault
@@ -162,6 +166,23 @@ for s in 5 9; do
     if ! cmp -s "$tmpdir/crash-serial-$s.json" "$tmpdir/crash-sharded-$s.json"; then
         echo "crash sweep determinism broken: seed $s output differs between -shards 1 and -shards 4" >&2
         diff "$tmpdir/crash-serial-$s.json" "$tmpdir/crash-sharded-$s.json" | head -20 >&2
+        exit 1
+    fi
+done
+
+echo "== adversary-sweep smoke"
+# E17 runs the pluggable malicious kernel: Iago forgeries, scheduler races,
+# rootkit hiding, and exhaustion floods. Attack schedules derive from
+# (seed, plan name), so the sweep's JSON must be byte-identical between a
+# serial and a 4-way sharded run, on two seeds. The goldens gate above
+# already pins E1–E14 output byte-identical with every adversary feature
+# off by default; this gate pins the adversary rows themselves.
+for s in 1 23; do
+    "$tmpdir/overbench" -e E17 -seed "$s" -shards 1 -json > "$tmpdir/adv-serial-$s.json"
+    "$tmpdir/overbench" -e E17 -seed "$s" -shards 4 -json > "$tmpdir/adv-sharded-$s.json"
+    if ! cmp -s "$tmpdir/adv-serial-$s.json" "$tmpdir/adv-sharded-$s.json"; then
+        echo "adversary sweep determinism broken: seed $s output differs between -shards 1 and -shards 4" >&2
+        diff "$tmpdir/adv-serial-$s.json" "$tmpdir/adv-sharded-$s.json" | head -20 >&2
         exit 1
     fi
 done
