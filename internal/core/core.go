@@ -19,6 +19,7 @@ package core
 import (
 	"crypto/sha256"
 
+	"overshadow/internal/cloak"
 	"overshadow/internal/fault"
 	"overshadow/internal/guestos"
 	"overshadow/internal/mach"
@@ -86,6 +87,12 @@ type Config struct {
 	VMM vmm.Options
 	// Shim configures cloaked-file policy and window size.
 	Shim shim.Options
+	// Retry bounds transient-failure retries machine-wide: the shim's
+	// secure-I/O and domain-setup hypercalls and the live-migration
+	// transfer channel all back off on this one schedule. The zero value
+	// resolves to the historical 3-retry 20k/40k/80k-cycle schedule, so
+	// existing configurations stay byte-identical.
+	Retry sim.RetryPolicy
 	// Fault activates deterministic fault injection (nil = no faults). The
 	// injector is seeded from Seed, so a (Seed, Plan) pair names one exact
 	// fault schedule; see internal/fault and experiment E13.
@@ -142,6 +149,11 @@ func (cfg Config) resolve() Config {
 			p.Blocks = 256
 		}
 		cfg.Persist = &p
+	}
+	// One machine-wide retry policy: the shim inherits Config.Retry unless
+	// the caller set a shim-specific override explicitly.
+	if cfg.Shim.Retry == (sim.RetryPolicy{}) {
+		cfg.Shim.Retry = cfg.Retry
 	}
 	return cfg
 }
@@ -318,4 +330,45 @@ func (s *System) ReadGuestFile(path string) ([]byte, error) {
 		return nil, errno
 	}
 	return data, nil
+}
+
+// Seed reports the resolved simulation seed. Migration needs it: the
+// checkpoint sealing key is derived from the seed, so source and
+// destination must agree on it for a transfer to verify.
+func (s *System) Seed() uint64 { return s.cfg.Seed }
+
+// RetryPolicy reports the machine's resolved transient-retry schedule,
+// shared by the shim and the migration transfer channel.
+func (s *System) RetryPolicy() sim.RetryPolicy { return s.cfg.Retry.Resolve() }
+
+// PersistOptions returns a copy of the resolved journal options (nil when
+// persistence is off). Migration restore re-seals the adopted table under
+// the destination's own journal using these options.
+func (s *System) PersistOptions() *persist.Options {
+	if s.cfg.Persist == nil {
+		return nil
+	}
+	p := *s.cfg.Persist
+	return &p
+}
+
+// MigrateAt arms a one-shot migration hook: fn runs on the host, with the
+// whole machine quiescent at a scheduler dispatch boundary, the first time
+// the simulated clock reaches `at` cycles. The hook may re-arm itself (via
+// another MigrateAt call) before returning; when it returns, the source
+// machine simply continues running — a hook that captured and transferred a
+// checkpoint leaves the source unharmed, which is what makes transfer
+// aborts safe. Must be called before Run (or from within a firing hook).
+func (s *System) MigrateAt(at sim.Cycles, fn func()) {
+	s.Kernel.SetMigrationHook(at, fn)
+}
+
+// DomainOf reports the protection domain of process pid (0 for native
+// processes, unknown pids, or exited domains).
+func (s *System) DomainOf(pid Pid) cloak.DomainID {
+	p, ok := s.Kernel.Lookup(pid)
+	if !ok {
+		return 0
+	}
+	return p.AddressSpace().Domain()
 }

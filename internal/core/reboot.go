@@ -122,7 +122,12 @@ func Reboot(prev *System) (*System, *RecoveryReport, error) {
 	// medium; it re-homes to the new world so recovery I/O charges the new
 	// machine's clock. Guest RAM and the old FS device did not survive.
 	disk := prev.Kernel.SwapDisk()
-	disk.Rehome(world)
+	if err := disk.Rehome(world); err != nil {
+		// Unreachable for a genuinely crashed machine (a crashed world has
+		// no schedule left to abandon); reachable only if a caller reboots a
+		// live faulted machine — refuse rather than splice the schedule.
+		return nil, nil, err
+	}
 
 	hv, err := vmm.New(world, vmm.Config{GuestPages: cfg.MemoryPages, Options: cfg.VMM})
 	if err != nil {

@@ -41,13 +41,20 @@ const (
 	SiteMetaTamper
 	// SiteIntegrity: a cloak integrity check is forced to mismatch outright.
 	SiteIntegrity
+	// SiteTransfer: one frame of a live-migration checkpoint transfer (a
+	// sealed record or a ciphertext page) crossing the inter-machine
+	// channel. Fail loses the frame, Torn delivers a prefix then drops the
+	// connection (both drive the bounded retry-then-typed-abort path), and
+	// Corrupt delivers the frame silently damaged — detection is the
+	// restore-side MAC/hash verification, never the channel.
+	SiteTransfer
 	// NumSites bounds the site enum; keep it last.
 	NumSites
 )
 
 var siteNames = [...]string{
 	"disk-read", "disk-write", "swap-in", "swap-out",
-	"hypercall", "meta-tamper", "integrity",
+	"hypercall", "meta-tamper", "integrity", "transfer",
 }
 
 // String implements fmt.Stringer.
@@ -207,6 +214,16 @@ func (i *Injector) TornLen(n int) int {
 
 // Count reports how many faults were injected at site so far.
 func (i *Injector) Count(site Site) int { return i.counts[site] }
+
+// SiteActive reports whether site still has schedule left: a nonzero rate
+// whose Max cap (if any) is not yet exhausted. Components that would be
+// unsafe to reconfigure mid-schedule (e.g. re-homing a disk between worlds)
+// use this to refuse with a typed error instead of silently splicing a
+// half-delivered fault plan onto a different machine.
+func (i *Injector) SiteActive(site Site) bool {
+	r := i.plan.Rates[site]
+	return r.enabled() && (r.Max == 0 || i.counts[site] < r.Max)
+}
 
 // Total reports how many faults were injected across all sites.
 func (i *Injector) Total() int { return len(i.log) }

@@ -78,6 +78,12 @@ type Kernel struct {
 	crashed   bool // a sim.Crash deadline fired; machine stopped mid-flight
 	done      chan struct{}
 	panicked  any // first panic escaping a process goroutine, re-raised in Run
+
+	// migrateAt/migrateFn are the one-shot live-migration hook (see
+	// SetMigrationHook); fired from fireMigrationHook at the machine's
+	// quiescent points.
+	migrateAt sim.Cycles
+	migrateFn func()
 }
 
 // NewKernel boots a guest kernel over a fresh VMM-managed machine.
@@ -346,9 +352,39 @@ func (k *Kernel) wakeDueSleepers() {
 	k.sleepers = kept
 }
 
+// SetMigrationHook arms a one-shot host callback that fires the first time
+// the simulated clock reaches `at` at a quiescent point — a scheduler
+// dispatch boundary, the preemption safe point, or a page-fault trap exit.
+// At every such point no task goroutine is mid-syscall and every thread's
+// execution context is parked or saved in its trap frame, so a checkpoint
+// taken inside fn sees a quiescent machine. The hook is disarmed before it
+// runs; fn may
+// re-arm by calling SetMigrationHook again (the replay-adversary experiment
+// captures twice this way). When fn returns, scheduling simply continues:
+// the source machine is unharmed whether or not fn transferred anything.
+func (k *Kernel) SetMigrationHook(at sim.Cycles, fn func()) {
+	k.migrateAt = at
+	k.migrateFn = fn
+}
+
+// fireMigrationHook runs the armed migration hook if the clock has reached
+// its deadline. Called from the machine's quiescent points — scheduler
+// dispatch, the preemption safe point, and page-fault trap exit — so a
+// busy single-process machine still reaches the hook promptly. A no-op
+// (and zero behavioral change) while no hook is armed.
+func (k *Kernel) fireMigrationHook() {
+	if k.migrateFn == nil || k.world.Now() < k.migrateAt {
+		return
+	}
+	fn := k.migrateFn
+	k.migrateFn = nil
+	fn()
+}
+
 // pickNext chooses the next runnable process, advancing simulated time over
 // idle periods. Returns nil when no process can ever run again.
 func (k *Kernel) pickNext() *Proc {
+	k.fireMigrationHook()
 	k.wakeDueSleepers()
 	for {
 		if k.runnable() > 0 {
@@ -471,6 +507,7 @@ func (k *Kernel) sleepUntil(p *Proc, wakeAt sim.Cycles) {
 // maybePreempt ends the time slice if the quantum expired. Called from
 // safe points (syscall exit, compute loops).
 func (k *Kernel) maybePreempt(p *Proc) {
+	k.fireMigrationHook()
 	if k.world.Now()-p.sliceStart < k.cfg.Quantum {
 		return
 	}

@@ -108,6 +108,10 @@ func (c *UserCtx) access(va mach.Addr, buf []byte, write bool) {
 				// Genuine segfault.
 				k.exitCurrent(p, 128+11)
 			}
+			// Trap exit is a quiescent point: the fault is fully serviced
+			// and the access has not yet retried. No-op unless a migration
+			// hook is armed and due.
+			k.fireMigrationHook()
 			continue
 		}
 		var sv *vmm.SecViolation

@@ -9,8 +9,8 @@ func quick() Options { return Options{Quick: true, Seed: 7} }
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 15 {
-		t.Fatalf("registry has %d experiments, want 15", len(reg))
+	if len(reg) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(reg))
 	}
 	for _, e := range reg {
 		if e.Run == nil || e.ID == "" || e.Title == "" {

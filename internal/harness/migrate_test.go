@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestE16MigrationSweep pins the migration contract on every sweep row at
+// 1 and 4 vCPUs: mid-run migrations land with all three verdicts (secrecy,
+// integrity, freshness) passing and the source machine still alive; the
+// torn-channel row aborts typed with nothing delivered; the corrupted
+// channel either lands partially (with typed rejections) or refuses the
+// blob whole; and the stale replay is refused. It also pins determinism:
+// the same seed yields byte-identical JSON per vCPU count.
+func TestE16MigrationSweep(t *testing.T) {
+	names := []string{
+		"idle", "mid-load", "mid-swap-storm", "mid-fault-storm",
+		"xfer-fail-retry", "xfer-torn-abort", "xfer-corrupt",
+		"cross-1to4", "cross-4to1", "replay-stale",
+	}
+	for _, vcpus := range []int{1, 4} {
+		opts := quick()
+		opts.VCPUs = vcpus
+		tab := RunE16(opts)
+		if len(tab.Rows) != len(names) {
+			t.Fatalf("vcpus=%d: E16 rows = %d, want %d", vcpus, len(tab.Rows), len(names))
+		}
+		for i, r := range tab.Rows {
+			if r.Name != names[i] {
+				t.Fatalf("vcpus=%d: row %d = %q, want %q", vcpus, i, r.Name, names[i])
+			}
+			pages, recovered, unavail := r.Values[0], r.Values[1], r.Values[2]
+			rejected, retries, aborted := r.Values[3], r.Values[4], r.Values[5]
+			srcLive, secrecy, integrity, freshness := r.Values[6], r.Values[7], r.Values[8], r.Values[9]
+			if srcLive != 1 {
+				t.Errorf("vcpus=%d %s: source machine did not survive the migration", vcpus, r.Name)
+			}
+			if secrecy != 1 || integrity != 1 || freshness != 1 {
+				t.Errorf("vcpus=%d %s: verdicts s/i/f = %v/%v/%v, want 1/1/1",
+					vcpus, r.Name, secrecy, integrity, freshness)
+			}
+			switch r.Name {
+			case "xfer-torn-abort":
+				if aborted != 1 || pages != 0 {
+					t.Errorf("vcpus=%d %s: want typed abort with nothing delivered, got aborted=%v pages=%v",
+						vcpus, r.Name, aborted, pages)
+				}
+				if retries == 0 {
+					t.Errorf("vcpus=%d %s: abort without exhausting retries", vcpus, r.Name)
+				}
+			case "xfer-fail-retry":
+				if aborted != 0 || retries == 0 {
+					t.Errorf("vcpus=%d %s: want success after retries, got aborted=%v retries=%v",
+						vcpus, r.Name, aborted, retries)
+				}
+				if recovered != pages {
+					t.Errorf("vcpus=%d %s: recovered %v of %v pages after retried transfer",
+						vcpus, r.Name, recovered, pages)
+				}
+			case "xfer-corrupt":
+				// Either a partial landing with the damage typed per record
+				// or per page, or a whole-blob typed refusal. Silent full
+				// success would mean the channel corruption never happened.
+				if aborted == 0 && rejected == 0 && unavail == 0 {
+					t.Errorf("vcpus=%d %s: corrupted channel left no trace (row %v)",
+						vcpus, r.Name, r.Values)
+				}
+			default:
+				if aborted != 0 {
+					t.Errorf("vcpus=%d %s: unexpected abort", vcpus, r.Name)
+				}
+				if pages == 0 || recovered != pages || unavail != 0 || rejected != 0 {
+					t.Errorf("vcpus=%d %s: want full clean restore, got pages=%v recovered=%v unavail=%v rejected=%v",
+						vcpus, r.Name, pages, recovered, unavail, rejected)
+				}
+			}
+		}
+		// Determinism: a second identical run is byte-identical.
+		again := RunE16(opts)
+		if tab.JSON() != again.JSON() {
+			t.Errorf("vcpus=%d: E16 not deterministic across runs", vcpus)
+		}
+	}
+}

@@ -208,6 +208,7 @@ func Registry() []Experiment {
 		{"E12", "Key-value service (memcached-class), native vs cloaked", RunE12},
 		{"E13", "Fault sweep: injection, quarantine containment, graceful degradation", RunE13},
 		{"E14", "Crash sweep: sealed-journal recovery across deterministic crash points", RunE14},
+		{"E16", "Migration sweep: sealed checkpoint-restore across machines, under load and under fire", RunE16},
 		{"E17", "Adversarial kernel battery: Iago returns, races, exhaustion, introspection", RunE17},
 	}
 }

@@ -56,6 +56,10 @@ var deterministicPkgs = map[string]bool{
 	// must be a pure function of the simulation history (see the map-range
 	// rule below).
 	"overshadow/internal/persist": true,
+	// migrate serializes sealed checkpoints onto the (fault-injected)
+	// transfer channel; the blob must be a pure function of the source
+	// machine's history for migrations to be replayable per seed.
+	"overshadow/internal/migrate": true,
 }
 
 // serializingPkgs write bytes to simulated stable storage. Inside them a
@@ -70,6 +74,9 @@ var serializingPkgs = map[string]bool{
 	// serialized bytes without an intervening sort would break the
 	// byte-identical-at-any-shard-count contract.
 	"overshadow/internal/obs": true,
+	// migrate encodes checkpoint blobs byte-for-byte; map iteration must
+	// never reach the encoder.
+	"overshadow/internal/migrate": true,
 }
 
 // faultPkgPath is the fault-injection package whose injector seeding is

@@ -125,10 +125,34 @@ func (d *Disk) Peek(blk uint64) []byte {
 // use Peek/Poke.
 func (d *Disk) PokeRaw(blk uint64) []byte { return d.blocks[blk] }
 
+// ErrRehomeMidFault is returned by Rehome when the device still has I/O
+// faults mid-schedule on its current (live) world. Splicing the device onto
+// a different world at that point would silently abandon part of a declared
+// fault schedule — the (seed, plan) pair would no longer name one exact
+// failure history — so the move is refused with a typed error instead.
+var ErrRehomeMidFault = fmt.Errorf("disk: rehome refused: I/O fault schedule still active on the current world")
+
 // Rehome reattaches the device to a new simulation world, preserving every
 // stored block. This models the disk surviving a whole-machine crash: the
 // rebooted machine charges its own clock for I/O against the old medium.
-func (d *Disk) Rehome(w *sim.World) { d.world = w }
+//
+// Re-homing away from a *live* world whose fault injector still has disk
+// faults mid-schedule is refused with ErrRehomeMidFault: the remaining
+// injections belong to the old machine's declared failure history, and
+// carrying the device away mid-schedule would silently drop them. A crashed
+// world has no further I/O by definition, so its schedule is complete and
+// the move is always allowed — which is exactly the Reboot path.
+func (d *Disk) Rehome(w *sim.World) error {
+	if w != d.world && d.world.Fault != nil && !d.world.Clock.Crashed() {
+		for _, site := range []fault.Site{fault.SiteDiskRead, fault.SiteDiskWrite} {
+			if d.world.Fault.SiteActive(site) {
+				return fmt.Errorf("%w (%s)", ErrRehomeMidFault, site)
+			}
+		}
+	}
+	d.world = w
+	return nil
+}
 
 // Poke overwrites a block without charging latency; used by adversarial
 // tests to model offline tampering with the swap device.

@@ -231,6 +231,27 @@ func (j *Journal) Marks() (appends, checkpoints []sim.Cycles) {
 	return j.appendMarks, j.ckptMarks
 }
 
+// TableEntry pairs a page identity with its live journal entry, for callers
+// that need the writer's full in-memory table (live-migration capture walks
+// it to enumerate a domain's sealed pages).
+type TableEntry struct {
+	ID    cloak.PageID
+	Entry Entry
+}
+
+// Entries returns a copy of the live table in deterministic PageID order.
+func (j *Journal) Entries() []TableEntry {
+	//overlint:allow hotpathalloc -- migration-capture snapshot, not per-append work
+	out := make([]TableEntry, 0, len(j.table))
+	//overlint:allow determinism,hotpathalloc -- entries are collected then sorted before use
+	for id, e := range j.table {
+		out = append(out, TableEntry{ID: id, Entry: e})
+	}
+	//overlint:allow hotpathalloc -- snapshot sort; once per capture
+	sort.Slice(out, func(a, b int) bool { return pageIDLess(out[a].ID, out[b].ID) })
+	return out
+}
+
 // Put journals a page's new metadata record.
 func (j *Journal) Put(id cloak.PageID, m cloak.Meta) {
 	if !j.admit(id) {

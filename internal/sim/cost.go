@@ -57,6 +57,13 @@ type CostModel struct {
 	// Disk (per operation plus per byte); used for the FS image and swap.
 	DiskSeek    Cycles
 	DiskPerByte Cycles
+
+	// Cross-machine transfer channel (live migration). Charged only while a
+	// sealed checkpoint moves between machines, so non-migrating runs never
+	// touch these entries. The channel is slower per byte than local disk
+	// and pays a connection setup once per transfer.
+	TransferSetup   Cycles
+	TransferPerByte Cycles
 }
 
 // DefaultCostModel returns the calibrated cost model used by all
@@ -100,6 +107,9 @@ func DefaultCostModel() CostModel {
 
 		DiskSeek:    500000,
 		DiskPerByte: 12,
+
+		TransferSetup:   800000,
+		TransferPerByte: 40,
 	}
 }
 

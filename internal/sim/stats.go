@@ -79,6 +79,12 @@ const (
 	CtrIntrospectScan      Counter = "vmi.scan"
 	CtrIntrospectDiverge   Counter = "vmi.diverge"
 
+	// Live-migration counters (zero unless a domain is checkpointed and
+	// transferred, so non-migrating runs keep their exports byte-identical).
+	CtrMigrateCkptPage Counter = "migrate.ckpt.page"
+	CtrMigrateXfer     Counter = "migrate.xfer.frame"
+	CtrMigrateRetry    Counter = "migrate.retry"
+
 	// Cycle-attribution counters: these name cycle sinks that previously
 	// charged the clock anonymously, so attributed profiles can decompose
 	// every simulated cycle. CtrOther is the catch-all that keeps the

@@ -52,6 +52,12 @@ const (
 	// tables) diverging from VMM ground truth — a hidden task, a phantom
 	// task in a dead domain, or an unclaimed cloaked region.
 	EventIntrospectDiverge
+	// EventMigrationRollback: a live-migration restore presented a sealed
+	// checkpoint whose epoch is not fresher than the destination journal's —
+	// a replayed (stale) checkpoint, the migration-channel form of the
+	// anti-rollback attack. The restore was refused and the target domain
+	// quarantined on the destination.
+	EventMigrationRollback
 )
 
 // String implements fmt.Stringer.
@@ -77,6 +83,8 @@ func (k EventKind) String() string {
 		return "iago-rejected"
 	case EventIntrospectDiverge:
 		return "introspect-diverge"
+	case EventMigrationRollback:
+		return "migration-rollback"
 	}
 	return "unknown"
 }

@@ -67,9 +67,12 @@ echo "== race pass"
 # machines), and internal/vmm the cross-CPU fault/CTC/shootdown tests, so
 # this is also the required race pass over the VCPUs=4 interleaving. The
 # harness E17 run covers the adversary suites (scheduler races, tamper
-# storms, exhaustion floods) at both 1 and 4 vCPUs under the detector.
-go test -race ./internal/guestos/... ./internal/core/... ./internal/vmm/
-go test -race ./internal/harness/ -run 'TestE17'
+# storms, exhaustion floods) and E16 the migration sweep (capture under
+# load, faulted transfer, cross-vCPU restore), both at 1 and 4 vCPUs
+# under the detector; internal/migrate adds the codec fuzz and
+# end-to-end migration suites.
+go test -race ./internal/guestos/... ./internal/core/... ./internal/vmm/ ./internal/migrate/
+go test -race ./internal/harness/ -run 'TestE17|TestE16'
 
 echo "== shard determinism"
 # Sharding may change wall time only: the quick suite's JSON must be
@@ -183,6 +186,22 @@ for s in 1 23; do
     if ! cmp -s "$tmpdir/adv-serial-$s.json" "$tmpdir/adv-sharded-$s.json"; then
         echo "adversary sweep determinism broken: seed $s output differs between -shards 1 and -shards 4" >&2
         diff "$tmpdir/adv-serial-$s.json" "$tmpdir/adv-sharded-$s.json" | head -20 >&2
+        exit 1
+    fi
+done
+
+echo "== migration-sweep smoke"
+# E16 quiesces live domains, seals checkpoints, ships them across a faulted
+# transfer channel, and restores onto machines with different vCPU counts.
+# Capture points and transfer-fault schedules derive from (seed, probe), so
+# the sweep's JSON must be byte-identical between a serial and a 4-way
+# sharded run, on two seeds.
+for s in 1 42; do
+    "$tmpdir/overbench" -e E16 -seed "$s" -shards 1 -json > "$tmpdir/mig-serial-$s.json"
+    "$tmpdir/overbench" -e E16 -seed "$s" -shards 4 -json > "$tmpdir/mig-sharded-$s.json"
+    if ! cmp -s "$tmpdir/mig-serial-$s.json" "$tmpdir/mig-sharded-$s.json"; then
+        echo "migration sweep determinism broken: seed $s output differs between -shards 1 and -shards 4" >&2
+        diff "$tmpdir/mig-serial-$s.json" "$tmpdir/mig-sharded-$s.json" | head -20 >&2
         exit 1
     fi
 done
